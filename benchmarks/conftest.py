@@ -1,0 +1,84 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every module regenerates one table or figure of the paper on the 1/16
+geometrically-scaled machine (DESIGN.md documents the scaling invariants).
+Runs are memoized across modules — Table 2 reuses Figure 9's runs exactly
+as the paper derives its table from the same experiments.
+
+Each benchmark prints its table (run pytest with ``-s`` to see it) and
+writes it to ``benchmarks/results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.machine.config import MachineConfig, alpha_server, sgi_2way, sgi_4mb, sgi_base
+from repro.sim.engine import EngineOptions, run_benchmark
+from repro.sim.results import RunResult
+from repro.sim.tracegen import SimProfile
+
+#: Geometric scale of all benchmark runs (preserves color counts).
+BENCH_SCALE = 16
+
+FAST = SimProfile.fast()
+
+_CONFIGS = {
+    "sgi_base": sgi_base,
+    "sgi_2way": sgi_2way,
+    "sgi_4mb": sgi_4mb,
+    "alpha": alpha_server,
+}
+
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_run_cache: dict[tuple, RunResult] = {}
+
+
+def make_config(name: str, num_cpus: int) -> MachineConfig:
+    return _CONFIGS[name](num_cpus).scaled(BENCH_SCALE)
+
+
+def cached_run(
+    workload: str,
+    config_name: str,
+    num_cpus: int,
+    policy: str = "page_coloring",
+    cdpc: bool = False,
+    prefetch: bool = False,
+    aligned: bool = True,
+) -> RunResult:
+    """Run one benchmark configuration, memoized for the whole session."""
+    key = (workload, config_name, num_cpus, policy, cdpc, prefetch, aligned)
+    result = _run_cache.get(key)
+    if result is None:
+        config = make_config(config_name, num_cpus)
+        options = EngineOptions(
+            policy=policy,
+            cdpc=cdpc,
+            prefetch=prefetch,
+            aligned=aligned,
+            profile=FAST,
+        )
+        result = run_benchmark(workload, config, options)
+        _run_cache[key] = result
+    return result
+
+
+def publish(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print(f"\n=== {name} ===\n{text}\n")
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark and return its value."""
+
+    def runner(func):
+        return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

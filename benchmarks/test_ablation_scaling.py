@@ -1,0 +1,82 @@
+"""Ablation: does geometric scaling preserve the results' shape?
+
+The whole reproduction rests on the substitution documented in DESIGN.md:
+running at 1/16 geometric scale (cache, page and data sizes divided
+together, color count preserved) keeps the quantities page mapping
+depends on.  This experiment measures the same policy comparison at two
+different scale factors and checks that the *ratios* — CDPC speedup over
+each static policy, and the replacement-miss reduction — are stable
+across scales, even though absolute times differ.
+"""
+
+from conftest import FAST, publish
+
+from repro.analysis.report import render_table
+from repro.machine.config import sgi_base
+from repro.sim.engine import EngineOptions, run_benchmark
+
+WORKLOADS = ("tomcatv", "hydro2d")
+NUM_CPUS = 16
+SCALES = (8, 16)
+
+
+def run_scales():
+    results = {}
+    for scale in SCALES:
+        config = sgi_base(NUM_CPUS).scaled(scale)
+        assert config.num_colors == 256  # the invariant under test
+        for name in WORKLOADS:
+            for cdpc in (False, True):
+                options = EngineOptions(
+                    policy="page_coloring", cdpc=cdpc, profile=FAST
+                )
+                results[(scale, name, cdpc)] = run_benchmark(
+                    name, config, options
+                )
+    return results
+
+
+def test_scaling_invariance(bench_once):
+    results = bench_once(run_scales)
+    rows = []
+    speedups = {}
+    for name in WORKLOADS:
+        for scale in SCALES:
+            base = results[(scale, name, False)]
+            cdpc = results[(scale, name, True)]
+            speedup = base.wall_ns / cdpc.wall_ns
+            speedups[(name, scale)] = speedup
+            miss_ratio = (cdpc.replacement_misses() + 1) / (
+                base.replacement_misses() + 1
+            )
+            rows.append(
+                [name, f"1/{scale}", round(base.wall_ns / 1e6, 2),
+                 round(cdpc.wall_ns / 1e6, 2), round(speedup, 2),
+                 round(miss_ratio, 4)]
+            )
+    publish(
+        "ablation_scaling_invariance",
+        render_table(
+            ["bench", "scale", "pc ms", "cdpc ms", "cdpc speedup",
+             "miss ratio"], rows
+        ),
+    )
+
+    for name in WORKLOADS:
+        fine = speedups[(name, SCALES[0])]
+        coarse = speedups[(name, SCALES[1])]
+        # Both scales agree on the direction and on a clear effect.
+        assert fine > 1.5 and coarse > 1.5, (name, fine, coarse)
+        # CDPC eliminates essentially all replacement misses at either
+        # scale — the mapping-level result is exactly scale-invariant.
+        for scale in SCALES:
+            base = results[(scale, name, False)]
+            cdpc = results[(scale, name, True)]
+            assert cdpc.replacement_misses() < 0.02 * base.replacement_misses()
+
+    # For the exactly color-aligned pathology (tomcatv) the wall-clock
+    # speedup is also stable across scales; hydro2d's birthday-collision
+    # baseline interacts with sub-page padding, so only its direction and
+    # miss elimination are scale-invariant (see EXPERIMENTS.md).
+    fine, coarse = speedups[("tomcatv", SCALES[0])], speedups[("tomcatv", SCALES[1])]
+    assert abs(fine - coarse) / max(fine, coarse) < 0.3

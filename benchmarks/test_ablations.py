@@ -1,0 +1,95 @@
+"""Ablations of CDPC's design choices (DESIGN.md section 5).
+
+Not figures from the paper, but experiments isolating the contribution of
+individual steps of the algorithm and the hint mechanism:
+
+* cyclic assignment (Step 4) on/off;
+* greedy access-set ordering (Step 2) vs. naive virtual-address order;
+* memory pressure: how gracefully CDPC degrades as hints stop being
+  honored.
+"""
+
+from conftest import FAST, cached_run, make_config, publish
+
+from repro.analysis.report import render_table
+from repro.core import coloring as coloring_mod
+from repro.core import cyclic as cyclic_mod
+from repro.sim.engine import EngineOptions, run_benchmark
+
+
+def _run_with_patched(monkey_patches, workload="tomcatv", cpus=16):
+    """Run a CDPC benchmark with parts of the algorithm disabled."""
+    config = make_config("sgi_base", cpus)
+    originals = {}
+    try:
+        for (module, attr), replacement in monkey_patches.items():
+            originals[(module, attr)] = getattr(module, attr)
+            setattr(module, attr, replacement)
+        options = EngineOptions(policy="page_coloring", cdpc=True, profile=FAST)
+        return run_benchmark(workload, config, options)
+    finally:
+        for (module, attr), original in originals.items():
+            setattr(module, attr, original)
+
+
+def _no_rotation(segment, position, conflicting, num_colors):
+    return 0
+
+
+def _va_order_sets(sets):
+    return sorted(
+        sets,
+        key=lambda s: min(seg.start_page for seg in s.segments),
+    )
+
+
+def run_ablations():
+    results = {}
+    results["full"] = cached_run("tomcatv", "sgi_base", 16, cdpc=True)
+    results["baseline"] = cached_run("tomcatv", "sgi_base", 16)
+    results["no_cyclic"] = _run_with_patched(
+        {(cyclic_mod, "choose_rotation"): _no_rotation}
+    )
+    results["va_set_order"] = _run_with_patched(
+        {(coloring_mod, "order_access_sets"): _va_order_sets}
+    )
+    for pressure in (0.0, 0.3, 0.6):
+        config = make_config("sgi_base", 16)
+        options = EngineOptions(
+            policy="page_coloring", cdpc=True, memory_pressure=pressure,
+            profile=FAST,
+        )
+        results[f"pressure_{pressure:.1f}"] = run_benchmark(
+            "tomcatv", config, options
+        )
+    return results
+
+
+def test_ablations(bench_once):
+    results = bench_once(run_ablations)
+    rows = [
+        [label, round(r.wall_ns / 1e6, 2), r.replacement_misses(),
+         round(r.hint_honor_rate, 2)]
+        for label, r in results.items()
+    ]
+    publish(
+        "ablations",
+        render_table(["variant", "wall ms", "repl misses", "hints honored"],
+                     rows),
+    )
+
+    # Every ablated variant must still beat the no-CDPC baseline...
+    for label in ("no_cyclic", "va_set_order"):
+        assert results[label].wall_ns < results["baseline"].wall_ns, label
+    # ...but the full algorithm is at least as good as each ablation.
+    for label in ("no_cyclic", "va_set_order"):
+        assert results["full"].wall_ns <= results[label].wall_ns * 1.05, label
+
+    # Graceful degradation under pressure: monotone loss of honored hints,
+    # performance between full-CDPC and the baseline.
+    assert results["pressure_0.0"].hint_honor_rate == 1.0
+    assert (
+        results["pressure_0.6"].hint_honor_rate
+        < results["pressure_0.3"].hint_honor_rate
+    )
+    assert results["pressure_0.6"].wall_ns <= results["baseline"].wall_ns * 1.1

@@ -1,0 +1,83 @@
+"""Figure 2 — high-level characterization of the workloads.
+
+Regenerates the four views of Figure 2 (combined execution time, overhead
+breakdown, MCPI breakdown, bus utilization) for the whole suite under the
+base configuration (1MB direct-mapped external cache, IRIX-style page
+coloring), at 1, 4 and 16 processors.
+"""
+
+from conftest import cached_run, publish
+
+from repro.analysis.report import render_table
+from repro.workloads import WORKLOAD_NAMES
+
+CPU_COUNTS = (1, 4, 16)
+
+
+def run_suite():
+    results = {}
+    for name in WORKLOAD_NAMES:
+        for cpus in CPU_COUNTS:
+            results[(name, cpus)] = cached_run(name, "sgi_base", cpus)
+    return results
+
+
+def test_fig2(bench_once):
+    results = bench_once(run_suite)
+
+    exec_rows, overhead_rows, mcpi_rows, bus_rows = [], [], [], []
+    for name in WORKLOAD_NAMES:
+        for cpus in CPU_COUNTS:
+            r = results[(name, cpus)]
+            exec_rows.append(
+                [name, cpus, round(r.combined_execution_ns / 1e6, 2),
+                 round(r.wall_ns / 1e6, 2)]
+            )
+            ov = r.overhead_breakdown_ns()
+            overhead_rows.append(
+                [name, cpus]
+                + [round(ov[k] / 1e6, 2)
+                   for k in ("kernel", "load_imbalance", "sequential",
+                             "suppressed", "synchronization")]
+            )
+            parts = r.mcpi_breakdown()
+            mcpi_rows.append(
+                [name, cpus, round(r.mcpi(), 2)]
+                + [round(parts.get(k, 0.0), 3)
+                   for k in ("l1", "capacity", "conflict", "true_sharing",
+                             "false_sharing")]
+            )
+            bus_rows.append([name, cpus, round(r.bus_utilization(), 3)])
+
+    publish("fig2_combined_execution",
+            render_table(["bench", "cpus", "combined ms", "wall ms"], exec_rows))
+    publish("fig2_overheads",
+            render_table(["bench", "cpus", "kernel", "imbalance", "sequential",
+                          "suppressed", "sync"], overhead_rows))
+    publish("fig2_mcpi",
+            render_table(["bench", "cpus", "mcpi", "l1", "capacity", "conflict",
+                          "true_shr", "false_shr"], mcpi_rows))
+    publish("fig2_bus_utilization",
+            render_table(["bench", "cpus", "utilization"], bus_rows))
+
+    # Shape assertions from Section 4.1.
+    # Most benchmarks speed up; apsi/fpppp/wave5 do not.
+    for name in ("tomcatv", "swim", "hydro2d", "su2cor", "mgrid", "turb3d"):
+        assert results[(name, 16)].wall_ns < results[(name, 1)].wall_ns * 0.6, name
+    for name in ("fpppp", "apsi"):
+        assert results[(name, 16)].wall_ns > results[(name, 1)].wall_ns * 0.5, name
+    # Bus utilization grows with processor count for the bandwidth-bound codes.
+    for name in ("tomcatv", "swim"):
+        assert (
+            results[(name, 16)].bus_utilization()
+            > results[(name, 1)].bus_utilization()
+        ), name
+    # Replacement misses dominate communication misses (the compiler has
+    # eliminated most sharing).
+    for name in ("tomcatv", "swim", "hydro2d"):
+        r = results[(name, 16)]
+        assert r.replacement_misses() > 5 * r.communication_misses(), name
+    # fpppp is instruction-bound and does not load the bus.
+    fp = results[("fpppp", 16)]
+    assert fp.bus_utilization() < 0.2
+    assert fp.stats.cpus[0].l1i_misses > 0

@@ -1,0 +1,67 @@
+"""Section 3.2 — validating the representative-execution-window method.
+
+The paper justifies simulating a short window by measuring, on the
+high-speed simulator, that each phase behaves consistently across
+occurrences: "in all but one case (wave5), the standard deviation of both
+the number of instructions and the miss rate is less than 1% of the mean".
+This benchmark repeats the measurement on our simulator: each phase of
+each workload is re-measured several times in the steady state and the
+coefficient of variation reported.
+"""
+
+from conftest import BENCH_SCALE, FAST, make_config, publish
+
+from repro.analysis.report import render_table
+from repro.sim.engine import EngineOptions, measure_occurrence_variation
+from repro.workloads import WORKLOAD_NAMES, get_workload
+
+NUM_CPUS = 4
+REPEATS = 4
+
+
+def run_all():
+    config = make_config("sgi_base", NUM_CPUS)
+    report = {}
+    variable_phases = set()
+    for name in WORKLOAD_NAMES:
+        program = get_workload(name, BENCH_SCALE).program
+        for phase in program.phases:
+            if phase.miss_variation:
+                variable_phases.add((name, phase.name))
+        report[name] = measure_occurrence_variation(
+            program, config, EngineOptions(profile=FAST), repeats=REPEATS
+        )
+    return report, variable_phases
+
+
+def test_window_methodology(bench_once):
+    report, variable_phases = bench_once(run_all)
+    rows = []
+    for name, phases in report.items():
+        for phase, metrics in phases.items():
+            instr_mean, _istd, instr_cv = metrics["instructions"]
+            miss_mean, _mstd, miss_cv = metrics["misses"]
+            rows.append(
+                [name, phase, int(instr_mean), round(instr_cv, 4),
+                 int(miss_mean), round(miss_cv, 4)]
+            )
+    publish(
+        "methodology_window_variation",
+        render_table(
+            ["bench", "phase", "instr (mean)", "instr cv",
+             "misses (mean)", "miss cv"], rows
+        ),
+    )
+    for name, phase, instr_mean, instr_cv, miss_mean, miss_cv in rows:
+        if (name, phase) in variable_phases:
+            # The wave5 anomaly (Section 3.2): the paper measured 4%
+            # instruction and 30% miss variation for one phase; our model
+            # reproduces a clear outlier here.
+            assert miss_cv > 0.05, (name, phase)
+            continue
+        # Instruction counts are stable to well under 1% for every phase.
+        assert instr_cv < 0.01, (name, phase)
+        # Miss rates are stable wherever misses are substantial (relative
+        # variation of near-zero counts is meaningless).
+        if miss_mean > 1000:
+            assert miss_cv < 0.05, (name, phase)

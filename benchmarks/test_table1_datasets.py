@@ -1,0 +1,41 @@
+"""Table 1 — reference data-set sizes of SPEC95fp."""
+
+from conftest import publish
+
+from repro.analysis.report import render_table
+from repro.workloads import WORKLOAD_NAMES, get_workload
+
+PAPER_TABLE1_MB = {
+    "tomcatv": 14,
+    "swim": 14,
+    "su2cor": 23,
+    "hydro2d": 8,
+    "mgrid": 7,
+    "applu": 31,
+    "turb3d": 24,
+    "apsi": 9,
+    "fpppp": 1,  # paper: "< 1"
+    "wave5": 40,
+}
+
+
+def build_table():
+    rows = []
+    for name in WORKLOAD_NAMES:
+        workload = get_workload(name)
+        rows.append([workload.spec_id, round(workload.data_set_mb, 1),
+                     PAPER_TABLE1_MB[name]])
+    return rows
+
+
+def test_table1(bench_once):
+    rows = bench_once(build_table)
+    publish(
+        "table1_datasets",
+        render_table(["benchmark", "model MB", "paper MB"], rows),
+    )
+    for spec_id, model_mb, paper_mb in rows:
+        if spec_id == "145.fpppp":
+            assert model_mb < 1.0
+        else:
+            assert abs(model_mb - paper_mb) / paper_mb < 0.07, spec_id

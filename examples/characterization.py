@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Full Figure 2-style characterization of one workload.
+
+Prints the four views of the paper's Figure 2 for a single benchmark
+across processor counts: combined execution time, the overhead breakdown
+(kernel / load imbalance / sequential / suppressed / synchronization),
+the MCPI breakdown by miss class, and bus utilization.
+
+Run:  python examples/characterization.py [workload]
+"""
+
+import sys
+
+from repro import run_benchmark, sgi_base
+from repro.analysis.report import render_table
+from repro.sim.tracegen import SimProfile
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "applu"
+    profile = SimProfile.fast()
+
+    results = {
+        cpus: run_benchmark(
+            workload, sgi_base(cpus).scaled(16), policy="page_coloring",
+            profile=profile,
+        )
+        for cpus in (1, 2, 4, 8, 16)
+    }
+
+    print(f"combined execution time — {workload} (page coloring, 1MB DM)")
+    print(
+        render_table(
+            ["cpus", "combined ms", "wall ms", "speedup"],
+            [
+                [cpus, round(r.combined_execution_ns / 1e6, 2),
+                 round(r.wall_ns / 1e6, 2),
+                 round(results[1].wall_ns / r.wall_ns, 2)]
+                for cpus, r in results.items()
+            ],
+        )
+    )
+
+    print("\noverheads (combined over processors, ms)")
+    categories = ("kernel", "load_imbalance", "sequential", "suppressed",
+                  "synchronization")
+    print(
+        render_table(
+            ["cpus"] + list(categories),
+            [
+                [cpus] + [round(r.overhead_breakdown_ns()[c] / 1e6, 3)
+                          for c in categories]
+                for cpus, r in results.items()
+            ],
+        )
+    )
+
+    print("\nmemory system behaviour (MCPI by miss class)")
+    parts = ("l1", "cold", "capacity", "conflict", "true_sharing",
+             "false_sharing")
+    print(
+        render_table(
+            ["cpus", "MCPI"] + list(parts),
+            [
+                [cpus, round(r.mcpi(), 2)]
+                + [round(r.mcpi_breakdown().get(p, 0.0), 3) for p in parts]
+                for cpus, r in results.items()
+            ],
+        )
+    )
+
+    print("\nbus utilization")
+    print(
+        render_table(
+            ["cpus", "total", "data", "writeback", "upgrade"],
+            [
+                [cpus, round(r.bus_utilization(), 3)]
+                + [round(r.bus_utilization_breakdown().get(k, 0.0), 3)
+                   for k in ("data", "writeback", "upgrade")]
+                for cpus, r in results.items()
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

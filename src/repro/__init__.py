@@ -1,0 +1,60 @@
+"""Reproduction of *Compiler-Directed Page Coloring for Multiprocessors*
+(Bugnion, Anderson, Mowry, Rosenblum, Lam — ASPLOS 1996).
+
+The package is organised by the systems the paper relies on:
+
+* :mod:`repro.core` — the CDPC hint-generation algorithm and run-time
+  library (the paper's contribution);
+* :mod:`repro.compiler` — a SUIF-like substrate: loop-nest IR, static
+  scheduling, access-summary extraction, prefetch insertion, data layout;
+* :mod:`repro.osmodel` — the OS virtual-memory substrate with page
+  coloring, bin hopping and CDPC-hint mapping policies;
+* :mod:`repro.machine` — the memory-hierarchy simulator (caches, MESI
+  coherence, split-transaction bus, TLB, prefetch unit, miss
+  classification);
+* :mod:`repro.workloads` — synthetic SPEC95fp workload models;
+* :mod:`repro.sim` — trace generation and the timing engine;
+* :mod:`repro.analysis` — access maps and SPEC-ratio arithmetic.
+
+Quickstart::
+
+    from repro import run_benchmark, sgi_base
+
+    config = sgi_base(num_cpus=8).scaled(16)
+    base = run_benchmark("tomcatv", config, policy="page_coloring")
+    cdpc = run_benchmark("tomcatv", config, policy="page_coloring", cdpc=True)
+    print(base.wall_ns / cdpc.wall_ns)
+"""
+
+from repro.core import AccessSummary, CdpcRuntime, ColoringResult, generate_page_colors
+from repro.machine import MachineConfig, MemorySystem, MissKind, alpha_server, sgi_2way, sgi_4mb, sgi_base
+from repro.osmodel import VirtualMemory, make_policy
+from repro.sim import EngineOptions, RunResult, SimProfile, run_benchmark, run_program
+from repro.workloads import WORKLOAD_NAMES, get_workload, iter_workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessSummary",
+    "CdpcRuntime",
+    "ColoringResult",
+    "EngineOptions",
+    "MachineConfig",
+    "MemorySystem",
+    "MissKind",
+    "RunResult",
+    "SimProfile",
+    "VirtualMemory",
+    "WORKLOAD_NAMES",
+    "__version__",
+    "alpha_server",
+    "generate_page_colors",
+    "get_workload",
+    "iter_workloads",
+    "make_policy",
+    "run_benchmark",
+    "run_program",
+    "sgi_2way",
+    "sgi_4mb",
+    "sgi_base",
+]

@@ -1,0 +1,199 @@
+"""Command-line interface: run paper benchmarks without writing code.
+
+Examples::
+
+    python -m repro run tomcatv --cpus 8 --policy page_coloring --cdpc
+    python -m repro sweep swim --policies page_coloring,bin_hopping,cdpc
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.report import render_table
+from repro.machine.config import MachineConfig, alpha_server, sgi_2way, sgi_4mb, sgi_base
+from repro.sim.engine import EngineOptions, run_benchmark, run_program
+from repro.sim.tracegen import SimProfile
+from repro.workloads import WORKLOAD_NAMES, get_workload
+
+_MACHINES = {
+    "sgi_base": sgi_base,
+    "sgi_2way": sgi_2way,
+    "sgi_4mb": sgi_4mb,
+    "alpha": alpha_server,
+}
+
+
+def _make_config(args) -> MachineConfig:
+    return _MACHINES[args.machine](args.cpus).scaled(args.scale)
+
+
+def _options_for(policy_label: str, args) -> EngineOptions:
+    cdpc = policy_label == "cdpc" or args.cdpc
+    native = args.policy if policy_label == "cdpc" else policy_label
+    if native == "cdpc":
+        native = "page_coloring"
+    return EngineOptions(
+        policy=native,
+        cdpc=cdpc,
+        prefetch=args.prefetch,
+        aligned=not args.unaligned,
+        profile=SimProfile.fast() if args.fast else SimProfile(),
+    )
+
+
+def _result_row(label: str, result) -> list:
+    return [
+        label,
+        round(result.wall_ns / 1e6, 2),
+        round(result.mcpi(), 2),
+        result.miss_breakdown()["conflict"],
+        result.miss_breakdown()["capacity"],
+        round(result.bus_utilization(), 2),
+    ]
+
+
+def cmd_list(_args) -> int:
+    rows = []
+    for name in WORKLOAD_NAMES:
+        workload = get_workload(name)
+        rows.append(
+            [workload.spec_id, f"{workload.data_set_mb:.1f}MB",
+             workload.description]
+        )
+    print(render_table(["benchmark", "data set", "description"], rows))
+    return 0
+
+
+def cmd_run(args) -> int:
+    config = _make_config(args)
+    options = _options_for("cdpc" if args.cdpc else args.policy, args)
+    result = run_benchmark(args.workload, config, options)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    print(
+        render_table(
+            ["config", "wall ms", "MCPI", "conflict", "capacity", "bus"],
+            [_result_row(result.label(), result)],
+        )
+    )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    config = _make_config(args)
+    rows = []
+    payload = {}
+    for label in args.policies.split(","):
+        result = run_benchmark(args.workload, config, _options_for(label, args))
+        rows.append(_result_row(label, result))
+        payload[label] = result.to_dict()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        render_table(
+            ["policy", "wall ms", "MCPI", "conflict", "capacity", "bus"], rows
+        )
+    )
+    return 0
+
+
+def cmd_runfile(args) -> int:
+    from repro.compiler.frontend import parse_program
+
+    with open(args.file) as handle:
+        program = parse_program(handle.read())
+    # Workload files declare full-scale sizes; scale them to the machine.
+    program = program.scaled(args.scale)
+    config = _make_config(args)
+    options = EngineOptions(
+        policy=args.policy,
+        cdpc=args.cdpc,
+        prefetch=args.prefetch,
+        aligned=not args.unaligned,
+        profile=SimProfile.fast() if args.fast else SimProfile(),
+    )
+    result = run_program(program, config, options)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    print(
+        render_table(
+            ["config", "wall ms", "MCPI", "conflict", "capacity", "bus"],
+            [_result_row(result.label(), result)],
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Compiler-directed page coloring reproduction (ASPLOS 1996)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the SPEC95fp workload models")
+
+    def add_common(p):
+        p.add_argument("workload", choices=WORKLOAD_NAMES)
+        p.add_argument("--cpus", type=int, default=8)
+        p.add_argument("--machine", choices=sorted(_MACHINES), default="sgi_base")
+        p.add_argument("--scale", type=int, default=16,
+                       help="geometric scale factor (default 16)")
+        p.add_argument("--policy", default="page_coloring",
+                       choices=["page_coloring", "bin_hopping"])
+        p.add_argument("--cdpc", action="store_true")
+        p.add_argument("--prefetch", action="store_true")
+        p.add_argument("--unaligned", action="store_true")
+        p.add_argument("--fast", action="store_true",
+                       help="single-sweep fast simulation profile")
+        p.add_argument("--json", action="store_true",
+                       help="emit the result as JSON instead of a table")
+
+    run_parser = sub.add_parser("run", help="run one configuration")
+    add_common(run_parser)
+
+    sweep_parser = sub.add_parser("sweep", help="compare mapping policies")
+    add_common(sweep_parser)
+    sweep_parser.add_argument(
+        "--policies", default="page_coloring,bin_hopping,cdpc",
+        help="comma-separated: page_coloring, bin_hopping, cdpc",
+    )
+
+    file_parser = sub.add_parser(
+        "runfile", help="run a workload described in the text format"
+    )
+    file_parser.add_argument("file")
+    file_parser.add_argument("--cpus", type=int, default=8)
+    file_parser.add_argument("--machine", choices=sorted(_MACHINES),
+                             default="sgi_base")
+    file_parser.add_argument("--scale", type=int, default=16)
+    file_parser.add_argument("--policy", default="page_coloring",
+                             choices=["page_coloring", "bin_hopping"])
+    file_parser.add_argument("--cdpc", action="store_true")
+    file_parser.add_argument("--prefetch", action="store_true")
+    file_parser.add_argument("--unaligned", action="store_true")
+    file_parser.add_argument("--fast", action="store_true")
+    file_parser.add_argument("--json", action="store_true")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "sweep": cmd_sweep,
+        "runfile": cmd_runfile,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

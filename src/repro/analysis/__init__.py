@@ -1,0 +1,29 @@
+"""Analysis utilities: access maps (Figures 3/5), SPEC ratios (Table 2)."""
+
+from repro.analysis.figures import ascii_bar, bar_chart, grouped_bar_chart, sparkline
+from repro.analysis.access_maps import (
+    coloring_order_map,
+    conflict_depth,
+    footprint_density,
+    page_access_map,
+    va_order_map,
+)
+from repro.analysis.report import format_row, render_table
+from repro.analysis.spec_ratio import geometric_mean, spec_ratio, specfp_rating
+
+__all__ = [
+    "ascii_bar",
+    "bar_chart",
+    "coloring_order_map",
+    "conflict_depth",
+    "footprint_density",
+    "format_row",
+    "geometric_mean",
+    "page_access_map",
+    "grouped_bar_chart",
+    "render_table",
+    "spec_ratio",
+    "sparkline",
+    "specfp_rating",
+    "va_order_map",
+]

@@ -1,0 +1,89 @@
+"""Page-level access maps — the data behind Figures 3 and 5.
+
+Figure 3 plots, for each processor, the virtual pages it touches during
+the steady state: sparse stripes spread over a range much larger than the
+cache.  Figure 5 re-plots the same accesses in *coloring order* (the page
+permutation CDPC produces): the stripes become dense blocks, one per
+processor.  The functions here compute both views plus the two scalar
+summaries used in tests and benchmarks: footprint density (how tightly a
+processor's pages pack) and conflict depth (worst pages-per-color for any
+processor — 1 means a conflict-free mapping).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.access_summary import AccessSummary
+from repro.core.coloring import ColoringResult
+from repro.core.segments import compute_segments
+
+
+def page_access_map(
+    summary: AccessSummary, page_size: int, num_cpus: int
+) -> dict[int, frozenset[int]]:
+    """Virtual page -> set of processors touching it in the steady state."""
+    result: dict[int, set[int]] = {}
+    for segment in compute_segments(summary, page_size, num_cpus):
+        for page in segment.pages:
+            result.setdefault(page, set()).update(segment.cpus)
+    return {page: frozenset(cpus) for page, cpus in result.items()}
+
+
+def va_order_map(
+    access_map: Mapping[int, frozenset[int]]
+) -> list[tuple[int, frozenset[int]]]:
+    """The Figure 3 view: (page, processors) in virtual-address order."""
+    return sorted(access_map.items())
+
+
+def coloring_order_map(
+    coloring: ColoringResult, access_map: Mapping[int, frozenset[int]]
+) -> list[tuple[int, frozenset[int]]]:
+    """The Figure 5 view: (page, processors) in CDPC coloring order."""
+    return [
+        (page, access_map.get(page, frozenset())) for page in coloring.page_order
+    ]
+
+
+def footprint_density(
+    ordered: Sequence[tuple[int, frozenset[int]]], cpu: int
+) -> float:
+    """Fraction of a processor's positional span actually occupied.
+
+    1.0 means the processor's pages form one contiguous block in the given
+    order; small values mean sparse stripes.  Comparing the density in VA
+    order (Figure 3) against coloring order (Figure 5) quantifies CDPC's
+    compaction.
+    """
+    positions = [i for i, (_page, cpus) in enumerate(ordered) if cpu in cpus]
+    if not positions:
+        return 0.0
+    span = positions[-1] - positions[0] + 1
+    return len(positions) / span
+
+
+def conflict_depth(
+    colors: Mapping[int, int],
+    access_map: Mapping[int, frozenset[int]],
+    num_colors: int,
+) -> int:
+    """Worst-case pages mapped to one color for any single processor.
+
+    A value of 1 means no processor has two of its pages on the same
+    color — CDPC's conflict-free goal when footprints fit in the cache.
+    Pages without a color assignment (unhinted) are ignored.
+    """
+    per_cpu_color: dict[tuple[int, int], int] = {}
+    deepest = 0
+    for page, cpus in access_map.items():
+        color = colors.get(page)
+        if color is None:
+            continue
+        for cpu in cpus:
+            key = (cpu, color)
+            depth = per_cpu_color.get(key, 0) + 1
+            per_cpu_color[key] = depth
+            if depth > deepest:
+                deepest = depth
+    return deepest

@@ -1,0 +1,59 @@
+"""ASCII rendering of the Figure 3/5 access-pattern plots.
+
+The paper's Figures 3 and 5 are dot plots: one row per processor, one
+column per page (in virtual-address order for Figure 3, coloring order
+for Figure 5), with a mark where the processor touches the page.  This
+renders the same picture in text, down-sampling columns to a terminal
+width; a cell is marked when the processor touches any page in its bucket.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_access_map(
+    ordered: Sequence[tuple[int, frozenset[int]]],
+    num_cpus: int,
+    width: int = 96,
+    mark: str = "#",
+    cache_pages: int | None = None,
+) -> str:
+    """Render (page, processors) rows as a per-processor dot plot.
+
+    ``ordered`` is the output of :func:`repro.analysis.va_order_map` or
+    :func:`repro.analysis.coloring_order_map`.  When ``cache_pages`` is
+    given, a scale line marks each cache-sized extent (the tick marks of
+    the paper's figures, where each tick is one full color cycle).
+    """
+    if num_cpus < 1:
+        raise ValueError("num_cpus must be >= 1")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    total = len(ordered)
+    if total == 0:
+        return "(no pages)"
+    columns = min(width, total)
+    pages_per_cell = total / columns
+
+    grid = [[" "] * columns for _ in range(num_cpus)]
+    for index, (_page, cpus) in enumerate(ordered):
+        cell = min(columns - 1, int(index / pages_per_cell))
+        for cpu in cpus:
+            if 0 <= cpu < num_cpus:
+                grid[cpu][cell] = mark
+
+    label_width = len(f"cpu{num_cpus - 1}")
+    lines = [
+        f"{('cpu' + str(cpu)).rjust(label_width)} |{''.join(row)}|"
+        for cpu, row in enumerate(grid)
+    ]
+    if cache_pages:
+        scale = [" "] * columns
+        tick = cache_pages
+        while tick < total:
+            cell = min(columns - 1, int(tick / pages_per_cell))
+            scale[cell] = "'"
+            tick += cache_pages
+        lines.append(f"{' ' * label_width} |{''.join(scale)}|  ' = one cache")
+    return "\n".join(lines)

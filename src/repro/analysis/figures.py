@@ -1,0 +1,92 @@
+"""ASCII bar charts for terminal-friendly figure rendering.
+
+The paper's figures are grouped bar charts (execution time per processor
+count per policy).  These helpers render the same data as horizontal
+ASCII bars so examples and benchmark output can show shape at a glance
+without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def ascii_bar(value: float, maximum: float, width: int = 40) -> str:
+    """One horizontal bar, scaled so ``maximum`` fills ``width`` cells."""
+    if maximum <= 0:
+        raise ValueError("maximum must be positive")
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    cells = round(min(value, maximum) / maximum * width)
+    return "#" * cells
+
+
+def bar_chart(
+    values: Mapping[str, float], width: int = 40, unit: str = ""
+) -> str:
+    """A labeled horizontal bar chart, one row per entry.
+
+    >>> print(bar_chart({"a": 2.0, "b": 1.0}, width=4))
+    a  ####  2
+    b  ##    1
+    """
+    if not values:
+        raise ValueError("need at least one value")
+    maximum = max(values.values())
+    label_width = max(len(label) for label in values)
+    number_width = max(len(_fmt(v)) for v in values.values())
+    lines = []
+    for label, value in values.items():
+        bar = ascii_bar(value, maximum, width) if maximum > 0 else ""
+        lines.append(
+            f"{label.rjust(label_width)}  {bar.ljust(width)}  "
+            f"{_fmt(value).rjust(number_width)}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]], width: int = 40, unit: str = ""
+) -> str:
+    """Grouped bars (the Figure 6/9 shape): one block per group.
+
+    ``groups`` maps a group label (e.g. a processor count) to a mapping of
+    series label -> value.  All bars share one scale.
+    """
+    if not groups:
+        raise ValueError("need at least one group")
+    maximum = max(
+        value for series in groups.values() for value in series.values()
+    )
+    label_width = max(
+        len(label) for series in groups.values() for label in series
+    )
+    blocks = []
+    for group, series in groups.items():
+        lines = [f"{group}:"]
+        for label, value in series.items():
+            bar = ascii_bar(value, maximum, width)
+            lines.append(
+                f"  {label.rjust(label_width)}  {bar.ljust(width)}  "
+                f"{_fmt(value)}{unit}"
+            )
+        blocks.append("\n".join(lines))
+    return "\n".join(blocks)
+
+
+def _fmt(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line trend (eight-level blocks), e.g. for MCPI vs CPUs."""
+    if not values:
+        raise ValueError("need at least one value")
+    blocks = "▁▂▃▄▅▆▇█"
+    low, high = min(values), max(values)
+    if high == low:
+        return blocks[0] * len(values)
+    scale = (len(blocks) - 1) / (high - low)
+    return "".join(blocks[round((v - low) * scale)] for v in values)

@@ -1,0 +1,29 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_row(cells: Sequence[object], widths: Sequence[int]) -> str:
+    parts = []
+    for cell, width in zip(cells, widths):
+        text = f"{cell:.3f}" if isinstance(cell, float) else str(cell)
+        parts.append(text.rjust(width))
+    return "  ".join(parts)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table (headers + rows)."""
+    def cell_text(cell: object) -> str:
+        return f"{cell:.3f}" if isinstance(cell, float) else str(cell)
+
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell_text(cell)))
+    lines = [format_row(headers, widths)]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(format_row(row, widths))
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Shared vocabulary used by both the compiler and the CDPC runtime.
+
+These definitions sit below both packages so that the compiler (which
+*produces* access summaries) and the CDPC core (which *consumes* them)
+can share types without a circular dependency.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Partitioning(enum.Enum):
+    """How a parallel loop's iterations are divided among processors."""
+
+    EVEN = "even"  # near-equal counts
+    BLOCKED = "blocked"  # ceil(N/p) per processor; trailing CPUs may be idle
+
+
+class Direction(enum.Enum):
+    """Whether iterations are assigned from CPU 0 up or CPU p-1 down."""
+
+    FORWARD = "forward"
+    REVERSE = "reverse"
+
+
+class Communication(enum.Enum):
+    """Boundary communication shapes supported by the summaries."""
+
+    NONE = "none"
+    SHIFT = "shift"  # neighbour exchange without wraparound
+    ROTATE = "rotate"  # neighbour exchange with wraparound
+
+
+def iteration_ranges(
+    iterations: int,
+    num_cpus: int,
+    partitioning: Partitioning = Partitioning.EVEN,
+    direction: Direction = Direction.FORWARD,
+) -> list[tuple[int, int]]:
+    """Half-open iteration range ``[start, end)`` for each processor.
+
+    * **even** — the first ``N mod p`` processors get ``ceil(N/p)``
+      iterations, the rest ``floor(N/p)``.
+    * **blocked** — every processor gets ``ceil(N/p)`` iterations; the
+      final processors may get a short range or none at all (the applu
+      load-imbalance case: 33 iterations leave CPUs 11-15 of 16 idle).
+    """
+    if iterations < 0:
+        raise ValueError("iterations must be non-negative")
+    if num_cpus < 1:
+        raise ValueError("num_cpus must be >= 1")
+    ranges: list[tuple[int, int]] = []
+    if partitioning is Partitioning.EVEN:
+        base, extra = divmod(iterations, num_cpus)
+        start = 0
+        for cpu in range(num_cpus):
+            count = base + (1 if cpu < extra else 0)
+            ranges.append((start, start + count))
+            start += count
+    elif partitioning is Partitioning.BLOCKED:
+        chunk = -(-iterations // num_cpus) if iterations else 0
+        for cpu in range(num_cpus):
+            start = min(cpu * chunk, iterations)
+            end = min(start + chunk, iterations)
+            ranges.append((start, end))
+    else:
+        raise ValueError(f"unknown partitioning {partitioning}")
+    if direction is Direction.REVERSE:
+        ranges.reverse()
+    return ranges

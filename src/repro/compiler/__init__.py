@@ -1,0 +1,89 @@
+"""SUIF-like parallelizing-compiler substrate.
+
+The paper's compiler side is the SUIF system: it parallelizes FORTRAN
+loop nests, statically schedules iterations across processors, and — for
+CDPC — emits *access pattern summaries* (array partitionings, communication
+patterns and group-access information, Section 5.1) that the run-time
+library turns into page-color hints.
+
+Here the "programs" are declarative loop-nest models
+(:mod:`repro.compiler.ir`) rather than parsed FORTRAN: each loop declares
+how each array is accessed (partitioned / strided / whole-array /
+boundary-communication), which is exactly the information SUIF's
+parallelization and locality analyses derive.  The passes in this package
+then do the compiler's work for real: static scheduling
+(:mod:`repro.compiler.parallelize`), summary extraction
+(:mod:`repro.compiler.summaries`), locality analysis and prefetch insertion
+(:mod:`repro.compiler.locality`, :mod:`repro.compiler.prefetch_pass`) and
+data layout with alignment and inter-array padding
+(:mod:`repro.compiler.padding`).
+"""
+
+from repro.compiler.affine import (
+    AffineNest,
+    AffinePhase,
+    AffineProgram,
+    AffineRef,
+    AnalysisError,
+    Array2D,
+    Subscript,
+    classify_ref,
+    lower,
+)
+from repro.compiler.frontend import FrontendError, format_program, parse_program
+from repro.compiler.ir import (
+    ArrayDecl,
+    BoundaryAccess,
+    Communication,
+    Direction,
+    InstructionStream,
+    Loop,
+    LoopKind,
+    PartitionedAccess,
+    Partitioning,
+    Phase,
+    Program,
+    StridedAccess,
+    WholeArrayAccess,
+)
+from repro.compiler.padding import Layout, layout_arrays
+from repro.compiler.parallelize import LoopSchedule, iteration_ranges, schedule_loop
+from repro.compiler.prefetch_pass import PrefetchDecision, PrefetchPlan, insert_prefetches
+from repro.compiler.summaries import extract_summary
+
+__all__ = [
+    "AffineNest",
+    "AffinePhase",
+    "AffineProgram",
+    "AffineRef",
+    "AnalysisError",
+    "Array2D",
+    "ArrayDecl",
+    "BoundaryAccess",
+    "Communication",
+    "Direction",
+    "InstructionStream",
+    "Layout",
+    "Loop",
+    "LoopKind",
+    "LoopSchedule",
+    "PartitionedAccess",
+    "Partitioning",
+    "Phase",
+    "PrefetchDecision",
+    "PrefetchPlan",
+    "Program",
+    "StridedAccess",
+    "WholeArrayAccess",
+    "extract_summary",
+    "format_program",
+    "FrontendError",
+    "parse_program",
+    "insert_prefetches",
+    "iteration_ranges",
+    "layout_arrays",
+    "lower",
+    "schedule_loop",
+    "Subscript",
+    "classify_ref",
+]

@@ -1,0 +1,283 @@
+"""Affine loop-nest analysis: derive access patterns from subscripts.
+
+The hand-written workload models declare their access patterns
+(`PartitionedAccess`, `BoundaryAccess`, ...).  The real SUIF compiler
+*derives* that information from the program: it looks at the affine
+subscripts of each array reference inside a parallelized loop nest and
+concludes how the iteration distribution maps onto data.
+
+This module implements that derivation for the dominant SPEC95fp shape —
+two-deep loop nests over column-major (FORTRAN) 2D arrays, with the outer
+loop parallelized:
+
+    do i = 0, I-1          ! distributed across processors
+      do j = 0, J-1
+        A(j, i) = B(j, i-1) + C(i, j) + k(j)
+
+Per reference, with subscripts linear in (i, j):
+
+* inner index varies with ``j`` and the column index with ``i`` →
+  the processor owning iteration ``i`` touches whole columns: a
+  **partitioned** (contiguous) access; a constant column offset (``i-1``)
+  adds **shift/rotate communication** at partition boundaries;
+* the column index varies with ``j`` (``C(i, j)``: a row of a
+  column-major array) → each processor's elements are spread at a stride
+  of one column: a **strided** access the runtime cannot summarize;
+* subscripts independent of ``i`` (``k(j)``) → every processor reads the
+  same data: a **whole-array** access.
+
+``lower`` turns an :class:`AffineProgram` into the declarative
+:class:`~repro.compiler.ir.Program` the rest of the tool-chain consumes,
+so the summary extraction, CDPC hints and simulation all run unchanged on
+analysis-derived patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.ir import (
+    Access,
+    ArrayDecl,
+    BoundaryAccess,
+    Communication,
+    Direction,
+    InitOrder,
+    Loop,
+    LoopKind,
+    PartitionedAccess,
+    Partitioning,
+    Phase,
+    Program,
+    StridedAccess,
+    WholeArrayAccess,
+)
+
+
+@dataclass(frozen=True)
+class Subscript:
+    """A linear expression ``i_coef*i + j_coef*j + const`` in loop indices."""
+
+    i_coef: int = 0
+    j_coef: int = 0
+    const: int = 0
+
+    def depends_on_i(self) -> bool:
+        return self.i_coef != 0
+
+    def depends_on_j(self) -> bool:
+        return self.j_coef != 0
+
+
+#: Convenience constructors for the common subscript shapes.
+def I(offset: int = 0) -> Subscript:  # noqa: E743 - reads like math
+    """The outer (distributed) index, plus a constant offset."""
+    return Subscript(i_coef=1, const=offset)
+
+
+def J(offset: int = 0) -> Subscript:
+    """The inner index, plus a constant offset."""
+    return Subscript(j_coef=1, const=offset)
+
+
+def C(value: int) -> Subscript:
+    """A constant subscript."""
+    return Subscript(const=value)
+
+
+@dataclass(frozen=True)
+class Array2D:
+    """A column-major 2D array: element (r, c) lives at ``r + c*rows``."""
+
+    name: str
+    rows: int
+    cols: int
+    element_size: int = 8
+
+    @property
+    def size_bytes(self) -> int:
+        return self.rows * self.cols * self.element_size
+
+    def decl(self) -> ArrayDecl:
+        return ArrayDecl(self.name, self.size_bytes, self.element_size)
+
+
+@dataclass(frozen=True)
+class AffineRef:
+    """One array reference ``A(row_subscript, col_subscript)``."""
+
+    array: str
+    row: Subscript
+    col: Subscript
+    is_write: bool = False
+
+
+@dataclass(frozen=True)
+class AffineNest:
+    """A two-deep loop nest; the outer ``i`` loop is the distributed one."""
+
+    name: str
+    i_extent: int
+    j_extent: int
+    refs: tuple[AffineRef, ...]
+    kind: LoopKind = LoopKind.PARALLEL
+    instructions_per_point: float = 4.0
+    partitioning: Partitioning = Partitioning.EVEN
+    direction: Direction = Direction.FORWARD
+    tiled: bool = False
+
+    def __post_init__(self) -> None:
+        if self.i_extent < 1 or self.j_extent < 1:
+            raise ValueError("loop extents must be positive")
+        if not self.refs:
+            raise ValueError(f"nest {self.name} has no references")
+
+
+@dataclass(frozen=True)
+class AffinePhase:
+    name: str
+    nests: tuple[AffineNest, ...]
+    occurrences: int = 1
+
+
+@dataclass
+class AffineProgram:
+    """A program in affine form, before access-pattern derivation."""
+
+    name: str
+    arrays: list[Array2D] = field(default_factory=list)
+    phases: list[AffinePhase] = field(default_factory=list)
+    init_order: InitOrder = InitOrder.GROUPED
+    init_groups: tuple[tuple[str, ...], ...] = ()
+    sequential_fraction: float = 0.0
+
+    def array(self, name: str) -> Array2D:
+        for candidate in self.arrays:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(name)
+
+
+class AnalysisError(ValueError):
+    """A reference shape the analysis cannot classify."""
+
+
+def classify_ref(ref: AffineRef, array: Array2D, nest: AffineNest) -> Access:
+    """Derive the access declaration for one reference in one nest.
+
+    This is the compiler's partitioning/locality reasoning (Section 5.1):
+    the loop's ``i`` dimension is distributed, so ownership of data
+    follows whichever array dimension ``i`` indexes.
+    """
+    row, col = ref.row, ref.col
+
+    if row.depends_on_i() and col.depends_on_i():
+        raise AnalysisError(
+            f"{ref.array}: both subscripts vary with the distributed index; "
+            f"not a supported distribution"
+        )
+    if col.depends_on_i() and col.depends_on_j():
+        raise AnalysisError(
+            f"{ref.array}: column subscript mixes both loop indices"
+        )
+
+    if not row.depends_on_i() and not col.depends_on_i():
+        # The reference is invariant in the distributed loop: either a
+        # whole-column sweep repeated by every processor, or a constant.
+        return WholeArrayAccess(
+            ref.array,
+            is_write=ref.is_write,
+            fraction=_invariant_fraction(ref, array, nest),
+        )
+
+    if col.depends_on_i():
+        # Column index follows i: processor p owns a contiguous block of
+        # columns — the access SUIF's data transformations aim for.
+        if abs(col.i_coef) != 1:
+            raise AnalysisError(
+                f"{ref.array}: non-unit column stride {col.i_coef} in the "
+                f"distributed index"
+            )
+        units = nest.i_extent
+        if col.const == 0:
+            return PartitionedAccess(
+                ref.array,
+                units=units,
+                is_write=ref.is_write,
+                partitioning=nest.partitioning,
+                direction=nest.direction,
+            )
+        # A constant column offset reaches into a neighbour's partition:
+        # boundary communication, one column wide per unit of offset.
+        return BoundaryAccess(
+            ref.array,
+            units=units,
+            comm=Communication.SHIFT,
+            boundary_fraction=min(1.0, abs(col.const)),
+            is_write=ref.is_write,
+            partitioning=nest.partitioning,
+            direction=nest.direction,
+        )
+
+    if row.depends_on_i():
+        # The *row* index follows i in a column-major array: processor p's
+        # elements are spread one per column at a stride of `rows`
+        # elements.  Not summarizable — the su2cor case.  The interleave
+        # block is the run of consecutive rows one processor owns.
+        rows_per_cpu_block = max(
+            1, array.rows // max(1, nest.i_extent)
+        )
+        return StridedAccess(
+            ref.array,
+            block_bytes=max(8, rows_per_cpu_block * array.element_size),
+            is_write=ref.is_write,
+        )
+
+    raise AnalysisError(f"{ref.array}: unclassifiable subscript pair {ref}")
+
+
+def _invariant_fraction(ref: AffineRef, array: Array2D, nest: AffineNest) -> float:
+    """How much of an i-invariant array one execution touches."""
+    if ref.row.depends_on_j() or ref.col.depends_on_j():
+        touched_elements = min(nest.j_extent, array.rows * array.cols)
+        return max(
+            1 / (array.rows * array.cols),
+            min(1.0, touched_elements / (array.rows * array.cols)),
+        )
+    return max(1 / (array.rows * array.cols), 1e-6)
+
+
+def lower(program: AffineProgram) -> Program:
+    """Derive access patterns for every nest and build the declarative IR."""
+    arrays = tuple(a.decl() for a in program.arrays)
+    phases = []
+    for phase in program.phases:
+        loops = []
+        for nest in phase.nests:
+            accesses: list[Access] = []
+            for ref in nest.refs:
+                access = classify_ref(ref, program.array(ref.array), nest)
+                if access not in accesses:
+                    accesses.append(access)
+            words_per_point = max(1, len(nest.refs))
+            loops.append(
+                Loop(
+                    name=nest.name,
+                    kind=nest.kind,
+                    accesses=tuple(accesses),
+                    iterations=nest.i_extent,
+                    instructions_per_word=(
+                        nest.instructions_per_point / words_per_point
+                    ),
+                    tiled=nest.tiled,
+                )
+            )
+        phases.append(Phase(phase.name, tuple(loops), phase.occurrences))
+    return Program(
+        name=program.name,
+        arrays=arrays,
+        phases=tuple(phases),
+        init_order=program.init_order,
+        init_groups=program.init_groups,
+        sequential_fraction=program.sequential_fraction,
+    )

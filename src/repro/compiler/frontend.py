@@ -1,0 +1,428 @@
+"""A small text frontend for the loop-nest IR.
+
+The paper's compiler consumes FORTRAN; ours consumes declarative loop-nest
+models.  This module provides a plain-text format for those models so
+workloads can be written, versioned and shared without Python code, plus a
+serializer that round-trips any :class:`~repro.compiler.ir.Program`.
+
+Format (line oriented, ``#`` comments, blank lines ignored)::
+
+    program redblack
+    sequential_fraction 0.02
+    init_groups (red black) (coeff)
+
+    array red 4194304
+    array black 4194304
+    array coeff 262144
+
+    phase sweep occurrences 10
+      parallel loop relax_red ipw 5.0
+        write red partitioned units 256
+        read black partitioned units 256
+        read black boundary units 256 shift 1.0
+        read coeff whole
+      suppressed loop tail ipw 3.0 tiled
+        read coeff strided block 2048 sweeps 2.0
+        instr 98304 sweeps 2.0
+
+Access forms::
+
+    read|write ARRAY partitioned units N [blocked] [reverse]
+                                         [fraction F] [sweeps F]
+    read|write ARRAY boundary units N shift|rotate FRACTION
+                                         [blocked] [reverse]
+    read|write ARRAY strided block BYTES [sweeps F]
+    read|write ARRAY whole [fraction F] [sweeps F]
+    instr BYTES [sweeps F]
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.compiler.ir import (
+    Access,
+    ArrayDecl,
+    BoundaryAccess,
+    Communication,
+    Direction,
+    InitOrder,
+    InstructionStream,
+    Loop,
+    LoopKind,
+    PartitionedAccess,
+    Partitioning,
+    Phase,
+    Program,
+    StridedAccess,
+    WholeArrayAccess,
+)
+
+
+class FrontendError(ValueError):
+    """A syntax or semantic error in a program file."""
+
+    def __init__(self, line_no: int, message: str):
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+_LOOP_KINDS = {
+    "parallel": LoopKind.PARALLEL,
+    "sequential": LoopKind.SEQUENTIAL,
+    "suppressed": LoopKind.SUPPRESSED,
+}
+
+_COMM = {"shift": Communication.SHIFT, "rotate": Communication.ROTATE}
+
+
+def parse_program(text: str) -> Program:
+    """Parse the text format into a validated :class:`Program`."""
+    name: str | None = None
+    sequential_fraction = 0.0
+    init_order = InitOrder.GROUPED
+    init_groups: list[tuple[str, ...]] = []
+    arrays: list[ArrayDecl] = []
+    phases: list[Phase] = []
+
+    current_phase: tuple[str, int, float] | None = None
+    phase_loops: list[Loop] = []
+    current_loop: dict | None = None
+    loop_accesses: list[Access] = []
+
+    def close_loop(line_no: int) -> None:
+        nonlocal current_loop, loop_accesses
+        if current_loop is None:
+            return
+        if not loop_accesses:
+            raise FrontendError(line_no, f"loop {current_loop['name']} has no accesses")
+        phase_loops.append(
+            Loop(
+                name=current_loop["name"],
+                kind=current_loop["kind"],
+                accesses=tuple(loop_accesses),
+                iterations=current_loop["iterations"],
+                instructions_per_word=current_loop["ipw"],
+                tiled=current_loop["tiled"],
+            )
+        )
+        current_loop, loop_accesses = None, []
+
+    def close_phase(line_no: int) -> None:
+        nonlocal current_phase, phase_loops
+        close_loop(line_no)
+        if current_phase is None:
+            return
+        if not phase_loops:
+            raise FrontendError(line_no, f"phase {current_phase[0]} has no loops")
+        phases.append(
+            Phase(current_phase[0], tuple(phase_loops),
+                  occurrences=current_phase[1],
+                  miss_variation=current_phase[2])
+        )
+        current_phase, phase_loops = None, []
+
+    for line_no, tokens in _token_lines(text):
+        head = tokens[0]
+        try:
+            if head == "program":
+                name = _one_arg(tokens, line_no)
+            elif head == "sequential_fraction":
+                sequential_fraction = float(_one_arg(tokens, line_no))
+            elif head == "init_order":
+                init_order = InitOrder(_one_arg(tokens, line_no))
+            elif head == "init_groups":
+                init_groups = _parse_groups(tokens[1:], line_no)
+            elif head == "array":
+                arrays.append(_parse_array(tokens, line_no))
+            elif head == "phase":
+                close_phase(line_no)
+                current_phase = _parse_phase_header(tokens, line_no)
+            elif head in _LOOP_KINDS:
+                if current_phase is None:
+                    raise FrontendError(line_no, "loop outside of a phase")
+                close_loop(line_no)
+                current_loop = _parse_loop_header(tokens, line_no)
+            elif head in ("read", "write", "instr"):
+                if current_loop is None:
+                    raise FrontendError(line_no, "access outside of a loop")
+                loop_accesses.append(_parse_access(tokens, line_no))
+            else:
+                raise FrontendError(line_no, f"unknown directive {head!r}")
+        except FrontendError:
+            raise
+        except (ValueError, IndexError) as exc:
+            raise FrontendError(line_no, str(exc)) from exc
+
+    close_phase(line_no if "line_no" in dir() else 0)
+    if name is None:
+        raise FrontendError(0, "missing 'program NAME' directive")
+    if not arrays:
+        raise FrontendError(0, "program declares no arrays")
+    if not phases:
+        raise FrontendError(0, "program declares no phases")
+    try:
+        return Program(
+            name=name,
+            arrays=tuple(arrays),
+            phases=tuple(phases),
+            init_order=init_order,
+            init_groups=tuple(init_groups),
+            sequential_fraction=sequential_fraction,
+        )
+    except ValueError as exc:  # IR-level validation (e.g. unknown arrays)
+        raise FrontendError(0, str(exc)) from exc
+
+
+def _token_lines(text: str) -> Iterator[tuple[int, list[str]]]:
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            yield line_no, line.replace("(", " ( ").replace(")", " ) ").split()
+
+
+def _one_arg(tokens: list[str], line_no: int) -> str:
+    if len(tokens) != 2:
+        raise FrontendError(line_no, f"{tokens[0]} takes exactly one argument")
+    return tokens[1]
+
+
+def _parse_groups(tokens: list[str], line_no: int) -> list[tuple[str, ...]]:
+    groups: list[tuple[str, ...]] = []
+    current: list[str] | None = None
+    for token in tokens:
+        if token == "(":
+            if current is not None:
+                raise FrontendError(line_no, "nested '(' in init_groups")
+            current = []
+        elif token == ")":
+            if current is None or not current:
+                raise FrontendError(line_no, "empty or unopened group")
+            groups.append(tuple(current))
+            current = None
+        elif current is not None:
+            current.append(token)
+        else:
+            raise FrontendError(line_no, f"stray token {token!r} in init_groups")
+    if current is not None:
+        raise FrontendError(line_no, "unclosed '(' in init_groups")
+    return groups
+
+
+def _parse_array(tokens: list[str], line_no: int) -> ArrayDecl:
+    if len(tokens) < 3:
+        raise FrontendError(line_no, "array requires a name and a size")
+    name, size = tokens[1], int(tokens[2])
+    element = 8
+    rest = tokens[3:]
+    if rest[:1] == ["element"]:
+        element = int(rest[1])
+        rest = rest[2:]
+    if rest:
+        raise FrontendError(line_no, f"unexpected tokens after array: {rest}")
+    return ArrayDecl(name, size, element_size=element)
+
+
+def _parse_phase_header(
+    tokens: list[str], line_no: int
+) -> tuple[str, int, float]:
+    if len(tokens) < 2:
+        raise FrontendError(line_no, "phase requires a name")
+    occurrences = 1
+    miss_variation = 0.0
+    rest = tokens[2:]
+    while rest:
+        if rest[0] == "occurrences":
+            occurrences = int(rest[1])
+            rest = rest[2:]
+        elif rest[0] == "miss_variation":
+            miss_variation = float(rest[1])
+            rest = rest[2:]
+        else:
+            raise FrontendError(line_no, f"unknown phase option {rest[0]!r}")
+    return tokens[1], occurrences, miss_variation
+
+
+def _parse_loop_header(tokens: list[str], line_no: int) -> dict:
+    if len(tokens) < 3 or tokens[1] != "loop":
+        raise FrontendError(line_no, f"expected '{tokens[0]} loop NAME'")
+    loop = {
+        "kind": _LOOP_KINDS[tokens[0]],
+        "name": tokens[2],
+        "ipw": 2.0,
+        "tiled": False,
+        "iterations": None,
+    }
+    rest = tokens[3:]
+    while rest:
+        if rest[0] == "ipw":
+            loop["ipw"] = float(rest[1])
+            rest = rest[2:]
+        elif rest[0] == "iterations":
+            loop["iterations"] = int(rest[1])
+            rest = rest[2:]
+        elif rest[0] == "tiled":
+            loop["tiled"] = True
+            rest = rest[1:]
+        else:
+            raise FrontendError(line_no, f"unknown loop option {rest[0]!r}")
+    return loop
+
+
+def _take_common(rest: list[str], line_no: int) -> tuple[dict, list[str]]:
+    options = {"fraction": 1.0, "sweeps": 1.0,
+               "partitioning": Partitioning.EVEN, "direction": Direction.FORWARD}
+    while rest:
+        if rest[0] == "fraction":
+            options["fraction"] = float(rest[1])
+            rest = rest[2:]
+        elif rest[0] == "sweeps":
+            options["sweeps"] = float(rest[1])
+            rest = rest[2:]
+        elif rest[0] == "blocked":
+            options["partitioning"] = Partitioning.BLOCKED
+            rest = rest[1:]
+        elif rest[0] == "even":
+            options["partitioning"] = Partitioning.EVEN
+            rest = rest[1:]
+        elif rest[0] == "reverse":
+            options["direction"] = Direction.REVERSE
+            rest = rest[1:]
+        else:
+            raise FrontendError(line_no, f"unknown access option {rest[0]!r}")
+    return options, rest
+
+
+def _parse_access(tokens: list[str], line_no: int) -> Access:
+    if tokens[0] == "instr":
+        footprint = int(tokens[1])
+        sweeps = 1.0
+        rest = tokens[2:]
+        if rest[:1] == ["sweeps"]:
+            sweeps = float(rest[1])
+            rest = rest[2:]
+        if rest:
+            raise FrontendError(line_no, f"unexpected tokens after instr: {rest}")
+        return InstructionStream(footprint_bytes=footprint, sweeps=sweeps)
+
+    is_write = tokens[0] == "write"
+    if len(tokens) < 3:
+        raise FrontendError(line_no, "access requires an array and a shape")
+    array, shape = tokens[1], tokens[2]
+
+    if shape == "partitioned":
+        if tokens[3] != "units":
+            raise FrontendError(line_no, "expected 'units N' after partitioned")
+        units = int(tokens[4])
+        options, _ = _take_common(tokens[5:], line_no)
+        return PartitionedAccess(
+            array, units=units, is_write=is_write,
+            partitioning=options["partitioning"], direction=options["direction"],
+            fraction=options["fraction"], sweeps=options["sweeps"],
+        )
+    if shape == "boundary":
+        if tokens[3] != "units":
+            raise FrontendError(line_no, "expected 'units N' after boundary")
+        units = int(tokens[4])
+        comm = _COMM.get(tokens[5])
+        if comm is None:
+            raise FrontendError(line_no, "boundary requires 'shift' or 'rotate'")
+        boundary_fraction = float(tokens[6])
+        options, _ = _take_common(tokens[7:], line_no)
+        return BoundaryAccess(
+            array, units=units, comm=comm, boundary_fraction=boundary_fraction,
+            is_write=is_write, partitioning=options["partitioning"],
+            direction=options["direction"],
+        )
+    if shape == "strided":
+        if tokens[3] != "block":
+            raise FrontendError(line_no, "expected 'block BYTES' after strided")
+        block = int(tokens[4])
+        options, _ = _take_common(tokens[5:], line_no)
+        return StridedAccess(array, block_bytes=block, is_write=is_write,
+                             sweeps=options["sweeps"])
+    if shape == "whole":
+        options, _ = _take_common(tokens[3:], line_no)
+        return WholeArrayAccess(array, is_write=is_write,
+                                fraction=options["fraction"],
+                                sweeps=options["sweeps"])
+    raise FrontendError(line_no, f"unknown access shape {shape!r}")
+
+
+# ----------------------------------------------------------------------
+# Serialization (round-trip)
+
+
+def format_program(program: Program) -> str:
+    """Serialize a program to the text format (parse-compatible)."""
+    lines = [f"program {program.name}"]
+    if program.sequential_fraction:
+        lines.append(f"sequential_fraction {program.sequential_fraction}")
+    if program.init_order is not InitOrder.GROUPED:
+        lines.append(f"init_order {program.init_order.value}")
+    if program.init_groups:
+        groups = " ".join(f"({' '.join(g)})" for g in program.init_groups)
+        lines.append(f"init_groups {groups}")
+    lines.append("")
+    for decl in program.arrays:
+        suffix = f" element {decl.element_size}" if decl.element_size != 8 else ""
+        lines.append(f"array {decl.name} {decl.size_bytes}{suffix}")
+    for phase in program.phases:
+        lines.append("")
+        header = f"phase {phase.name} occurrences {phase.occurrences}"
+        if phase.miss_variation:
+            header += f" miss_variation {phase.miss_variation}"
+        lines.append(header)
+        for loop in phase.loops:
+            header = f"  {loop.kind.value} loop {loop.name} ipw {loop.instructions_per_word}"
+            if loop.iterations is not None:
+                header += f" iterations {loop.iterations}"
+            if loop.tiled:
+                header += " tiled"
+            lines.append(header)
+            for access in loop.accesses:
+                lines.append(f"    {_format_access(access)}")
+    return "\n".join(lines) + "\n"
+
+
+def _format_access(access: Access) -> str:
+    if isinstance(access, InstructionStream):
+        text = f"instr {access.footprint_bytes}"
+        if access.sweeps != 1.0:
+            text += f" sweeps {access.sweeps}"
+        return text
+    verb = "write" if access.is_write else "read"
+    if isinstance(access, PartitionedAccess):
+        text = f"{verb} {access.array} partitioned units {access.units}"
+        if access.partitioning is Partitioning.BLOCKED:
+            text += " blocked"
+        if access.direction is Direction.REVERSE:
+            text += " reverse"
+        if access.fraction != 1.0:
+            text += f" fraction {access.fraction}"
+        if access.sweeps != 1.0:
+            text += f" sweeps {access.sweeps}"
+        return text
+    if isinstance(access, BoundaryAccess):
+        text = (
+            f"{verb} {access.array} boundary units {access.units} "
+            f"{access.comm.value} {access.boundary_fraction}"
+        )
+        if access.partitioning is Partitioning.BLOCKED:
+            text += " blocked"
+        if access.direction is Direction.REVERSE:
+            text += " reverse"
+        return text
+    if isinstance(access, StridedAccess):
+        text = f"{verb} {access.array} strided block {access.block_bytes}"
+        if access.sweeps != 1.0:
+            text += f" sweeps {access.sweeps}"
+        return text
+    if isinstance(access, WholeArrayAccess):
+        text = f"{verb} {access.array} whole"
+        if access.fraction != 1.0:
+            text += f" fraction {access.fraction}"
+        if access.sweeps != 1.0:
+            text += f" sweeps {access.sweeps}"
+        return text
+    raise TypeError(f"unknown access type {type(access)!r}")

@@ -1,0 +1,114 @@
+"""Locality analysis: estimating which references miss (Section 2.2, 6.2).
+
+The prefetch pass needs to know which references are *likely to suffer
+misses* so it only inserts prefetches for those [19].  This module provides
+that estimate: for each access in each loop we compute the per-processor
+footprint and compare it against the external cache, and we detect
+temporal reuse within a phase (a chunk swept repeatedly stays resident if
+it fits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.ir import (
+    Access,
+    BoundaryAccess,
+    InstructionStream,
+    PartitionedAccess,
+    Program,
+    StridedAccess,
+    WholeArrayAccess,
+)
+from repro.compiler.padding import Layout
+from repro.machine.config import MachineConfig
+
+
+@dataclass(frozen=True)
+class AccessLocality:
+    """Locality facts for one access in one loop."""
+
+    loop: str
+    access: Access
+    footprint_bytes: int  # per-processor bytes touched per loop execution
+    stride_bytes: int  # dominant inter-reference stride
+    likely_misses: bool  # footprint exceeds cache, so streaming misses occur
+    tlb_hostile: bool  # strides near/above a page defeat TLB coverage
+
+
+def per_cpu_footprint(access: Access, layout: Layout, num_cpus: int) -> int:
+    """Bytes one processor touches for this access per loop execution."""
+    array = getattr(access, "array", None)
+    if array is None:
+        assert isinstance(access, InstructionStream)
+        return access.footprint_bytes
+    size = layout.sizes[array]
+    if isinstance(access, PartitionedAccess):
+        return int(size / num_cpus * access.fraction)
+    if isinstance(access, BoundaryAccess):
+        chunk = size // max(access.units, 1)
+        return max(chunk, int(size / num_cpus * access.boundary_fraction))
+    if isinstance(access, StridedAccess):
+        return size // num_cpus
+    if isinstance(access, WholeArrayAccess):
+        return int(size * access.fraction)
+    raise TypeError(f"unknown access type {type(access)!r}")
+
+
+def dominant_stride(access: Access, layout: Layout, num_cpus: int) -> int:
+    """The stride between consecutive references of this access."""
+    if isinstance(access, StridedAccess):
+        # Processor p touches every num_cpus-th block.
+        return access.block_bytes * num_cpus
+    if isinstance(access, (PartitionedAccess, BoundaryAccess, WholeArrayAccess)):
+        array = getattr(access, "array", None)
+        element = 8
+        if isinstance(access, PartitionedAccess) and access.fraction < 1.0:
+            # Tiled accesses revisit a fraction of each unit, hopping between
+            # tiles at unit granularity.
+            return layout.sizes[array] // max(access.units, 1)
+        return element
+    return 0
+
+
+def analyze_program(
+    program: Program, layout: Layout, config: MachineConfig, num_cpus: int
+) -> list[AccessLocality]:
+    """Locality facts for every (loop, access) pair in the program."""
+    results: list[AccessLocality] = []
+    cache_bytes = config.l2.size
+    for phase in program.phases:
+        for loop in phase.loops:
+            data_accesses = [
+                access
+                for access in loop.accesses
+                if not isinstance(access, InstructionStream)
+            ]
+            # The loop streams all its arrays together, so residency is
+            # governed by the loop's combined per-processor footprint.
+            loop_footprint = sum(
+                per_cpu_footprint(access, layout, num_cpus)
+                for access in data_accesses
+            )
+            for access in data_accesses:
+                footprint = per_cpu_footprint(access, layout, num_cpus)
+                stride = dominant_stride(access, layout, num_cpus)
+                likely_misses = (
+                    loop_footprint > cache_bytes and footprint > cache_bytes // 16
+                ) or footprint > cache_bytes // 2
+                # Only large strides defeat the TLB: a unit-stride stream
+                # faults each page via its demand accesses just ahead of
+                # the prefetches, so its prefetch targets stay mapped.
+                tlb_hostile = stride >= config.page_size
+                results.append(
+                    AccessLocality(
+                        loop=loop.name,
+                        access=access,
+                        footprint_bytes=footprint,
+                        stride_bytes=stride,
+                        likely_misses=likely_misses,
+                        tlb_hostile=tlb_hostile,
+                    )
+                )
+    return results

@@ -1,0 +1,113 @@
+"""Extraction of access pattern summaries from a program (Section 5.1).
+
+This pass performs the compiler half of CDPC: it walks every loop of every
+phase and records
+
+* an :class:`~repro.core.access_summary.ArrayPartitioning` for each
+  partitioned access (partitioned arrays are the ones SUIF's static
+  schedule makes predictable),
+* a :class:`~repro.core.access_summary.CommunicationPattern` for each
+  boundary access, and
+* :class:`~repro.core.access_summary.GroupAccess` pairs for arrays touched
+  in the same loop.
+
+Strided accesses are *not* summarized: the per-processor footprint of a
+cyclically-distributed array is not contiguous, so the run-time library
+cannot lay it out densely.  This is precisely the su2cor situation the
+paper describes — CDPC is applied only to the remaining data structures.
+Whole-array (broadcast) accesses are likewise skipped, but both still
+contribute group-access pairs, since they do share loops with partitioned
+arrays.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.compiler.ir import (
+    BoundaryAccess,
+    PartitionedAccess,
+    Program,
+    StridedAccess,
+    WholeArrayAccess,
+)
+from repro.compiler.padding import Layout
+from repro.core.access_summary import (
+    AccessSummary,
+    ArrayPartitioning,
+    CommunicationPattern,
+)
+
+
+def extract_summary(program: Program, layout: Layout) -> AccessSummary:
+    """Build the access summary the compiler passes to the CDPC runtime."""
+    summary = AccessSummary()
+    unsummarizable: set[str] = set()
+
+    for phase in program.phases:
+        for loop in phase.loops:
+            for access in loop.accesses:
+                if isinstance(access, PartitionedAccess):
+                    _add_partitioning(
+                        summary,
+                        layout,
+                        access.array,
+                        access.units,
+                        access.partitioning,
+                        access.direction,
+                    )
+                elif isinstance(access, BoundaryAccess):
+                    part = _add_partitioning(
+                        summary,
+                        layout,
+                        access.array,
+                        access.units,
+                        access.partitioning,
+                        access.direction,
+                    )
+                    boundary = max(8, int(part.unit * access.boundary_fraction))
+                    comm = CommunicationPattern(part, access.comm, boundary)
+                    if comm not in summary.communications:
+                        summary.communications.append(comm)
+                elif isinstance(access, (StridedAccess, WholeArrayAccess)):
+                    if isinstance(access, StridedAccess):
+                        unsummarizable.add(access.array)
+            names = loop.array_names()
+            for array_a, array_b in combinations(names, 2):
+                summary.add_group(array_a, array_b)
+
+    # Remove partitionings for arrays that also have unsummarizable
+    # accesses: a single unanalyzable access pattern disqualifies the whole
+    # array, as padding and CDPC both require every access understood.
+    summary.partitionings = [
+        p for p in summary.partitionings if p.array not in unsummarizable
+    ]
+    summary.communications = [
+        c for c in summary.communications if c.partitioning.array not in unsummarizable
+    ]
+    return summary
+
+
+def _add_partitioning(
+    summary: AccessSummary,
+    layout: Layout,
+    array: str,
+    units: int,
+    partitioning,
+    direction,
+) -> ArrayPartitioning:
+    size = layout.sizes[array]
+    unit = max(1, size // max(units, 1))
+    part = ArrayPartitioning(
+        array=array,
+        start=layout.base_of(array),
+        size=size,
+        unit=unit,
+        partitioning=partitioning,
+        direction=direction,
+    )
+    for existing in summary.partitionings:
+        if existing == part:
+            return existing
+    summary.partitionings.append(part)
+    return part

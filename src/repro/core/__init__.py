@@ -1,0 +1,50 @@
+"""Compiler-directed page coloring — the paper's primary contribution.
+
+The five-step hint-generation algorithm of Section 5.2 lives here, split
+by step:
+
+* :mod:`repro.core.access_summary` — the compiler→runtime vocabulary
+  (array partitionings, communication patterns, group accesses);
+* :mod:`repro.core.segments` — Step 1, uniform access segments and sets;
+* :mod:`repro.core.ordering` — Steps 2-3, greedy path orderings;
+* :mod:`repro.core.cyclic` — Step 4, cyclic assignment within segments;
+* :mod:`repro.core.coloring` — Step 5 plus the orchestrator;
+* :mod:`repro.core.runtime` — the run-time library delivering hints via
+  ``madvise`` (IRIX) or fault-order touching (Digital UNIX).
+"""
+
+from repro.core.access_summary import (
+    AccessSummary,
+    ArrayPartitioning,
+    CommunicationPattern,
+    GroupAccess,
+)
+from repro.core.coloring import ColoringResult, generate_page_colors
+from repro.core.cyclic import assign_cyclic, choose_rotation, segments_conflict
+from repro.core.ordering import order_access_sets, order_segments_within_set
+from repro.core.runtime import CdpcRuntime
+from repro.core.segments import (
+    UniformAccessSegment,
+    UniformAccessSet,
+    compute_segments,
+    group_into_sets,
+)
+
+__all__ = [
+    "AccessSummary",
+    "ArrayPartitioning",
+    "CdpcRuntime",
+    "ColoringResult",
+    "CommunicationPattern",
+    "GroupAccess",
+    "UniformAccessSegment",
+    "UniformAccessSet",
+    "assign_cyclic",
+    "choose_rotation",
+    "compute_segments",
+    "generate_page_colors",
+    "group_into_sets",
+    "order_access_sets",
+    "order_segments_within_set",
+    "segments_conflict",
+]

@@ -1,0 +1,199 @@
+"""Access pattern summaries — the compiler→runtime interface (Section 5.1).
+
+The compiler extracts three kinds of information from a parallelized
+program and passes them, together with startup-time facts like exact array
+dimensions, to the CDPC run-time library:
+
+* :class:`ArrayPartitioning` — starting address, total size, partition-unit
+  size, partitioning policy (even/blocked) and direction (forward/reverse).
+* :class:`CommunicationPattern` — a partitioning plus a communication type
+  (shift or rotate) and the width of the boundary region exchanged between
+  neighbouring processors.
+* :class:`GroupAccess` — pairs of arrays accessed within the same loops.
+
+These are deliberately simple, serializable records: in the paper they
+cross the compiler/run-time boundary as generated function calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common import Communication, Direction, Partitioning, iteration_ranges
+
+
+@dataclass(frozen=True)
+class ArrayPartitioning:
+    """How one array is distributed across processors in parallel loops."""
+
+    array: str
+    start: int  # virtual byte address of the array
+    size: int  # total bytes
+    unit: int  # bytes operated on per loop iteration (e.g. one column)
+    partitioning: Partitioning = Partitioning.EVEN
+    direction: Direction = Direction.FORWARD
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.unit <= 0:
+            raise ValueError("size and unit must be positive")
+        if self.unit > self.size:
+            raise ValueError("unit larger than array")
+
+    @property
+    def units(self) -> int:
+        return -(-self.size // self.unit)
+
+    def cpu_ranges(self, num_cpus: int) -> list[tuple[int, int]]:
+        """Byte range ``[start, end)`` of the array owned by each processor."""
+        ranges = iteration_ranges(self.units, num_cpus, self.partitioning, self.direction)
+        result = []
+        for lo_unit, hi_unit in ranges:
+            lo = self.start + lo_unit * self.unit
+            hi = min(self.start + hi_unit * self.unit, self.start + self.size)
+            result.append((lo, max(lo, hi)))
+        return result
+
+    def cpus_for_page(self, page: int, page_size: int, num_cpus: int) -> frozenset[int]:
+        """Set of processors whose partition touches the given virtual page."""
+        page_lo = page * page_size
+        page_hi = page_lo + page_size
+        cpus = set()
+        for cpu, (lo, hi) in enumerate(self.cpu_ranges(num_cpus)):
+            if lo < page_hi and hi > page_lo:
+                cpus.add(cpu)
+        return frozenset(cpus)
+
+
+@dataclass(frozen=True)
+class CommunicationPattern:
+    """Boundary communication between neighbouring processors."""
+
+    partitioning: ArrayPartitioning
+    kind: Communication = Communication.SHIFT
+    boundary_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind is Communication.NONE:
+            raise ValueError("communication pattern requires shift or rotate")
+        if self.boundary_bytes < 0:
+            raise ValueError("boundary_bytes must be non-negative")
+
+    def neighbour_cpus(self, cpu: int, num_cpus: int) -> list[int]:
+        """Which processors exchange boundary data with ``cpu``."""
+        if num_cpus == 1:
+            return []
+        if self.kind is Communication.ROTATE:
+            return [(cpu - 1) % num_cpus, (cpu + 1) % num_cpus]
+        return [c for c in (cpu - 1, cpu + 1) if 0 <= c < num_cpus]
+
+    def extra_cpus_for_page(
+        self, page: int, page_size: int, num_cpus: int
+    ) -> frozenset[int]:
+        """Processors that touch this page only through communication.
+
+        A neighbour reads up to ``boundary_bytes`` at each edge of a
+        processor's partition, so pages within that distance of a partition
+        edge are also accessed by the adjacent processor.
+        """
+        if self.boundary_bytes == 0 or num_cpus == 1:
+            return frozenset()
+        page_lo = page * page_size
+        page_hi = page_lo + page_size
+        extra: set[int] = set()
+        ranges = self.partitioning.cpu_ranges(num_cpus)
+        for cpu, (lo, hi) in enumerate(ranges):
+            if hi <= lo:
+                continue
+            for neighbour in self.neighbour_cpus(cpu, num_cpus):
+                n_lo, n_hi = ranges[neighbour]
+                if n_hi <= n_lo:
+                    continue
+                # cpu reads the strip of the neighbour's partition adjacent
+                # to its own: at the neighbour's near edge.
+                if neighbour == cpu + 1 or (
+                    self.kind is Communication.ROTATE and neighbour == (cpu + 1) % len(ranges)
+                ):
+                    strip_lo, strip_hi = n_lo, min(n_lo + self.boundary_bytes, n_hi)
+                else:
+                    strip_lo, strip_hi = max(n_hi - self.boundary_bytes, n_lo), n_hi
+                if strip_lo < page_hi and strip_hi > page_lo:
+                    extra.add(cpu)
+        return frozenset(extra)
+
+
+@dataclass(frozen=True)
+class GroupAccess:
+    """Two arrays accessed within the same loop (Section 5.1)."""
+
+    array_a: str
+    array_b: str
+
+    def __post_init__(self) -> None:
+        if self.array_a == self.array_b:
+            raise ValueError("group access must pair distinct arrays")
+
+    @property
+    def pair(self) -> frozenset[str]:
+        return frozenset((self.array_a, self.array_b))
+
+
+@dataclass
+class AccessSummary:
+    """Everything the compiler tells the CDPC run-time library."""
+
+    partitionings: list[ArrayPartitioning] = field(default_factory=list)
+    communications: list[CommunicationPattern] = field(default_factory=list)
+    groups: list[GroupAccess] = field(default_factory=list)
+
+    def arrays(self) -> list[str]:
+        seen: list[str] = []
+        for part in self.partitionings:
+            if part.array not in seen:
+                seen.append(part.array)
+        return seen
+
+    def partitionings_of(self, array: str) -> list[ArrayPartitioning]:
+        return [p for p in self.partitionings if p.array == array]
+
+    def grouped_with(self, array: str) -> set[str]:
+        partners: set[str] = set()
+        for group in self.groups:
+            if group.array_a == array:
+                partners.add(group.array_b)
+            elif group.array_b == array:
+                partners.add(group.array_a)
+        return partners
+
+    def _pair_set(self) -> set[frozenset[str]]:
+        # Cached view of the group pairs; rebuilt when groups change.  The
+        # CDPC conflict test calls are_grouped O(segments^2) times, so a
+        # linear scan here dominates hint generation for 40-array programs.
+        cache = self.__dict__.get("_pair_cache")
+        if cache is None or self.__dict__.get("_pair_cache_len") != len(self.groups):
+            cache = {g.pair for g in self.groups}
+            self.__dict__["_pair_cache"] = cache
+            self.__dict__["_pair_cache_len"] = len(self.groups)
+        return cache
+
+    def are_grouped(self, array_a: str, array_b: str) -> bool:
+        return frozenset((array_a, array_b)) in self._pair_set()
+
+    def add_group(self, array_a: str, array_b: str) -> None:
+        if array_a != array_b and not self.are_grouped(array_a, array_b):
+            self.groups.append(GroupAccess(array_a, array_b))
+
+    def merge(self, other: "AccessSummary") -> "AccessSummary":
+        merged = AccessSummary(
+            partitionings=list(self.partitionings),
+            communications=list(self.communications),
+            groups=list(self.groups),
+        )
+        for part in other.partitionings:
+            if part not in merged.partitionings:
+                merged.partitionings.append(part)
+        for comm in other.communications:
+            if comm not in merged.communications:
+                merged.communications.append(comm)
+        for group in other.groups:
+            merged.add_group(group.array_a, group.array_b)
+        return merged

@@ -1,0 +1,99 @@
+"""Step 5 and the CDPC orchestrator (Section 5.2).
+
+``generate_page_colors`` runs the full five-step algorithm:
+
+1. compute uniform access segments and group them into access sets;
+2. order the access sets along a greedy intersection path;
+3. order segments within each set using group-access information;
+4. rotate each segment cyclically to separate conflicting array starts;
+5. assign colors to the final page sequence in round-robin order.
+
+The result carries the complete page order (the "coloring order" of
+Figure 5) and the per-page color hints handed to the operating system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.access_summary import AccessSummary
+from repro.core.cyclic import assign_cyclic
+from repro.core.ordering import order_access_sets, order_segments_within_set
+from repro.core.segments import (
+    UniformAccessSegment,
+    UniformAccessSet,
+    compute_segments,
+    group_into_sets,
+)
+
+
+@dataclass
+class ColoringResult:
+    """Output of the CDPC algorithm."""
+
+    page_order: list[int] = field(default_factory=list)
+    colors: dict[int, int] = field(default_factory=dict)
+    segments: list[UniformAccessSegment] = field(default_factory=list)
+    ordered_sets: list[UniformAccessSet] = field(default_factory=list)
+    rotations: dict[UniformAccessSegment, int] = field(default_factory=dict)
+    num_colors: int = 0
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.page_order)
+
+    def color_of(self, page: int) -> int | None:
+        return self.colors.get(page)
+
+    def pages_per_color(self) -> list[int]:
+        histogram = [0] * self.num_colors
+        for color in self.colors.values():
+            histogram[color] += 1
+        return histogram
+
+    def max_pages_on_one_color(self, cpus_of_page) -> int:
+        """Worst-case same-color pages for any single processor.
+
+        ``cpus_of_page`` maps a page to the processors accessing it.  A
+        value of 1 means CDPC achieved a conflict-free mapping for every
+        processor.
+        """
+        per_cpu_color: dict[tuple[int, int], int] = {}
+        for page, color in self.colors.items():
+            for cpu in cpus_of_page(page):
+                key = (cpu, color)
+                per_cpu_color[key] = per_cpu_color.get(key, 0) + 1
+        return max(per_cpu_color.values(), default=0)
+
+
+def generate_page_colors(
+    summary: AccessSummary, page_size: int, num_colors: int, num_cpus: int
+) -> ColoringResult:
+    """Run the five-step CDPC algorithm and return the hint set."""
+    if num_colors < 1:
+        raise ValueError("num_colors must be >= 1")
+    segments = compute_segments(summary, page_size, num_cpus)  # Step 1
+    sets = group_into_sets(segments)
+    ordered_sets = order_access_sets(sets)  # Step 2
+    ordered_segments: list[UniformAccessSegment] = []
+    for access_set in ordered_sets:  # Step 3
+        ordered_segments.extend(order_segments_within_set(access_set.segments, summary))
+    page_order, rotations = assign_cyclic(ordered_segments, summary, num_colors)  # Step 4
+    # Arrays that share an edge page (layout padding is sub-page) produce
+    # the page in two segments; keep its first appearance only.
+    seen: set[int] = set()
+    deduped: list[int] = []
+    for page in page_order:
+        if page not in seen:
+            seen.add(page)
+            deduped.append(page)
+    page_order = deduped
+    colors = {page: index % num_colors for index, page in enumerate(page_order)}  # Step 5
+    return ColoringResult(
+        page_order=page_order,
+        colors=colors,
+        segments=segments,
+        ordered_sets=ordered_sets,
+        rotations=rotations,
+        num_colors=num_colors,
+    )

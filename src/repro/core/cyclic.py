@@ -1,0 +1,129 @@
+"""Step 4 — cyclic page assignment within a segment (Section 5.2).
+
+Pages within a segment are not necessarily laid down in ascending virtual
+order: a *cyclic* assignment picks a starting point inside the segment,
+lays pages out in ascending order to the segment boundary, then wraps
+around.  Rotating a segment changes which color its array's starting page
+receives, and the rotation is chosen to space the starting locations of
+*conflicting* segments as far apart in the color space as possible.
+
+Two segments may conflict when (1) their arrays are used together in the
+same loop (group access), (2) their processor sets intersect, and (3) they
+partially overlap in the cache — i.e. their color ranges intersect.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.access_summary import AccessSummary
+from repro.core.segments import UniformAccessSegment
+
+
+def segments_conflict(
+    a: UniformAccessSegment,
+    b: UniformAccessSegment,
+    summary: AccessSummary,
+    a_position: int,
+    b_position: int,
+    num_colors: int,
+) -> bool:
+    """Do two placed segments satisfy the paper's three conflict conditions?"""
+    if a.array == b.array or not summary.are_grouped(a.array, b.array):
+        return False
+    if not (a.cpus & b.cpus):
+        return False
+    # Segments that fill half the color space or more wrap around it, so
+    # their streams can collide anywhere regardless of position range.
+    if 2 * min(a.num_pages, b.num_pages) >= num_colors:
+        return True
+    return _color_ranges_overlap(
+        a_position, a.num_pages, b_position, b.num_pages, num_colors
+    )
+
+
+def _color_ranges_overlap(
+    pos_a: int, len_a: int, pos_b: int, len_b: int, num_colors: int
+) -> bool:
+    """Do two position ranges overlap modulo the color count?"""
+    if len_a >= num_colors or len_b >= num_colors:
+        return True
+    start_a, start_b = pos_a % num_colors, pos_b % num_colors
+    # Circular interval intersection.
+    delta = (start_b - start_a) % num_colors
+    return delta < len_a or (num_colors - delta) < len_b
+
+
+def _circular_distance(a: int, b: int, num_colors: int) -> int:
+    d = abs(a - b) % num_colors
+    return min(d, num_colors - d)
+
+
+def choose_rotation(
+    segment: UniformAccessSegment,
+    position: int,
+    conflicting_start_colors: Sequence[int],
+    num_colors: int,
+) -> int:
+    """Pick the rotation maximizing color distance from conflicting starts.
+
+    With rotation ``r``, the page emitted at relative position ``k`` is
+    ``start_page + (r + k) mod L``; the segment's first virtual page is
+    emitted at relative position ``(L - r) mod L`` and therefore receives
+    color ``(position + (L - r) mod L) mod num_colors``.  We choose ``r``
+    to maximize the minimum circular color distance between that color and
+    the start colors of previously placed conflicting segments.
+    """
+    length = segment.num_pages
+    if not conflicting_start_colors:
+        return 0
+    best_rotation = 0
+    best_score = -1
+    max_rotation = min(length, num_colors)
+    for rotation in range(max_rotation):
+        start_color = (position + (length - rotation) % length) % num_colors
+        score = min(
+            _circular_distance(start_color, other, num_colors)
+            for other in conflicting_start_colors
+        )
+        if score > best_score:
+            best_score = score
+            best_rotation = rotation
+    return best_rotation
+
+
+def emit_segment_pages(segment: UniformAccessSegment, rotation: int) -> list[int]:
+    """Page sequence for a segment under a given rotation."""
+    length = segment.num_pages
+    rotation %= length
+    pages = list(segment.pages)
+    return pages[rotation:] + pages[:rotation]
+
+
+def assign_cyclic(
+    ordered_segments: Sequence[UniformAccessSegment],
+    summary: AccessSummary,
+    num_colors: int,
+) -> tuple[list[int], dict[UniformAccessSegment, int]]:
+    """Lay out all segments, choosing rotations to avoid start conflicts.
+
+    Returns the final page order and each segment's chosen rotation.
+    """
+    page_order: list[int] = []
+    rotations: dict[UniformAccessSegment, int] = {}
+    placed: list[tuple[UniformAccessSegment, int, int]] = []  # (seg, pos, start color)
+    position = 0
+    for segment in ordered_segments:
+        conflict_colors = [
+            start_color
+            for other, other_pos, start_color in placed
+            if segments_conflict(segment, other, summary, position, other_pos, num_colors)
+        ]
+        rotation = choose_rotation(segment, position, conflict_colors, num_colors)
+        rotations[segment] = rotation
+        page_order.extend(emit_segment_pages(segment, rotation))
+        length = segment.num_pages
+        start_color = (position + (length - rotation) % length) % num_colors
+        placed.append((segment, position, start_color))
+        position += length
+    return page_order, rotations

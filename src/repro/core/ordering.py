@@ -1,0 +1,106 @@
+"""Steps 2 and 3 — ordering access sets and segments (Section 5.2).
+
+Step 2 orders the uniform access *sets*.  Each set is a node in an
+undirected graph with an edge wherever two sets' processor sets intersect.
+The objective is a path visiting every node that uses as many graph edges
+as possible, so pages accessed by the same processor end up adjacent in
+the final order.  The paper's heuristic, reproduced here: build a greedy
+path over the subgraph of sets with one- or two-member processor sets,
+starting from a singleton set and extending to an unvisited neighbour
+whenever possible; then insert each remaining set next to the path node
+with the maximum processor-set overlap.
+
+Step 3 orders the *segments within* each set.  Nodes are segments, with an
+edge wherever the compiler's group-access information says the two arrays
+are used together.  A greedy path again maximizes edges used; ties are
+broken toward the smallest virtual address.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.access_summary import AccessSummary
+from repro.core.segments import UniformAccessSegment, UniformAccessSet
+
+
+def _overlap(a: frozenset[int], b: frozenset[int]) -> int:
+    return len(a & b)
+
+
+def order_access_sets(sets: Sequence[UniformAccessSet]) -> list[UniformAccessSet]:
+    """Step 2: order the uniform access sets along a greedy path."""
+    if not sets:
+        return []
+    remaining = list(sets)
+    small = [s for s in remaining if len(s.cpus) in (1, 2)]
+    large = [s for s in remaining if len(s.cpus) not in (1, 2)]
+
+    path: list[UniformAccessSet] = []
+    unvisited = list(small)
+    while unvisited:
+        if not path or not _adjacent_choices(path[-1], unvisited):
+            # Start (or restart) from a singleton when possible.
+            singletons = [s for s in unvisited if len(s.cpus) == 1]
+            nxt = min(
+                singletons or unvisited, key=lambda s: tuple(sorted(s.cpus))
+            )
+        else:
+            choices = _adjacent_choices(path[-1], unvisited)
+            # Prefer maximum overlap, then the *smaller* processor set:
+            # after a two-member set {p, p+1} this picks the singleton {p+1}
+            # rather than {p+1, p+2}, producing the ... {p}, {p,p+1}, {p+1},
+            # {p+1,p+2} ... chain of Figure 4(b) that keeps each processor's
+            # pages contiguous in the final order.
+            nxt = min(
+                choices,
+                key=lambda s: (
+                    -_overlap(s.cpus, path[-1].cpus),
+                    len(s.cpus),
+                    tuple(sorted(s.cpus)),
+                ),
+            )
+        unvisited.remove(nxt)
+        path.append(nxt)
+
+    for s in sorted(large, key=lambda s: (-len(s.cpus), tuple(sorted(s.cpus)))):
+        if not path:
+            path.append(s)
+            continue
+        best_index = max(
+            range(len(path)), key=lambda i: (_overlap(s.cpus, path[i].cpus), -i)
+        )
+        path.insert(best_index + 1, s)
+    return path
+
+
+def _adjacent_choices(
+    current: UniformAccessSet, unvisited: Sequence[UniformAccessSet]
+) -> list[UniformAccessSet]:
+    return [s for s in unvisited if current.cpus & s.cpus]
+
+
+def order_segments_within_set(
+    segments: Sequence[UniformAccessSegment], summary: AccessSummary
+) -> list[UniformAccessSegment]:
+    """Step 3: order segments of one access set using group-access info."""
+    if not segments:
+        return []
+    unvisited = sorted(segments, key=lambda seg: seg.start_page)
+    path: list[UniformAccessSegment] = []
+    while unvisited:
+        if not path:
+            nxt = unvisited[0]  # smallest virtual address
+        else:
+            grouped = [
+                seg
+                for seg in unvisited
+                if seg.array != path[-1].array
+                and summary.are_grouped(seg.array, path[-1].array)
+            ]
+            # Extend with a grouped neighbour when possible; otherwise take
+            # the smallest remaining virtual address.
+            nxt = grouped[0] if grouped else unvisited[0]
+        unvisited.remove(nxt)
+        path.append(nxt)
+    return path

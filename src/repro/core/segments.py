@@ -1,0 +1,155 @@
+"""Step 1 — Uniform access segments and sets (Section 5.2).
+
+A *uniform access segment* is a maximal run of consecutive virtual pages of
+one array accessed by the same set of processors.  Segments are computed by
+treating the array's page range as a single segment and splitting it
+wherever the processor set changes — at partition boundaries and at the
+edges of communication strips.  Segments with identical processor sets are
+then grouped into *uniform access sets* regardless of which array they
+belong to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.access_summary import AccessSummary
+
+
+@dataclass(frozen=True)
+class UniformAccessSegment:
+    """Consecutive pages of one array touched by one processor set."""
+
+    array: str
+    start_page: int
+    end_page: int  # exclusive
+    cpus: frozenset[int]
+
+    def __post_init__(self) -> None:
+        if self.end_page <= self.start_page:
+            raise ValueError("segment must contain at least one page")
+
+    @property
+    def num_pages(self) -> int:
+        return self.end_page - self.start_page
+
+    @property
+    def pages(self) -> range:
+        return range(self.start_page, self.end_page)
+
+
+@dataclass
+class UniformAccessSet:
+    """All segments (across arrays) sharing one processor set."""
+
+    cpus: frozenset[int]
+    segments: list[UniformAccessSegment]
+
+    @property
+    def num_pages(self) -> int:
+        return sum(seg.num_pages for seg in self.segments)
+
+    def arrays(self) -> list[str]:
+        seen: list[str] = []
+        for seg in self.segments:
+            if seg.array not in seen:
+                seen.append(seg.array)
+        return seen
+
+
+def compute_segments(
+    summary: AccessSummary, page_size: int, num_cpus: int
+) -> list[UniformAccessSegment]:
+    """Split each summarized array into uniform access segments."""
+    if page_size <= 0:
+        raise ValueError("page_size must be positive")
+    segments: list[UniformAccessSegment] = []
+    for array in summary.arrays():
+        parts = summary.partitionings_of(array)
+        start = min(p.start for p in parts)
+        end = max(p.start + p.size for p in parts)
+        first_page = start // page_size
+        last_page = (end - 1) // page_size
+        page_cpus: dict[int, set[int]] = {
+            page: set() for page in range(first_page, last_page + 1)
+        }
+
+        for part in parts:
+            for cpu, (lo, hi) in enumerate(part.cpu_ranges(num_cpus)):
+                if hi <= lo:
+                    continue
+                for page in range(lo // page_size, (hi - 1) // page_size + 1):
+                    page_cpus[page].add(cpu)
+
+        for comm in summary.communications:
+            if comm.partitioning.array != array or comm.boundary_bytes == 0:
+                continue
+            ranges = comm.partitioning.cpu_ranges(num_cpus)
+            for cpu in range(num_cpus):
+                for neighbour in comm.neighbour_cpus(cpu, num_cpus):
+                    n_lo, n_hi = ranges[neighbour]
+                    if n_hi <= n_lo:
+                        continue
+                    # cpu reads the strip of its neighbour's partition that
+                    # borders its own partition.
+                    if _is_upper_neighbour(cpu, neighbour, num_cpus, comm.kind.value):
+                        strip_lo = n_lo
+                        strip_hi = min(n_lo + comm.boundary_bytes, n_hi)
+                    else:
+                        strip_lo = max(n_hi - comm.boundary_bytes, n_lo)
+                        strip_hi = n_hi
+                    if strip_hi <= strip_lo:
+                        continue
+                    for page in range(
+                        strip_lo // page_size, (strip_hi - 1) // page_size + 1
+                    ):
+                        if page in page_cpus:
+                            page_cpus[page].add(cpu)
+
+        segments.extend(_merge_pages(array, page_cpus))
+    return segments
+
+
+def _is_upper_neighbour(cpu: int, neighbour: int, num_cpus: int, kind: str) -> bool:
+    if kind == "rotate":
+        return neighbour == (cpu + 1) % num_cpus
+    return neighbour == cpu + 1
+
+
+def _merge_pages(
+    array: str, page_cpus: dict[int, set[int]]
+) -> Iterable[UniformAccessSegment]:
+    """Merge consecutive pages with equal processor sets into segments."""
+    run_start: int | None = None
+    run_cpus: frozenset[int] = frozenset()
+    prev_page: int | None = None
+    for page in sorted(page_cpus):
+        cpus = frozenset(page_cpus[page])
+        if run_start is None:
+            run_start, run_cpus, prev_page = page, cpus, page
+            continue
+        if cpus == run_cpus and page == prev_page + 1:
+            prev_page = page
+            continue
+        yield UniformAccessSegment(array, run_start, prev_page + 1, run_cpus)
+        run_start, run_cpus, prev_page = page, cpus, page
+    if run_start is not None:
+        yield UniformAccessSegment(array, run_start, prev_page + 1, run_cpus)
+
+
+def group_into_sets(segments: Iterable[UniformAccessSegment]) -> list[UniformAccessSet]:
+    """Group segments by processor set (Step 1's output, Step 2's input).
+
+    Segments of untouched pages (empty processor set) are dropped: nothing
+    accesses them during the steady state, so no hint is needed.
+    """
+    by_cpus: dict[frozenset[int], list[UniformAccessSegment]] = {}
+    for segment in segments:
+        if not segment.cpus:
+            continue
+        by_cpus.setdefault(segment.cpus, []).append(segment)
+    sets = [UniformAccessSet(cpus, segs) for cpus, segs in by_cpus.items()]
+    # Deterministic base order: by sorted processor tuple.
+    sets.sort(key=lambda s: tuple(sorted(s.cpus)))
+    return sets

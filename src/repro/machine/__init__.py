@@ -1,0 +1,51 @@
+"""Memory-hierarchy simulator substrate.
+
+This package stands in for the SimOS machine simulator used in the paper.
+It models a bus-based shared-memory multiprocessor at the memory-system
+level: split virtually-indexed on-chip caches, a large physically-indexed
+external cache per processor, an invalidate coherence protocol on a
+split-transaction bus with finite bandwidth, TLBs, and R10000-style
+software prefetch.  Misses are classified into cold / capacity / conflict /
+true-sharing / false-sharing following Dubois et al., which is what lets
+the reproduction separate the replacement misses that CDPC attacks from
+the communication misses it cannot.
+"""
+
+from repro.machine.bus import BusTransactionKind, SplitTransactionBus
+from repro.machine.cache import FullyAssociativeLRU, SetAssociativeCache
+from repro.machine.config import (
+    CacheConfig,
+    MachineConfig,
+    TlbConfig,
+    alpha_server,
+    sgi_2way,
+    sgi_4mb,
+    sgi_8way,
+    sgi_base,
+)
+from repro.machine.memory_system import AccessResult, MemorySystem
+from repro.machine.prefetch import PrefetchUnit
+from repro.machine.stats import CpuStats, MachineStats, MissKind
+from repro.machine.tlb import Tlb
+
+__all__ = [
+    "AccessResult",
+    "BusTransactionKind",
+    "CacheConfig",
+    "CpuStats",
+    "FullyAssociativeLRU",
+    "MachineConfig",
+    "MachineStats",
+    "MemorySystem",
+    "MissKind",
+    "PrefetchUnit",
+    "SetAssociativeCache",
+    "SplitTransactionBus",
+    "Tlb",
+    "TlbConfig",
+    "alpha_server",
+    "sgi_2way",
+    "sgi_4mb",
+    "sgi_8way",
+    "sgi_base",
+]

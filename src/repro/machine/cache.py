@@ -1,0 +1,119 @@
+"""Set-associative and fully-associative LRU cache models.
+
+These are behavioural models: they track which line addresses are resident
+and which are evicted, not the data itself.  The fully-associative cache is
+used as a *shadow* cache to separate conflict misses (miss in the real
+cache, hit in a fully-associative cache of the same capacity) from capacity
+misses (miss in both), the standard classification the paper relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.machine.config import CacheConfig
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache of line addresses.
+
+    Lines are identified by their line-aligned byte address.  Each set is a
+    small list ordered most-recently-used first, which is fast for the low
+    associativities (1-8) the paper studies.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
+
+    def _set_for(self, line_addr: int) -> list[int]:
+        return self._sets[(line_addr // self.config.line_size) % self.config.num_sets]
+
+    def lookup(self, line_addr: int) -> bool:
+        """Probe for a line; on a hit the line becomes most recently used."""
+        ways = self._set_for(line_addr)
+        try:
+            ways.remove(line_addr)
+        except ValueError:
+            return False
+        ways.insert(0, line_addr)
+        return True
+
+    def contains(self, line_addr: int) -> bool:
+        """Probe without disturbing LRU order."""
+        return line_addr in self._set_for(line_addr)
+
+    def insert(self, line_addr: int) -> Optional[int]:
+        """Insert a line, returning the evicted line address if any."""
+        ways = self._set_for(line_addr)
+        if line_addr in ways:
+            ways.remove(line_addr)
+            ways.insert(0, line_addr)
+            return None
+        ways.insert(0, line_addr)
+        if len(ways) > self.config.associativity:
+            return ways.pop()
+        return None
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Remove a line (coherence invalidation).  True if it was present."""
+        ways = self._set_for(line_addr)
+        try:
+            ways.remove(line_addr)
+        except ValueError:
+            return False
+        return True
+
+    def flush(self) -> None:
+        for ways in self._sets:
+            ways.clear()
+
+    def resident_lines(self) -> Iterator[int]:
+        for ways in self._sets:
+            yield from ways
+
+    def occupancy(self) -> int:
+        """Number of resident lines."""
+        return sum(len(ways) for ways in self._sets)
+
+    def utilization(self) -> float:
+        """Fraction of the cache's line slots that are occupied."""
+        return self.occupancy() / self.config.num_lines
+
+
+class FullyAssociativeLRU:
+    """A fully-associative LRU cache used as a shadow for miss classification.
+
+    Implemented with an insertion-ordered dict: re-inserting moves a key to
+    the back, and the front is the least recently used.
+    """
+
+    def __init__(self, capacity_lines: int) -> None:
+        if capacity_lines < 1:
+            raise ValueError("capacity must be at least one line")
+        self.capacity = capacity_lines
+        self._lines: dict[int, None] = {}
+
+    def access(self, line_addr: int) -> bool:
+        """Touch a line; returns True on hit.  Misses insert with LRU eviction."""
+        lines = self._lines
+        if line_addr in lines:
+            del lines[line_addr]
+            lines[line_addr] = None
+            return True
+        lines[line_addr] = None
+        if len(lines) > self.capacity:
+            del lines[next(iter(lines))]
+        return False
+
+    def contains(self, line_addr: int) -> bool:
+        return line_addr in self._lines
+
+    def invalidate(self, line_addr: int) -> bool:
+        if line_addr in self._lines:
+            del self._lines[line_addr]
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._lines)

@@ -1,0 +1,207 @@
+"""Machine configuration: cache geometry, latencies, and preset machines.
+
+The presets mirror the two platforms of the paper:
+
+* ``sgi_base`` — the SimOS base configuration of Section 3.2: 400MHz
+  single-issue R4400-class processors, 32KB two-way split on-chip caches,
+  a 1MB direct-mapped external cache with 128-byte lines, a 1.2 GB/s
+  split-transaction bus, 500ns memory latency and 750ns remote latency.
+* ``alpha_server`` — the validation platform of Section 7: an 8-CPU
+  AlphaServer 8400 with 350MHz 21164 processors and a 4MB direct-mapped
+  external cache.
+
+Because a pure-Python simulator cannot run reference-sized data sets, every
+configuration can be geometrically scaled with :meth:`MachineConfig.scaled`.
+Scaling divides cache size, page size and line size by the same factor,
+which preserves the quantity CDPC cares about: the number of page colors
+(cache size / (page size * associativity)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level.
+
+    Sizes are in bytes.  ``associativity`` of 1 means direct-mapped.
+    """
+
+    size: int
+    line_size: int
+    associativity: int = 1
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.size):
+            raise ValueError(f"cache size must be a power of two, got {self.size}")
+        if not _is_power_of_two(self.line_size):
+            raise ValueError(f"line size must be a power of two, got {self.line_size}")
+        if self.associativity < 1:
+            raise ValueError("associativity must be >= 1")
+        if self.size % (self.line_size * self.associativity) != 0:
+            raise ValueError("cache size must be divisible by line_size * associativity")
+
+    @property
+    def num_lines(self) -> int:
+        return self.size // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+    def line_address(self, addr: int) -> int:
+        """The address of the first byte of the line containing ``addr``."""
+        return addr & ~(self.line_size - 1)
+
+    def set_index(self, addr: int) -> int:
+        """Which set ``addr`` maps to."""
+        return (addr // self.line_size) % self.num_sets
+
+    def word_offset(self, addr: int, word_size: int = 8) -> int:
+        """Index of the word within its line (used for false-sharing tests)."""
+        return (addr & (self.line_size - 1)) // word_size
+
+    def scaled(self, factor: int) -> "CacheConfig":
+        """Divide the cache size by ``factor``.
+
+        Line size and associativity are preserved: shrinking lines below a
+        word would destroy spatial locality, while shrinking capacity and
+        page size together preserves the number of page colors.
+        """
+        if self.size % factor:
+            raise ValueError(f"cannot scale {self} by {factor}")
+        new_size = self.size // factor
+        if new_size < self.line_size * self.associativity:
+            raise ValueError(f"scaling by {factor} leaves less than one set")
+        return replace(self, size=new_size)
+
+
+@dataclass(frozen=True)
+class TlbConfig:
+    """TLB geometry.  Misses are serviced by the OS (kernel overhead)."""
+
+    entries: int = 64
+    miss_latency_ns: float = 200.0
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A complete bus-based multiprocessor memory-system configuration."""
+
+    num_cpus: int = 1
+    cpu_clock_mhz: float = 400.0
+    page_size: int = 4096
+    word_size: int = 8
+    # On-chip caches are virtually indexed; the external cache is
+    # physically indexed (Section 5.4), which is why page mapping matters.
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(32 * 1024, 128, 2))
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(32 * 1024, 128, 2))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(1024 * 1024, 128, 1))
+    tlb: TlbConfig = field(default_factory=TlbConfig)
+    # Latencies from Section 3.2.
+    l2_hit_ns: float = 50.0
+    mem_latency_ns: float = 500.0
+    remote_latency_ns: float = 750.0
+    bus_bandwidth_gb_s: float = 1.2
+    max_outstanding_prefetches: int = 4
+    scale_factor: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_cpus < 1:
+            raise ValueError("num_cpus must be >= 1")
+        if not _is_power_of_two(self.page_size):
+            raise ValueError("page size must be a power of two")
+        if self.page_size < self.l2.line_size:
+            raise ValueError("page size must be at least one L2 line")
+
+    @property
+    def cycle_ns(self) -> float:
+        """Duration of one CPU cycle in nanoseconds."""
+        return 1000.0 / self.cpu_clock_mhz
+
+    @property
+    def num_colors(self) -> int:
+        """Number of page colors in the physically-indexed external cache.
+
+        Section 2.1: cache size / (page size * associativity).
+        """
+        return self.l2.size // (self.page_size * self.l2.associativity)
+
+    @property
+    def bus_ns_per_byte(self) -> float:
+        return 1.0 / (self.bus_bandwidth_gb_s * 1e9 / 1e9)
+
+    def page_number(self, addr: int) -> int:
+        return addr // self.page_size
+
+    def page_color_of_frame(self, frame: int) -> int:
+        """Color of a physical frame number."""
+        return frame % self.num_colors
+
+    def scaled(self, factor: int) -> "MachineConfig":
+        """Geometrically scale caches, pages and lines down by ``factor``.
+
+        The number of colors is invariant under scaling, so the page-mapping
+        behaviour the paper studies is preserved while shrinking simulation
+        cost by the same factor.
+        """
+        if factor == 1:
+            return self
+        return replace(
+            self,
+            page_size=self.page_size // factor,
+            l1d=self.l1d.scaled(factor),
+            l1i=self.l1i.scaled(factor),
+            l2=self.l2.scaled(factor),
+            scale_factor=self.scale_factor * factor,
+        )
+
+    def with_cpus(self, num_cpus: int) -> "MachineConfig":
+        return replace(self, num_cpus=num_cpus)
+
+
+def sgi_base(num_cpus: int = 1) -> MachineConfig:
+    """The paper's base SimOS configuration: 1MB direct-mapped external cache."""
+    return MachineConfig(num_cpus=num_cpus)
+
+
+def sgi_2way(num_cpus: int = 1) -> MachineConfig:
+    """Base configuration with a two-way set-associative external cache."""
+    return replace(sgi_base(num_cpus), l2=CacheConfig(1024 * 1024, 128, 2))
+
+
+def sgi_4mb(num_cpus: int = 1) -> MachineConfig:
+    """Base configuration with a 4MB direct-mapped external cache."""
+    return replace(sgi_base(num_cpus), l2=CacheConfig(4 * 1024 * 1024, 128, 1))
+
+
+def sgi_8way(num_cpus: int = 1) -> MachineConfig:
+    """Base configuration with an eight-way set-associative external cache.
+
+    Section 6.1: tomcatv has seven large data structures, so "only an
+    eight-way set-associative cache of size 1MB would eliminate all
+    conflicts for 16 processors" without CDPC.  This preset exists to test
+    that claim.
+    """
+    return replace(sgi_base(num_cpus), l2=CacheConfig(1024 * 1024, 128, 8))
+
+
+def alpha_server(num_cpus: int = 1) -> MachineConfig:
+    """The AlphaServer 8400 validation platform of Section 7."""
+    return MachineConfig(
+        num_cpus=num_cpus,
+        cpu_clock_mhz=350.0,
+        l1d=CacheConfig(8 * 1024, 32, 1),
+        l1i=CacheConfig(8 * 1024, 32, 1),
+        l2=CacheConfig(4 * 1024 * 1024, 64, 1),
+        # The 8400's TLAS bus is faster than the SimOS base bus.
+        bus_bandwidth_gb_s=1.6,
+        mem_latency_ns=400.0,
+        remote_latency_ns=600.0,
+    )

@@ -1,0 +1,47 @@
+"""R10000-style software prefetch unit (Section 6.2).
+
+The paper's simulated processor supports up to four outstanding prefetches
+(a fifth stalls the processor), drops prefetches whose page is not mapped
+in the TLB without raising an exception, and inserts prefetched lines into
+the external cache but *not* the on-chip cache.  All three properties
+matter to the results: the TLB-drop rule is why prefetching does not help
+applu, and external-cache-only fills are why CDPC and prefetching compose.
+"""
+
+from __future__ import annotations
+
+
+class PrefetchUnit:
+    """Tracks outstanding prefetches for one processor."""
+
+    def __init__(self, max_outstanding: int) -> None:
+        if max_outstanding < 1:
+            raise ValueError("max_outstanding must be >= 1")
+        self.max_outstanding = max_outstanding
+        self._completions_ns: list[float] = []
+
+    def outstanding_at(self, time_ns: float) -> int:
+        self._retire(time_ns)
+        return len(self._completions_ns)
+
+    def _retire(self, time_ns: float) -> None:
+        self._completions_ns = [t for t in self._completions_ns if t > time_ns]
+
+    def issue(self, time_ns: float, completion_ns: float) -> float:
+        """Record a prefetch; returns the CPU stall incurred (usually zero).
+
+        If the unit already has ``max_outstanding`` prefetches in flight the
+        processor stalls until the earliest one completes, matching the
+        R10000 behaviour described in the paper.
+        """
+        self._retire(time_ns)
+        stall = 0.0
+        if len(self._completions_ns) >= self.max_outstanding:
+            earliest = min(self._completions_ns)
+            stall = max(0.0, earliest - time_ns)
+            self._retire(time_ns + stall)
+        self._completions_ns.append(completion_ns)
+        return stall
+
+    def reset(self) -> None:
+        self._completions_ns.clear()

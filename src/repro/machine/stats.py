@@ -1,0 +1,175 @@
+"""Statistics: miss classification and per-CPU time accounting.
+
+The categories mirror the breakdowns the paper reports in Figure 2:
+
+* memory stall time split into on-chip (L1) misses that hit in the external
+  cache, and external-cache misses classified as cold / capacity / conflict
+  (replacement misses) or true / false sharing (communication misses);
+* overhead time split into kernel, load imbalance, sequential, suppressed
+  and synchronization;
+* bus occupancy split into data transfers, writebacks and upgrades.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class MissKind(enum.Enum):
+    """Classification of an external-cache miss."""
+
+    COLD = "cold"
+    CAPACITY = "capacity"
+    CONFLICT = "conflict"
+    TRUE_SHARING = "true_sharing"
+    FALSE_SHARING = "false_sharing"
+
+    @property
+    def is_replacement(self) -> bool:
+        """Replacement misses are what page mapping policies can eliminate."""
+        return self in (MissKind.CAPACITY, MissKind.CONFLICT)
+
+    @property
+    def is_communication(self) -> bool:
+        return self in (MissKind.TRUE_SHARING, MissKind.FALSE_SHARING)
+
+
+#: Overhead categories of Figure 2's second graph.
+OVERHEAD_CATEGORIES = (
+    "kernel",
+    "load_imbalance",
+    "sequential",
+    "suppressed",
+    "synchronization",
+)
+
+
+@dataclass
+class CpuStats:
+    """Counters for a single processor."""
+
+    instructions: int = 0
+    l1d_hits: int = 0
+    l1d_misses: int = 0
+    l1i_hits: int = 0
+    l1i_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: dict[MissKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in MissKind}
+    )
+    tlb_misses: int = 0
+    prefetches_issued: int = 0
+    prefetches_dropped_tlb: int = 0
+    prefetches_useful: int = 0
+    prefetch_stalls: int = 0
+    prefetch_stall_ns: float = 0.0
+    # Stall time in nanoseconds, by source.
+    l1_stall_ns: float = 0.0
+    l2_stall_ns: dict[MissKind, float] = field(
+        default_factory=lambda: {kind: 0.0 for kind in MissKind}
+    )
+    # Overhead time in nanoseconds (Figure 2 categories).
+    overhead_ns: dict[str, float] = field(
+        default_factory=lambda: {name: 0.0 for name in OVERHEAD_CATEGORIES}
+    )
+    busy_ns: float = 0.0
+
+    @property
+    def total_l2_misses(self) -> int:
+        return sum(self.l2_misses.values())
+
+    @property
+    def replacement_misses(self) -> int:
+        return sum(n for kind, n in self.l2_misses.items() if kind.is_replacement)
+
+    @property
+    def communication_misses(self) -> int:
+        return sum(n for kind, n in self.l2_misses.items() if kind.is_communication)
+
+    @property
+    def memory_stall_ns(self) -> float:
+        return self.l1_stall_ns + sum(self.l2_stall_ns.values())
+
+    @property
+    def overhead_total_ns(self) -> float:
+        return sum(self.overhead_ns.values())
+
+    @property
+    def execution_ns(self) -> float:
+        """Busy time plus memory stalls (the 'application time' of Figure 2)."""
+        return self.busy_ns + self.memory_stall_ns
+
+    @property
+    def total_ns(self) -> float:
+        return self.execution_ns + self.overhead_total_ns
+
+    def mcpi(self) -> float:
+        """Memory cycles per instruction, at a 400MHz-equivalent cycle.
+
+        An MCPI of 1.0 means half the useful execution time is memory stall
+        (Section 4.1).  Computed over useful execution only: overhead time
+        is excluded, matching the paper's definition.
+        """
+        if self.instructions == 0:
+            return 0.0
+        cycle_ns = self.busy_ns / self.instructions if self.busy_ns else 2.5
+        return self.memory_stall_ns / cycle_ns / self.instructions
+
+    def mcpi_breakdown(self) -> dict[str, float]:
+        """MCPI split by stall source, for Figure 2's third graph."""
+        if self.instructions == 0 or self.busy_ns == 0:
+            return {}
+        cycle_ns = self.busy_ns / self.instructions
+        denom = cycle_ns * self.instructions
+        parts = {"l1": self.l1_stall_ns / denom}
+        for kind in MissKind:
+            parts[kind.value] = self.l2_stall_ns[kind] / denom
+        return parts
+
+
+@dataclass
+class MachineStats:
+    """Aggregated statistics for a whole multiprocessor run."""
+
+    cpus: list[CpuStats]
+
+    @classmethod
+    def for_cpus(cls, num_cpus: int) -> "MachineStats":
+        return cls(cpus=[CpuStats() for _ in range(num_cpus)])
+
+    def __getitem__(self, cpu: int) -> CpuStats:
+        return self.cpus[cpu]
+
+    @property
+    def num_cpus(self) -> int:
+        return len(self.cpus)
+
+    def total_instructions(self) -> int:
+        return sum(cpu.instructions for cpu in self.cpus)
+
+    def total_misses(self, kind: MissKind) -> int:
+        return sum(cpu.l2_misses[kind] for cpu in self.cpus)
+
+    def total_l2_misses(self) -> int:
+        return sum(cpu.total_l2_misses for cpu in self.cpus)
+
+    def combined_execution_ns(self) -> float:
+        """Sum of execution time over all processors (Figure 2's metric)."""
+        return sum(cpu.total_ns for cpu in self.cpus)
+
+    def combined_overhead_ns(self) -> dict[str, float]:
+        totals = {name: 0.0 for name in OVERHEAD_CATEGORIES}
+        for cpu in self.cpus:
+            for name, value in cpu.overhead_ns.items():
+                totals[name] += value
+        return totals
+
+    def mean_mcpi(self) -> float:
+        active = [cpu for cpu in self.cpus if cpu.instructions]
+        if not active:
+            return 0.0
+        return sum(cpu.mcpi() for cpu in active) / len(active)
+
+    def miss_breakdown(self) -> dict[str, int]:
+        return {kind.value: self.total_misses(kind) for kind in MissKind}

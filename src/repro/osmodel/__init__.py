@@ -1,0 +1,37 @@
+"""Operating-system virtual-memory substrate.
+
+Stands in for the two commercial operating systems of the paper: IRIX 5.3
+(page coloring policy, extended with a CDPC hint table via ``madvise``) and
+Digital UNIX (bin hopping policy, where CDPC is implemented without kernel
+changes by touching pages in a chosen order).  The physical memory manager
+keeps per-color free lists and treats preferred colors strictly as hints —
+under memory pressure a fault falls back to the nearest available color,
+exactly the degradation mode Section 5 describes.
+"""
+
+from repro.osmodel.dynamic import DynamicRecolorer, RecolorEvent
+from repro.osmodel.page_table import PageTable
+from repro.osmodel.physmem import PhysicalMemory
+from repro.osmodel.policies import (
+    BinHoppingPolicy,
+    CdpcHintPolicy,
+    MappingPolicy,
+    PageColoringPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.osmodel.vm import VirtualMemory
+
+__all__ = [
+    "BinHoppingPolicy",
+    "DynamicRecolorer",
+    "RecolorEvent",
+    "CdpcHintPolicy",
+    "MappingPolicy",
+    "PageColoringPolicy",
+    "PageTable",
+    "PhysicalMemory",
+    "RandomPolicy",
+    "VirtualMemory",
+    "make_policy",
+]

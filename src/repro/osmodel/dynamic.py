@@ -1,0 +1,102 @@
+"""Dynamic page recoloring — the alternative the paper argues against.
+
+Section 2.1 describes dynamic policies that detect conflicts at run time
+(via a cache-miss lookaside buffer or TLB state plus miss counters) and
+*recolor* a page by copying it to a frame of a different color.  The paper
+notes that "the performance of dynamic policies for multiprocessors has
+not been studied" and predicts high overheads: every processor's TLB must
+be flushed and the copy generates traffic.  This module implements such a
+policy so the prediction can be tested against CDPC (see
+``benchmarks/test_ablation_dynamic.py``).
+
+The recolorer inspects per-frame conflict-miss counters accumulated by the
+memory system, picks the worst offenders, and migrates each to a frame of
+the least-loaded color.  Costs modeled per migration, following the
+paper's argument: a page copy (two page-sized bus transfers) plus a TLB
+shootdown on every processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.memory_system import MemorySystem
+from repro.osmodel.vm import VirtualMemory
+
+
+@dataclass
+class RecolorEvent:
+    """One page migration."""
+
+    vpage: int
+    old_frame: int
+    new_frame: int
+    conflicts: int
+
+
+@dataclass
+class DynamicRecolorer:
+    """Miss-counter-driven page recoloring (the dynamic policy of §2.1)."""
+
+    vm: VirtualMemory
+    ms: MemorySystem
+    #: Conflict misses a page must accumulate (since the last inspection)
+    #: before it is considered for recoloring.
+    threshold: int = 32
+    #: Pages migrated per inspection at most — real implementations bound
+    #: this to limit kernel time per interval.
+    max_per_step: int = 16
+    #: Per-processor TLB-shootdown cost.
+    shootdown_ns: float = 3000.0
+    events: list[RecolorEvent] = field(default_factory=list)
+
+    def migration_cost_ns(self) -> float:
+        """Cost of one migration: copy both ways over the bus + shootdowns."""
+        page = self.vm.config.page_size
+        copy_ns = 2 * page / (self.ms.bus.bandwidth_bytes_per_ns)
+        return copy_ns + self.shootdown_ns * self.vm.config.num_cpus
+
+    def _least_loaded_color(self) -> int:
+        histogram = self.vm.color_histogram()
+        return histogram.index(min(histogram))
+
+    def step(self, time_ns: float) -> tuple[list[RecolorEvent], float]:
+        """Inspect counters and migrate the worst pages.
+
+        Returns the migrations performed and the total kernel cost.  The
+        inspected counters are consumed, so each interval reacts to fresh
+        conflicts only.
+        """
+        counters = self.ms.consume_frame_conflicts()
+        if not counters:
+            return [], 0.0
+        reverse = {frame: vpage for vpage, frame in self.vm.page_table.mappings()}
+        candidates = sorted(
+            (
+                (count, frame)
+                for frame, count in counters.items()
+                if count >= self.threshold and frame in reverse
+            ),
+            reverse=True,
+        )[: self.max_per_step]
+
+        performed: list[RecolorEvent] = []
+        total_cost = 0.0
+        for count, frame in candidates:
+            vpage = reverse[frame]
+            new_color = self._least_loaded_color()
+            if new_color == self.vm.physmem.color_of(frame):
+                continue
+            new_frame = self.vm.physmem.alloc(new_color)
+            self.vm.page_table.unmap(vpage)
+            self.vm.page_table.map(vpage, new_frame)
+            self.vm.physmem.free(frame)
+            self.ms.invalidate_frame(frame)
+            performed.append(RecolorEvent(vpage, frame, new_frame, count))
+            total_cost += self.migration_cost_ns()
+        self.events.extend(performed)
+        return performed, total_cost
+
+    @property
+    def total_migrations(self) -> int:
+        return len(self.events)

@@ -1,0 +1,46 @@
+"""Per-process page table: virtual page -> physical frame."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+
+class PageTable:
+    """A flat virtual-to-physical page map for one address space."""
+
+    def __init__(self, page_size: int) -> None:
+        if page_size < 1:
+            raise ValueError("page size must be positive")
+        self.page_size = page_size
+        self._map: dict[int, int] = {}
+
+    def is_mapped(self, vpage: int) -> bool:
+        return vpage in self._map
+
+    def map(self, vpage: int, frame: int) -> None:
+        if vpage in self._map:
+            raise ValueError(f"virtual page {vpage} is already mapped")
+        self._map[vpage] = frame
+
+    def unmap(self, vpage: int) -> int:
+        try:
+            return self._map.pop(vpage)
+        except KeyError:
+            raise KeyError(f"virtual page {vpage} is not mapped") from None
+
+    def frame_of(self, vpage: int) -> Optional[int]:
+        return self._map.get(vpage)
+
+    def translate(self, vaddr: int) -> int:
+        """Translate a virtual byte address to a physical byte address."""
+        vpage, offset = divmod(vaddr, self.page_size)
+        frame = self._map.get(vpage)
+        if frame is None:
+            raise KeyError(f"virtual address {vaddr:#x} is not mapped")
+        return frame * self.page_size + offset
+
+    def mappings(self) -> Iterator[tuple[int, int]]:
+        return iter(self._map.items())
+
+    def __len__(self) -> int:
+        return len(self._map)

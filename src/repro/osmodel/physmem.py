@@ -1,0 +1,107 @@
+"""Physical memory manager with per-color free lists.
+
+Operating systems group physical pages into *colors*: two pages have the
+same color when they map to the same region of a physically-indexed cache
+(Section 2.1).  The manager here keeps one free list per color so a mapping
+policy's preferred color can be honored in O(1).  When the preferred color
+has no free frames — memory pressure — the allocator falls back to the
+nearest color with free frames, so preferred colors remain strictly hints.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+
+class OutOfMemoryError(RuntimeError):
+    """No free physical frames remain."""
+
+
+class PhysicalMemory:
+    """Frame allocator over ``num_frames`` frames and ``num_colors`` colors.
+
+    Frame ``f`` has color ``f % num_colors``, matching contiguous physical
+    memory under a direct-mapped (or set-associative) physically-indexed
+    cache.
+    """
+
+    def __init__(self, num_frames: int, num_colors: int) -> None:
+        if num_colors < 1:
+            raise ValueError("need at least one color")
+        if num_frames < num_colors:
+            raise ValueError("need at least one frame per color")
+        self.num_frames = num_frames
+        self.num_colors = num_colors
+        self._free: list[deque[int]] = [deque() for _ in range(num_colors)]
+        for frame in range(num_frames):
+            self._free[frame % num_colors].append(frame)
+        self.allocations = 0
+        self.hint_requests = 0
+        self.hints_honored = 0
+
+    def color_of(self, frame: int) -> int:
+        return frame % self.num_colors
+
+    def free_frames(self) -> int:
+        return sum(len(q) for q in self._free)
+
+    def free_frames_of_color(self, color: int) -> int:
+        return len(self._free[color])
+
+    def alloc(self, preferred_color: Optional[int] = None) -> int:
+        """Allocate a frame, preferring ``preferred_color`` when possible.
+
+        Fallback search spirals outward from the preferred color so that a
+        near-miss lands in a nearby cache region rather than a random one.
+        """
+        self.allocations += 1
+        if preferred_color is not None:
+            self.hint_requests += 1
+            color = preferred_color % self.num_colors
+            if self._free[color]:
+                self.hints_honored += 1
+                return self._free[color].popleft()
+            for distance in range(1, self.num_colors):
+                for candidate in (
+                    (color + distance) % self.num_colors,
+                    (color - distance) % self.num_colors,
+                ):
+                    if self._free[candidate]:
+                        return self._free[candidate].popleft()
+            raise OutOfMemoryError("no free frames")
+        for queue in self._free:
+            if queue:
+                return queue.popleft()
+        raise OutOfMemoryError("no free frames")
+
+    def free(self, frame: int) -> None:
+        if not 0 <= frame < self.num_frames:
+            raise ValueError(f"frame {frame} out of range")
+        self._free[self.color_of(frame)].append(frame)
+
+    def occupy_fraction(self, fraction: float, seed: int = 0) -> list[int]:
+        """Simulate memory pressure by removing a fraction of free frames.
+
+        Returns the occupied frames so tests can release them.  Frames are
+        taken pseudo-randomly so some colors become scarcer than others,
+        which is what defeats hint honoring in practice.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        import random
+
+        rng = random.Random(seed)
+        all_free = [frame for queue in self._free for frame in queue]
+        rng.shuffle(all_free)
+        taken = all_free[: int(len(all_free) * fraction)]
+        taken_set = set(taken)
+        for color, queue in enumerate(self._free):
+            self._free[color] = deque(f for f in queue if f not in taken_set)
+        return taken
+
+    @property
+    def hint_honor_rate(self) -> float:
+        if self.hint_requests == 0:
+            return 1.0
+        return self.hints_honored / self.hint_requests

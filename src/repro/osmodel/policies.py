@@ -1,0 +1,154 @@
+"""Page mapping policies (Section 2.1 and Section 5.3).
+
+* :class:`PageColoringPolicy` — IRIX / Windows NT style: consecutive
+  virtual pages get consecutive colors, so conflicts only occur between
+  pages whose virtual addresses differ by a multiple of the cache set size.
+* :class:`BinHoppingPolicy` — Digital UNIX style: colors are assigned
+  cyclically in page-*fault* order, exploiting temporal locality.  On a
+  multiprocessor, concurrent faults race in the kernel, making the color of
+  any given page nondeterministic; the policy models that race with a
+  seedable perturbation.
+* :class:`CdpcHintPolicy` — the paper's extension: a table of preferred
+  colors (installed through the ``madvise``-style interface) consulted
+  first, falling back to a native policy for unhinted pages.
+* :class:`RandomPolicy` — a strawman baseline useful in ablations.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Optional
+
+
+class MappingPolicy(abc.ABC):
+    """Chooses a preferred color for a faulting virtual page."""
+
+    name: str = "abstract"
+
+    def __init__(self, num_colors: int) -> None:
+        if num_colors < 1:
+            raise ValueError("need at least one color")
+        self.num_colors = num_colors
+
+    @abc.abstractmethod
+    def preferred_color(self, vpage: int, cpu: int = 0, concurrent_faults: int = 1) -> int:
+        """Preferred color for ``vpage``, faulted by ``cpu``.
+
+        ``concurrent_faults`` is the number of processors faulting in the
+        same scheduling round; bin hopping uses it to model its kernel race.
+        """
+
+    def reset(self) -> None:
+        """Forget accumulated state (e.g. between address spaces)."""
+
+
+class PageColoringPolicy(MappingPolicy):
+    """color = virtual page number mod number of colors."""
+
+    name = "page_coloring"
+
+    def preferred_color(self, vpage: int, cpu: int = 0, concurrent_faults: int = 1) -> int:
+        return vpage % self.num_colors
+
+
+class BinHoppingPolicy(MappingPolicy):
+    """Cycle through colors in fault order.
+
+    With ``race_seed`` set and more than one concurrent fault, each fault's
+    color is perturbed within the window of concurrently racing faults,
+    modeling the nondeterministic kernel race the paper describes.
+    """
+
+    name = "bin_hopping"
+
+    def __init__(self, num_colors: int, race_seed: Optional[int] = None) -> None:
+        super().__init__(num_colors)
+        self._next = 0
+        self._rng = random.Random(race_seed) if race_seed is not None else None
+
+    def preferred_color(self, vpage: int, cpu: int = 0, concurrent_faults: int = 1) -> int:
+        color = self._next
+        if self._rng is not None and concurrent_faults > 1:
+            color = (color + self._rng.randrange(concurrent_faults)) % self.num_colors
+        self._next = (self._next + 1) % self.num_colors
+        return color
+
+    def reset(self) -> None:
+        self._next = 0
+
+
+class CdpcHintPolicy(MappingPolicy):
+    """Preferred-color hint table over a fallback native policy.
+
+    Mirrors the IRIX implementation of Section 5.3: the hint table is
+    populated through the virtual-memory ``madvise`` extension, consulted
+    at fault time, and unhinted pages use the operating system's native
+    policy unchanged.
+    """
+
+    name = "cdpc"
+
+    def __init__(self, num_colors: int, fallback: MappingPolicy) -> None:
+        super().__init__(num_colors)
+        if fallback.num_colors != num_colors:
+            raise ValueError("fallback policy disagrees on the number of colors")
+        self.fallback = fallback
+        self._hints: dict[int, int] = {}
+
+    def install_hints(self, hints: dict[int, int]) -> None:
+        for vpage, color in hints.items():
+            self._hints[vpage] = color % self.num_colors
+
+    def clear_hints(self) -> None:
+        self._hints.clear()
+
+    @property
+    def num_hints(self) -> int:
+        return len(self._hints)
+
+    def hint_for(self, vpage: int) -> Optional[int]:
+        return self._hints.get(vpage)
+
+    def preferred_color(self, vpage: int, cpu: int = 0, concurrent_faults: int = 1) -> int:
+        hint = self._hints.get(vpage)
+        if hint is not None:
+            return hint
+        return self.fallback.preferred_color(vpage, cpu, concurrent_faults)
+
+    def reset(self) -> None:
+        self.fallback.reset()
+
+
+class RandomPolicy(MappingPolicy):
+    """Uniformly random colors — a pessimistic baseline for ablations."""
+
+    name = "random"
+
+    def __init__(self, num_colors: int, seed: int = 0) -> None:
+        super().__init__(num_colors)
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def preferred_color(self, vpage: int, cpu: int = 0, concurrent_faults: int = 1) -> int:
+        return self._rng.randrange(self.num_colors)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+
+def make_policy(
+    name: str, num_colors: int, race_seed: Optional[int] = None
+) -> MappingPolicy:
+    """Factory for the policies compared in the paper's evaluation."""
+    if name == "page_coloring":
+        return PageColoringPolicy(num_colors)
+    if name == "bin_hopping":
+        return BinHoppingPolicy(num_colors, race_seed=race_seed)
+    if name == "cdpc":
+        return CdpcHintPolicy(num_colors, fallback=PageColoringPolicy(num_colors))
+    if name == "cdpc_bin_hopping":
+        return CdpcHintPolicy(num_colors, fallback=BinHoppingPolicy(num_colors, race_seed))
+    if name == "random":
+        return RandomPolicy(num_colors, seed=race_seed or 0)
+    raise ValueError(f"unknown mapping policy: {name!r}")

@@ -1,0 +1,606 @@
+"""The execution engine: runs a program on the simulated multiprocessor.
+
+``run_program`` reproduces the paper's methodology end to end:
+
+1. **Layout** — arrays are placed in virtual memory by the compiler's
+   layout pass (aligned + group-padded by default; packed unaligned for
+   the Figure 9 baseline).
+2. **Compilation** — access summaries are extracted and, when enabled,
+   the prefetch pass runs.
+3. **OS setup** — a virtual-memory instance is created under the chosen
+   page-mapping policy.  With CDPC enabled, hints are delivered either
+   through the madvise extension (IRIX style) or by pre-touching pages in
+   coloring order (Digital UNIX style).
+4. **Initialization** — the master touches every array page in the
+   program's init order, taking the page faults that determine bin
+   hopping's coloring.  An optional jitter models the kernel fault race.
+5. **Steady state** — a representative execution window runs: one warmup
+   pass (statistics discarded, like the paper's cold-phase discard), then
+   one measured pass with per-phase statistics weighted by occurrence
+   counts.
+
+Per-processor clocks advance by instruction work plus memory stalls;
+parallel loops end at a barrier where arrival spread is charged to load
+imbalance; sequential and suppressed loops charge slave idle time to the
+matching Figure 2 overhead category.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.compiler.ir import LoopKind, Program
+from repro.compiler.padding import layout_arrays
+from repro.compiler.parallelize import schedule_loop
+from repro.compiler.prefetch_pass import PrefetchPlan, insert_prefetches
+from repro.compiler.summaries import extract_summary
+from repro.core.runtime import CdpcRuntime
+from repro.machine.config import MachineConfig
+from repro.machine.memory_system import MemorySystem
+from repro.machine.stats import MachineStats
+from repro.osmodel.policies import (
+    BinHoppingPolicy,
+    CdpcHintPolicy,
+    MappingPolicy,
+    PageColoringPolicy,
+)
+from repro.osmodel.vm import VirtualMemory
+from repro.sim.results import PhaseResult, RunResult, add_scaled_stats
+from repro.sim.tracegen import SimProfile, loop_traces
+from repro.sim.windows import representative_window
+
+_CHUNK = 16  # references simulated per processor per scheduling round
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Configuration of one benchmark run."""
+
+    policy: str = "page_coloring"  # native OS policy: page_coloring | bin_hopping
+    cdpc: bool = False
+    cdpc_delivery: str = "auto"  # madvise | touch | auto
+    prefetch: bool = False
+    aligned: bool = True
+    profile: SimProfile = field(default_factory=SimProfile)
+    race_seed: Optional[int] = None
+    #: Window (pages) of fault-order perturbation modeling the kernel race
+    #: bin hopping suffers; 0 disables.
+    init_jitter: int = 4
+    memory_pressure: float = 0.0
+    #: Enable the Section 2.1 alternative: miss-counter-driven dynamic
+    #: page recoloring, inspected at every phase boundary.
+    dynamic_recolor: bool = False
+    #: The paper's footnote-1 extension: prefetches fill missing TLB
+    #: entries instead of being dropped (Section 6.2).
+    prefetch_fills_tlb: bool = False
+    recolor_threshold: int = 16
+    recolor_max_per_step: int = 32
+    seed: int = 0
+
+    def resolved_delivery(self) -> str:
+        if self.cdpc_delivery != "auto":
+            return self.cdpc_delivery
+        return "touch" if self.policy == "bin_hopping" else "madvise"
+
+
+def _loop_group_pairs(program: Program) -> list[tuple[str, str]]:
+    pairs: list[tuple[str, str]] = []
+    seen: set[frozenset[str]] = set()
+    for phase in program.phases:
+        for loop in phase.loops:
+            names = loop.array_names()
+            for i, a in enumerate(names):
+                for b in names[i + 1 :]:
+                    key = frozenset((a, b))
+                    if key not in seen:
+                        seen.add(key)
+                        pairs.append((a, b))
+    return pairs
+
+
+def _build_policy(config: MachineConfig, options: EngineOptions) -> MappingPolicy:
+    colors = config.num_colors
+    if options.policy == "page_coloring":
+        native: MappingPolicy = PageColoringPolicy(colors)
+    elif options.policy == "bin_hopping":
+        native = BinHoppingPolicy(colors, race_seed=options.race_seed)
+    else:
+        raise ValueError(f"unknown native policy {options.policy!r}")
+    if options.cdpc and options.resolved_delivery() == "madvise":
+        return CdpcHintPolicy(colors, fallback=native)
+    return native
+
+
+class _Simulation:
+    """Mutable state of one run."""
+
+    def __init__(self, program: Program, config: MachineConfig, options: EngineOptions):
+        self.program = program
+        self.config = config
+        self.options = options
+        self.num_cpus = config.num_cpus
+
+        groups = _loop_group_pairs(program)
+        self.layout = layout_arrays(
+            program.arrays,
+            config.l2.line_size,
+            config.l1d.size,
+            aligned=options.aligned,
+            groups=groups,
+        )
+        self.summary = extract_summary(program, self.layout)
+        self.prefetch_plan: Optional[PrefetchPlan] = None
+        if options.prefetch:
+            self.prefetch_plan = insert_prefetches(
+                program, self.layout, config, self.num_cpus
+            )
+
+        policy = _build_policy(config, options)
+        frames = self._frame_budget()
+        self.vm = VirtualMemory(config, policy, memory_frames=frames)
+        if options.memory_pressure > 0:
+            self.vm.physmem.occupy_fraction(options.memory_pressure, seed=options.seed)
+
+        self.runtime: Optional[CdpcRuntime] = None
+        if options.cdpc:
+            self.runtime = CdpcRuntime.from_summary(self.summary, config, self.num_cpus)
+
+        self.ms = MemorySystem(
+            config, prefetch_fills_tlb=options.prefetch_fills_tlb
+        )
+        self.clocks = [0.0] * self.num_cpus
+        self.page_cache: dict[int, int] = {}  # vpage -> frame base address
+        self._rng = random.Random(options.seed)
+        self.init_ns = 0.0
+        # Occurrence counters per phase, for miss_variation (Section 3.2's
+        # wave5 anomaly: one phase whose miss rate varies per occurrence).
+        self._phase_occurrence: dict[str, int] = {}
+        self.recolorer = None
+        if options.dynamic_recolor:
+            from repro.osmodel.dynamic import DynamicRecolorer
+
+            self.recolorer = DynamicRecolorer(
+                self.vm,
+                self.ms,
+                threshold=options.recolor_threshold,
+                max_per_step=options.recolor_max_per_step,
+            )
+
+    # ------------------------------------------------------------------
+
+    def _frame_budget(self) -> int:
+        psz = self.config.page_size
+        data_pages = -(-self.layout.total_bytes // psz)
+        instr_bytes = 0
+        for phase in self.program.phases:
+            for loop in phase.loops:
+                for access in loop.accesses:
+                    footprint = getattr(access, "footprint_bytes", None)
+                    if footprint:
+                        instr_bytes = max(instr_bytes, footprint)
+        pages = data_pages + -(-instr_bytes // psz)
+        colors = self.config.num_colors
+        # Three times the footprint, rounded to whole color cycles: enough
+        # that the machine never OOMs, while memory_pressure can still make
+        # individual colors scarce.
+        budget = max(colors * 4, -(-pages * 3 // colors) * colors)
+        return budget
+
+    # ------------------------------------------------------------------
+    # Setup and initialization
+
+    def deliver_cdpc(self) -> None:
+        assert self.runtime is not None
+        delivery = self.options.resolved_delivery()
+        if delivery == "madvise":
+            self.runtime.install_hints(self.vm)
+        elif delivery == "touch":
+            # Serialized user-level faulting, charged to the master.
+            order = self.runtime.touch_order()
+            t = self.clocks[0]
+            stats = self.ms.stats.cpus[0]
+            for vpage in order:
+                if self.vm.ensure_mapped(vpage, cpu=0):
+                    t += self.vm.PAGE_FAULT_NS
+                    stats.overhead_ns["kernel"] += self.vm.PAGE_FAULT_NS
+            self._sync_clocks(t)
+        else:
+            raise ValueError(f"unknown CDPC delivery {delivery!r}")
+
+    def init_pages_order(self) -> list[int]:
+        """Page fault order of the program's initialization loops."""
+        psz = self.config.page_size
+        order: list[int] = []
+        for group in self.program.effective_init_groups():
+            page_lists = [list(self.layout.pages(name, psz)) for name in group]
+            longest = max(len(pages) for pages in page_lists)
+            for index in range(longest):
+                for pages in page_lists:
+                    if index < len(pages):
+                        order.append(pages[index])
+        if self.options.init_jitter > 1 and isinstance(
+            self._native_policy(), BinHoppingPolicy
+        ):
+            order = self._jitter(order, self.options.init_jitter)
+        return order
+
+    def _native_policy(self) -> MappingPolicy:
+        policy = self.vm.policy
+        if isinstance(policy, CdpcHintPolicy):
+            return policy.fallback
+        return policy
+
+    def _jitter(self, order: list[int], window: int) -> list[int]:
+        result = list(order)
+        for start in range(0, len(result), window):
+            chunk = result[start : start + window]
+            self._rng.shuffle(chunk)
+            result[start : start + window] = chunk
+        return result
+
+    def run_init(self) -> None:
+        """Master initializes every array page (the paper's init section)."""
+        psz = self.config.page_size
+        t = self.clocks[0]
+        stats = self.ms.stats.cpus[0]
+        line = self.config.l2.line_size
+        for vpage in self.init_pages_order():
+            if self.vm.ensure_mapped(vpage, cpu=0):
+                t += self.vm.PAGE_FAULT_NS
+                stats.overhead_ns["kernel"] += self.vm.PAGE_FAULT_NS
+            base = self.vm.page_table.frame_of(vpage) * psz
+            self.page_cache[vpage] = base
+            # Touch each line of the page once (initialization writes).
+            for offset in range(0, psz, line):
+                result = self.ms.access(
+                    0, t, vpage * psz + offset, base + offset, is_write=True
+                )
+                t += self.config.cycle_ns + result.stall_ns + result.kernel_ns
+        self._sync_clocks(t)
+        self.init_ns = t
+
+    def _sync_clocks(self, value: float) -> None:
+        for cpu in range(self.num_cpus):
+            self.clocks[cpu] = value
+
+    # ------------------------------------------------------------------
+    # Steady state
+
+    def run_phase(self, phase, record: bool) -> Optional[PhaseResult]:
+        bus = self.ms.bus
+        if record:
+            self.ms.stats = MachineStats.for_cpus(self.num_cpus)
+            bus_before = dict(bus.busy_ns)
+        t0 = self.clocks[0]
+        occurrence = self._phase_occurrence.get(phase.name, 0)
+        self._phase_occurrence[phase.name] = occurrence + 1
+        from repro.sim.tracegen import occurrence_scale
+
+        scale = occurrence_scale(phase.miss_variation, occurrence, phase.name)
+        for loop in phase.loops:
+            self.run_loop(loop, fraction_scale=scale)
+        self._run_sequential_tail(self.clocks[0] - t0)
+        if self.recolorer is not None:
+            self._dynamic_recolor_step()
+        if not record:
+            return None
+        bus_delta = {
+            kind.value: bus.busy_ns[kind] - bus_before[kind] for kind in bus.busy_ns
+        }
+        return PhaseResult(
+            name=phase.name,
+            occurrences=phase.occurrences,
+            stats=self.ms.stats,
+            wall_ns=self.clocks[0] - t0,
+            bus_busy_ns=bus_delta,
+        )
+
+    def _dynamic_recolor_step(self) -> None:
+        """Run the dynamic policy's inspect-and-migrate at a phase boundary.
+
+        Migration cost (page copies plus a TLB shootdown on every
+        processor) is charged as kernel time to all processors — the
+        inter-processor interference the paper predicts for dynamic
+        recoloring on multiprocessors.
+        """
+        events, cost_ns = self.recolorer.step(self.clocks[0])
+        if not events:
+            return
+        for event in events:
+            self.page_cache.pop(event.vpage, None)
+            self.ms.shootdown(event.vpage)
+        stats = self.ms.stats.cpus
+        for cpu in range(self.num_cpus):
+            stats[cpu].overhead_ns["kernel"] += cost_ns
+        self._sync_clocks(max(self.clocks) + cost_ns)
+
+    def _run_sequential_tail(self, phase_elapsed_ns: float) -> None:
+        """Unparallelized code at the end of each phase (sequential time).
+
+        The master executes ``sequential_fraction`` of the phase's wall
+        time as extra serial work while the slaves spin.
+        """
+        fraction = self.program.sequential_fraction
+        if fraction <= 0 or phase_elapsed_ns <= 0:
+            return
+        extra = fraction * phase_elapsed_ns
+        master = self.ms.stats.cpus[0]
+        master.busy_ns += extra
+        master.instructions += int(extra / self.config.cycle_ns)
+        self.clocks[0] += extra
+        for cpu in range(1, self.num_cpus):
+            self.ms.stats.cpus[cpu].overhead_ns["sequential"] += extra
+        self._sync_clocks(self.clocks[0])
+
+    def run_loop(self, loop, fraction_scale: float = 1.0) -> None:
+        schedule = schedule_loop(loop, self.num_cpus)
+        traces = loop_traces(
+            loop,
+            schedule,
+            self.layout,
+            self.config,
+            self.options.profile,
+            self.prefetch_plan,
+            fraction_scale=fraction_scale,
+        )
+        start = self.clocks[0]
+        if loop.kind is LoopKind.PARALLEL:
+            self._simulate_parallel(loop, traces)
+            self._barrier()
+        else:
+            self._simulate_cpu(0, loop, traces[0], concurrent=1)
+            elapsed = self.clocks[0] - start
+            category = (
+                "suppressed" if loop.kind is LoopKind.SUPPRESSED else "sequential"
+            )
+            for cpu in range(1, self.num_cpus):
+                self.ms.stats.cpus[cpu].overhead_ns[category] += elapsed
+            self._sync_clocks(self.clocks[0])
+
+    def _barrier(self) -> None:
+        clocks = self.clocks
+        tmax = max(clocks)
+        stats = self.ms.stats.cpus
+        for cpu in range(self.num_cpus):
+            stats[cpu].overhead_ns["load_imbalance"] += tmax - clocks[cpu]
+        if self.num_cpus > 1:
+            cost = 500.0 + 300.0 * math.log2(self.num_cpus)
+            for cpu in range(self.num_cpus):
+                stats[cpu].overhead_ns["synchronization"] += cost
+            tmax += cost
+        self._sync_clocks(tmax)
+
+    def _simulate_parallel(self, loop, traces) -> None:
+        """Run all processors' streams interleaved in clock order.
+
+        Always advancing the processor with the smallest clock keeps bus
+        requests arriving in (approximate) time order, which is what makes
+        the contention model behave like a closed queueing system: each
+        processor has at most one outstanding miss, so queueing delays
+        bound themselves at saturation instead of growing with burst size.
+        """
+        clocks = self.clocks
+        streams = [self._trace_lists(traces[cpu]) for cpu in range(self.num_cpus)]
+        positions = [0] * self.num_cpus
+        active = [cpu for cpu in range(self.num_cpus) if len(traces[cpu])]
+        concurrent = len(active)
+        while active:
+            cpu = min(active, key=clocks.__getitem__)
+            end = min(positions[cpu] + _CHUNK, len(traces[cpu]))
+            self._run_chunk(cpu, loop, traces[cpu], streams[cpu], positions[cpu], end,
+                            concurrent)
+            positions[cpu] = end
+            if end >= len(traces[cpu]):
+                active.remove(cpu)
+
+    @staticmethod
+    def _trace_lists(trace):
+        addrs = trace.addrs.tolist()
+        flags = trace.flags.tolist()
+        prefetches = trace.prefetch.tolist() if trace.prefetch is not None else None
+        return addrs, flags, prefetches
+
+    def _simulate_cpu(self, cpu, loop, trace, concurrent) -> None:
+        self._run_chunk(cpu, loop, trace, self._trace_lists(trace), 0, len(trace),
+                        concurrent)
+
+    def _run_chunk(self, cpu, loop, trace, stream_lists, start, end, concurrent) -> None:
+        if end <= start:
+            return
+        ms = self.ms
+        vm = self.vm
+        page_cache = self.page_cache
+        psz = self.config.page_size
+        fault_ns = vm.PAGE_FAULT_NS
+        busy_per_ref = (
+            self.config.cycle_ns * loop.instructions_per_word * trace.words_per_ref
+        )
+        t = self.clocks[cpu]
+        stats = ms.stats.cpus[cpu]
+        kernel_total = 0.0
+
+        all_addrs, all_flags, all_prefetches = stream_lists
+        addrs = all_addrs[start:end]
+        flags = all_flags[start:end]
+        prefetches = all_prefetches[start:end] if all_prefetches is not None else None
+        access = ms.access
+        for index, addr in enumerate(addrs):
+            vpage = addr // psz
+            base = page_cache.get(vpage)
+            if base is None:
+                if not vm.page_table.is_mapped(vpage):
+                    vm.fault(vpage, cpu, concurrent_faults=concurrent)
+                    t += fault_ns
+                    kernel_total += fault_ns
+                base = vm.page_table.frame_of(vpage) * psz
+                page_cache[vpage] = base
+            if prefetches is not None:
+                target = prefetches[index]
+                if target:
+                    tlb_strict = bool(target & 1)
+                    target &= ~1
+                    tpage = target // psz
+                    tbase = page_cache.get(tpage)
+                    if tbase is None:
+                        # Target page not yet faulted: the prefetch is
+                        # dropped exactly as a TLB-missing prefetch is.
+                        stats.prefetches_issued += 1
+                        stats.prefetches_dropped_tlb += 1
+                    else:
+                        t += ms.prefetch(
+                            cpu, t, target, tbase + target % psz, tlb_strict
+                        )
+            flag = flags[index]
+            result = access(cpu, t, addr, base + addr % psz, flag & 1, flag & 2)
+            t += busy_per_ref + result.stall_ns + result.kernel_ns
+            kernel_total += result.kernel_ns
+        count = end - start
+        stats.busy_ns += busy_per_ref * count
+        stats.instructions += int(
+            loop.instructions_per_word * trace.words_per_ref * count
+        )
+        stats.overhead_ns["kernel"] += kernel_total
+        self.clocks[cpu] = t
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        if self.options.cdpc:
+            self.deliver_cdpc()
+        self.run_init()
+        window = representative_window(self.program)
+        for phase in window.warmup:
+            self.run_phase(phase, record=False)
+        total = MachineStats.for_cpus(self.num_cpus)
+        wall = 0.0
+        bus_busy: dict[str, float] = {}
+        phase_results: list[PhaseResult] = []
+        for phase, weight in zip(window.measured, window.weights):
+            result = self.run_phase(phase, record=True)
+            assert result is not None
+            phase_results.append(result)
+            add_scaled_stats(total, result.stats, weight)
+            wall += result.wall_ns * weight
+            for key, value in result.bus_busy_ns.items():
+                bus_busy[key] = bus_busy.get(key, 0.0) + value * weight
+        return RunResult(
+            workload=self.program.name,
+            policy=self.options.policy,
+            num_cpus=self.num_cpus,
+            config=self.config,
+            cdpc=self.options.cdpc,
+            prefetch=self.options.prefetch,
+            aligned=self.options.aligned,
+            stats=total,
+            wall_ns=wall,
+            init_ns=self.init_ns,
+            bus_busy_ns=bus_busy,
+            phases=phase_results,
+            hint_honor_rate=self.vm.physmem.hint_honor_rate,
+            array_misses=self._attribute_misses(),
+        )
+
+    def _attribute_misses(self) -> dict[str, int]:
+        """Map per-frame miss counts back to the arrays that own them."""
+        reverse = {
+            frame: vpage for vpage, frame in self.vm.page_table.mappings()
+        }
+        psz = self.config.page_size
+        attribution: dict[str, int] = {}
+        for frame, count in self.ms.frame_misses.items():
+            vpage = reverse.get(frame)
+            if vpage is None:
+                label = "other"
+            else:
+                from repro.sim.tracegen import INSTRUCTION_BASE
+
+                vaddr = vpage * psz
+                if vaddr >= INSTRUCTION_BASE:
+                    label = "instructions"
+                else:
+                    label = self.layout.array_at(vaddr) or "other"
+            attribution[label] = attribution.get(label, 0) + count
+        return attribution
+
+
+def run_program(
+    program: Program, config: MachineConfig, options: Optional[EngineOptions] = None
+) -> RunResult:
+    """Simulate one program on one machine configuration.
+
+    Warns when the program looks unscaled for a scaled machine (data set
+    hundreds of times the cache on a ``scaled()`` config) — the usual
+    symptom of passing full-size arrays to a 1/16 machine.  Scale the
+    program with :meth:`Program.scaled` to match ``config.scale_factor``.
+    """
+    if config.scale_factor > 1 and program.data_set_bytes > 128 * config.l2.size:
+        import warnings
+
+        warnings.warn(
+            f"program '{program.name}' has a {program.data_set_bytes >> 20}MB "
+            f"data set on a machine scaled 1/{config.scale_factor} "
+            f"({config.l2.size >> 10}KB cache); did you forget "
+            f"program.scaled({config.scale_factor})?",
+            stacklevel=2,
+        )
+    sim = _Simulation(program, config, options or EngineOptions())
+    return sim.run()
+
+
+def measure_occurrence_variation(
+    program: Program,
+    config: MachineConfig,
+    options: Optional[EngineOptions] = None,
+    repeats: int = 4,
+) -> dict[str, dict[str, tuple[float, float, float]]]:
+    """Re-measure each phase ``repeats`` times in the steady state.
+
+    Reproduces the validation behind the representative-execution-window
+    methodology (Section 3.2): the paper found that per-occurrence
+    instruction counts and miss rates vary by less than 1% of the mean for
+    every phase but one.  Returns, per phase, the (mean, std, cv) of the
+    instruction count and the external-cache miss count across
+    occurrences.
+    """
+    from repro.sim.windows import occurrence_variation
+
+    sim = _Simulation(program, config, options or EngineOptions())
+    if sim.options.cdpc:
+        sim.deliver_cdpc()
+    sim.run_init()
+    for phase in program.phases:  # warmup, as in a normal run
+        sim.run_phase(phase, record=False)
+    report: dict[str, dict[str, tuple[float, float, float]]] = {}
+    for phase in program.phases:
+        instructions: list[float] = []
+        misses: list[float] = []
+        for _ in range(repeats):
+            result = sim.run_phase(phase, record=True)
+            assert result is not None
+            instructions.append(float(result.stats.total_instructions()))
+            misses.append(float(result.stats.total_l2_misses()))
+        report[phase.name] = {
+            "instructions": occurrence_variation(instructions),
+            "misses": occurrence_variation(misses),
+        }
+    return report
+
+
+def run_benchmark(
+    name: str,
+    config: MachineConfig,
+    options: Optional[EngineOptions] = None,
+    **option_overrides,
+) -> RunResult:
+    """Build a SPEC95fp workload at the machine's scale factor and run it."""
+    from repro.workloads.specfp import get_workload
+
+    workload = get_workload(name, scale=config.scale_factor)
+    if options is None:
+        options = EngineOptions(**option_overrides)
+    elif option_overrides:
+        options = replace(options, **option_overrides)
+    return run_program(workload.program, config, options)

@@ -1,0 +1,62 @@
+"""Sweep helpers: the comparison patterns every experiment repeats.
+
+The figures of the paper are sweeps — over mapping policies (Figures 6/9),
+processor counts (Figure 2), or cache configurations (Figure 7).  These
+helpers run them with one call and return labeled results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional, Sequence
+
+from repro.machine.config import MachineConfig
+from repro.sim.engine import EngineOptions, run_benchmark
+from repro.sim.results import RunResult
+
+#: The three policy configurations compared throughout the paper.
+STANDARD_POLICIES: dict[str, dict] = {
+    "page_coloring": {"policy": "page_coloring"},
+    "bin_hopping": {"policy": "bin_hopping"},
+    "cdpc": {"policy": "bin_hopping", "cdpc": True},
+}
+
+
+def policy_sweep(
+    workload: str,
+    config: MachineConfig,
+    policies: Optional[dict[str, dict]] = None,
+    options: Optional[EngineOptions] = None,
+) -> dict[str, RunResult]:
+    """Run one workload under each labeled policy configuration."""
+    base = options or EngineOptions()
+    results: dict[str, RunResult] = {}
+    for label, overrides in (policies or STANDARD_POLICIES).items():
+        results[label] = run_benchmark(
+            workload, config, replace(base, **overrides)
+        )
+    return results
+
+
+def cpu_sweep(
+    workload: str,
+    make_config: Callable[[int], MachineConfig],
+    cpu_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    options: Optional[EngineOptions] = None,
+) -> dict[int, RunResult]:
+    """Run one workload across processor counts (the Figure 2/6 x-axis)."""
+    return {
+        cpus: run_benchmark(workload, make_config(cpus), options)
+        for cpus in cpu_counts
+    }
+
+
+def speedup_table(
+    results: dict, baseline_key
+) -> dict:
+    """Wall-clock speedups of every entry relative to one baseline."""
+    baseline = results[baseline_key]
+    return {
+        key: baseline.wall_ns / result.wall_ns
+        for key, result in results.items()
+    }

@@ -1,0 +1,66 @@
+"""141.apsi — mesoscale pollutant simulation (9MB reference data set).
+
+The paper reports that apsi's fine-grain loop-level parallelism is
+*suppressed*: it cannot be exploited effectively given the synchronization
+and communication costs of bus-based multiprocessors, so the master runs
+the loops alone while slaves idle (the "suppressed" overhead of Figure 2).
+As a result apsi sees little or no speedup and CDPC has no effect — it is
+omitted from Figure 6 along with fpppp.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import (
+    ArrayDecl,
+    Loop,
+    LoopKind,
+    PartitionedAccess,
+    Phase,
+    Program,
+)
+from repro.workloads.base import WorkloadModel
+
+KB = 1024
+
+
+def build(scale: int = 1) -> WorkloadModel:
+    names = tuple(f"q{i:02d}" for i in range(12))
+    arrays = tuple(ArrayDecl(name, 768 * KB // scale) for name in names)
+
+    def suppressed(loop_name: str, fields: tuple[str, ...]) -> Loop:
+        return Loop(
+            loop_name,
+            LoopKind.SUPPRESSED,
+            tuple(
+                PartitionedAccess(f, units=96, is_write=(i == len(fields) - 1))
+                for i, f in enumerate(fields)
+            ),
+            instructions_per_word=4.0,
+        )
+
+    dcdtz = suppressed("dcdtz", names[0:4])
+    dtdtz = suppressed("dtdtz", names[4:8])
+    wcont = Loop(
+        name="wcont",
+        kind=LoopKind.PARALLEL,
+        accesses=tuple(
+            PartitionedAccess(f, units=96, is_write=(i == 3))
+            for i, f in enumerate(names[8:12])
+        ),
+        instructions_per_word=4.0,
+    )
+
+    program = Program(
+        name="apsi",
+        arrays=arrays,
+        phases=(Phase("timestep", (dcdtz, dtdtz, wcont), occurrences=10),),
+        init_groups=(names[0:4], names[4:8], names[8:12]),
+        sequential_fraction=0.15,
+    )
+    return WorkloadModel(
+        spec_id="141.apsi",
+        program=program,
+        reference_time_s=2100.0,
+        steady_state_repeats=40.0,
+        description="Pollutant transport; parallelism mostly suppressed.",
+    )

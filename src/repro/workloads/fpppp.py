@@ -1,0 +1,73 @@
+"""145.fpppp — quantum chemistry two-electron integrals (<1MB data set).
+
+The paper's outlier: fpppp "has essentially no loop-level parallelism" and
+is "limited entirely by instruction cache misses fetched from the external
+cache and puts no load on the shared bus" (Section 4.1).  We model a tiny
+data set with a large instruction working set that overflows the on-chip
+instruction cache but fits comfortably in the external cache.  Since the
+SUIF compiler finds nothing to parallelize, the paper compiles fpppp with
+the native compiler; here every loop is sequential.  Page mapping policy
+is irrelevant, which is why its Table 2 times are identical across
+policies.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import (
+    ArrayDecl,
+    InstructionStream,
+    Loop,
+    LoopKind,
+    PartitionedAccess,
+    Phase,
+    Program,
+)
+from repro.workloads.base import WorkloadModel
+
+KB = 1024
+
+
+def build(scale: int = 1) -> WorkloadModel:
+    arrays = (
+        ArrayDecl("integrals", 512 * KB // scale),
+        ArrayDecl("density", 256 * KB // scale),
+    )
+    # Instruction footprint: 3x the (scaled) 32KB L1I, well inside the L2.
+    instr_footprint = 96 * KB // scale
+
+    # fpppp's hot loops are enormous straight-line basic blocks over a
+    # small set of operands: instruction fetches dominate the reference
+    # stream, data accesses touch only a sliver of the arrays per pass.
+    twoel = Loop(
+        name="twoel",
+        kind=LoopKind.SEQUENTIAL,
+        accesses=(
+            InstructionStream(footprint_bytes=instr_footprint, sweeps=4.0),
+            PartitionedAccess("integrals", units=64, sweeps=1.0, fraction=0.1),
+            PartitionedAccess("density", units=32, is_write=True, fraction=0.2),
+        ),
+        instructions_per_word=10.0,
+    )
+    shell = Loop(
+        name="shell",
+        kind=LoopKind.SEQUENTIAL,
+        accesses=(
+            InstructionStream(footprint_bytes=instr_footprint, sweeps=2.0),
+            PartitionedAccess("density", units=32, fraction=0.2),
+        ),
+        instructions_per_word=8.0,
+    )
+
+    program = Program(
+        name="fpppp",
+        arrays=arrays,
+        phases=(Phase("scf", (twoel, shell), occurrences=10),),
+        sequential_fraction=1.0,
+    )
+    return WorkloadModel(
+        spec_id="145.fpppp",
+        program=program,
+        reference_time_s=9600.0,
+        steady_state_repeats=30.0,
+        description="No loop parallelism; instruction-cache bound.",
+    )

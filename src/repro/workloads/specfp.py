@@ -1,0 +1,76 @@
+"""Registry of the ten SPEC95fp workload models (Table 1)."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.workloads import (
+    applu,
+    apsi,
+    fpppp,
+    hydro2d,
+    mgrid,
+    su2cor,
+    swim,
+    tomcatv,
+    turb3d,
+    wave5,
+)
+from repro.workloads.base import WorkloadModel
+
+_BUILDERS: dict[str, Callable[[int], WorkloadModel]] = {
+    "tomcatv": tomcatv.build,
+    "swim": swim.build,
+    "su2cor": su2cor.build,
+    "hydro2d": hydro2d.build,
+    "mgrid": mgrid.build,
+    "applu": applu.build,
+    "turb3d": turb3d.build,
+    "apsi": apsi.build,
+    "fpppp": fpppp.build,
+    "wave5": wave5.build,
+}
+
+#: Suite order used throughout the paper's tables and figures.
+WORKLOAD_NAMES = tuple(_BUILDERS)
+
+#: SPEC95 reference times (SparcStation 10), seconds — the denominator of
+#: the SPEC ratio in Table 2.
+SPEC_REFERENCE_TIMES = {
+    "tomcatv": 3700.0,
+    "swim": 8600.0,
+    "su2cor": 1400.0,
+    "hydro2d": 2400.0,
+    "mgrid": 2500.0,
+    "applu": 2200.0,
+    "turb3d": 4100.0,
+    "apsi": 2100.0,
+    "fpppp": 9600.0,
+    "wave5": 3000.0,
+}
+
+
+def get_workload(name: str, scale: int = 1) -> WorkloadModel:
+    """Build one workload model, geometrically scaled by ``scale``.
+
+    ``scale`` must match the machine's :attr:`MachineConfig.scale_factor`
+    so that footprint-to-cache ratios are preserved.
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {', '.join(WORKLOAD_NAMES)}"
+        ) from None
+    return builder(scale)
+
+
+def iter_workloads(scale: int = 1) -> Iterator[WorkloadModel]:
+    """All ten workloads in suite order."""
+    for name in WORKLOAD_NAMES:
+        yield get_workload(name, scale)
+
+
+def data_set_mb(name: str) -> float:
+    """Reference data-set size in MB (Table 1)."""
+    return get_workload(name, scale=1).data_set_mb

@@ -1,0 +1,91 @@
+"""101.tomcatv — vectorized mesh generation (14MB reference data set).
+
+Modeled facts from the paper: seven large data structures (only an
+eight-way set-associative 1MB cache would eliminate all conflicts for 16
+processors, Section 6.1); near-linear speedup; shift communication at
+partition boundaries; very high bandwidth demand (the bus saturates at 16
+processors); large CDPC gains beginning at small processor counts.
+
+Each 2MB array spans 512 pages — an exact multiple of the 256 colors of
+the base machine — so under a page-coloring policy all seven arrays'
+partitions collide in the cache, the pathology of Figure 3.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import (
+    ArrayDecl,
+    BoundaryAccess,
+    Communication,
+    Loop,
+    LoopKind,
+    PartitionedAccess,
+    Phase,
+    Program,
+)
+from repro.workloads.base import WorkloadModel
+
+MB = 1024 * 1024
+_COLUMNS = 512
+
+
+def build(scale: int = 1) -> WorkloadModel:
+    size = 2 * MB // scale
+    names = ("x", "y", "rx", "ry", "aa", "dd", "d")
+    arrays = tuple(ArrayDecl(name, size) for name in names)
+
+    residual = Loop(
+        name="residual",
+        kind=LoopKind.PARALLEL,
+        accesses=(
+            PartitionedAccess("x", units=_COLUMNS),
+            PartitionedAccess("y", units=_COLUMNS),
+            BoundaryAccess("x", units=_COLUMNS, comm=Communication.SHIFT,
+                           boundary_fraction=1.0),
+            BoundaryAccess("y", units=_COLUMNS, comm=Communication.SHIFT,
+                           boundary_fraction=1.0),
+            PartitionedAccess("rx", units=_COLUMNS, is_write=True),
+            PartitionedAccess("ry", units=_COLUMNS, is_write=True),
+            PartitionedAccess("aa", units=_COLUMNS, is_write=True),
+            PartitionedAccess("dd", units=_COLUMNS, is_write=True),
+        ),
+        instructions_per_word=10.0,
+    )
+    solve = Loop(
+        name="solve",
+        kind=LoopKind.PARALLEL,
+        accesses=(
+            PartitionedAccess("rx", units=_COLUMNS),
+            PartitionedAccess("ry", units=_COLUMNS),
+            PartitionedAccess("aa", units=_COLUMNS),
+            PartitionedAccess("dd", units=_COLUMNS),
+            PartitionedAccess("d", units=_COLUMNS, is_write=True),
+        ),
+        instructions_per_word=7.5,
+    )
+    update = Loop(
+        name="update",
+        kind=LoopKind.PARALLEL,
+        accesses=(
+            PartitionedAccess("x", units=_COLUMNS, is_write=True),
+            PartitionedAccess("y", units=_COLUMNS, is_write=True),
+            PartitionedAccess("rx", units=_COLUMNS),
+            PartitionedAccess("ry", units=_COLUMNS),
+        ),
+        instructions_per_word=5.0,
+    )
+
+    program = Program(
+        name="tomcatv",
+        arrays=arrays,
+        phases=(Phase("timestep", (residual, solve, update), occurrences=10),),
+        init_groups=(("x", "y"), ("rx", "ry"), ("aa", "dd", "d")),
+        sequential_fraction=0.01,
+    )
+    return WorkloadModel(
+        spec_id="101.tomcatv",
+        program=program,
+        reference_time_s=3700.0,
+        steady_state_repeats=75.0,
+        description="Mesh generation; 7 x 2MB arrays, shift communication.",
+    )

@@ -1,0 +1,86 @@
+"""146.wave5 — plasma particle-in-cell simulation (40MB reference data set).
+
+The largest data set of the suite.  The paper notes wave5 shows little
+benefit from parallelization (its fine-grain parallelism is suppressed,
+like apsi) and little sensitivity to page mapping policy; it is also the
+one benchmark whose phase behaviour varies between occurrences (a 30%
+cache-miss variation in one phase, Section 3.2), modeled here as two
+particle phases with different working-set fractions.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import (
+    ArrayDecl,
+    Loop,
+    LoopKind,
+    PartitionedAccess,
+    Phase,
+    Program,
+    StridedAccess,
+)
+from repro.workloads.base import WorkloadModel
+
+MB = 1024 * 1024
+
+
+def build(scale: int = 1) -> WorkloadModel:
+    fields = tuple(ArrayDecl(name, 4 * MB // scale) for name in ("ex", "ey", "rho", "phi"))
+    particles = tuple(ArrayDecl(name, 6 * MB // scale) for name in ("px", "py", "pvx", "pvy"))
+    arrays = fields + particles
+    block = max(64, 4096 // scale)
+
+    field_solve = Loop(
+        name="field_solve",
+        kind=LoopKind.PARALLEL,
+        accesses=(
+            PartitionedAccess("rho", units=128),
+            PartitionedAccess("phi", units=128, is_write=True),
+            PartitionedAccess("ex", units=128, is_write=True),
+            PartitionedAccess("ey", units=128, is_write=True),
+        ),
+        instructions_per_word=10.0,
+    )
+    # Particle pushes gather/scatter at particle order: strided, suppressed.
+    push_a = Loop(
+        name="push_a",
+        kind=LoopKind.SUPPRESSED,
+        accesses=(
+            StridedAccess("px", block_bytes=block, is_write=True),
+            StridedAccess("py", block_bytes=block, is_write=True),
+            PartitionedAccess("ex", units=128, fraction=0.6),
+        ),
+        instructions_per_word=12.0,
+    )
+    push_b = Loop(
+        name="push_b",
+        kind=LoopKind.SUPPRESSED,
+        accesses=(
+            StridedAccess("pvx", block_bytes=block, is_write=True),
+            StridedAccess("pvy", block_bytes=block, is_write=True),
+            PartitionedAccess("ey", units=128, fraction=0.9),
+        ),
+        instructions_per_word=12.0,
+    )
+
+    program = Program(
+        name="wave5",
+        arrays=arrays,
+        phases=(
+            Phase("field", (field_solve,), occurrences=10),
+            Phase("particles_a", (push_a,), occurrences=6),
+            # The paper's outlier: this phase's cache behaviour varies ~30%
+            # between occurrences (particles migrate between cells).
+            Phase("particles_b", (push_b,), occurrences=4,
+                  miss_variation=0.3),
+        ),
+        init_groups=(("ex", "ey", "rho", "phi"), ("px", "py", "pvx", "pvy")),
+        sequential_fraction=0.10,
+    )
+    return WorkloadModel(
+        spec_id="146.wave5",
+        program=program,
+        reference_time_s=3000.0,
+        steady_state_repeats=25.0,
+        description="Particle-in-cell; suppressed particle pushes, 40MB.",
+    )

@@ -1,0 +1,74 @@
+"""Shared fixtures: small scaled machine configurations and programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.ir import (
+    ArrayDecl,
+    BoundaryAccess,
+    Communication,
+    Loop,
+    LoopKind,
+    PartitionedAccess,
+    Phase,
+    Program,
+)
+from repro.machine.config import CacheConfig, MachineConfig, sgi_base
+
+
+@pytest.fixture
+def tiny_config() -> MachineConfig:
+    """A deliberately tiny machine: 16 colors, small caches, fast tests."""
+    return MachineConfig(
+        num_cpus=2,
+        page_size=256,
+        l1d=CacheConfig(1024, 64, 2),
+        l1i=CacheConfig(1024, 64, 2),
+        l2=CacheConfig(4096, 64, 1),
+    )
+
+
+@pytest.fixture
+def scaled_sgi() -> MachineConfig:
+    """The paper's base machine scaled 1/16 (256 colors preserved)."""
+    return sgi_base(4).scaled(16)
+
+
+def make_two_array_program(
+    page_size: int, pages_per_array: int = 8, units: int = 8
+) -> Program:
+    """The Figure 4 example: two arrays partitioned across processors."""
+    size = pages_per_array * page_size
+    a = ArrayDecl("A", size)
+    b = ArrayDecl("B", size)
+    loop = Loop(
+        name="main",
+        kind=LoopKind.PARALLEL,
+        accesses=(
+            PartitionedAccess("A", units=units, is_write=True),
+            PartitionedAccess("B", units=units),
+        ),
+    )
+    return Program("fig4", (a, b), (Phase("steady", (loop,)),))
+
+
+def make_stencil_program(page_size: int, num_arrays: int = 4, pages: int = 16) -> Program:
+    """A stencil with shift communication, for coherence/boundary tests."""
+    names = tuple(f"s{i}" for i in range(num_arrays))
+    arrays = tuple(ArrayDecl(n, pages * page_size) for n in names)
+    accesses = [
+        PartitionedAccess(n, units=pages, is_write=(i == num_arrays - 1))
+        for i, n in enumerate(names)
+    ]
+    accesses.append(
+        BoundaryAccess(names[0], units=pages, comm=Communication.SHIFT,
+                       boundary_fraction=1.0)
+    )
+    loop = Loop("stencil", LoopKind.PARALLEL, tuple(accesses))
+    return Program("stencil", arrays, (Phase("steady", (loop,), occurrences=2),))
+
+
+@pytest.fixture
+def fig4_program(tiny_config) -> Program:
+    return make_two_array_program(tiny_config.page_size)

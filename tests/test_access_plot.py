@@ -1,0 +1,58 @@
+"""Tests for the ASCII access-pattern plot (Figures 3/5 rendering)."""
+
+import pytest
+
+from repro.analysis.access_plot import render_access_map
+
+
+def ordered(pairs):
+    return [(page, frozenset(cpus)) for page, cpus in pairs]
+
+
+class TestRenderAccessMap:
+    def test_marks_each_cpu_row(self):
+        plot = render_access_map(
+            ordered([(0, {0}), (1, {1}), (2, {0, 1})]), num_cpus=2, width=3
+        )
+        lines = plot.splitlines()
+        assert lines[0] == "cpu0 |# #|"
+        assert lines[1] == "cpu1 | ##|"
+
+    def test_downsamples_to_width(self):
+        pairs = ordered([(i, {0}) for i in range(100)])
+        plot = render_access_map(pairs, num_cpus=1, width=10)
+        row = plot.splitlines()[0]
+        assert row.count("#") == 10
+
+    def test_empty_map(self):
+        assert render_access_map([], 2) == "(no pages)"
+
+    def test_cache_scale_line(self):
+        pairs = ordered([(i, {0}) for i in range(8)])
+        plot = render_access_map(pairs, num_cpus=1, width=8, cache_pages=4)
+        lines = plot.splitlines()
+        assert lines[-1].endswith("' = one cache")
+        assert "'" in lines[-1]
+
+    def test_out_of_range_cpu_ignored(self):
+        plot = render_access_map(ordered([(0, {5})]), num_cpus=2, width=1)
+        assert "#" not in plot
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_access_map([], 0)
+        with pytest.raises(ValueError):
+            render_access_map([], 2, width=0)
+
+    def test_sparse_vs_dense_visual_difference(self):
+        """The Figure 3 vs Figure 5 contrast: scattered marks vs a block."""
+        sparse = ordered([(i, {0} if i % 4 == 0 else set()) for i in range(32)])
+        dense = ordered(
+            [(i, {0} if i < 8 else set()) for i in range(32)]
+        )
+        sparse_row = render_access_map(sparse, 1, width=32).splitlines()[0]
+        dense_row = render_access_map(dense, 1, width=32).splitlines()[0]
+        # Same number of touched pages, very different spans.
+        assert sparse_row.rstrip("|").rstrip().endswith("#")
+        first, last = dense_row.index("#"), dense_row.rindex("#")
+        assert last - first < 9

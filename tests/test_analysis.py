@@ -1,0 +1,131 @@
+"""Tests for access maps, SPEC ratios and table rendering."""
+
+import pytest
+
+from repro.analysis.access_maps import (
+    coloring_order_map,
+    conflict_depth,
+    footprint_density,
+    page_access_map,
+    va_order_map,
+)
+from repro.analysis.report import render_table
+from repro.analysis.spec_ratio import geometric_mean, spec_ratio, specfp_rating
+from repro.core.access_summary import AccessSummary, ArrayPartitioning
+from repro.core.coloring import generate_page_colors
+
+PAGE = 256
+
+
+def spread_summary(num_arrays=3, pages=16) -> AccessSummary:
+    """Arrays laid out consecutively, partitioned across CPUs.
+
+    In VA order each CPU's pages form stripes (one per array) — the sparse
+    Figure 3 pattern; the CDPC order groups them — the dense Figure 5 one.
+    """
+    summary = AccessSummary()
+    for i in range(num_arrays):
+        summary.partitionings.append(
+            ArrayPartitioning(f"a{i}", i * pages * PAGE, pages * PAGE, PAGE)
+        )
+        for j in range(i):
+            summary.add_group(f"a{j}", f"a{i}")
+    return summary
+
+
+class TestAccessMaps:
+    def test_page_access_map_covers_all_pages(self):
+        summary = spread_summary(3, 16)
+        amap = page_access_map(summary, PAGE, 4)
+        assert len(amap) == 48
+        assert amap[0] == frozenset({0})
+        assert amap[4] == frozenset({1})
+
+    def test_va_order_sorted(self):
+        summary = spread_summary(2, 8)
+        ordered = va_order_map(page_access_map(summary, PAGE, 2))
+        assert [page for page, _ in ordered] == sorted(p for p, _ in ordered)
+
+    def test_coloring_order_compacts_footprints(self):
+        # The quantitative claim behind Figures 3 vs 5: per-CPU density is
+        # much higher in coloring order than in VA order.
+        summary = spread_summary(4, 32)
+        amap = page_access_map(summary, PAGE, 8)
+        coloring = generate_page_colors(summary, PAGE, 64, 8)
+        va = va_order_map(amap)
+        cdpc = coloring_order_map(coloring, amap)
+        for cpu in range(8):
+            assert footprint_density(cdpc, cpu) > 2 * footprint_density(va, cpu)
+
+    def test_footprint_density_bounds(self):
+        ordered = [(0, frozenset({0})), (1, frozenset()), (2, frozenset({0}))]
+        assert footprint_density(ordered, 0) == pytest.approx(2 / 3)
+        assert footprint_density(ordered, 5) == 0.0
+
+    def test_conflict_depth_one_for_cdpc_when_fits(self):
+        summary = spread_summary(4, 32)
+        amap = page_access_map(summary, PAGE, 8)
+        coloring = generate_page_colors(summary, PAGE, 64, 8)
+        assert conflict_depth(coloring.colors, amap, 64) == 1
+
+    def test_conflict_depth_counts_page_coloring_collisions(self):
+        # Page-coloring policy on color-cycle-sized arrays: every array's
+        # page j has the same color, so depth equals the array count.
+        summary = spread_summary(4, 16)
+        amap = page_access_map(summary, PAGE, 2)
+        pc_colors = {page: page % 16 for page in amap}
+        assert conflict_depth(pc_colors, amap, 16) == 4
+
+    def test_conflict_depth_ignores_unhinted_pages(self):
+        amap = {0: frozenset({0}), 1: frozenset({0})}
+        assert conflict_depth({0: 3}, amap, 8) == 1
+
+
+class TestSpecRatio:
+    def test_ratio(self):
+        assert spec_ratio(3700.0, 100.0) == 37.0
+        with pytest.raises(ValueError):
+            spec_ratio(3700.0, 0.0)
+        with pytest.raises(ValueError):
+            spec_ratio(0.0, 1.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([5.0]) == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_specfp_rating(self):
+        ratios = {"a": 2.0, "b": 8.0}
+        assert specfp_rating(ratios) == pytest.approx(4.0)
+
+    def test_paper_style_comparison(self):
+        # CDPC +20% over page coloring is a rating ratio of 1.2.
+        pc = {"a": 10.0, "b": 10.0}
+        cdpc = {"a": 12.0, "b": 12.0}
+        assert specfp_rating(cdpc) / specfp_rating(pc) == pytest.approx(1.2)
+
+
+class TestReport:
+    def test_render_table_aligns_columns(self):
+        table = render_table(
+            ["bench", "ratio"], [["tomcatv", 1.5], ["swim", 12.25]]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "tomcatv" in lines[2]
+        assert "12.250" in lines[3]
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows equally wide
+
+
+class TestSparklineIntegration:
+    def test_mcpi_trend_renders(self):
+        from repro.analysis.figures import sparkline
+
+        # The Figure 2 usage: MCPI rising with processor count.
+        line = sparkline([3.8, 5.1, 7.7, 12.7, 19.6])
+        assert len(line) == 5
+        assert line[0] == "▁" and line[-1] == "█"

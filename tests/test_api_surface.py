@@ -1,0 +1,68 @@
+"""Hygiene tests on the public API surface."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.compiler",
+    "repro.core",
+    "repro.machine",
+    "repro.osmodel",
+    "repro.sim",
+    "repro.workloads",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), package
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_is_sorted_set(package):
+    module = importlib.import_module(package)
+    names = [n for n in module.__all__ if n != "__version__"]
+    assert len(names) == len(set(names)), f"{package}: duplicate exports"
+
+
+def test_top_level_quickstart_names():
+    import repro
+
+    for name in ("run_benchmark", "run_program", "sgi_base", "alpha_server",
+                 "CdpcRuntime", "EngineOptions", "get_workload"):
+        assert name in repro.__all__
+
+
+def test_every_public_module_has_docstring():
+    import pathlib
+
+    src = pathlib.Path(__file__).parent.parent / "src" / "repro"
+    for path in sorted(src.rglob("*.py")):
+        text = path.read_text()
+        stripped = text.lstrip()
+        assert stripped.startswith('"""'), f"{path} lacks a module docstring"
+
+
+def test_measure_occurrence_variation_unit():
+    from repro.machine.config import sgi_base
+    from repro.sim.engine import EngineOptions, measure_occurrence_variation
+    from repro.sim.tracegen import SimProfile
+    from repro.workloads import get_workload
+
+    config = sgi_base(2).scaled(16)
+    report = measure_occurrence_variation(
+        get_workload("fpppp", 16).program,
+        config,
+        EngineOptions(profile=SimProfile.fast()),
+        repeats=3,
+    )
+    assert set(report) == {"scf"}
+    mean, std, cv = report["scf"]["instructions"]
+    assert mean > 0
+    assert cv < 0.01  # deterministic phase

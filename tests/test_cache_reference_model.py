@@ -1,0 +1,77 @@
+"""Differential test: the set-associative cache against a naive reference.
+
+The reference model keeps, for each set, an explicit list of (line, last
+use time) and evicts the oldest — an obviously-correct LRU.  Hypothesis
+drives both with the same reference stream and requires identical hit/miss
+sequences and identical final contents.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.cache import SetAssociativeCache
+from repro.machine.config import CacheConfig
+
+
+class ReferenceCache:
+    """Brute-force LRU set-associative cache."""
+
+    def __init__(self, size, line, assoc):
+        self.line = line
+        self.assoc = assoc
+        self.num_sets = size // (line * assoc)
+        self.sets = [dict() for _ in range(self.num_sets)]  # line -> last use
+        self.clock = 0
+
+    def access(self, line_addr):
+        self.clock += 1
+        index = (line_addr // self.line) % self.num_sets
+        entries = self.sets[index]
+        hit = line_addr in entries
+        entries[line_addr] = self.clock
+        if len(entries) > self.assoc:
+            oldest = min(entries, key=entries.get)
+            del entries[oldest]
+        return hit
+
+    def contents(self):
+        return {line for entries in self.sets for line in entries}
+
+
+@given(
+    st.integers(0, 2).map(lambda i: [1, 2, 4][i]),  # associativity
+    st.lists(st.integers(0, 63), min_size=1, max_size=400),
+)
+@settings(max_examples=80, deadline=None)
+def test_cache_matches_reference_model(assoc, refs):
+    size, line = 1024, 64
+    cache = SetAssociativeCache(CacheConfig(size, line, assoc))
+    reference = ReferenceCache(size, line, assoc)
+    for ref in refs:
+        line_addr = ref * line
+        hit = cache.lookup(line_addr)
+        if not hit:
+            cache.insert(line_addr)
+        assert hit == reference.access(line_addr)
+    assert set(cache.resident_lines()) == reference.contents()
+
+
+@given(st.lists(st.tuples(st.integers(0, 31), st.booleans()),
+                min_size=1, max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_invalidations_match_reference(ops):
+    """Interleave accesses and invalidations; final contents must agree."""
+    size, line, assoc = 512, 64, 2
+    cache = SetAssociativeCache(CacheConfig(size, line, assoc))
+    reference = ReferenceCache(size, line, assoc)
+    for ref, invalidate in ops:
+        line_addr = ref * line
+        if invalidate:
+            cache.invalidate(line_addr)
+            index = (line_addr // line) % reference.num_sets
+            reference.sets[index].pop(line_addr, None)
+        else:
+            if not cache.lookup(line_addr):
+                cache.insert(line_addr)
+            reference.access(line_addr)
+    assert set(cache.resident_lines()) == reference.contents()

@@ -1,0 +1,100 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "swim"])
+        assert args.cpus == 8
+        assert args.machine == "sgi_base"
+        assert args.scale == 16
+        assert not args.cdpc
+
+    def test_run_flags(self):
+        args = build_parser().parse_args(
+            ["run", "applu", "--cpus", "4", "--machine", "alpha", "--cdpc",
+             "--prefetch", "--fast"]
+        )
+        assert args.cpus == 4
+        assert args.machine == "alpha"
+        assert args.cdpc and args.prefetch and args.fast
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "gcc"])
+
+    def test_sweep_policies_default(self):
+        args = build_parser().parse_args(["sweep", "swim"])
+        assert args.policies == "page_coloring,bin_hopping,cdpc"
+
+
+class TestCommands:
+    def test_list_prints_all_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for spec_id in ("101.tomcatv", "146.wave5"):
+            assert spec_id in out
+
+    def test_run_prints_result(self, capsys):
+        code = main(["run", "fpppp", "--cpus", "2", "--fast"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fpppp@2cpu" in out
+        assert "wall ms" in out
+
+    def test_sweep_prints_each_policy(self, capsys):
+        code = main(
+            ["sweep", "fpppp", "--cpus", "2", "--fast",
+             "--policies", "page_coloring,cdpc"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "page_coloring" in out
+        assert "cdpc" in out
+
+
+class TestRunfile:
+    WORKLOAD_TEXT = (
+        "program demo\n"
+        "array a 2097152\n"
+        "phase p occurrences 2\n"
+        "  parallel loop l ipw 3.0\n"
+        "    write a partitioned units 64\n"
+    )
+
+    def test_runfile_executes_text_workload(self, tmp_path, capsys):
+        path = tmp_path / "demo.workload"
+        path.write_text(self.WORKLOAD_TEXT)
+        code = main(["runfile", str(path), "--cpus", "2", "--fast"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "demo@2cpu" in out
+
+    def test_runfile_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "demo.workload"
+        path.write_text(self.WORKLOAD_TEXT)
+        code = main(["runfile", str(path), "--cpus", "2", "--fast", "--json",
+                     "--cdpc"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "demo"
+        assert payload["cdpc"] is True
+        assert payload["wall_ns"] > 0
+
+    def test_runfile_scales_sizes(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "demo.workload"
+        path.write_text(self.WORKLOAD_TEXT)
+        main(["runfile", str(path), "--cpus", "2", "--fast", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scale_factor"] == 16

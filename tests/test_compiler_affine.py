@@ -1,0 +1,176 @@
+"""Tests for the affine loop-nest analysis."""
+
+import pytest
+
+from repro.common import Communication, Partitioning
+from repro.compiler.affine import (
+    AffineNest,
+    AffinePhase,
+    AffineProgram,
+    AffineRef,
+    AnalysisError,
+    Array2D,
+    C,
+    I,
+    J,
+    Subscript,
+    classify_ref,
+    lower,
+)
+from repro.compiler.ir import (
+    BoundaryAccess,
+    LoopKind,
+    PartitionedAccess,
+    StridedAccess,
+    WholeArrayAccess,
+)
+
+
+def grid(name="A", rows=64, cols=64) -> Array2D:
+    return Array2D(name, rows, cols)
+
+
+def nest(refs, i_extent=64, j_extent=64, **kwargs) -> AffineNest:
+    return AffineNest("n", i_extent, j_extent, tuple(refs), **kwargs)
+
+
+class TestClassify:
+    def test_column_sweep_is_partitioned(self):
+        # A(j, i): the distributed index selects the column.
+        ref = AffineRef("A", row=J(), col=I())
+        access = classify_ref(ref, grid(), nest([ref]))
+        assert isinstance(access, PartitionedAccess)
+        assert access.units == 64
+        assert not access.is_write
+
+    def test_write_flag_propagates(self):
+        ref = AffineRef("A", row=J(), col=I(), is_write=True)
+        access = classify_ref(ref, grid(), nest([ref]))
+        assert access.is_write
+
+    def test_neighbour_column_is_boundary_shift(self):
+        # A(j, i-1): reads the neighbouring processor's last column.
+        ref = AffineRef("A", row=J(), col=I(-1))
+        access = classify_ref(ref, grid(), nest([ref]))
+        assert isinstance(access, BoundaryAccess)
+        assert access.comm is Communication.SHIFT
+        assert access.boundary_fraction == 1.0
+
+    def test_row_access_is_strided(self):
+        # A(i, j): a row of a column-major array — the su2cor shape.
+        ref = AffineRef("A", row=I(), col=J())
+        access = classify_ref(ref, grid(rows=64), nest([ref], i_extent=8))
+        assert isinstance(access, StridedAccess)
+        assert access.block_bytes == 64 // 8 * 8
+
+    def test_loop_invariant_vector_is_whole_array(self):
+        # k(j): every processor reads the whole vector.
+        ref = AffineRef("k", row=J(), col=C(0))
+        access = classify_ref(ref, grid("k", rows=64, cols=1), nest([ref]))
+        assert isinstance(access, WholeArrayAccess)
+        assert access.fraction == 1.0
+
+    def test_scalar_like_constant_ref(self):
+        ref = AffineRef("s", row=C(0), col=C(0))
+        access = classify_ref(ref, grid("s", rows=4, cols=1), nest([ref]))
+        assert isinstance(access, WholeArrayAccess)
+        assert access.fraction < 0.5
+
+    def test_rejects_both_indices_distributed(self):
+        ref = AffineRef("A", row=I(), col=Subscript(i_coef=1, j_coef=1))
+        with pytest.raises(AnalysisError):
+            classify_ref(ref, grid(), nest([ref]))
+
+    def test_rejects_non_unit_column_stride(self):
+        ref = AffineRef("A", row=J(), col=Subscript(i_coef=2))
+        with pytest.raises(AnalysisError):
+            classify_ref(ref, grid(), nest([ref]))
+
+
+class TestLower:
+    def stencil_program(self) -> AffineProgram:
+        """A tomcatv-like nest: x(j,i), y(j,i±1) stencil writing rx."""
+        arrays = [grid("x"), grid("y"), grid("rx")]
+        refs = (
+            AffineRef("x", row=J(), col=I()),
+            AffineRef("y", row=J(), col=I()),
+            AffineRef("y", row=J(), col=I(-1)),
+            AffineRef("y", row=J(), col=I(+1)),
+            AffineRef("rx", row=J(), col=I(), is_write=True),
+        )
+        stencil = AffineNest("stencil", 64, 64, refs,
+                             instructions_per_point=20.0)
+        return AffineProgram(
+            "mini", arrays, [AffinePhase("steady", (stencil,), occurrences=5)]
+        )
+
+    def test_lowered_program_structure(self):
+        program = lower(self.stencil_program())
+        assert program.name == "mini"
+        assert [a.name for a in program.arrays] == ["x", "y", "rx"]
+        assert program.arrays[0].size_bytes == 64 * 64 * 8
+        loop = program.phases[0].loops[0]
+        assert loop.kind is LoopKind.PARALLEL
+        assert loop.iterations == 64
+
+    def test_lowered_accesses_match_hand_declared_shape(self):
+        program = lower(self.stencil_program())
+        accesses = program.phases[0].loops[0].accesses
+        kinds = [type(a).__name__ for a in accesses]
+        assert kinds.count("PartitionedAccess") == 3  # x, y, rx
+        # y at i-1 and i+1 derive the *same* shift pattern, which the
+        # lowering deduplicates (SHIFT traces already read both edges).
+        assert kinds.count("BoundaryAccess") == 1
+
+    def test_duplicate_derivations_deduplicated(self):
+        arrays = [grid("x")]
+        refs = (
+            AffineRef("x", row=J(), col=I()),
+            AffineRef("x", row=J(-1), col=I()),  # same derived pattern
+        )
+        program = lower(
+            AffineProgram("p", arrays,
+                          [AffinePhase("s", (nest(refs, 64, 64),))])
+        )
+        assert len(program.phases[0].loops[0].accesses) == 1
+
+    def test_instruction_density_split_over_refs(self):
+        program = lower(self.stencil_program())
+        loop = program.phases[0].loops[0]
+        assert loop.instructions_per_word == pytest.approx(20.0 / 5)
+
+    def test_lowered_program_runs_end_to_end(self):
+        from repro.machine.config import CacheConfig, MachineConfig
+        from repro.sim.engine import EngineOptions, run_program
+
+        config = MachineConfig(
+            num_cpus=4,
+            page_size=256,
+            l1d=CacheConfig(1024, 64, 2),
+            l1i=CacheConfig(1024, 64, 2),
+            l2=CacheConfig(8192, 64, 1),
+        )
+        program = lower(self.stencil_program())
+        base = run_program(program, config, EngineOptions())
+        cdpc = run_program(program, config, EngineOptions(cdpc=True))
+        assert base.wall_ns > 0
+        assert cdpc.replacement_misses() <= base.replacement_misses()
+
+    def test_derived_summary_matches_hand_written(self):
+        """The analysis output feeds the same summary extraction as the
+        hand-declared workloads, and derives the same partitionings."""
+        from repro.compiler.padding import layout_arrays
+        from repro.compiler.summaries import extract_summary
+
+        program = lower(self.stencil_program())
+        layout = layout_arrays(program.arrays, 64, 1024)
+        summary = extract_summary(program, layout)
+        assert {p.array for p in summary.partitionings} == {"x", "y", "rx"}
+        assert len(summary.communications) >= 1
+        assert summary.are_grouped("x", "rx")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AffineNest("n", 0, 4, (AffineRef("A", J(), I()),))
+        with pytest.raises(ValueError):
+            AffineNest("n", 4, 4, ())

@@ -1,0 +1,156 @@
+"""Tests for data layout (alignment/padding) and summary extraction."""
+
+import pytest
+
+from repro.compiler.ir import (
+    ArrayDecl,
+    BoundaryAccess,
+    Communication,
+    Loop,
+    LoopKind,
+    PartitionedAccess,
+    Phase,
+    Program,
+    StridedAccess,
+    WholeArrayAccess,
+)
+from repro.compiler.padding import layout_arrays
+from repro.compiler.summaries import extract_summary
+from repro.common import Partitioning
+
+
+def arrays(n=3, size=4096):
+    return tuple(ArrayDecl(f"a{i}", size) for i in range(n))
+
+
+class TestLayout:
+    def test_aligned_starts_on_line_boundaries(self):
+        layout = layout_arrays(arrays(), line_size=64, l1_size=1024)
+        for name in layout.bases:
+            assert layout.bases[name] % 64 == 0
+
+    def test_aligned_group_partners_get_distinct_l1_offsets(self):
+        # Section 5.4: starting addresses of data structures used together
+        # never map to the same location in the on-chip cache.
+        decls = arrays(4, size=1024)  # exactly one L1 of data each
+        groups = [("a0", "a1"), ("a1", "a2"), ("a0", "a2")]
+        layout = layout_arrays(decls, line_size=64, l1_size=1024, groups=groups)
+        offsets = {
+            name: (layout.bases[name] // 64) % 16 for name in ("a0", "a1", "a2")
+        }
+        assert len(set(offsets.values())) == 3
+
+    def test_unaligned_packs_with_line_straddling_gaps(self):
+        layout = layout_arrays(arrays(), line_size=64, l1_size=1024, aligned=False)
+        assert layout.bases["a1"] % 64 != 0
+
+    def test_extent_and_pages(self):
+        layout = layout_arrays(arrays(2, size=1024), line_size=64, l1_size=1024)
+        lo, hi = layout.extent()
+        assert lo == 0
+        assert hi >= 2048
+        assert len(layout.pages("a0", page_size=256)) == 4
+
+    def test_array_at(self):
+        layout = layout_arrays(arrays(2, size=1024), line_size=64, l1_size=1024)
+        assert layout.array_at(layout.bases["a1"] + 10) == "a1"
+        assert layout.array_at(10**9) is None
+
+    def test_base_address_offset(self):
+        layout = layout_arrays(arrays(1), line_size=64, l1_size=1024,
+                               base_address=1 << 20)
+        assert layout.bases["a0"] >= 1 << 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            layout_arrays(arrays(), line_size=0, l1_size=1024)
+
+
+def build_program():
+    decls = (
+        ArrayDecl("part", 4096),
+        ArrayDecl("comm", 4096),
+        ArrayDecl("cyc", 4096),
+        ArrayDecl("whole", 4096),
+    )
+    loop1 = Loop(
+        "stencil",
+        LoopKind.PARALLEL,
+        (
+            PartitionedAccess("part", units=16, is_write=True),
+            BoundaryAccess("comm", units=16, comm=Communication.SHIFT,
+                           boundary_fraction=1.0),
+        ),
+    )
+    loop2 = Loop(
+        "gather",
+        LoopKind.PARALLEL,
+        (
+            StridedAccess("cyc", block_bytes=256),
+            WholeArrayAccess("whole"),
+            PartitionedAccess("part", units=16),
+        ),
+    )
+    return Program("p", decls, (Phase("ph", (loop1, loop2)),))
+
+
+class TestSummaries:
+    def test_partitioned_arrays_summarized(self):
+        program = build_program()
+        layout = layout_arrays(program.arrays, 64, 1024)
+        summary = extract_summary(program, layout)
+        assert {p.array for p in summary.partitionings} == {"part", "comm"}
+
+    def test_partitioning_fields(self):
+        program = build_program()
+        layout = layout_arrays(program.arrays, 64, 1024)
+        summary = extract_summary(program, layout)
+        part = summary.partitionings_of("part")[0]
+        assert part.start == layout.base_of("part")
+        assert part.size == 4096
+        assert part.unit == 256
+        assert part.partitioning is Partitioning.EVEN
+
+    def test_communication_pattern_recorded(self):
+        program = build_program()
+        layout = layout_arrays(program.arrays, 64, 1024)
+        summary = extract_summary(program, layout)
+        assert len(summary.communications) == 1
+        comm = summary.communications[0]
+        assert comm.partitioning.array == "comm"
+        assert comm.kind is Communication.SHIFT
+        assert comm.boundary_bytes == 256
+
+    def test_strided_arrays_not_summarized(self):
+        # The su2cor rule: unanalyzable accesses disqualify the array.
+        program = build_program()
+        layout = layout_arrays(program.arrays, 64, 1024)
+        summary = extract_summary(program, layout)
+        assert "cyc" not in {p.array for p in summary.partitionings}
+        assert "whole" not in {p.array for p in summary.partitionings}
+
+    def test_group_accesses_cover_loop_co_occurrence(self):
+        program = build_program()
+        layout = layout_arrays(program.arrays, 64, 1024)
+        summary = extract_summary(program, layout)
+        assert summary.are_grouped("part", "comm")  # loop1
+        assert summary.are_grouped("cyc", "part")  # loop2
+        assert not summary.are_grouped("comm", "whole")  # never share a loop
+
+    def test_duplicate_partitionings_deduplicated(self):
+        # "part" appears in both loops with the same shape.
+        program = build_program()
+        layout = layout_arrays(program.arrays, 64, 1024)
+        summary = extract_summary(program, layout)
+        assert len(summary.partitionings_of("part")) == 1
+
+    def test_strided_disqualifies_mixed_array(self):
+        decls = (ArrayDecl("x", 4096),)
+        loops = (
+            Loop("l1", LoopKind.PARALLEL, (PartitionedAccess("x", units=16),)),
+            Loop("l2", LoopKind.PARALLEL, (StridedAccess("x", block_bytes=256),)),
+        )
+        program = Program("p", decls, (Phase("ph", loops),))
+        layout = layout_arrays(decls, 64, 1024)
+        summary = extract_summary(program, layout)
+        assert summary.partitionings == []

@@ -1,0 +1,105 @@
+"""Tests for static loop scheduling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import Direction, Partitioning, iteration_ranges
+from repro.compiler.ir import Loop, LoopKind, PartitionedAccess
+from repro.compiler.parallelize import schedule_loop
+
+
+class TestIterationRanges:
+    def test_even_divides_exactly(self):
+        assert iteration_ranges(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_even_spreads_remainder_to_leading_cpus(self):
+        ranges = iteration_ranges(10, 4)
+        counts = [hi - lo for lo, hi in ranges]
+        assert counts == [3, 3, 2, 2]
+
+    def test_blocked_ceil_per_cpu(self):
+        ranges = iteration_ranges(10, 4, Partitioning.BLOCKED)
+        counts = [hi - lo for lo, hi in ranges]
+        assert counts == [3, 3, 3, 1]
+
+    def test_applu_case_idles_trailing_cpus(self):
+        # Section 4.1: applu's 33-iteration loops on 16 processors.
+        ranges = iteration_ranges(33, 16, Partitioning.BLOCKED)
+        counts = [hi - lo for lo, hi in ranges]
+        assert counts[:11] == [3] * 11
+        assert counts[11:] == [0] * 5
+
+    def test_reverse_direction(self):
+        forward = iteration_ranges(10, 4)
+        reverse = iteration_ranges(10, 4, direction=Direction.REVERSE)
+        assert reverse == list(reversed(forward))
+
+    def test_zero_iterations(self):
+        assert iteration_ranges(0, 4) == [(0, 0)] * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            iteration_ranges(-1, 4)
+        with pytest.raises(ValueError):
+            iteration_ranges(4, 0)
+
+    @given(st.integers(0, 1000), st.integers(1, 64),
+           st.sampled_from(list(Partitioning)))
+    @settings(max_examples=100, deadline=None)
+    def test_ranges_partition_iteration_space(self, n, p, partitioning):
+        ranges = iteration_ranges(n, p, partitioning)
+        assert len(ranges) == p
+        covered = []
+        for lo, hi in ranges:
+            assert 0 <= lo <= hi <= n
+            covered.extend(range(lo, hi))
+        assert covered == list(range(n))
+
+
+class TestLoopSchedule:
+    def make_loop(self, units=16, kind=LoopKind.PARALLEL,
+                  partitioning=Partitioning.EVEN):
+        return Loop(
+            "l",
+            kind,
+            (PartitionedAccess("a", units=units, partitioning=partitioning),),
+        )
+
+    def test_parallel_schedule_splits_iterations(self):
+        sched = schedule_loop(self.make_loop(16), 4)
+        assert sched.iterations_of(0) == 4
+        assert sched.participating_cpus == [0, 1, 2, 3]
+
+    def test_sequential_loop_runs_on_master(self):
+        sched = schedule_loop(self.make_loop(16, kind=LoopKind.SEQUENTIAL), 4)
+        assert sched.iterations_of(0) == 16
+        assert sched.iterations_of(1) == 0
+        assert sched.participating_cpus == [0]
+
+    def test_suppressed_loop_runs_on_master(self):
+        sched = schedule_loop(self.make_loop(16, kind=LoopKind.SUPPRESSED), 4)
+        assert sched.participating_cpus == [0]
+
+    def test_imbalance_zero_when_even(self):
+        sched = schedule_loop(self.make_loop(16), 4)
+        assert sched.imbalance_fraction() == 0.0
+
+    def test_imbalance_for_applu(self):
+        sched = schedule_loop(
+            self.make_loop(33, partitioning=Partitioning.BLOCKED), 16
+        )
+        # 11 CPUs x 3 iterations, 5 idle: capacity 48, work 33.
+        assert sched.imbalance_fraction() == pytest.approx(1 - 33 / 48)
+
+    def test_imbalance_zero_for_empty_loop(self):
+        sched = schedule_loop(self.make_loop(16), 4)
+        empty = type(sched)(loop=sched.loop, num_cpus=4,
+                            ranges=((0, 0),) * 4)
+        assert empty.imbalance_fraction() == 0.0
+
+    def test_participating_cpus_excludes_idle(self):
+        sched = schedule_loop(
+            self.make_loop(33, partitioning=Partitioning.BLOCKED), 16
+        )
+        assert sched.participating_cpus == list(range(11))

@@ -1,0 +1,119 @@
+"""Tests for locality analysis and the prefetch-insertion pass."""
+
+import pytest
+
+from repro.compiler.ir import (
+    ArrayDecl,
+    Loop,
+    LoopKind,
+    PartitionedAccess,
+    Phase,
+    Program,
+    StridedAccess,
+)
+from repro.compiler.locality import analyze_program, dominant_stride, per_cpu_footprint
+from repro.compiler.padding import layout_arrays
+from repro.compiler.prefetch_pass import insert_prefetches
+from repro.machine.config import CacheConfig, MachineConfig
+
+
+def machine() -> MachineConfig:
+    return MachineConfig(
+        num_cpus=4,
+        page_size=256,
+        l1d=CacheConfig(512, 64, 2),
+        l1i=CacheConfig(512, 64, 2),
+        l2=CacheConfig(4096, 64, 1),
+    )
+
+
+def streaming_program(size=64 * 1024, tiled=False):
+    decls = (ArrayDecl("big", size), ArrayDecl("small", 1024))
+    loop = Loop(
+        "stream",
+        LoopKind.PARALLEL,
+        (
+            PartitionedAccess("big", units=16, is_write=True),
+            PartitionedAccess("small", units=16),
+        ),
+        tiled=tiled,
+    )
+    return Program("p", decls, (Phase("ph", (loop,)),))
+
+
+class TestLocality:
+    def test_footprint_partitioned(self):
+        program = streaming_program()
+        layout = layout_arrays(program.arrays, 64, 512)
+        access = program.phases[0].loops[0].accesses[0]
+        assert per_cpu_footprint(access, layout, 4) == 16 * 1024
+
+    def test_footprint_strided_spreads_over_cpus(self):
+        decls = (ArrayDecl("x", 4096),)
+        layout = layout_arrays(decls, 64, 512)
+        access = StridedAccess("x", block_bytes=256)
+        assert per_cpu_footprint(access, layout, 4) == 1024
+
+    def test_stride_strided_scales_with_cpus(self):
+        decls = (ArrayDecl("x", 4096),)
+        layout = layout_arrays(decls, 64, 512)
+        access = StridedAccess("x", block_bytes=256)
+        assert dominant_stride(access, layout, 4) == 1024
+
+    def test_tiled_access_has_unit_stride(self):
+        decls = (ArrayDecl("x", 4096),)
+        layout = layout_arrays(decls, 64, 512)
+        access = PartitionedAccess("x", units=16, fraction=0.5)
+        assert dominant_stride(access, layout, 4) == 256
+
+    def test_likely_misses_flags_streaming_arrays(self):
+        program = streaming_program()
+        layout = layout_arrays(program.arrays, 64, 512)
+        facts = {
+            f.access.array: f for f in analyze_program(program, layout, machine(), 4)
+        }
+        assert facts["big"].likely_misses
+        assert not facts["small"].likely_misses
+
+    def test_tlb_hostile_for_page_strides(self):
+        decls = (ArrayDecl("x", 64 * 1024),)
+        loop = Loop("l", LoopKind.PARALLEL, (StridedAccess("x", block_bytes=256),))
+        program = Program("p", decls, (Phase("ph", (loop,)),))
+        layout = layout_arrays(decls, 64, 512)
+        facts = analyze_program(program, layout, machine(), 4)
+        assert facts[0].tlb_hostile  # stride 1KB >= 256B page
+
+
+class TestPrefetchPass:
+    def test_only_missing_accesses_get_prefetches(self):
+        program = streaming_program()
+        layout = layout_arrays(program.arrays, 64, 512)
+        plan = insert_prefetches(program, layout, machine(), 4)
+        arrays = {d.access.array for d in plan.decisions}
+        assert arrays == {"big"}
+
+    def test_prefetch_distance_positive_and_bounded(self):
+        program = streaming_program()
+        layout = layout_arrays(program.arrays, 64, 512)
+        plan = insert_prefetches(program, layout, machine(), 4)
+        for decision in plan.decisions:
+            assert 1 <= decision.distance_lines <= 8
+
+    def test_tiled_loops_not_pipelined(self):
+        # Section 6.2: applu's tiling inhibits software pipelining.
+        program = streaming_program(tiled=True)
+        layout = layout_arrays(program.arrays, 64, 512)
+        plan = insert_prefetches(program, layout, machine(), 4)
+        assert plan.decisions
+        assert all(not d.pipelined for d in plan.decisions)
+
+    def test_decision_lookup(self):
+        program = streaming_program()
+        layout = layout_arrays(program.arrays, 64, 512)
+        plan = insert_prefetches(program, layout, machine(), 4)
+        loop = program.phases[0].loops[0]
+        big = loop.accesses[0]
+        small = loop.accesses[1]
+        assert plan.decision_for("stream", big) is not None
+        assert plan.decision_for("stream", small) is None
+        assert plan.num_prefetched_accesses == 1

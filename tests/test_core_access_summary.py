@@ -1,0 +1,124 @@
+"""Tests for the access-summary vocabulary."""
+
+import pytest
+
+from repro.common import Communication, Direction, Partitioning
+from repro.core.access_summary import (
+    AccessSummary,
+    ArrayPartitioning,
+    CommunicationPattern,
+    GroupAccess,
+)
+
+
+def part(start=0, size=4096, unit=256, **kwargs) -> ArrayPartitioning:
+    return ArrayPartitioning("a", start, size, unit, **kwargs)
+
+
+class TestArrayPartitioning:
+    def test_units(self):
+        assert part().units == 16
+        assert part(size=4100).units == 17
+
+    def test_cpu_ranges_even(self):
+        ranges = part().cpu_ranges(4)
+        assert ranges == [(0, 1024), (1024, 2048), (2048, 3072), (3072, 4096)]
+
+    def test_cpu_ranges_reverse(self):
+        ranges = part(direction=Direction.REVERSE).cpu_ranges(4)
+        assert ranges[0] == (3072, 4096)
+
+    def test_cpu_ranges_respect_base_address(self):
+        ranges = part(start=8192).cpu_ranges(2)
+        assert ranges[0] == (8192, 8192 + 2048)
+
+    def test_cpu_ranges_clamped_to_array(self):
+        # 17 units of 256 bytes = 4352 > size 4100: last range is clamped.
+        ranges = part(size=4100).cpu_ranges(1)
+        assert ranges[0] == (0, 4100)
+
+    def test_cpus_for_page(self):
+        partitioning = part()  # 4096 bytes
+        assert partitioning.cpus_for_page(0, 256, 4) == frozenset({0})
+        assert partitioning.cpus_for_page(4, 256, 4) == frozenset({1})
+        # A page straddling two partitions belongs to both.
+        assert partitioning.cpus_for_page(1, 1536, 4) == frozenset({1, 2})
+        # A page outside the array belongs to nobody.
+        assert partitioning.cpus_for_page(3, 1536, 4) == frozenset()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrayPartitioning("a", 0, 0, 1)
+        with pytest.raises(ValueError):
+            ArrayPartitioning("a", 0, 128, 256)
+
+
+class TestCommunicationPattern:
+    def test_requires_comm_kind(self):
+        with pytest.raises(ValueError):
+            CommunicationPattern(part(), Communication.NONE)
+
+    def test_shift_neighbours_exclude_ends(self):
+        comm = CommunicationPattern(part(), Communication.SHIFT, 256)
+        assert comm.neighbour_cpus(0, 4) == [1]
+        assert comm.neighbour_cpus(3, 4) == [2]
+        assert comm.neighbour_cpus(1, 4) == [0, 2]
+
+    def test_rotate_wraps(self):
+        comm = CommunicationPattern(part(), Communication.ROTATE, 256)
+        assert sorted(comm.neighbour_cpus(0, 4)) == [1, 3]
+
+    def test_no_neighbours_single_cpu(self):
+        comm = CommunicationPattern(part(), Communication.SHIFT, 256)
+        assert comm.neighbour_cpus(0, 1) == []
+
+    def test_extra_cpus_for_boundary_page(self):
+        comm = CommunicationPattern(part(), Communication.SHIFT, 256)
+        # Page 4 (bytes 1024-1279) is the first page of CPU 1's partition;
+        # CPU 0 reads that strip.
+        assert 0 in comm.extra_cpus_for_page(4, 256, 4)
+        # An interior page of CPU 1's partition is not communicated.
+        assert comm.extra_cpus_for_page(5, 256, 4) == frozenset()
+
+    def test_zero_boundary_means_no_extras(self):
+        comm = CommunicationPattern(part(), Communication.SHIFT, 0)
+        assert comm.extra_cpus_for_page(4, 256, 4) == frozenset()
+
+
+class TestGroupAccessAndSummary:
+    def test_group_rejects_self_pair(self):
+        with pytest.raises(ValueError):
+            GroupAccess("a", "a")
+
+    def test_add_group_deduplicates_unordered(self):
+        summary = AccessSummary()
+        summary.add_group("a", "b")
+        summary.add_group("b", "a")
+        summary.add_group("a", "a")
+        assert len(summary.groups) == 1
+        assert summary.are_grouped("b", "a")
+
+    def test_grouped_with(self):
+        summary = AccessSummary()
+        summary.add_group("a", "b")
+        summary.add_group("a", "c")
+        assert summary.grouped_with("a") == {"b", "c"}
+        assert summary.grouped_with("b") == {"a"}
+
+    def test_arrays_in_first_seen_order(self):
+        summary = AccessSummary(
+            partitionings=[
+                ArrayPartitioning("b", 0, 1024, 256),
+                ArrayPartitioning("a", 4096, 1024, 256),
+                ArrayPartitioning("b", 0, 1024, 512),
+            ]
+        )
+        assert summary.arrays() == ["b", "a"]
+
+    def test_merge_deduplicates(self):
+        one = AccessSummary(partitionings=[part()])
+        two = AccessSummary(partitionings=[part()])
+        two.add_group("a", "b")
+        merged = one.merge(two)
+        assert len(merged.partitionings) == 1
+        assert merged.are_grouped("a", "b")

@@ -1,0 +1,160 @@
+"""Tests for Step 5, the orchestrator and the CDPC runtime."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.padding import layout_arrays
+from repro.compiler.summaries import extract_summary
+from repro.core.access_summary import AccessSummary, ArrayPartitioning
+from repro.core.coloring import generate_page_colors
+from repro.core.runtime import CdpcRuntime
+from repro.machine.config import CacheConfig, MachineConfig
+from repro.osmodel.policies import BinHoppingPolicy, CdpcHintPolicy, PageColoringPolicy
+from repro.osmodel.vm import VirtualMemory
+
+from tests.conftest import make_two_array_program
+
+PAGE = 256
+
+
+def aligned_summary(num_arrays=4, pages_per_array=32) -> AccessSummary:
+    """Arrays whose sizes are exact color multiples (the tomcatv shape)."""
+    summary = AccessSummary()
+    for i in range(num_arrays):
+        summary.partitionings.append(
+            ArrayPartitioning(
+                f"a{i}",
+                i * pages_per_array * PAGE,
+                pages_per_array * PAGE,
+                PAGE,
+            )
+        )
+    for i in range(num_arrays):
+        for j in range(i + 1, num_arrays):
+            summary.add_group(f"a{i}", f"a{j}")
+    return summary
+
+
+class TestGeneratePageColors:
+    def test_round_robin_colors(self):
+        summary = aligned_summary(1, 8)
+        result = generate_page_colors(summary, PAGE, 4, 2)
+        assert [result.colors[p] for p in result.page_order] == [
+            0, 1, 2, 3, 0, 1, 2, 3,
+        ]
+
+    def test_page_order_is_permutation(self):
+        summary = aligned_summary(4, 32)
+        result = generate_page_colors(summary, PAGE, 16, 4)
+        assert sorted(result.page_order) == list(range(128))
+        assert len(result.colors) == 128
+
+    def test_conflict_free_when_per_cpu_footprint_fits(self):
+        # 4 arrays x 32 pages over 8 CPUs: 16 pages per CPU < 64 colors.
+        summary = aligned_summary(4, 32)
+        result = generate_page_colors(summary, PAGE, 64, 8)
+        seg_cpus = {}
+        for seg in result.segments:
+            for page in seg.pages:
+                seg_cpus.setdefault(page, set()).update(seg.cpus)
+        assert result.max_pages_on_one_color(
+            lambda page: seg_cpus.get(page, ())
+        ) == 1
+
+    def test_colors_within_range(self):
+        summary = aligned_summary(3, 16)
+        result = generate_page_colors(summary, PAGE, 8, 4)
+        assert all(0 <= c < 8 for c in result.colors.values())
+
+    def test_pages_per_color_balanced(self):
+        summary = aligned_summary(4, 32)
+        result = generate_page_colors(summary, PAGE, 16, 4)
+        histogram = result.pages_per_color()
+        assert max(histogram) - min(histogram) <= 1
+
+    def test_rejects_bad_color_count(self):
+        with pytest.raises(ValueError):
+            generate_page_colors(aligned_summary(), PAGE, 0, 2)
+
+    def test_empty_summary_empty_result(self):
+        result = generate_page_colors(AccessSummary(), PAGE, 16, 4)
+        assert result.page_order == []
+        assert result.colors == {}
+
+    @given(st.integers(1, 6), st.integers(4, 40), st.integers(1, 8),
+           st.integers(4, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_permutation_property(self, arrays, pages, cpus, colors):
+        summary = aligned_summary(arrays, pages)
+        result = generate_page_colors(summary, PAGE, colors, cpus)
+        assert sorted(result.page_order) == sorted(set(result.page_order))
+        assert all(0 <= c < colors for c in result.colors.values())
+        total = arrays * pages
+        assert len(result.page_order) == total
+
+
+class TestCdpcRuntime:
+    def machine(self) -> MachineConfig:
+        return MachineConfig(
+            num_cpus=2,
+            page_size=PAGE,
+            l1d=CacheConfig(1024, 64, 2),
+            l1i=CacheConfig(1024, 64, 2),
+            l2=CacheConfig(4096, 64, 1),  # 16 colors
+        )
+
+    def test_from_program_produces_hints(self):
+        config = self.machine()
+        program = make_two_array_program(PAGE)
+        layout = layout_arrays(program.arrays, 64, 1024)
+        runtime = CdpcRuntime.from_program(program, layout, config)
+        assert len(runtime.hints) == 16  # both arrays fully hinted
+
+    def test_touch_order_matches_page_order(self):
+        config = self.machine()
+        program = make_two_array_program(PAGE)
+        layout = layout_arrays(program.arrays, 64, 1024)
+        runtime = CdpcRuntime.from_program(program, layout, config)
+        assert runtime.touch_order() == runtime.coloring.page_order
+
+    def test_install_hints_via_madvise(self):
+        config = self.machine()
+        program = make_two_array_program(PAGE)
+        layout = layout_arrays(program.arrays, 64, 1024)
+        runtime = CdpcRuntime.from_program(program, layout, config)
+        policy = CdpcHintPolicy(16, fallback=PageColoringPolicy(16))
+        vm = VirtualMemory(config, policy)
+        assert runtime.install_hints(vm) == 16
+        first = runtime.coloring.page_order[0]
+        vm.fault(first)
+        assert vm.color_of_vpage(first) == runtime.hints[first]
+
+    def test_install_by_touching_realizes_same_mapping(self):
+        # The two delivery mechanisms of Section 5.3 must agree.
+        config = self.machine()
+        program = make_two_array_program(PAGE)
+        layout = layout_arrays(program.arrays, 64, 1024)
+        runtime = CdpcRuntime.from_program(program, layout, config)
+
+        madvise_vm = VirtualMemory(
+            config, CdpcHintPolicy(16, fallback=PageColoringPolicy(16))
+        )
+        runtime.install_hints(madvise_vm)
+        for page in runtime.touch_order():
+            madvise_vm.ensure_mapped(page)
+
+        touch_vm = VirtualMemory(config, BinHoppingPolicy(16))
+        runtime.install_by_touching(touch_vm)
+
+        for page in runtime.touch_order():
+            assert madvise_vm.color_of_vpage(page) == touch_vm.color_of_vpage(page)
+
+    def test_num_cpus_defaults_to_config(self):
+        config = self.machine()
+        summary = extract_summary(
+            make_two_array_program(PAGE),
+            layout_arrays(make_two_array_program(PAGE).arrays, 64, 1024),
+        )
+        runtime = CdpcRuntime.from_summary(summary, config)
+        assert runtime.num_cpus == 2

@@ -1,0 +1,153 @@
+"""Tests for Steps 2-4: set ordering, segment ordering, cyclic assignment."""
+
+import pytest
+
+from repro.core.access_summary import AccessSummary
+from repro.core.cyclic import (
+    assign_cyclic,
+    choose_rotation,
+    emit_segment_pages,
+    segments_conflict,
+)
+from repro.core.ordering import order_access_sets, order_segments_within_set
+from repro.core.segments import UniformAccessSegment, UniformAccessSet
+
+
+def make_set(cpus, num_pages=4, start=0, array="a"):
+    return UniformAccessSet(
+        frozenset(cpus),
+        [UniformAccessSegment(array, start, start + num_pages, frozenset(cpus))],
+    )
+
+
+class TestOrderAccessSets:
+    def test_figure4b_chain(self):
+        # Pages accessed by both CPUs go between the two singletons.
+        sets = [make_set({0}), make_set({1}), make_set({0, 1})]
+        ordered = order_access_sets(sets)
+        assert [tuple(sorted(s.cpus)) for s in ordered] == [(0,), (0, 1), (1,)]
+
+    def test_neighbour_chain_many_cpus(self):
+        # {p}, {p,p+1} sets for 4 CPUs must interleave along the path.
+        sets = [make_set({p}) for p in range(4)]
+        sets += [make_set({p, p + 1}) for p in range(3)]
+        ordered = order_access_sets(sets)
+        assert [tuple(sorted(s.cpus)) for s in ordered] == [
+            (0,), (0, 1), (1,), (1, 2), (2,), (2, 3), (3,),
+        ]
+
+    def test_all_sets_present_exactly_once(self):
+        sets = [make_set({p}) for p in range(5)] + [make_set({0, 1, 2, 3})]
+        ordered = order_access_sets(sets)
+        assert len(ordered) == len(sets)
+        assert {id(s) for s in ordered} == {id(s) for s in sets}
+
+    def test_large_set_inserted_next_to_max_overlap(self):
+        sets = [make_set({0}), make_set({1}), make_set({2}),
+                make_set({1, 2, 3})]
+        ordered = order_access_sets(sets)
+        keys = [tuple(sorted(s.cpus)) for s in ordered]
+        big = keys.index((1, 2, 3))
+        # Must be adjacent to a set sharing a processor.
+        neighbours = set()
+        if big > 0:
+            neighbours.update(keys[big - 1])
+        if big < len(keys) - 1:
+            neighbours.update(keys[big + 1])
+        assert neighbours & {1, 2, 3}
+
+    def test_empty_input(self):
+        assert order_access_sets([]) == []
+
+    def test_disconnected_singletons_keep_deterministic_order(self):
+        sets = [make_set({3}), make_set({1}), make_set({7})]
+        ordered = order_access_sets(sets)
+        assert [tuple(sorted(s.cpus)) for s in ordered] == [(1,), (3,), (7,)]
+
+
+class TestOrderSegmentsWithinSet:
+    def seg(self, array, start):
+        return UniformAccessSegment(array, start, start + 4, frozenset({0}))
+
+    def test_grouped_arrays_alternate(self):
+        summary = AccessSummary()
+        summary.add_group("a", "b")
+        segments = [self.seg("a", 0), self.seg("a", 8), self.seg("b", 16),
+                    self.seg("b", 24)]
+        ordered = order_segments_within_set(segments, summary)
+        arrays = [s.array for s in ordered]
+        assert arrays == ["a", "b", "a", "b"]
+
+    def test_without_groups_virtual_address_order(self):
+        summary = AccessSummary()
+        segments = [self.seg("b", 8), self.seg("a", 0), self.seg("c", 16)]
+        ordered = order_segments_within_set(segments, summary)
+        assert [s.start_page for s in ordered] == [0, 8, 16]
+
+    def test_empty(self):
+        assert order_segments_within_set([], AccessSummary()) == []
+
+
+class TestCyclic:
+    def grouped_summary(self):
+        summary = AccessSummary()
+        summary.add_group("a", "b")
+        return summary
+
+    def test_segments_conflict_requires_all_three_conditions(self):
+        summary = self.grouped_summary()
+        a = UniformAccessSegment("a", 0, 8, frozenset({0}))
+        b = UniformAccessSegment("b", 8, 16, frozenset({0}))
+        c = UniformAccessSegment("b", 16, 24, frozenset({1}))
+        # Grouped + shared CPU + overlapping color range (16 colors).
+        assert segments_conflict(a, b, summary, 0, 4, 16)
+        # Disjoint processor sets: no conflict.
+        assert not segments_conflict(a, c, summary, 0, 4, 16)
+        # Disjoint color ranges: no conflict.
+        assert not segments_conflict(a, b, summary, 0, 8, 32)
+        # Same array never conflicts with itself.
+        assert not segments_conflict(a, a, summary, 0, 0, 16)
+
+    def test_emit_segment_pages_rotation(self):
+        seg = UniformAccessSegment("a", 10, 14, frozenset({0}))
+        assert emit_segment_pages(seg, 0) == [10, 11, 12, 13]
+        assert emit_segment_pages(seg, 1) == [11, 12, 13, 10]
+        assert emit_segment_pages(seg, 4) == [10, 11, 12, 13]
+
+    def test_choose_rotation_zero_without_conflicts(self):
+        seg = UniformAccessSegment("a", 0, 8, frozenset({0}))
+        assert choose_rotation(seg, 0, [], 16) == 0
+
+    def test_choose_rotation_separates_starts(self):
+        # Conflicting segment starts at color 0; an 8-page segment placed at
+        # position 0 should rotate so its first page lands far from color 0.
+        seg = UniformAccessSegment("a", 0, 8, frozenset({0}))
+        rotation = choose_rotation(seg, 0, [0], 16)
+        length = seg.num_pages
+        start_color = (0 + (length - rotation) % length) % 16
+        assert min(start_color, 16 - start_color) >= 3
+
+    def test_assign_cyclic_emits_all_pages_once(self):
+        summary = self.grouped_summary()
+        segments = [
+            UniformAccessSegment("a", 0, 8, frozenset({0})),
+            UniformAccessSegment("b", 8, 16, frozenset({0})),
+        ]
+        order, rotations = assign_cyclic(segments, summary, 4)
+        assert sorted(order) == list(range(16))
+        assert set(rotations) == set(segments)
+
+    def test_assign_cyclic_rotates_conflicting_segment(self):
+        # Both segments occupy the full color space, are grouped and share
+        # CPU 0, so the second must be rotated away from the first's start.
+        summary = self.grouped_summary()
+        segments = [
+            UniformAccessSegment("a", 0, 4, frozenset({0})),
+            UniformAccessSegment("b", 4, 8, frozenset({0})),
+        ]
+        order, rotations = assign_cyclic(segments, summary, 4)
+        assert rotations[segments[0]] == 0
+        assert rotations[segments[1]] != 0
+        # First VA pages of the two arrays get different colors.
+        color_of = {page: i % 4 for i, page in enumerate(order)}
+        assert color_of[0] != color_of[4]

@@ -1,0 +1,157 @@
+"""Tests for Step 1: uniform access segments and sets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import Communication
+from repro.core.access_summary import (
+    AccessSummary,
+    ArrayPartitioning,
+    CommunicationPattern,
+)
+from repro.core.segments import (
+    UniformAccessSegment,
+    compute_segments,
+    group_into_sets,
+)
+
+PAGE = 256
+
+
+def summary_for(
+    num_pages=16, unit_pages=1, start_page=0, comm=None, boundary_pages=0
+) -> AccessSummary:
+    part = ArrayPartitioning(
+        "a", start_page * PAGE, num_pages * PAGE, unit_pages * PAGE
+    )
+    summary = AccessSummary(partitionings=[part])
+    if comm is not None:
+        summary.communications.append(
+            CommunicationPattern(part, comm, boundary_pages * PAGE)
+        )
+    return summary
+
+
+class TestComputeSegments:
+    def test_segments_split_at_partition_boundaries(self):
+        segments = compute_segments(summary_for(16), PAGE, 4)
+        assert [(s.start_page, s.end_page, set(s.cpus)) for s in segments] == [
+            (0, 4, {0}),
+            (4, 8, {1}),
+            (8, 12, {2}),
+            (12, 16, {3}),
+        ]
+
+    def test_single_cpu_single_segment(self):
+        segments = compute_segments(summary_for(16), PAGE, 1)
+        assert len(segments) == 1
+        assert segments[0].num_pages == 16
+
+    def test_straddling_page_gets_both_cpus(self):
+        # 3 pages, 2 CPUs: the middle page belongs to both partitions.
+        summary = summary_for(num_pages=3, unit_pages=1)
+        # unit = 1 page, 3 units over 2 cpus -> cpu0 gets 2, cpu1 gets 1;
+        # no straddle.  Use sub-page units instead: 6 units of half a page.
+        part = ArrayPartitioning("a", 0, 3 * PAGE, PAGE // 2)
+        summary = AccessSummary(partitionings=[part])
+        segments = compute_segments(summary, PAGE, 2)
+        cpu_sets = [set(s.cpus) for s in segments]
+        assert cpu_sets == [{0}, {0, 1}, {1}]
+
+    def test_shift_communication_extends_processor_sets(self):
+        summary = summary_for(16, comm=Communication.SHIFT, boundary_pages=1)
+        segments = compute_segments(summary, PAGE, 4)
+        by_page = {}
+        for seg in segments:
+            for page in seg.pages:
+                by_page[page] = set(seg.cpus)
+        # First page of CPU 1's partition is read by CPU 0...
+        assert by_page[4] == {0, 1}
+        # ...and the last page of CPU 0's partition is read by CPU 1.
+        assert by_page[3] == {0, 1}
+        # Interior pages stay private.
+        assert by_page[5] == {1}
+        # The array's outer edges have no neighbour under SHIFT.
+        assert by_page[0] == {0}
+        assert by_page[15] == {3}
+
+    def test_rotate_communication_wraps(self):
+        summary = summary_for(16, comm=Communication.ROTATE, boundary_pages=1)
+        segments = compute_segments(summary, PAGE, 4)
+        by_page = {}
+        for seg in segments:
+            for page in seg.pages:
+                by_page[page] = set(seg.cpus)
+        assert by_page[0] == {0, 3}  # CPU 3 wraps around to read page 0
+        assert by_page[15] == {0, 3}
+
+    def test_segments_respect_array_base(self):
+        segments = compute_segments(summary_for(8, start_page=100), PAGE, 2)
+        assert segments[0].start_page == 100
+        assert segments[-1].end_page == 108
+
+    def test_multiple_partitionings_union_cpus(self):
+        # Same array partitioned forward in one loop and reverse in another:
+        # pages are accessed by both end processors.
+        from repro.common import Direction
+
+        forward = ArrayPartitioning("a", 0, 8 * PAGE, PAGE)
+        reverse = ArrayPartitioning(
+            "a", 0, 8 * PAGE, PAGE, direction=Direction.REVERSE
+        )
+        summary = AccessSummary(partitionings=[forward, reverse])
+        segments = compute_segments(summary, PAGE, 2)
+        by_page = {p: set(s.cpus) for s in segments for p in s.pages}
+        assert by_page[0] == {0, 1}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compute_segments(AccessSummary(), 0, 2)
+        with pytest.raises(ValueError):
+            UniformAccessSegment("a", 4, 4, frozenset({0}))
+
+    @given(st.integers(1, 64), st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_segments_tile_array_exactly(self, num_pages, num_cpus):
+        segments = compute_segments(summary_for(num_pages), PAGE, num_cpus)
+        covered = sorted(page for seg in segments for page in seg.pages)
+        assert covered == list(range(num_pages))
+
+
+class TestGroupIntoSets:
+    def test_groups_by_processor_set_across_arrays(self):
+        a = ArrayPartitioning("a", 0, 8 * PAGE, PAGE)
+        b = ArrayPartitioning("b", 8 * PAGE, 8 * PAGE, PAGE)
+        summary = AccessSummary(partitionings=[a, b])
+        sets = group_into_sets(compute_segments(summary, PAGE, 2))
+        assert len(sets) == 2
+        for access_set in sets:
+            assert sorted(seg.array for seg in access_set.segments) == ["a", "b"]
+            assert access_set.num_pages == 8
+
+    def test_empty_processor_sets_dropped(self):
+        segments = [
+            UniformAccessSegment("a", 0, 4, frozenset()),
+            UniformAccessSegment("a", 4, 8, frozenset({1})),
+        ]
+        sets = group_into_sets(segments)
+        assert len(sets) == 1
+        assert sets[0].cpus == frozenset({1})
+
+    def test_deterministic_order(self):
+        segments = [
+            UniformAccessSegment("a", 0, 4, frozenset({3})),
+            UniformAccessSegment("a", 4, 8, frozenset({1})),
+            UniformAccessSegment("a", 8, 12, frozenset({1, 3})),
+        ]
+        sets = group_into_sets(segments)
+        assert [tuple(sorted(s.cpus)) for s in sets] == [(1,), (1, 3), (3,)]
+
+    def test_set_arrays_listing(self):
+        segments = [
+            UniformAccessSegment("b", 0, 4, frozenset({0})),
+            UniformAccessSegment("a", 4, 8, frozenset({0})),
+        ]
+        sets = group_into_sets(segments)
+        assert sets[0].arrays() == ["b", "a"]

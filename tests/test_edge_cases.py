@@ -1,0 +1,161 @@
+"""Edge cases and failure-injection across the stack."""
+
+import pytest
+
+from repro.compiler.ir import (
+    ArrayDecl,
+    BoundaryAccess,
+    Communication,
+    InstructionStream,
+    Loop,
+    LoopKind,
+    PartitionedAccess,
+    Phase,
+    Program,
+    StridedAccess,
+)
+from repro.compiler.padding import layout_arrays
+from repro.compiler.summaries import extract_summary
+from repro.core.coloring import generate_page_colors
+from repro.machine.config import CacheConfig, MachineConfig
+from repro.sim.engine import EngineOptions, run_program
+
+
+def machine(num_cpus=4) -> MachineConfig:
+    return MachineConfig(
+        num_cpus=num_cpus,
+        page_size=256,
+        l1d=CacheConfig(1024, 64, 2),
+        l1i=CacheConfig(1024, 64, 2),
+        l2=CacheConfig(8192, 64, 1),
+    )
+
+
+def run(program, config, **kw):
+    return run_program(program, config, EngineOptions(**kw))
+
+
+class TestTinyPrograms:
+    def test_single_page_array(self):
+        config = machine(4)
+        arrays = (ArrayDecl("a", config.page_size),)
+        loop = Loop("l", LoopKind.PARALLEL, (PartitionedAccess("a", units=1),))
+        program = Program("tiny", arrays, (Phase("p", (loop,)),))
+        result = run(program, config, cdpc=True)
+        assert result.wall_ns > 0
+
+    def test_more_cpus_than_iterations(self):
+        config = machine(4)
+        arrays = (ArrayDecl("a", 2 * config.page_size),)
+        loop = Loop("l", LoopKind.PARALLEL, (PartitionedAccess("a", units=2),))
+        program = Program("p", arrays, (Phase("p", (loop,)),))
+        result = run(program, config)
+        # Two CPUs work, two idle at the barrier.
+        assert result.stats.cpus[3].instructions == 0
+        assert result.stats.cpus[3].overhead_ns["load_imbalance"] > 0
+
+    def test_instruction_only_loop(self):
+        config = machine(2)
+        arrays = (ArrayDecl("a", config.page_size),)
+        loop = Loop(
+            "icache",
+            LoopKind.SEQUENTIAL,
+            (InstructionStream(footprint_bytes=4096),
+             PartitionedAccess("a", units=1)),
+        )
+        program = Program("p", arrays, (Phase("p", (loop,)),))
+        result = run(program, config)
+        assert result.stats.cpus[0].l1i_misses > 0
+
+    def test_boundary_only_loop(self):
+        config = machine(4)
+        arrays = (ArrayDecl("a", 16 * config.page_size),)
+        loop = Loop(
+            "comm",
+            LoopKind.PARALLEL,
+            (BoundaryAccess("a", units=16, comm=Communication.SHIFT,
+                            boundary_fraction=1.0),),
+        )
+        program = Program("p", arrays, (Phase("p", (loop,)),))
+        result = run(program, config)
+        assert result.wall_ns > 0
+
+
+class TestCdpcDegenerateSummaries:
+    def test_all_strided_program_yields_no_hints(self):
+        """su2cor taken to the limit: nothing is summarizable."""
+        config = machine(4)
+        arrays = (ArrayDecl("a", 16 * config.page_size),)
+        loop = Loop("l", LoopKind.PARALLEL,
+                    (StridedAccess("a", block_bytes=256),))
+        program = Program("p", arrays, (Phase("p", (loop,)),))
+        layout = layout_arrays(arrays, 64, 1024)
+        summary = extract_summary(program, layout)
+        assert summary.partitionings == []
+        coloring = generate_page_colors(summary, config.page_size, 32, 4)
+        assert coloring.colors == {}
+        # The engine still runs: CDPC degrades to the fallback policy.
+        result = run(program, config, cdpc=True)
+        assert result.wall_ns > 0
+
+    def test_single_color_machine(self):
+        summary_config = machine(2)
+        arrays = (ArrayDecl("a", 4 * summary_config.page_size),)
+        loop = Loop("l", LoopKind.PARALLEL, (PartitionedAccess("a", units=4),))
+        program = Program("p", arrays, (Phase("p", (loop,)),))
+        layout = layout_arrays(arrays, 64, 1024)
+        summary = extract_summary(program, layout)
+        coloring = generate_page_colors(summary, summary_config.page_size, 1, 2)
+        assert set(coloring.colors.values()) == {0}
+
+    def test_one_cpu_cdpc_is_harmless(self):
+        config = machine(1)
+        arrays = (ArrayDecl("a", 32 * config.page_size),)
+        loop = Loop("l", LoopKind.PARALLEL, (PartitionedAccess("a", units=32),))
+        program = Program("p", arrays, (Phase("p", (loop,)),))
+        base = run(program, config)
+        cdpc = run(program, config, cdpc=True)
+        assert cdpc.wall_ns == pytest.approx(base.wall_ns, rel=0.02)
+
+
+class TestExtremePressure:
+    def test_total_pressure_still_runs_with_fallback_colors(self):
+        config = machine(2)
+        arrays = (ArrayDecl("a", 8 * config.page_size),)
+        loop = Loop("l", LoopKind.PARALLEL, (PartitionedAccess("a", units=8),))
+        program = Program("p", arrays, (Phase("p", (loop,)),))
+        # Occupy half of physical memory; plenty remains in absolute terms
+        # but many preferred colors are exhausted.
+        result = run(program, config, cdpc=True, memory_pressure=0.5)
+        assert result.wall_ns > 0
+
+    def test_zero_jitter_and_seed_do_not_crash_bin_hopping(self):
+        config = machine(2)
+        arrays = (ArrayDecl("a", 8 * config.page_size),)
+        loop = Loop("l", LoopKind.PARALLEL, (PartitionedAccess("a", units=8),))
+        program = Program("p", arrays, (Phase("p", (loop,)),))
+        result = run(program, config, policy="bin_hopping", init_jitter=0)
+        assert result.wall_ns > 0
+
+
+class TestFractionalSweeps:
+    def test_fractional_sweep_produces_partial_retraversal(self):
+        config = machine(1)
+        arrays = (ArrayDecl("a", 4 * config.page_size),)
+        loop = Loop(
+            "l", LoopKind.PARALLEL,
+            (PartitionedAccess("a", units=4, sweeps=1.5),),
+        )
+        program = Program("p", arrays, (Phase("p", (loop,)),))
+        full = Program(
+            "p2", arrays,
+            (Phase("p", (Loop("l", LoopKind.PARALLEL,
+                              (PartitionedAccess("a", units=4, sweeps=1.0),)),)),),
+        )
+        partial = run(program, config)
+        single = run(full, config)
+        ratio = (
+            partial.stats.total_instructions()
+            / single.stats.total_instructions()
+        )
+        assert 1.4 < ratio < 1.6

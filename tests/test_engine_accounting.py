@@ -1,0 +1,92 @@
+"""Exact-value tests for the engine's time accounting."""
+
+import math
+
+import pytest
+
+from repro.compiler.ir import ArrayDecl, Loop, LoopKind, PartitionedAccess, Phase, Program
+from repro.machine.config import CacheConfig, MachineConfig
+from repro.sim.engine import EngineOptions, _Simulation
+
+
+def machine(num_cpus=4) -> MachineConfig:
+    return MachineConfig(
+        num_cpus=num_cpus,
+        page_size=256,
+        l1d=CacheConfig(1024, 64, 2),
+        l1i=CacheConfig(1024, 64, 2),
+        l2=CacheConfig(8192, 64, 1),
+    )
+
+
+def simple_program(pages=16):
+    arrays = (ArrayDecl("a", pages * 256),)
+    loop = Loop("l", LoopKind.PARALLEL, (PartitionedAccess("a", units=pages),))
+    return Program("p", arrays, (Phase("ph", (loop,)),))
+
+
+class TestBarrier:
+    def test_barrier_equalizes_clocks_and_charges_imbalance(self):
+        config = machine(3)
+        sim = _Simulation(simple_program(), config, EngineOptions())
+        sim.clocks = [100.0, 250.0, 175.0]
+        sim._barrier()
+        cost = 500.0 + 300.0 * math.log2(3)
+        assert sim.clocks == [250.0 + cost] * 3
+        stats = sim.ms.stats.cpus
+        assert stats[0].overhead_ns["load_imbalance"] == pytest.approx(150.0)
+        assert stats[1].overhead_ns["load_imbalance"] == pytest.approx(0.0)
+        assert stats[2].overhead_ns["load_imbalance"] == pytest.approx(75.0)
+        for cpu in range(3):
+            assert stats[cpu].overhead_ns["synchronization"] == pytest.approx(cost)
+
+    def test_single_cpu_barrier_free(self):
+        config = machine(1)
+        sim = _Simulation(simple_program(), config, EngineOptions())
+        sim.clocks = [42.0]
+        sim._barrier()
+        assert sim.clocks == [42.0]
+        assert sim.ms.stats.cpus[0].overhead_ns["synchronization"] == 0.0
+
+
+class TestSequentialTail:
+    def test_fraction_adds_master_time_and_slave_overhead(self):
+        import dataclasses
+
+        config = machine(2)
+        program = dataclasses.replace(simple_program(), sequential_fraction=0.25)
+        sim = _Simulation(program, config, EngineOptions())
+        sim.clocks = [1000.0, 1000.0]
+        sim._run_sequential_tail(400.0)
+        assert sim.clocks == [1100.0, 1100.0]
+        assert sim.ms.stats.cpus[0].busy_ns == pytest.approx(100.0)
+        assert sim.ms.stats.cpus[1].overhead_ns["sequential"] == pytest.approx(100.0)
+
+    def test_zero_fraction_is_noop(self):
+        config = machine(2)
+        sim = _Simulation(simple_program(), config, EngineOptions())
+        sim.clocks = [10.0, 10.0]
+        sim._run_sequential_tail(400.0)
+        assert sim.clocks == [10.0, 10.0]
+
+
+class TestInitAccounting:
+    def test_init_touches_every_page_once(self):
+        config = machine(2)
+        program = simple_program(pages=16)
+        sim = _Simulation(program, config, EngineOptions())
+        sim.run_init()
+        assert sim.vm.faults >= 16  # all data pages (plus pad spill-over)
+        assert sim.init_ns > 0
+        assert sim.clocks[0] == sim.clocks[1] == sim.init_ns
+
+    def test_init_kernel_time_scales_with_faults(self):
+        config = machine(1)
+        small = _Simulation(simple_program(pages=4), config, EngineOptions())
+        large = _Simulation(simple_program(pages=32), config, EngineOptions())
+        small.run_init()
+        large.run_init()
+        assert (
+            large.ms.stats.cpus[0].overhead_ns["kernel"]
+            > small.ms.stats.cpus[0].overhead_ns["kernel"]
+        )

@@ -1,0 +1,66 @@
+"""Smoke tests: every example script runs and produces expected output."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py", "fpppp", "2")
+    assert "page coloring (IRIX)" in out
+    assert "CDPC speedup over page coloring" in out
+
+
+def test_algorithm_walkthrough():
+    out = run_example("algorithm_walkthrough.py")
+    for step in ("step 1", "step 2", "step 3", "step 4", "step 5"):
+        assert step in out
+    assert "array starts" in out
+
+
+def test_policy_comparison():
+    out = run_example("policy_comparison.py", "fpppp")
+    assert "speedup cdpc" in out
+    assert "145.fpppp" in out
+
+
+def test_custom_workload():
+    out = run_example("custom_workload.py")
+    assert "custom workload 'redblack'" in out
+    assert "speedup" in out
+
+
+def test_characterization():
+    out = run_example("characterization.py", "fpppp")
+    assert "combined execution time" in out
+    assert "bus utilization" in out
+
+
+def test_figure3_and_5():
+    out = run_example("figure3_and_5.py", "tomcatv", "4")
+    assert "Figure 3" in out and "Figure 5" in out
+    assert "cpu3" in out
+    assert "' = one cache" in out
+
+
+def test_affine_analysis():
+    out = run_example("affine_analysis.py")
+    assert "derived access patterns" in out
+    assert "PartitionedAccess" in out
+    assert "BoundaryAccess" in out
+    assert "speedup" in out

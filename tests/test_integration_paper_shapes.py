@@ -1,0 +1,120 @@
+"""End-to-end checks of the paper's qualitative results.
+
+These run the real benchmark stack (scaled 1/16) for the cases whose
+direction the paper states unambiguously.  They are the slowest tests in
+the suite (a few seconds each) but they pin down the headline behaviours
+the benchmarks in ``benchmarks/`` quantify.
+"""
+
+import pytest
+
+from repro.machine.config import sgi_4mb, sgi_base
+from repro.machine.stats import MissKind
+from repro.sim.engine import run_benchmark
+from repro.sim.tracegen import SimProfile
+
+FAST = SimProfile.fast()
+
+
+def run(name, config, **kwargs):
+    return run_benchmark(name, config, profile=FAST, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def tomcatv_16():
+    config = sgi_base(16).scaled(16)
+    return {
+        "pc": run("tomcatv", config, policy="page_coloring"),
+        "bh": run("tomcatv", config, policy="bin_hopping"),
+        "cdpc": run("tomcatv", config, policy="page_coloring", cdpc=True),
+    }
+
+
+class TestTomcatv(object):
+    def test_cdpc_eliminates_conflicts_at_16_cpus(self, tomcatv_16):
+        # Section 6.1: when the working set fits the aggregate cache, CDPC
+        # eliminates nearly all conflict misses.
+        pc = tomcatv_16["pc"].misses(MissKind.CONFLICT)
+        cdpc = tomcatv_16["cdpc"].misses(MissKind.CONFLICT)
+        assert cdpc < pc / 10
+
+    def test_cdpc_beats_both_policies(self, tomcatv_16):
+        assert tomcatv_16["cdpc"].wall_ns < tomcatv_16["pc"].wall_ns
+        assert tomcatv_16["cdpc"].wall_ns < tomcatv_16["bh"].wall_ns
+
+    def test_bin_hopping_beats_page_coloring(self, tomcatv_16):
+        # Figure 9: for tomcatv, bin hopping outperforms page coloring.
+        assert tomcatv_16["bh"].wall_ns < tomcatv_16["pc"].wall_ns
+
+    def test_no_gain_at_one_cpu(self):
+        config = sgi_base(1).scaled(16)
+        pc = run("tomcatv", config, policy="page_coloring")
+        cdpc = run("tomcatv", config, policy="page_coloring", cdpc=True)
+        assert cdpc.wall_ns == pytest.approx(pc.wall_ns, rel=0.05)
+
+
+class TestApplu:
+    def test_no_benefit_with_1mb_cache(self):
+        # Figure 6: applu's 31MB data set swamps the 1MB caches.
+        config = sgi_base(8).scaled(16)
+        pc = run("applu", config, policy="page_coloring")
+        cdpc = run("applu", config, policy="page_coloring", cdpc=True)
+        assert cdpc.wall_ns == pytest.approx(pc.wall_ns, rel=0.15)
+
+    def test_benefit_appears_with_4mb_cache(self):
+        # Figure 7: benefits appear with the larger 4MB configuration.
+        config = sgi_4mb(8).scaled(16)
+        pc = run("applu", config, policy="page_coloring")
+        cdpc = run("applu", config, policy="page_coloring", cdpc=True)
+        assert cdpc.wall_ns < pc.wall_ns * 0.9
+
+    def test_load_imbalance_at_16_cpus(self):
+        # Section 4.1: 33 iterations leave 16 processors imbalanced.
+        config = sgi_base(16).scaled(16)
+        result = run("applu", config, policy="page_coloring")
+        imbalance = result.overhead_breakdown_ns()["load_imbalance"]
+        assert imbalance > 0.1 * result.wall_ns
+
+
+class TestOutliers:
+    def test_apsi_insensitive_to_cdpc(self):
+        config = sgi_base(8).scaled(16)
+        pc = run("apsi", config, policy="page_coloring")
+        cdpc = run("apsi", config, policy="page_coloring", cdpc=True)
+        assert cdpc.wall_ns == pytest.approx(pc.wall_ns, rel=0.1)
+
+    def test_fpppp_flat_across_policies(self):
+        # Table 2: fpppp's time is identical across policies.
+        config = sgi_base(8).scaled(16)
+        times = [
+            run("fpppp", config, policy=policy).wall_ns
+            for policy in ("page_coloring", "bin_hopping")
+        ]
+        assert times[0] == pytest.approx(times[1], rel=0.2)
+
+    def test_suppressed_workloads_show_no_speedup(self):
+        # apsi and fpppp gain little from more processors (Figure 2).
+        one = run("fpppp", sgi_base(1).scaled(16), policy="page_coloring")
+        eight = run("fpppp", sgi_base(8).scaled(16), policy="page_coloring")
+        assert eight.wall_ns > one.wall_ns * 0.7  # no meaningful speedup
+
+
+class TestPrefetching:
+    def test_prefetch_helps_tomcatv_with_cdpc(self):
+        # Figure 8: prefetching hides the misses CDPC does not eliminate.
+        config = sgi_base(4).scaled(16)
+        cdpc = run("tomcatv", config, policy="page_coloring", cdpc=True)
+        both = run(
+            "tomcatv", config, policy="page_coloring", cdpc=True, prefetch=True
+        )
+        assert both.wall_ns < cdpc.wall_ns
+        assert both.stats.cpus[0].prefetches_issued > 0
+
+    def test_prefetch_ineffective_for_applu(self):
+        # Section 6.2: tiling inhibits pipelining and large strides drop
+        # prefetches on TLB misses.
+        config = sgi_base(8).scaled(16)
+        base = run("applu", config, policy="page_coloring")
+        prefetched = run("applu", config, policy="page_coloring", prefetch=True)
+        stats = prefetched.stats.cpus[0]
+        assert prefetched.wall_ns > base.wall_ns * 0.9

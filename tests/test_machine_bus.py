@@ -1,0 +1,107 @@
+"""Tests for the split-transaction bus contention model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.bus import BusTransactionKind, SplitTransactionBus
+
+
+class TestBus:
+    def test_idle_bus_grants_immediately(self):
+        bus = SplitTransactionBus(1.2)
+        assert bus.request(1000.0, 128, BusTransactionKind.DATA) == 1000.0
+
+    def test_occupancy_includes_command_overhead(self):
+        bus = SplitTransactionBus(1.0)  # 1 byte/ns
+        assert bus.occupancy_ns(128) == pytest.approx(128 + bus.COMMAND_BYTES)
+
+    def test_back_to_back_requests_queue(self):
+        bus = SplitTransactionBus(1.0)
+        first = bus.request(0.0, 112, BusTransactionKind.DATA)  # occupies 128ns
+        second = bus.request(0.0, 112, BusTransactionKind.DATA)
+        assert first == 0.0
+        assert second == pytest.approx(128.0)
+
+    def test_backlog_drains_with_elapsed_time(self):
+        bus = SplitTransactionBus(1.0)
+        bus.request(0.0, 112, BusTransactionKind.DATA)  # backlog 128ns
+        # 60ns later, 68ns of backlog remain.
+        assert bus.request(60.0, 112, BusTransactionKind.DATA) == pytest.approx(128.0)
+        # Far in the future the backlog is gone.
+        assert bus.request(10_000.0, 112, BusTransactionKind.DATA) == pytest.approx(
+            10_000.0
+        )
+
+    def test_past_timestamp_not_charged_for_skew(self):
+        """A requester whose clock lags recent traffic pays only the
+        backlog, not the skew (the out-of-order simulation guarantee)."""
+        bus = SplitTransactionBus(1.0)
+        bus.request(100_000.0, 112, BusTransactionKind.DATA)
+        grant = bus.request(50_000.0, 112, BusTransactionKind.DATA)
+        assert grant - 50_000.0 == pytest.approx(128.0)
+
+    def test_busy_accounting_by_kind(self):
+        bus = SplitTransactionBus(1.0)
+        bus.request(0.0, 112, BusTransactionKind.DATA)
+        bus.request(0.0, 112, BusTransactionKind.WRITEBACK)
+        bus.request(0.0, 0, BusTransactionKind.UPGRADE)
+        assert bus.busy_ns[BusTransactionKind.DATA] == pytest.approx(128.0)
+        assert bus.busy_ns[BusTransactionKind.WRITEBACK] == pytest.approx(128.0)
+        assert bus.busy_ns[BusTransactionKind.UPGRADE] == pytest.approx(16.0)
+        assert bus.transactions[BusTransactionKind.DATA] == 1
+
+    def test_utilization(self):
+        bus = SplitTransactionBus(1.0)
+        bus.request(0.0, 112, BusTransactionKind.DATA)
+        assert bus.utilization(256.0) == pytest.approx(0.5)
+        assert bus.utilization(64.0) == 1.0  # clamped
+        assert bus.utilization(0.0) == 0.0
+
+    def test_utilization_breakdown_sums_to_utilization(self):
+        bus = SplitTransactionBus(1.2)
+        for _ in range(5):
+            bus.request(0.0, 128, BusTransactionKind.DATA)
+            bus.request(0.0, 128, BusTransactionKind.WRITEBACK)
+        elapsed = 10_000.0
+        breakdown = bus.utilization_breakdown(elapsed)
+        assert sum(breakdown.values()) == pytest.approx(bus.utilization(elapsed))
+
+    def test_queue_delay_reflects_backlog(self):
+        bus = SplitTransactionBus(1.0)
+        assert bus.queue_delay(0.0) == 0.0
+        bus.request(0.0, 112, BusTransactionKind.DATA)
+        assert bus.queue_delay(0.0) == pytest.approx(128.0)
+        assert bus.queue_delay(200.0) == 0.0
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            SplitTransactionBus(0.0)
+
+    def test_higher_bandwidth_shorter_occupancy(self):
+        slow = SplitTransactionBus(1.2)
+        fast = SplitTransactionBus(2.4)
+        assert fast.occupancy_ns(128) == pytest.approx(slow.occupancy_ns(128) / 2)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 1e6), st.integers(0, 256)),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_grant_never_precedes_request(self, requests):
+        bus = SplitTransactionBus(1.2)
+        for time_ns, payload in requests:
+            grant = bus.request(time_ns, payload, BusTransactionKind.DATA)
+            assert grant >= time_ns
+
+    @given(st.lists(st.floats(0, 1e6), min_size=2, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_total_busy_equals_sum_of_occupancies(self, times):
+        bus = SplitTransactionBus(1.2)
+        for time_ns in times:
+            bus.request(time_ns, 128, BusTransactionKind.DATA)
+        expected = len(times) * bus.occupancy_ns(128)
+        assert bus.total_busy_ns == pytest.approx(expected)

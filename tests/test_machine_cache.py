@@ -1,0 +1,144 @@
+"""Tests for the set-associative and fully-associative cache models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.cache import FullyAssociativeLRU, SetAssociativeCache
+from repro.machine.config import CacheConfig
+
+
+def make_cache(size=1024, line=64, assoc=1) -> SetAssociativeCache:
+    return SetAssociativeCache(CacheConfig(size, line, assoc))
+
+
+class TestSetAssociativeCache:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.lookup(0)
+        cache.insert(0)
+        assert cache.lookup(0)
+
+    def test_direct_mapped_conflict_evicts(self):
+        cache = make_cache(size=1024, line=64, assoc=1)  # 16 sets
+        cache.insert(0)
+        evicted = cache.insert(1024)  # same set, one cache-size apart
+        assert evicted == 0
+        assert not cache.contains(0)
+        assert cache.contains(1024)
+
+    def test_two_way_holds_both(self):
+        cache = make_cache(size=1024, line=64, assoc=2)
+        cache.insert(0)
+        assert cache.insert(512) is None  # same set, second way
+        assert cache.contains(0) and cache.contains(512)
+
+    def test_lru_evicts_least_recent(self):
+        cache = make_cache(size=1024, line=64, assoc=2)
+        cache.insert(0)
+        cache.insert(512)
+        cache.lookup(0)  # 0 becomes MRU
+        evicted = cache.insert(1024)
+        assert evicted == 512
+
+    def test_reinsert_does_not_evict(self):
+        cache = make_cache(assoc=2)
+        cache.insert(0)
+        cache.insert(512)
+        assert cache.insert(0) is None
+        assert cache.occupancy() == 2
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.insert(0)
+        assert cache.invalidate(0)
+        assert not cache.contains(0)
+        assert not cache.invalidate(0)
+
+    def test_contains_does_not_touch_lru(self):
+        cache = make_cache(assoc=2)
+        cache.insert(0)
+        cache.insert(512)  # MRU now 512
+        cache.contains(0)  # must NOT promote 0
+        assert cache.insert(1024) == 0
+
+    def test_utilization_and_flush(self):
+        cache = make_cache(size=512, line=64, assoc=1)  # 8 lines
+        for i in range(4):
+            cache.insert(i * 64)
+        assert cache.utilization() == pytest.approx(0.5)
+        cache.flush()
+        assert cache.occupancy() == 0
+
+    def test_resident_lines(self):
+        cache = make_cache()
+        cache.insert(0)
+        cache.insert(64)
+        assert set(cache.resident_lines()) == {0, 64}
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, line_indices):
+        cache = make_cache(size=512, line=64, assoc=2)  # 8 lines
+        for index in line_indices:
+            cache.insert(index * 64)
+        assert cache.occupancy() <= cache.config.num_lines
+        # Per-set bound: no set holds more than its associativity.
+        for ways in cache._sets:
+            assert len(ways) <= 2
+
+    @given(st.lists(st.integers(0, 31), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_most_recent_insert_always_resident(self, line_indices):
+        cache = make_cache(size=512, line=64, assoc=1)
+        for index in line_indices:
+            cache.insert(index * 64)
+        assert cache.contains(line_indices[-1] * 64)
+
+
+class TestFullyAssociativeLRU:
+    def test_hit_and_miss(self):
+        shadow = FullyAssociativeLRU(4)
+        assert not shadow.access(0)
+        assert shadow.access(0)
+
+    def test_lru_eviction_order(self):
+        shadow = FullyAssociativeLRU(2)
+        shadow.access(1)
+        shadow.access(2)
+        shadow.access(1)  # 2 is now LRU
+        shadow.access(3)  # evicts 2
+        assert shadow.contains(1)
+        assert not shadow.contains(2)
+        assert shadow.contains(3)
+
+    def test_capacity_bound(self):
+        shadow = FullyAssociativeLRU(3)
+        for i in range(10):
+            shadow.access(i)
+        assert len(shadow) == 3
+
+    def test_invalidate(self):
+        shadow = FullyAssociativeLRU(2)
+        shadow.access(5)
+        assert shadow.invalidate(5)
+        assert not shadow.invalidate(5)
+        assert not shadow.contains(5)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            FullyAssociativeLRU(0)
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=200),
+           st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_lru_inclusion_property(self, refs, capacity):
+        """LRU is a stack algorithm: a larger fully-associative LRU hits
+        on every reference a smaller one hits on (the property that makes
+        the shadow-cache miss classification well defined)."""
+        small = FullyAssociativeLRU(capacity)
+        large = FullyAssociativeLRU(capacity * 2)
+        for ref in refs:
+            small_hit = small.access(ref)
+            large_hit = large.access(ref)
+            assert large_hit or not small_hit

@@ -1,0 +1,126 @@
+"""Tests for machine configuration geometry and scaling."""
+
+import pytest
+
+from repro.machine.config import (
+    CacheConfig,
+    MachineConfig,
+    TlbConfig,
+    alpha_server,
+    sgi_2way,
+    sgi_4mb,
+    sgi_base,
+)
+
+
+class TestCacheConfig:
+    def test_num_sets_direct_mapped(self):
+        cache = CacheConfig(1024 * 1024, 128, 1)
+        assert cache.num_lines == 8192
+        assert cache.num_sets == 8192
+
+    def test_num_sets_two_way(self):
+        cache = CacheConfig(1024 * 1024, 128, 2)
+        assert cache.num_sets == 4096
+
+    def test_line_address_masks_offset(self):
+        cache = CacheConfig(4096, 64, 1)
+        assert cache.line_address(130) == 128
+        assert cache.line_address(64) == 64
+        assert cache.line_address(63) == 0
+
+    def test_set_index_wraps_at_cache_size(self):
+        cache = CacheConfig(4096, 64, 1)
+        assert cache.set_index(0) == cache.set_index(4096)
+        assert cache.set_index(64) == 1
+
+    def test_word_offset(self):
+        cache = CacheConfig(4096, 64, 1)
+        assert cache.word_offset(0) == 0
+        assert cache.word_offset(8) == 1
+        assert cache.word_offset(64 + 16) == 2
+
+    def test_rejects_non_power_of_two_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1000, 64, 1)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1024, 96, 1)
+
+    def test_rejects_zero_associativity(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1024, 64, 0)
+
+    def test_scaled_preserves_line_size(self):
+        cache = CacheConfig(1024 * 1024, 128, 2).scaled(16)
+        assert cache.size == 64 * 1024
+        assert cache.line_size == 128
+        assert cache.associativity == 2
+
+    def test_scaled_rejects_sub_set_result(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1024, 128, 4).scaled(16)
+
+
+class TestMachineConfig:
+    def test_base_colors_match_paper(self):
+        # Section 2.1: 1MB cache, 4KB pages -> 256 colors direct-mapped.
+        assert sgi_base().num_colors == 256
+
+    def test_two_way_halves_colors(self):
+        # ... and 128 if the cache is two-way set-associative.
+        assert sgi_2way().num_colors == 128
+
+    def test_4mb_colors(self):
+        assert sgi_4mb().num_colors == 1024
+
+    def test_scaling_preserves_color_count(self):
+        for factor in (2, 4, 8, 16):
+            assert sgi_base().scaled(factor).num_colors == 256
+            assert sgi_2way().scaled(factor).num_colors == 128
+
+    def test_scaling_compounds(self):
+        config = sgi_base().scaled(4).scaled(4)
+        assert config.scale_factor == 16
+        assert config.page_size == 256
+
+    def test_scale_factor_one_is_identity(self):
+        config = sgi_base()
+        assert config.scaled(1) is config
+
+    def test_cycle_time(self):
+        assert sgi_base().cycle_ns == pytest.approx(2.5)
+        assert alpha_server().cycle_ns == pytest.approx(1000 / 350)
+
+    def test_page_number(self):
+        config = sgi_base()
+        assert config.page_number(4095) == 0
+        assert config.page_number(4096) == 1
+
+    def test_page_color_of_frame_cycles(self):
+        config = sgi_base()
+        assert config.page_color_of_frame(0) == 0
+        assert config.page_color_of_frame(256) == 0
+        assert config.page_color_of_frame(257) == 1
+
+    def test_with_cpus(self):
+        assert sgi_base(1).with_cpus(8).num_cpus == 8
+
+    def test_rejects_zero_cpus(self):
+        with pytest.raises(ValueError):
+            MachineConfig(num_cpus=0)
+
+    def test_rejects_page_smaller_than_line(self):
+        with pytest.raises(ValueError):
+            MachineConfig(page_size=64, l2=CacheConfig(1024 * 1024, 128, 1))
+
+    def test_alpha_server_matches_section7(self):
+        config = alpha_server(8)
+        assert config.num_cpus == 8
+        assert config.cpu_clock_mhz == 350.0
+        assert config.l2.size == 4 * 1024 * 1024
+        assert config.l2.associativity == 1
+
+    def test_tlb_defaults(self):
+        assert TlbConfig().entries == 64

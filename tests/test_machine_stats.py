@@ -1,0 +1,111 @@
+"""Tests for the statistics module (MCPI math, aggregation, categories)."""
+
+import pytest
+
+from repro.machine.stats import OVERHEAD_CATEGORIES, CpuStats, MachineStats, MissKind
+
+
+class TestMissKind:
+    def test_replacement_kinds(self):
+        assert MissKind.CAPACITY.is_replacement
+        assert MissKind.CONFLICT.is_replacement
+        assert not MissKind.COLD.is_replacement
+        assert not MissKind.TRUE_SHARING.is_replacement
+
+    def test_communication_kinds(self):
+        assert MissKind.TRUE_SHARING.is_communication
+        assert MissKind.FALSE_SHARING.is_communication
+        assert not MissKind.CAPACITY.is_communication
+
+    def test_kinds_partition(self):
+        for kind in MissKind:
+            assert not (kind.is_replacement and kind.is_communication)
+
+
+class TestCpuStats:
+    def make(self) -> CpuStats:
+        stats = CpuStats()
+        stats.instructions = 400
+        stats.busy_ns = 1000.0  # 2.5ns/instr
+        stats.l1_stall_ns = 100.0
+        stats.l2_stall_ns[MissKind.CONFLICT] = 300.0
+        stats.l2_stall_ns[MissKind.TRUE_SHARING] = 100.0
+        stats.l2_misses[MissKind.CONFLICT] = 3
+        stats.l2_misses[MissKind.CAPACITY] = 2
+        stats.l2_misses[MissKind.FALSE_SHARING] = 1
+        stats.overhead_ns["kernel"] = 50.0
+        stats.overhead_ns["sequential"] = 150.0
+        return stats
+
+    def test_miss_totals(self):
+        stats = self.make()
+        assert stats.total_l2_misses == 6
+        assert stats.replacement_misses == 5
+        assert stats.communication_misses == 1
+
+    def test_memory_stall(self):
+        assert self.make().memory_stall_ns == 500.0
+
+    def test_mcpi_definition(self):
+        # 500ns stall / (2.5ns cycle * 400 instructions) = 0.5.
+        assert self.make().mcpi() == pytest.approx(0.5)
+
+    def test_mcpi_zero_without_instructions(self):
+        assert CpuStats().mcpi() == 0.0
+
+    def test_mcpi_breakdown_sums(self):
+        stats = self.make()
+        parts = stats.mcpi_breakdown()
+        assert sum(parts.values()) == pytest.approx(stats.mcpi())
+        assert parts["conflict"] == pytest.approx(0.3)
+        assert parts["l1"] == pytest.approx(0.1)
+
+    def test_mcpi_breakdown_empty_for_idle_cpu(self):
+        assert CpuStats().mcpi_breakdown() == {}
+
+    def test_time_hierarchy(self):
+        stats = self.make()
+        assert stats.execution_ns == 1500.0
+        assert stats.overhead_total_ns == 200.0
+        assert stats.total_ns == 1700.0
+
+    def test_overhead_categories_complete(self):
+        assert set(CpuStats().overhead_ns) == set(OVERHEAD_CATEGORIES)
+
+
+class TestMachineStats:
+    def test_for_cpus_independent_instances(self):
+        stats = MachineStats.for_cpus(3)
+        stats[0].instructions = 5
+        assert stats[1].instructions == 0
+        assert stats.num_cpus == 3
+
+    def test_totals(self):
+        stats = MachineStats.for_cpus(2)
+        for cpu in stats.cpus:
+            cpu.instructions = 10
+            cpu.l2_misses[MissKind.COLD] = 2
+        assert stats.total_instructions() == 20
+        assert stats.total_misses(MissKind.COLD) == 4
+        assert stats.total_l2_misses() == 4
+
+    def test_combined_overheads(self):
+        stats = MachineStats.for_cpus(2)
+        stats[0].overhead_ns["kernel"] = 10.0
+        stats[1].overhead_ns["kernel"] = 20.0
+        assert stats.combined_overhead_ns()["kernel"] == 30.0
+
+    def test_mean_mcpi_skips_idle_cpus(self):
+        stats = MachineStats.for_cpus(2)
+        stats[0].instructions = 100
+        stats[0].busy_ns = 250.0
+        stats[0].l1_stall_ns = 250.0
+        # CPU 1 never ran: it must not drag the mean to half.
+        assert stats.mean_mcpi() == pytest.approx(1.0)
+
+    def test_mean_mcpi_empty(self):
+        assert MachineStats.for_cpus(2).mean_mcpi() == 0.0
+
+    def test_miss_breakdown_keys(self):
+        stats = MachineStats.for_cpus(1)
+        assert set(stats.miss_breakdown()) == {k.value for k in MissKind}

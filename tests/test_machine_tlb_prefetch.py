@@ -1,0 +1,79 @@
+"""Tests for the TLB and the prefetch unit."""
+
+import pytest
+
+from repro.machine.config import TlbConfig
+from repro.machine.prefetch import PrefetchUnit
+from repro.machine.tlb import Tlb
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb(TlbConfig(entries=4))
+        assert not tlb.access(1)
+        assert tlb.access(1)
+        assert tlb.hits == 1 and tlb.misses == 1
+
+    def test_lru_eviction(self):
+        tlb = Tlb(TlbConfig(entries=2))
+        tlb.access(1)
+        tlb.access(2)
+        tlb.access(1)  # 2 becomes LRU
+        tlb.access(3)  # evicts 2
+        assert tlb.probe(1)
+        assert not tlb.probe(2)
+        assert tlb.probe(3)
+
+    def test_probe_does_not_fill(self):
+        tlb = Tlb(TlbConfig(entries=4))
+        assert not tlb.probe(7)
+        assert not tlb.access(7)  # still a miss: probe must not have filled
+
+    def test_capacity_bound(self):
+        tlb = Tlb(TlbConfig(entries=8))
+        for vpage in range(100):
+            tlb.access(vpage)
+        assert len(tlb) == 8
+
+    def test_invalidate_and_flush(self):
+        tlb = Tlb(TlbConfig(entries=4))
+        tlb.access(1)
+        tlb.access(2)
+        tlb.invalidate(1)
+        assert not tlb.probe(1)
+        tlb.flush()
+        assert len(tlb) == 0
+
+
+class TestPrefetchUnit:
+    def test_no_stall_below_limit(self):
+        unit = PrefetchUnit(4)
+        for i in range(4):
+            assert unit.issue(0.0, 500.0) == 0.0
+        assert unit.outstanding_at(0.0) == 4
+
+    def test_fifth_prefetch_stalls_until_earliest_completes(self):
+        # Section 6.2: the processor supports up to four outstanding
+        # prefetches; a fifth stalls the processor.
+        unit = PrefetchUnit(4)
+        for completion in (100.0, 200.0, 300.0, 400.0):
+            unit.issue(0.0, completion)
+        stall = unit.issue(50.0, 550.0)
+        assert stall == pytest.approx(50.0)  # waits until t=100
+
+    def test_completions_retire_with_time(self):
+        unit = PrefetchUnit(2)
+        unit.issue(0.0, 100.0)
+        unit.issue(0.0, 200.0)
+        assert unit.outstanding_at(150.0) == 1
+        assert unit.issue(150.0, 600.0) == 0.0
+
+    def test_reset(self):
+        unit = PrefetchUnit(1)
+        unit.issue(0.0, 1000.0)
+        unit.reset()
+        assert unit.outstanding_at(0.0) == 0
+
+    def test_rejects_zero_limit(self):
+        with pytest.raises(ValueError):
+            PrefetchUnit(0)

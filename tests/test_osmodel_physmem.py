@@ -1,0 +1,108 @@
+"""Tests for the physical memory manager."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.osmodel.physmem import OutOfMemoryError, PhysicalMemory
+
+
+class TestPhysicalMemory:
+    def test_color_of_cycles(self):
+        pm = PhysicalMemory(num_frames=32, num_colors=8)
+        assert pm.color_of(0) == 0
+        assert pm.color_of(8) == 0
+        assert pm.color_of(9) == 1
+
+    def test_alloc_honors_preferred_color(self):
+        pm = PhysicalMemory(num_frames=32, num_colors=8)
+        frame = pm.alloc(preferred_color=3)
+        assert pm.color_of(frame) == 3
+        assert pm.hints_honored == 1
+
+    def test_alloc_without_preference_takes_any(self):
+        pm = PhysicalMemory(num_frames=8, num_colors=8)
+        frames = {pm.alloc() for _ in range(8)}
+        assert len(frames) == 8
+
+    def test_fallback_spirals_to_nearest_color(self):
+        pm = PhysicalMemory(num_frames=8, num_colors=8)  # one frame per color
+        pm.alloc(preferred_color=3)
+        fallback = pm.alloc(preferred_color=3)
+        assert pm.color_of(fallback) in (2, 4)
+        assert pm.hints_honored == 1
+        assert pm.hint_requests == 2
+
+    def test_hint_honor_rate(self):
+        pm = PhysicalMemory(num_frames=8, num_colors=8)
+        pm.alloc(preferred_color=0)
+        pm.alloc(preferred_color=0)  # falls back
+        assert pm.hint_honor_rate == pytest.approx(0.5)
+
+    def test_honor_rate_defaults_to_one(self):
+        pm = PhysicalMemory(num_frames=8, num_colors=8)
+        assert pm.hint_honor_rate == 1.0
+
+    def test_out_of_memory(self):
+        pm = PhysicalMemory(num_frames=8, num_colors=8)
+        for _ in range(8):
+            pm.alloc()
+        with pytest.raises(OutOfMemoryError):
+            pm.alloc()
+        with pytest.raises(OutOfMemoryError):
+            pm.alloc(preferred_color=0)
+
+    def test_free_makes_frame_reusable(self):
+        pm = PhysicalMemory(num_frames=8, num_colors=8)
+        frame = pm.alloc(preferred_color=5)
+        pm.free(frame)
+        assert pm.alloc(preferred_color=5) == frame
+
+    def test_free_rejects_out_of_range(self):
+        pm = PhysicalMemory(num_frames=8, num_colors=8)
+        with pytest.raises(ValueError):
+            pm.free(99)
+
+    def test_occupy_fraction_reduces_free_frames(self):
+        pm = PhysicalMemory(num_frames=64, num_colors=8)
+        taken = pm.occupy_fraction(0.5, seed=1)
+        assert len(taken) == 32
+        assert pm.free_frames() == 32
+
+    def test_occupy_fraction_is_deterministic(self):
+        a = PhysicalMemory(num_frames=64, num_colors=8)
+        b = PhysicalMemory(num_frames=64, num_colors=8)
+        assert a.occupy_fraction(0.25, seed=7) == b.occupy_fraction(0.25, seed=7)
+
+    def test_occupy_rejects_bad_fraction(self):
+        pm = PhysicalMemory(num_frames=8, num_colors=8)
+        with pytest.raises(ValueError):
+            pm.occupy_fraction(1.5)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(num_frames=4, num_colors=8)
+        with pytest.raises(ValueError):
+            PhysicalMemory(num_frames=8, num_colors=0)
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=32))
+    @settings(max_examples=50, deadline=None)
+    def test_no_frame_allocated_twice(self, preferred):
+        pm = PhysicalMemory(num_frames=32, num_colors=8)
+        allocated = [pm.alloc(color) for color in preferred]
+        assert len(set(allocated)) == len(allocated)
+
+    @given(st.integers(1, 16), st.integers(0, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_alloc_free_roundtrip_conserves_frames(self, colors, seed):
+        pm = PhysicalMemory(num_frames=colors * 4, num_colors=colors)
+        import random
+
+        rng = random.Random(seed)
+        held = []
+        for _ in range(200):
+            if held and rng.random() < 0.5:
+                pm.free(held.pop())
+            elif pm.free_frames():
+                held.append(pm.alloc(rng.randrange(colors)))
+        assert pm.free_frames() + len(held) == colors * 4

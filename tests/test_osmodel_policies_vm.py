@@ -1,0 +1,223 @@
+"""Tests for mapping policies, the page table and the VM manager."""
+
+import pytest
+
+from repro.machine.config import CacheConfig, MachineConfig
+from repro.osmodel.page_table import PageTable
+from repro.osmodel.physmem import PhysicalMemory
+from repro.osmodel.policies import (
+    BinHoppingPolicy,
+    CdpcHintPolicy,
+    PageColoringPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.osmodel.vm import VirtualMemory
+
+
+class TestPageTable:
+    def test_map_translate(self):
+        pt = PageTable(page_size=256)
+        pt.map(3, 10)
+        assert pt.translate(3 * 256 + 17) == 10 * 256 + 17
+
+    def test_double_map_rejected(self):
+        pt = PageTable(256)
+        pt.map(1, 1)
+        with pytest.raises(ValueError):
+            pt.map(1, 2)
+
+    def test_translate_unmapped_raises(self):
+        pt = PageTable(256)
+        with pytest.raises(KeyError):
+            pt.translate(0)
+
+    def test_unmap(self):
+        pt = PageTable(256)
+        pt.map(1, 5)
+        assert pt.unmap(1) == 5
+        assert not pt.is_mapped(1)
+        with pytest.raises(KeyError):
+            pt.unmap(1)
+
+    def test_len_and_mappings(self):
+        pt = PageTable(256)
+        pt.map(1, 5)
+        pt.map(2, 6)
+        assert len(pt) == 2
+        assert dict(pt.mappings()) == {1: 5, 2: 6}
+
+
+class TestPolicies:
+    def test_page_coloring_is_vpage_mod_colors(self):
+        policy = PageColoringPolicy(16)
+        assert policy.preferred_color(0) == 0
+        assert policy.preferred_color(16) == 0
+        assert policy.preferred_color(17) == 1
+
+    def test_bin_hopping_cycles_in_fault_order(self):
+        policy = BinHoppingPolicy(4)
+        colors = [policy.preferred_color(vpage=99 - i) for i in range(6)]
+        assert colors == [0, 1, 2, 3, 0, 1]  # independent of vpage
+
+    def test_bin_hopping_race_perturbs_concurrent_faults(self):
+        deterministic = BinHoppingPolicy(64)
+        racy = BinHoppingPolicy(64, race_seed=42)
+        base = [deterministic.preferred_color(i, concurrent_faults=8) for i in range(32)]
+        perturbed = [racy.preferred_color(i, concurrent_faults=8) for i in range(32)]
+        assert base != perturbed
+
+    def test_bin_hopping_race_inactive_for_single_fault(self):
+        racy = BinHoppingPolicy(64, race_seed=42)
+        assert [racy.preferred_color(i, concurrent_faults=1) for i in range(4)] == [
+            0, 1, 2, 3,
+        ]
+
+    def test_bin_hopping_reset(self):
+        policy = BinHoppingPolicy(4)
+        policy.preferred_color(0)
+        policy.reset()
+        assert policy.preferred_color(0) == 0
+
+    def test_cdpc_hint_and_fallback(self):
+        policy = CdpcHintPolicy(16, fallback=PageColoringPolicy(16))
+        policy.install_hints({5: 9})
+        assert policy.preferred_color(5) == 9
+        assert policy.preferred_color(6) == 6  # fallback: vpage mod colors
+        assert policy.num_hints == 1
+        assert policy.hint_for(5) == 9
+        assert policy.hint_for(6) is None
+
+    def test_cdpc_hints_wrap_modulo_colors(self):
+        policy = CdpcHintPolicy(16, fallback=PageColoringPolicy(16))
+        policy.install_hints({1: 17})
+        assert policy.preferred_color(1) == 1
+
+    def test_cdpc_rejects_mismatched_fallback(self):
+        with pytest.raises(ValueError):
+            CdpcHintPolicy(16, fallback=PageColoringPolicy(8))
+
+    def test_cdpc_clear_hints(self):
+        policy = CdpcHintPolicy(16, fallback=PageColoringPolicy(16))
+        policy.install_hints({5: 9})
+        policy.clear_hints()
+        assert policy.preferred_color(5) == 5
+
+    def test_random_policy_deterministic_per_seed(self):
+        a = RandomPolicy(64, seed=3)
+        b = RandomPolicy(64, seed=3)
+        first = [a.preferred_color(i) for i in range(10)]
+        assert first == [b.preferred_color(i) for i in range(10)]
+        a.reset()
+        assert [a.preferred_color(i) for i in range(10)] == first
+
+    def test_factory(self):
+        assert make_policy("page_coloring", 16).name == "page_coloring"
+        assert make_policy("bin_hopping", 16).name == "bin_hopping"
+        cdpc = make_policy("cdpc", 16)
+        assert isinstance(cdpc, CdpcHintPolicy)
+        assert isinstance(cdpc.fallback, PageColoringPolicy)
+        cdpc_bh = make_policy("cdpc_bin_hopping", 16)
+        assert isinstance(cdpc_bh.fallback, BinHoppingPolicy)
+        with pytest.raises(ValueError):
+            make_policy("fifo", 16)
+
+
+def vm_config() -> MachineConfig:
+    return MachineConfig(
+        num_cpus=2,
+        page_size=256,
+        l1d=CacheConfig(512, 64, 2),
+        l1i=CacheConfig(512, 64, 2),
+        l2=CacheConfig(4096, 64, 1),  # 16 colors
+    )
+
+
+class TestVirtualMemory:
+    def test_fault_maps_preferred_color(self):
+        config = vm_config()
+        vm = VirtualMemory(config, PageColoringPolicy(config.num_colors))
+        vm.fault(vpage=5)
+        assert vm.color_of_vpage(5) == 5
+        assert vm.faults == 1
+
+    def test_double_fault_rejected(self):
+        config = vm_config()
+        vm = VirtualMemory(config, PageColoringPolicy(config.num_colors))
+        vm.fault(0)
+        with pytest.raises(ValueError):
+            vm.fault(0)
+
+    def test_ensure_mapped_idempotent(self):
+        config = vm_config()
+        vm = VirtualMemory(config, PageColoringPolicy(config.num_colors))
+        assert vm.ensure_mapped(0)
+        assert not vm.ensure_mapped(0)
+        assert vm.faults == 1
+
+    def test_policy_color_mismatch_rejected(self):
+        config = vm_config()
+        with pytest.raises(ValueError):
+            VirtualMemory(config, PageColoringPolicy(7))
+
+    def test_translate_roundtrip(self):
+        config = vm_config()
+        vm = VirtualMemory(config, PageColoringPolicy(config.num_colors))
+        vm.fault(3)
+        paddr = vm.translate(3 * 256 + 40)
+        assert paddr % 256 == 40
+
+    def test_madvise_requires_cdpc_policy(self):
+        config = vm_config()
+        vm = VirtualMemory(config, PageColoringPolicy(config.num_colors))
+        with pytest.raises(TypeError):
+            vm.madvise_colors({0: 3})
+
+    def test_madvise_installs_hints(self):
+        config = vm_config()
+        policy = CdpcHintPolicy(
+            config.num_colors, fallback=PageColoringPolicy(config.num_colors)
+        )
+        vm = VirtualMemory(config, policy)
+        assert vm.madvise_colors({7: 1}) == 1
+        vm.fault(7)
+        assert vm.color_of_vpage(7) == 1
+
+    def test_touch_pages_realizes_cdpc_on_bin_hopping(self):
+        # The Digital UNIX trick (Section 5.3): with bin hopping, touching
+        # pages in coloring order produces the desired round-robin colors.
+        config = vm_config()
+        vm = VirtualMemory(config, BinHoppingPolicy(config.num_colors))
+        order = [9, 4, 11, 2]
+        assert vm.touch_pages(order) == 4
+        for index, vpage in enumerate(order):
+            assert vm.color_of_vpage(vpage) == index
+
+    def test_touch_pages_skips_mapped(self):
+        config = vm_config()
+        vm = VirtualMemory(config, BinHoppingPolicy(config.num_colors))
+        vm.fault(1)
+        assert vm.touch_pages([1, 2]) == 1
+
+    def test_color_histogram(self):
+        config = vm_config()
+        vm = VirtualMemory(config, PageColoringPolicy(config.num_colors))
+        for vpage in range(4):
+            vm.fault(vpage)
+        histogram = vm.color_histogram()
+        assert histogram[:4] == [1, 1, 1, 1]
+        assert sum(histogram) == 4
+
+    def test_memory_pressure_defeats_hints(self):
+        config = vm_config()
+        policy = CdpcHintPolicy(
+            config.num_colors, fallback=PageColoringPolicy(config.num_colors)
+        )
+        physmem = PhysicalMemory(config.num_colors, config.num_colors)
+        vm = VirtualMemory(config, policy, physmem=physmem)
+        vm.madvise_colors({0: 3, 1: 3})
+        vm.fault(0)
+        vm.fault(1)  # color 3 exhausted; falls back to a neighbour
+        assert vm.color_of_vpage(0) == 3
+        assert vm.color_of_vpage(1) != 3
+        assert physmem.hint_honor_rate == pytest.approx(0.5)

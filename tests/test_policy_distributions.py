@@ -1,0 +1,72 @@
+"""Distributional properties of the mapping policies on real fault streams."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.config import CacheConfig, MachineConfig
+from repro.osmodel.policies import BinHoppingPolicy, PageColoringPolicy
+from repro.osmodel.vm import VirtualMemory
+
+
+def config() -> MachineConfig:
+    return MachineConfig(
+        num_cpus=2,
+        page_size=256,
+        l1d=CacheConfig(512, 64, 2),
+        l1i=CacheConfig(512, 64, 2),
+        l2=CacheConfig(4096, 64, 1),  # 16 colors
+    )
+
+
+class TestPageColoringDistribution:
+    def test_contiguous_pages_fill_colors_uniformly(self):
+        cfg = config()
+        vm = VirtualMemory(cfg, PageColoringPolicy(cfg.num_colors))
+        for vpage in range(64):
+            vm.fault(vpage)
+        histogram = vm.color_histogram()
+        assert histogram == [4] * 16
+
+    def test_strided_pages_concentrate(self):
+        # Pages a cache-set-size apart all get the same color: the
+        # conflict property page coloring is built around.
+        cfg = config()
+        vm = VirtualMemory(cfg, PageColoringPolicy(cfg.num_colors))
+        for k in range(8):
+            vm.fault(k * 16)  # stride of one color cycle
+        histogram = vm.color_histogram()
+        assert histogram[0] == 8
+        assert sum(histogram) == 8
+
+    @given(st.sets(st.integers(0, 511), min_size=1, max_size=64))
+    @settings(max_examples=40, deadline=None)
+    def test_color_always_vpage_mod_colors(self, vpages):
+        cfg = config()
+        vm = VirtualMemory(cfg, PageColoringPolicy(cfg.num_colors))
+        for vpage in vpages:
+            vm.fault(vpage)
+            assert vm.color_of_vpage(vpage) == vpage % 16
+
+
+class TestBinHoppingDistribution:
+    def test_fault_order_fills_uniformly_regardless_of_vpages(self):
+        cfg = config()
+        vm = VirtualMemory(cfg, BinHoppingPolicy(cfg.num_colors))
+        # Fault pages in a scattered, non-contiguous order.
+        for vpage in [7, 300, 12, 255, 90, 3, 400, 41] * 4:
+            vm.ensure_mapped(vpage)
+        histogram = vm.color_histogram()
+        # Eight distinct pages: first eight colors, one page each.
+        assert sum(histogram) == 8
+        assert max(histogram) == 1
+
+    @given(st.lists(st.integers(0, 511), min_size=16, max_size=128,
+                    unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_histogram_balanced_within_one(self, vpages):
+        cfg = config()
+        vm = VirtualMemory(cfg, BinHoppingPolicy(cfg.num_colors))
+        for vpage in vpages:
+            vm.fault(vpage)
+        histogram = vm.color_histogram()
+        assert max(histogram) - min(histogram) <= 1

@@ -1,0 +1,185 @@
+"""Cross-module property-based tests on the core invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import Communication, Partitioning
+from repro.core.access_summary import (
+    AccessSummary,
+    ArrayPartitioning,
+    CommunicationPattern,
+)
+from repro.core.coloring import generate_page_colors
+from repro.core.ordering import order_access_sets
+from repro.core.segments import (
+    UniformAccessSegment,
+    UniformAccessSet,
+    compute_segments,
+    group_into_sets,
+)
+
+PAGE = 256
+
+
+@st.composite
+def summaries(draw):
+    """Random multi-array summaries with optional communication patterns."""
+    num_arrays = draw(st.integers(1, 5))
+    summary = AccessSummary()
+    cursor = 0
+    for i in range(num_arrays):
+        pages = draw(st.integers(2, 40))
+        unit_pages = draw(st.sampled_from([1, 2]))
+        partitioning = draw(st.sampled_from(list(Partitioning)))
+        part = ArrayPartitioning(
+            f"a{i}", cursor * PAGE, pages * PAGE,
+            min(unit_pages, pages) * PAGE, partitioning,
+        )
+        summary.partitionings.append(part)
+        if draw(st.booleans()):
+            kind = draw(st.sampled_from(
+                [Communication.SHIFT, Communication.ROTATE]
+            ))
+            summary.communications.append(
+                CommunicationPattern(part, kind, PAGE)
+            )
+        cursor += pages
+    for i in range(num_arrays):
+        for j in range(i + 1, num_arrays):
+            if draw(st.booleans()):
+                summary.add_group(f"a{i}", f"a{j}")
+    return summary
+
+
+class TestColoringProperties:
+    @given(summaries(), st.integers(1, 16), st.integers(2, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_page_order_is_permutation_of_summarized_pages(
+        self, summary, num_cpus, num_colors
+    ):
+        coloring = generate_page_colors(summary, PAGE, num_colors, num_cpus)
+        expected = set()
+        for part in summary.partitionings:
+            first = part.start // PAGE
+            last = (part.start + part.size - 1) // PAGE
+            expected.update(range(first, last + 1))
+        assert set(coloring.page_order) == expected
+        assert len(coloring.page_order) == len(expected)
+
+    @given(summaries(), st.integers(1, 16), st.integers(2, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_colors_round_robin_and_in_range(self, summary, num_cpus, num_colors):
+        coloring = generate_page_colors(summary, PAGE, num_colors, num_cpus)
+        for index, page in enumerate(coloring.page_order):
+            assert coloring.colors[page] == index % num_colors
+
+    @given(summaries(), st.integers(1, 16), st.integers(2, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_coloring_is_deterministic(self, summary, num_cpus, num_colors):
+        first = generate_page_colors(summary, PAGE, num_colors, num_cpus)
+        second = generate_page_colors(summary, PAGE, num_colors, num_cpus)
+        assert first.page_order == second.page_order
+        assert first.colors == second.colors
+
+    @given(summaries(), st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_conflict_free_when_enough_colors(self, summary, num_cpus):
+        """With one color per page, every processor is trivially
+        conflict-free; the algorithm must never assign duplicates."""
+        total_pages = sum(
+            (p.start + p.size - 1) // PAGE - p.start // PAGE + 1
+            for p in summary.partitionings
+        )
+        coloring = generate_page_colors(summary, PAGE, total_pages, num_cpus)
+        assert len(set(coloring.colors.values())) == len(coloring.colors)
+
+
+class TestSegmentProperties:
+    @given(summaries(), st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_segments_disjoint_within_array(self, summary, num_cpus):
+        segments = compute_segments(summary, PAGE, num_cpus)
+        by_array: dict[str, list] = {}
+        for segment in segments:
+            by_array.setdefault(segment.array, []).append(segment)
+        for array_segments in by_array.values():
+            pages = [p for seg in array_segments for p in seg.pages]
+            assert len(pages) == len(set(pages))
+
+    @given(summaries(), st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_single_cpu_yields_single_set(self, summary, num_cpus):
+        segments = compute_segments(summary, PAGE, 1)
+        sets = group_into_sets(segments)
+        assert len(sets) <= 1
+        if sets:
+            assert sets[0].cpus == frozenset({0})
+
+
+class TestOrderingProperties:
+    @given(
+        st.lists(
+            st.frozensets(st.integers(0, 7), min_size=1, max_size=4),
+            min_size=1,
+            max_size=12,
+            unique=True,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_path_is_permutation_of_sets(self, cpu_sets):
+        sets = [
+            UniformAccessSet(
+                cpus, [UniformAccessSegment("a", 8 * i, 8 * i + 4, cpus)]
+            )
+            for i, cpus in enumerate(cpu_sets)
+        ]
+        ordered = order_access_sets(sets)
+        assert sorted(id(s) for s in ordered) == sorted(id(s) for s in sets)
+
+    @given(st.integers(2, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_neighbour_chain_is_optimal_path(self, num_cpus):
+        """For the canonical stencil structure ({p} and {p,p+1} sets), the
+        greedy heuristic must find the Hamiltonian path that uses every
+        edge — the property Figure 4(b) illustrates."""
+        sets = [
+            UniformAccessSet(
+                frozenset({p}),
+                [UniformAccessSegment("a", 10 * p, 10 * p + 4, frozenset({p}))],
+            )
+            for p in range(num_cpus)
+        ]
+        sets += [
+            UniformAccessSet(
+                frozenset({p, p + 1}),
+                [UniformAccessSegment(
+                    "a", 200 + 10 * p, 204 + 10 * p, frozenset({p, p + 1})
+                )],
+            )
+            for p in range(num_cpus - 1)
+        ]
+        ordered = order_access_sets(sets)
+        # Every adjacent pair in the path shares a processor.
+        for left, right in zip(ordered, ordered[1:]):
+            assert left.cpus & right.cpus
+
+
+class TestEngineDeterminism:
+    @given(st.integers(0, 3))
+    @settings(max_examples=4, deadline=None)
+    def test_same_options_same_result(self, seed):
+        from repro.machine.config import sgi_base
+        from repro.sim.engine import EngineOptions, run_benchmark
+        from repro.sim.tracegen import SimProfile
+
+        config = sgi_base(2).scaled(16)
+        options = EngineOptions(
+            policy="bin_hopping", seed=seed, race_seed=seed,
+            profile=SimProfile.fast(),
+        )
+        first = run_benchmark("fpppp", config, options)
+        second = run_benchmark("fpppp", config, options)
+        assert math.isclose(first.wall_ns, second.wall_ns)
+        assert first.miss_breakdown() == second.miss_breakdown()

@@ -1,0 +1,83 @@
+"""Tests for the sweep helpers and the unscaled-program warning."""
+
+import pytest
+
+from repro.machine.config import sgi_base
+from repro.sim.engine import EngineOptions, run_program
+from repro.sim.sweeps import (
+    STANDARD_POLICIES,
+    cpu_sweep,
+    policy_sweep,
+    speedup_table,
+)
+from repro.sim.tracegen import SimProfile
+
+FAST = EngineOptions(profile=SimProfile.fast())
+
+
+class TestPolicySweep:
+    def test_standard_policies_labels(self):
+        config = sgi_base(2).scaled(16)
+        results = policy_sweep("fpppp", config, options=FAST)
+        assert set(results) == set(STANDARD_POLICIES)
+        assert results["cdpc"].cdpc
+        assert results["page_coloring"].policy == "page_coloring"
+
+    def test_custom_policy_set(self):
+        config = sgi_base(2).scaled(16)
+        results = policy_sweep(
+            "fpppp", config,
+            policies={"with_pf": {"policy": "page_coloring", "prefetch": True}},
+            options=FAST,
+        )
+        assert list(results) == ["with_pf"]
+        assert results["with_pf"].prefetch
+
+
+class TestCpuSweep:
+    def test_sweep_runs_each_count(self):
+        results = cpu_sweep(
+            "fpppp",
+            lambda cpus: sgi_base(cpus).scaled(16),
+            cpu_counts=(1, 2),
+            options=FAST,
+        )
+        assert set(results) == {1, 2}
+        assert results[2].num_cpus == 2
+
+
+class TestSpeedupTable:
+    def test_relative_to_baseline(self):
+        config = sgi_base(4).scaled(16)
+        results = policy_sweep("tomcatv", config, options=FAST)
+        speedups = speedup_table(results, "page_coloring")
+        assert speedups["page_coloring"] == pytest.approx(1.0)
+        assert all(value > 0 for value in speedups.values())
+
+
+class TestUnscaledWarning:
+    def test_warns_on_full_size_program_with_scaled_machine(self):
+        from repro.workloads import get_workload
+
+        program = get_workload("tomcatv", scale=1).program  # 14MB
+        config = sgi_base(2).scaled(16)  # 64KB cache
+        from repro.compiler.ir import Phase
+        import dataclasses
+
+        # Shrink occurrences so the (slow) mis-scaled run stays quick.
+        tiny = dataclasses.replace(
+            program,
+            phases=tuple(
+                dataclasses.replace(ph, occurrences=1) for ph in program.phases
+            ),
+        )
+        with pytest.warns(UserWarning, match="did you forget"):
+            run_program(tiny, config, FAST)
+
+    def test_no_warning_when_scaled(self, recwarn):
+        from repro.workloads import get_workload
+
+        program = get_workload("fpppp", scale=16).program
+        config = sgi_base(2).scaled(16)
+        run_program(program, config, FAST)
+        assert not [w for w in recwarn if "did you forget" in str(w.message)]

@@ -1,0 +1,74 @@
+"""Property tests for proportional stream interleaving in trace generation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.tracegen import _merge_streams
+
+
+def make_stream(start, length, flag):
+    return np.arange(start, start + length, dtype=np.int64), flag
+
+
+class TestMergeStreams:
+    def test_empty(self):
+        addrs, flags, ids = _merge_streams([])
+        assert len(addrs) == len(flags) == len(ids) == 0
+
+    def test_single_stream_passthrough(self):
+        addrs, flags, ids = _merge_streams([make_stream(0, 5, 1)])
+        assert addrs.tolist() == [0, 1, 2, 3, 4]
+        assert set(flags.tolist()) == {1}
+        assert set(ids.tolist()) == {0}
+
+    def test_equal_lengths_alternate_strictly(self):
+        addrs, flags, ids = _merge_streams(
+            [make_stream(0, 4, 0), make_stream(100, 4, 1)]
+        )
+        assert ids.tolist() == [0, 1, 0, 1, 0, 1, 0, 1]
+
+    def test_empty_streams_skipped_and_ids_renumbered(self):
+        addrs, _flags, ids = _merge_streams(
+            [
+                (np.empty(0, dtype=np.int64), 0),
+                make_stream(0, 3, 0),
+                (np.empty(0, dtype=np.int64), 0),
+                make_stream(100, 3, 1),
+            ]
+        )
+        # Live streams get consecutive ids in order of appearance.
+        assert set(ids.tolist()) == {0, 1}
+
+    @given(
+        st.lists(st.integers(0, 50), min_size=1, max_size=6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_merge_preserves_all_elements_and_order(self, lengths):
+        streams = [make_stream(1000 * i, n, i % 4) for i, n in enumerate(lengths)]
+        addrs, flags, ids = _merge_streams(streams)
+        assert len(addrs) == sum(lengths)
+        # Each stream's elements appear in their original relative order.
+        live = [i for i, n in enumerate(lengths) if n]
+        for live_index, stream_index in enumerate(live):
+            mine = addrs[ids == live_index]
+            expected = np.arange(
+                1000 * stream_index, 1000 * stream_index + lengths[stream_index]
+            )
+            assert mine.tolist() == expected.tolist()
+
+    @given(st.integers(1, 40), st.integers(1, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_proportional_interleave(self, len_a, len_b):
+        """At any prefix, each stream has progressed proportionally
+        (within one element of its fair share)."""
+        addrs, _flags, ids = _merge_streams(
+            [make_stream(0, len_a, 0), make_stream(10_000, len_b, 1)]
+        )
+        total = len_a + len_b
+        seen_a = 0
+        for position, stream in enumerate(ids.tolist(), start=1):
+            if stream == 0:
+                seen_a += 1
+            fair = position * len_a / total
+            assert abs(seen_a - fair) <= 1 + max(len_a, len_b) / total

@@ -1,0 +1,113 @@
+"""Per-workload characterization: each model's documented pathology.
+
+One test per benchmark asserting the specific behaviour the paper (and
+docs/workload_models.md) attributes to it, measured from a real run.
+"""
+
+import pytest
+
+from repro.machine.config import sgi_base
+from repro.machine.stats import MissKind
+from repro.sim.engine import EngineOptions, run_benchmark
+from repro.sim.tracegen import SimProfile
+
+FAST = SimProfile.fast()
+
+
+def run(name, cpus=8, **kwargs):
+    config = sgi_base(cpus).scaled(16)
+    return run_benchmark(name, config, EngineOptions(profile=FAST, **kwargs))
+
+
+class TestTomcatv:
+    def test_bandwidth_hungry(self):
+        # One of the benchmarks that load the bus heavily at 16 CPUs.
+        result = run("tomcatv", cpus=16)
+        assert result.bus_utilization() > 0.5
+
+    def test_replacement_dominates_communication(self):
+        result = run("tomcatv")
+        assert result.replacement_misses() > 20 * result.communication_misses()
+
+
+class TestSwim:
+    def test_rotate_communication_produces_sharing(self):
+        # Periodic boundaries: neighbours exchange written data.
+        result = run("swim")
+        assert result.communication_misses() > 0
+
+    def test_most_mapping_sensitive_suite_member(self):
+        base = run("swim", cpus=16)
+        cdpc = run("swim", cpus=16, cdpc=True)
+        assert base.wall_ns / cdpc.wall_ns > 2.0
+
+
+class TestSu2cor:
+    def test_gauge_arrays_dominate_misses(self):
+        result = run("su2cor")
+        gauge = result.array_misses.get("u1", 0) + result.array_misses.get("u2", 0)
+        assert gauge > 0.3 * sum(result.array_misses.values())
+
+
+class TestHydro2d:
+    def test_gains_once_footprint_fits(self):
+        base = run("hydro2d")
+        cdpc = run("hydro2d", cdpc=True)
+        assert base.wall_ns / cdpc.wall_ns > 1.5
+
+
+class TestMgrid:
+    def test_high_reuse_means_few_misses_per_instruction(self):
+        mgrid = run("mgrid")
+        tomcatv = run("tomcatv")
+        mgrid_rate = mgrid.replacement_misses() / mgrid.stats.total_instructions()
+        tomcatv_rate = (
+            tomcatv.replacement_misses() / tomcatv.stats.total_instructions()
+        )
+        assert mgrid_rate < tomcatv_rate / 2
+
+
+class TestApplu:
+    def test_imbalance_dominates_overheads_at_16(self):
+        result = run("applu", cpus=16)
+        overheads = result.overhead_breakdown_ns()
+        assert overheads["load_imbalance"] == max(overheads.values())
+
+    def test_prefetch_mostly_dropped_or_late(self):
+        result = run("applu", prefetch=True)
+        stats = result.stats.cpus[0]
+        assert stats.prefetches_dropped_tlb > 0.15 * stats.prefetches_issued
+
+
+class TestTurb3d:
+    def test_few_replacement_misses_at_high_p(self):
+        result = run("turb3d")
+        # High-reuse FFT tiles: essentially no steady-state misses at 8P.
+        assert result.replacement_misses() < 0.001 * result.stats.total_instructions()
+
+
+class TestApsi:
+    def test_suppressed_time_dominates(self):
+        result = run("apsi")
+        overheads = result.overhead_breakdown_ns()
+        assert overheads["suppressed"] > overheads["load_imbalance"]
+        assert overheads["suppressed"] > 0.2 * result.combined_execution_ns
+
+
+class TestFpppp:
+    def test_instruction_bound(self):
+        result = run("fpppp")
+        stats = result.stats.cpus[0]
+        assert stats.l1i_misses > stats.l1d_misses
+        assert result.bus_utilization() < 0.1
+
+
+class TestWave5:
+    def test_limited_speedup(self):
+        one = run("wave5", cpus=1)
+        eight = run("wave5")
+        assert one.wall_ns / eight.wall_ns < 4.0  # far from linear
+
+    def test_suppressed_particle_pushes(self):
+        result = run("wave5")
+        assert result.overhead_breakdown_ns()["suppressed"] > 0

@@ -1,0 +1,56 @@
+"""Smoke tests: every workload runs end-to-end under every policy mode."""
+
+import pytest
+
+from repro.machine.config import sgi_base
+from repro.sim.engine import EngineOptions, run_benchmark
+from repro.sim.tracegen import SimProfile
+from repro.workloads import WORKLOAD_NAMES
+
+FAST = SimProfile.fast()
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_workload_runs_under_all_modes(name):
+    config = sgi_base(4).scaled(16)
+    results = {}
+    for label, options in (
+        ("pc", EngineOptions(policy="page_coloring", profile=FAST)),
+        ("bh", EngineOptions(policy="bin_hopping", profile=FAST)),
+        ("cdpc", EngineOptions(policy="page_coloring", cdpc=True, profile=FAST)),
+        ("cdpc_touch", EngineOptions(policy="bin_hopping", cdpc=True, profile=FAST)),
+        ("pf", EngineOptions(policy="page_coloring", prefetch=True, profile=FAST)),
+    ):
+        result = run_benchmark(name, config, options)
+        results[label] = result
+        assert result.wall_ns > 0, label
+        assert result.stats.total_instructions() > 0, label
+        # Time accounting closes: per-CPU totals never exceed the weighted
+        # wall time by more than rounding.
+        for cpu in result.stats.cpus:
+            assert cpu.busy_ns >= 0 and cpu.memory_stall_ns >= 0
+
+    # CDPC never loses badly to its own baseline for any workload (the
+    # paper's worst case is su2cor's slight degradation).
+    assert results["cdpc"].wall_ns < results["pc"].wall_ns * 1.15, name
+
+
+@pytest.mark.parametrize("name", ("tomcatv", "applu", "fpppp", "wave5"))
+def test_workload_runs_unaligned(name):
+    config = sgi_base(4).scaled(16)
+    result = run_benchmark(
+        name, config, EngineOptions(aligned=False, profile=FAST)
+    )
+    assert result.wall_ns > 0
+    assert not result.aligned
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_instruction_counts_scale_with_occurrences(name):
+    """Weighted totals reflect phase occurrence counts."""
+    config = sgi_base(2).scaled(16)
+    result = run_benchmark(name, config, EngineOptions(profile=FAST))
+    total_weight = sum(p.occurrences for p in result.phases)
+    raw = sum(p.stats.total_instructions() for p in result.phases)
+    assert result.stats.total_instructions() >= raw  # weighting >= raw sum
+    assert total_weight >= len(result.phases)

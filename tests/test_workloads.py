@@ -1,0 +1,152 @@
+"""Tests for the SPEC95fp workload models (Table 1 fidelity + structure)."""
+
+import pytest
+
+from repro.common import Partitioning
+from repro.compiler.ir import (
+    InstructionStream,
+    LoopKind,
+    PartitionedAccess,
+    StridedAccess,
+)
+from repro.workloads import (
+    SPEC_REFERENCE_TIMES,
+    WORKLOAD_NAMES,
+    data_set_mb,
+    get_workload,
+    iter_workloads,
+)
+
+# Reference data-set sizes from Table 1, MB (fpppp is "< 1").
+TABLE1 = {
+    "tomcatv": 14,
+    "swim": 14,
+    "su2cor": 23,
+    "hydro2d": 8,
+    "mgrid": 7,
+    "applu": 31,
+    "turb3d": 24,
+    "apsi": 9,
+    "fpppp": 1,
+    "wave5": 40,
+}
+
+
+class TestSuite:
+    def test_all_ten_benchmarks_present(self):
+        assert len(WORKLOAD_NAMES) == 10
+        assert set(WORKLOAD_NAMES) == set(TABLE1)
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_data_set_sizes_match_table1(self, name):
+        mb = data_set_mb(name)
+        if name == "fpppp":
+            assert mb < 1.0
+        else:
+            assert mb == pytest.approx(TABLE1[name], rel=0.07)
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_scaling_preserves_page_structure(self, name):
+        """Scaled arrays must keep the same page count at the scaled page
+        size — the invariant that keeps color collisions faithful."""
+        full = get_workload(name, scale=1)
+        scaled = get_workload(name, scale=16)
+        for f, s in zip(full.program.arrays, scaled.program.arrays):
+            full_pages = -(-f.size_bytes // 4096)
+            scaled_pages = -(-s.size_bytes // 256)
+            assert full_pages == scaled_pages, f.name
+
+    def test_reference_times_cover_suite(self):
+        assert set(SPEC_REFERENCE_TIMES) == set(WORKLOAD_NAMES)
+        assert all(t > 0 for t in SPEC_REFERENCE_TIMES.values())
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            get_workload("gcc")
+
+    def test_iter_workloads_in_suite_order(self):
+        names = [w.name for w in iter_workloads(scale=16)]
+        assert names == list(WORKLOAD_NAMES)
+
+
+class TestStructureFacts:
+    def test_tomcatv_has_seven_arrays(self):
+        # Section 6.1: "tomcatv has seven large data structures".
+        assert len(get_workload("tomcatv").program.arrays) == 7
+
+    def test_applu_loops_have_33_blocked_iterations(self):
+        # Section 4.1: "the parallelized loops of applu consist of only 33
+        # iterations".
+        program = get_workload("applu").program
+        for phase in program.phases:
+            for loop in phase.loops:
+                assert loop.effective_iterations == 33
+                for access in loop.accesses:
+                    if isinstance(access, PartitionedAccess):
+                        assert access.partitioning is Partitioning.BLOCKED
+
+    def test_applu_is_tiled(self):
+        program = get_workload("applu").program
+        assert all(loop.tiled for phase in program.phases for loop in phase.loops)
+
+    def test_turb3d_phase_occurrences(self):
+        # Section 3.2: four phases occurring 11, 66, 100 and 120 times.
+        program = get_workload("turb3d").program
+        assert [phase.occurrences for phase in program.phases] == [11, 66, 100, 120]
+
+    def test_su2cor_has_strided_gauge_arrays(self):
+        program = get_workload("su2cor").program
+        strided = {
+            access.array
+            for phase in program.phases
+            for loop in phase.loops
+            for access in loop.accesses
+            if isinstance(access, StridedAccess)
+        }
+        assert strided == {"u1", "u2"}
+
+    def test_fpppp_entirely_sequential(self):
+        # Section 4.1: fpppp has essentially no loop-level parallelism.
+        program = get_workload("fpppp").program
+        kinds = {loop.kind for phase in program.phases for loop in phase.loops}
+        assert kinds == {LoopKind.SEQUENTIAL}
+
+    def test_fpppp_instruction_footprint_exceeds_l1i(self):
+        program = get_workload("fpppp").program
+        footprints = [
+            access.footprint_bytes
+            for phase in program.phases
+            for loop in phase.loops
+            for access in loop.accesses
+            if isinstance(access, InstructionStream)
+        ]
+        assert footprints and all(f > 32 * 1024 for f in footprints)
+
+    def test_apsi_and_wave5_have_suppressed_loops(self):
+        for name in ("apsi", "wave5"):
+            program = get_workload(name).program
+            kinds = [loop.kind for phase in program.phases for loop in phase.loops]
+            assert LoopKind.SUPPRESSED in kinds, name
+
+    def test_color_aligned_sizes_for_conflict_benchmarks(self):
+        """tomcatv and swim arrays are exact multiples of the 1MB cache's
+        color cycle (256 pages), creating the aligned-conflict pathology."""
+        for name in ("tomcatv", "swim"):
+            program = get_workload(name).program
+            for decl in program.arrays:
+                assert (decl.size_bytes // 4096) % 256 == 0, (name, decl.name)
+
+    def test_su2cor_work_arrays_not_color_aligned(self):
+        program = get_workload("su2cor").program
+        for decl in program.arrays:
+            if decl.name.startswith("w"):
+                assert (decl.size_bytes // 4096) % 256 != 0
+
+    def test_hydro2d_has_forty_fields(self):
+        assert len(get_workload("hydro2d").program.arrays) == 40
+
+    def test_descriptions_and_ids(self):
+        for workload in iter_workloads():
+            assert workload.spec_id.split(".")[1] == workload.name
+            assert workload.description
+            assert workload.steady_state_repeats >= 1
