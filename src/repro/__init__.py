@@ -29,6 +29,12 @@ Quickstart::
 from repro.core import AccessSummary, CdpcRuntime, ColoringResult, generate_page_colors
 from repro.machine import MachineConfig, MemorySystem, MissKind, alpha_server, sgi_2way, sgi_4mb, sgi_base
 from repro.osmodel import VirtualMemory, make_policy
+from repro.robustness import (
+    DegradationReport,
+    FaultPlan,
+    InvariantViolation,
+    check_invariants,
+)
 from repro.sim import EngineOptions, RunResult, SimProfile, run_benchmark, run_program
 from repro.workloads import WORKLOAD_NAMES, get_workload, iter_workloads
 
@@ -38,7 +44,10 @@ __all__ = [
     "AccessSummary",
     "CdpcRuntime",
     "ColoringResult",
+    "DegradationReport",
     "EngineOptions",
+    "FaultPlan",
+    "InvariantViolation",
     "MachineConfig",
     "MemorySystem",
     "MissKind",
@@ -48,6 +57,7 @@ __all__ = [
     "WORKLOAD_NAMES",
     "__version__",
     "alpha_server",
+    "check_invariants",
     "generate_page_colors",
     "get_workload",
     "iter_workloads",

@@ -4,6 +4,7 @@ Examples::
 
     python -m repro run tomcatv --cpus 8 --policy page_coloring --cdpc
     python -m repro sweep swim --policies page_coloring,bin_hopping,cdpc
+    python -m repro faults tomcatv --pressure 0.6 --hint-loss 0.2 --check-invariants
     python -m repro list
 """
 
@@ -15,6 +16,7 @@ import sys
 
 from repro.analysis.report import render_table
 from repro.machine.config import MachineConfig, alpha_server, sgi_2way, sgi_4mb, sgi_base
+from repro.robustness.faults import FaultPlan
 from repro.sim.engine import EngineOptions, run_benchmark, run_program
 from repro.sim.tracegen import SimProfile
 from repro.workloads import WORKLOAD_NAMES, get_workload
@@ -131,6 +133,83 @@ def cmd_runfile(args) -> int:
     return 0
 
 
+def _degradation_rows(report) -> list[list]:
+    return [
+        ["reclaims", report.reclaims],
+        ["watchdog trips", report.watchdog_trips],
+        ["aborted recolor steps", report.aborted_recolor_steps],
+        ["forced alloc failures", report.forced_alloc_failures],
+        ["dropped hints", report.dropped_hints],
+        ["pressure events", report.pressure_events],
+        ["frames seized", report.frames_seized],
+        ["frames released", report.frames_released],
+        ["fallback allocations", report.fallback_allocations],
+        ["invariant checks passed", report.invariant_checks],
+    ]
+
+
+def _histogram_lines(report, per_line: int = 12) -> str:
+    entries = [
+        f"{distance}:{count}"
+        for distance, count in sorted(report.fallback_distance_histogram.items())
+        if distance > 0
+    ]
+    if not entries:
+        return "(every hint honored at distance 0)"
+    return "\n".join(
+        "  " + " ".join(entries[i : i + per_line])
+        for i in range(0, len(entries), per_line)
+    )
+
+
+def cmd_faults(args) -> int:
+    config = _make_config(args)
+    try:
+        plan = FaultPlan(
+            seed=args.seed,
+            pressure=args.pressure,
+            pressure_color_skew=args.color_skew,
+            pressure_period=args.pressure_period,
+            hint_loss=args.hint_loss,
+            alloc_failure_rate=args.alloc_failure_rate,
+            race_storm=args.race_storm,
+        )
+    except ValueError as exc:
+        print(f"repro faults: error: {exc}", file=sys.stderr)
+        return 2
+    options = EngineOptions(
+        policy=args.policy,
+        cdpc=not args.no_cdpc,
+        prefetch=args.prefetch,
+        aligned=not args.unaligned,
+        profile=SimProfile() if args.full else SimProfile.fast(),
+        fault_plan=plan,
+        check_invariants=args.check_invariants,
+        hint_watchdog=args.watchdog,
+        # Amplified fault races need a seeded bin-hopping RNG to matter.
+        race_seed=args.seed if args.race_storm > 0 else None,
+        seed=args.seed,
+    )
+    result = run_benchmark(args.workload, config, options)
+    if args.json:
+        payload = result.to_dict()
+        payload["fault_plan"] = plan.to_dict()
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        render_table(
+            ["config", "wall ms", "MCPI", "conflict", "capacity", "bus"],
+            [_result_row(result.label(), result)],
+        )
+    )
+    print(f"\nhint honor rate: {result.hint_honor_rate:.3f}")
+    print("\ndegradation report:")
+    print(render_table(["event", "value"], _degradation_rows(result.degradation)))
+    print("\nfallback distance histogram (distance:count):")
+    print(_histogram_lines(result.degradation))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -166,6 +245,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated: page_coloring, bin_hopping, cdpc",
     )
 
+    faults_parser = sub.add_parser(
+        "faults",
+        help="run one configuration under deterministic fault injection",
+    )
+    add_common(faults_parser)
+    faults_parser.add_argument(
+        "--pressure", type=float, default=0.0,
+        help="peak fraction of free frames seized by competing address spaces",
+    )
+    faults_parser.add_argument(
+        "--hint-loss", type=float, default=0.0,
+        help="fraction of CDPC hints dropped before delivery",
+    )
+    faults_parser.add_argument(
+        "--alloc-failure-rate", type=float, default=0.0,
+        help="probability an allocation transiently behaves as exhausted",
+    )
+    faults_parser.add_argument(
+        "--race-storm", type=int, default=0,
+        help="extra concurrent faulters amplifying the bin-hopping race",
+    )
+    faults_parser.add_argument(
+        "--color-skew", type=float, default=0.75,
+        help="fraction of seized frames concentrated on a color band",
+    )
+    faults_parser.add_argument(
+        "--pressure-period", type=int, default=2,
+        help="phase boundaries between seize/release oscillations",
+    )
+    faults_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="fault-plan seed (same seed reproduces identical results)",
+    )
+    faults_parser.add_argument(
+        "--watchdog", type=float, default=0.5,
+        help="hint-honor-rate threshold tripping the dynamic-recolor fallback",
+    )
+    faults_parser.add_argument(
+        "--check-invariants", action="store_true",
+        help="run the page-table/physmem consistency sweep every epoch",
+    )
+    faults_parser.add_argument(
+        "--no-cdpc", action="store_true",
+        help="run without CDPC hints (faults still fire; default is CDPC on)",
+    )
+    faults_parser.add_argument(
+        "--full", action="store_true",
+        help="use the full two-sweep simulation profile instead of fast",
+    )
+
     file_parser = sub.add_parser(
         "runfile", help="run a workload described in the text format"
     )
@@ -191,6 +320,7 @@ def main(argv=None) -> int:
         "run": cmd_run,
         "sweep": cmd_sweep,
         "runfile": cmd_runfile,
+        "faults": cmd_faults,
     }
     return handlers[args.command](args)
 

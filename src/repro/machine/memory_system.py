@@ -83,6 +83,10 @@ class MemorySystem:
         # All external-cache misses per physical frame, never reset — used
         # for per-array miss attribution in run results.
         self.frame_misses: dict[int, int] = {}
+        # Demand-miss total maintained at the access layer, independently
+        # of the per-frame counters above; the invariant checker verifies
+        # the two accounting paths agree (sum(frame_misses) == this).
+        self.demand_l2_misses = 0
         self._line = config.l2.line_size
         self._line_mask = ~(self._line - 1)
         self._word = config.word_size
@@ -126,6 +130,8 @@ class MemorySystem:
         l1.insert(vline)
 
         stall, l2_hit, kind = self._l2_access(cpu, time_ns, vaddr, paddr, is_write, stats)
+        if kind is not None:
+            self.demand_l2_misses += 1
         return AccessResult(stall, kernel_ns, False, l2_hit, kind)
 
     def _l2_access(

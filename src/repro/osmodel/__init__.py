@@ -11,7 +11,13 @@ exactly the degradation mode Section 5 describes.
 
 from repro.osmodel.dynamic import DynamicRecolorer, RecolorEvent
 from repro.osmodel.page_table import PageTable
-from repro.osmodel.physmem import PhysicalMemory
+from repro.osmodel.physmem import (
+    CascadeReclaimer,
+    HeldFrameReclaimer,
+    OutOfMemoryError,
+    PhysicalMemory,
+    ReclaimPolicy,
+)
 from repro.osmodel.policies import (
     BinHoppingPolicy,
     CdpcHintPolicy,
@@ -24,7 +30,10 @@ from repro.osmodel.vm import VirtualMemory
 
 __all__ = [
     "BinHoppingPolicy",
+    "CascadeReclaimer",
     "DynamicRecolorer",
+    "HeldFrameReclaimer",
+    "OutOfMemoryError",
     "RecolorEvent",
     "CdpcHintPolicy",
     "MappingPolicy",
@@ -32,6 +41,7 @@ __all__ = [
     "PageTable",
     "PhysicalMemory",
     "RandomPolicy",
+    "ReclaimPolicy",
     "VirtualMemory",
     "make_policy",
 ]

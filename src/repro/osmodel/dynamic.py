@@ -19,8 +19,10 @@ shootdown on every processor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from repro.machine.memory_system import MemorySystem
+from repro.osmodel.physmem import OutOfMemoryError
 from repro.osmodel.vm import VirtualMemory
 
 
@@ -49,6 +51,11 @@ class DynamicRecolorer:
     #: Per-processor TLB-shootdown cost.
     shootdown_ns: float = 3000.0
     events: list[RecolorEvent] = field(default_factory=list)
+    #: Inspection intervals cut short because no frame of the target color
+    #: could be allocated (graceful degradation: migration is best-effort).
+    aborted_steps: int = 0
+    #: Optional degradation-event callback: ``(kind, detail)``.
+    on_degradation: Optional[Callable[[str, dict], None]] = None
 
     def migration_cost_ns(self) -> float:
         """Cost of one migration: copy both ways over the bus + shootdowns."""
@@ -66,6 +73,13 @@ class DynamicRecolorer:
         Returns the migrations performed and the total kernel cost.  The
         inspected counters are consumed, so each interval reacts to fresh
         conflicts only.
+
+        The step is transactional per page: the replacement frame is
+        allocated *before* the page is unmapped, so a page is never left
+        unmapped on allocation failure.  When the allocator is exhausted
+        the remaining migrations for this interval are abandoned (recorded
+        in :attr:`aborted_steps`) rather than crashing the simulation —
+        recoloring is an optimization, not a correctness requirement.
         """
         counters = self.ms.consume_frame_conflicts()
         if not counters:
@@ -87,7 +101,22 @@ class DynamicRecolorer:
             new_color = self._least_loaded_color()
             if new_color == self.vm.physmem.color_of(frame):
                 continue
-            new_frame = self.vm.physmem.alloc(new_color)
+            try:
+                new_frame = self.vm.physmem.alloc(new_color)
+            except OutOfMemoryError:
+                self.aborted_steps += 1
+                if self.on_degradation is not None:
+                    self.on_degradation(
+                        "aborted_recolor",
+                        {"vpage": vpage, "wanted_color": new_color,
+                         "migrated_before_abort": len(performed)},
+                    )
+                break
+            if self.vm.page_table.frame_of(vpage) != frame:
+                # The page moved (or was reclaimed) under us while the
+                # allocator ran its reclaim path; drop this migration.
+                self.vm.physmem.free(new_frame)
+                continue
             self.vm.page_table.unmap(vpage)
             self.vm.page_table.map(vpage, new_frame)
             self.vm.physmem.free(frame)

@@ -6,16 +6,53 @@ same color when they map to the same region of a physically-indexed cache
 policy's preferred color can be honored in O(1).  When the preferred color
 has no free frames — memory pressure — the allocator falls back to the
 nearest color with free frames, so preferred colors remain strictly hints.
+
+Beyond the happy path, the manager models the degradation story of
+Section 5.3 explicitly:
+
+* every frame is in exactly one of three states — *free* (on a per-color
+  free list), *allocated* (handed out by :meth:`alloc`), or *held* (owned
+  by a competing address space, see :meth:`seize_frames`);
+* exhaustion consults a pluggable :class:`ReclaimPolicy` before raising
+  :class:`OutOfMemoryError`, so a pressured system can evict cold frames
+  instead of crashing;
+* hinted allocations record their *fallback distance* (ring distance from
+  the preferred color to the color actually granted) in a histogram, so
+  degradation under pressure is observable rather than silent;
+* an optional ``fail_hook`` lets a fault injector make individual
+  allocations behave as if memory were exhausted, exercising the reclaim
+  and abort paths deterministically.
 """
 
 from __future__ import annotations
 
+import abc
+import random
 from collections import deque
-from typing import Optional
+from typing import Callable, Optional
+
+#: Signature of the degradation-event callback: ``(kind, detail)``.
+EventHook = Callable[[str, dict], None]
 
 
 class OutOfMemoryError(RuntimeError):
-    """No free physical frames remain."""
+    """No free physical frames remain (and reclaim found nothing)."""
+
+
+class ReclaimPolicy(abc.ABC):
+    """Frees a frame when the allocator is exhausted.
+
+    ``reclaim`` must return a frame that is *now on a free list* (the
+    policy performs whatever eviction puts it there — releasing a held
+    frame, unmapping a cold page — before returning), or ``None`` when it
+    cannot help.  The allocator then claims that exact frame.
+    """
+
+    @abc.abstractmethod
+    def reclaim(
+        self, physmem: "PhysicalMemory", preferred_color: Optional[int]
+    ) -> Optional[int]:
+        """Evict something and return the freed frame, or ``None``."""
 
 
 class PhysicalMemory:
@@ -36,12 +73,33 @@ class PhysicalMemory:
         self._free: list[deque[int]] = [deque() for _ in range(num_colors)]
         for frame in range(num_frames):
             self._free[frame % num_colors].append(frame)
+        self._allocated: set[int] = set()
+        self._held: set[int] = set()
         self.allocations = 0
         self.hint_requests = 0
         self.hints_honored = 0
+        self.reclaims = 0
+        self.forced_failures = 0
+        #: Ring distance from the preferred color to the granted color, per
+        #: hinted allocation.  ``{0: n}`` means every hint was honored.
+        self.fallback_distance: dict[int, int] = {}
+        self.reclaim_policy: Optional[ReclaimPolicy] = None
+        self.event_hook: Optional[EventHook] = None
+        #: Injected-failure predicate: called with the preferred color;
+        #: returning True makes that allocation behave as if memory were
+        #: exhausted (free lists skipped, reclaim consulted, else OOM).
+        self.fail_hook: Optional[Callable[[Optional[int]], bool]] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
 
     def color_of(self, frame: int) -> int:
         return frame % self.num_colors
+
+    def color_distance(self, a: int, b: int) -> int:
+        """Ring distance between two colors."""
+        d = abs(a - b) % self.num_colors
+        return min(d, self.num_colors - d)
 
     def free_frames(self) -> int:
         return sum(len(q) for q in self._free)
@@ -49,48 +107,141 @@ class PhysicalMemory:
     def free_frames_of_color(self, color: int) -> int:
         return len(self._free[color])
 
+    def allocated_frames(self) -> frozenset[int]:
+        return frozenset(self._allocated)
+
+    def held_frames(self) -> frozenset[int]:
+        """Frames owned by competing address spaces (memory pressure)."""
+        return frozenset(self._held)
+
+    def free_lists(self) -> list[tuple[int, ...]]:
+        """Snapshot of the per-color free lists (for the invariant checker)."""
+        return [tuple(queue) for queue in self._free]
+
+    def fallback_candidates(self, color: int):
+        """Yield ``(distance, candidate_color)`` in spiral fallback order.
+
+        Each color appears at most once: with an even color count the
+        ``+distance`` and ``-distance`` probes coincide at
+        ``num_colors // 2``, and the dedup here keeps that candidate from
+        being probed twice.
+        """
+        seen = {color}
+        for distance in range(1, self.num_colors):
+            for candidate in (
+                (color + distance) % self.num_colors,
+                (color - distance) % self.num_colors,
+            ):
+                if candidate not in seen:
+                    seen.add(candidate)
+                    yield distance, candidate
+
+    # ------------------------------------------------------------------
+    # Allocation
+
+    def _emit(self, kind: str, detail: dict) -> None:
+        if self.event_hook is not None:
+            self.event_hook(kind, detail)
+
+    def _claim(self, frame: int) -> int:
+        self._allocated.add(frame)
+        return frame
+
+    def _record_distance(self, distance: int) -> None:
+        self.fallback_distance[distance] = self.fallback_distance.get(distance, 0) + 1
+
+    def _reclaim_into(self, preferred_color: Optional[int]) -> Optional[int]:
+        """Ask the reclaim policy for a frame; returns it claimed-ready."""
+        if self.reclaim_policy is None:
+            return None
+        frame = self.reclaim_policy.reclaim(self, preferred_color)
+        if frame is None:
+            return None
+        # The policy must have put the frame on its free list; take it.
+        self._free[self.color_of(frame)].remove(frame)
+        self.reclaims += 1
+        self._emit(
+            "reclaim",
+            {"frame": frame, "color": self.color_of(frame),
+             "preferred_color": preferred_color},
+        )
+        return frame
+
     def alloc(self, preferred_color: Optional[int] = None) -> int:
         """Allocate a frame, preferring ``preferred_color`` when possible.
 
         Fallback search spirals outward from the preferred color so that a
         near-miss lands in a nearby cache region rather than a random one.
+        When every free list is empty (or a fault injector forces a miss),
+        the reclaim policy is consulted before raising
+        :class:`OutOfMemoryError`.
         """
         self.allocations += 1
+        injected = False
+        if self.fail_hook is not None and self.fail_hook(preferred_color):
+            injected = True
+            self.forced_failures += 1
+            self._emit("forced_alloc_failure", {"preferred_color": preferred_color})
         if preferred_color is not None:
             self.hint_requests += 1
             color = preferred_color % self.num_colors
-            if self._free[color]:
-                self.hints_honored += 1
-                return self._free[color].popleft()
-            for distance in range(1, self.num_colors):
-                for candidate in (
-                    (color + distance) % self.num_colors,
-                    (color - distance) % self.num_colors,
-                ):
+            if not injected:
+                if self._free[color]:
+                    self.hints_honored += 1
+                    self._record_distance(0)
+                    return self._claim(self._free[color].popleft())
+                for distance, candidate in self.fallback_candidates(color):
                     if self._free[candidate]:
-                        return self._free[candidate].popleft()
+                        self._record_distance(distance)
+                        return self._claim(self._free[candidate].popleft())
+            frame = self._reclaim_into(color)
+            if frame is not None:
+                granted = self.color_of(frame)
+                if granted == color:
+                    self.hints_honored += 1
+                self._record_distance(self.color_distance(granted, color))
+                return self._claim(frame)
             raise OutOfMemoryError("no free frames")
-        for queue in self._free:
-            if queue:
-                return queue.popleft()
+        if not injected:
+            for queue in self._free:
+                if queue:
+                    return self._claim(queue.popleft())
+        frame = self._reclaim_into(None)
+        if frame is not None:
+            return self._claim(frame)
         raise OutOfMemoryError("no free frames")
 
     def free(self, frame: int) -> None:
+        """Return a frame to its free list.
+
+        Accepts frames handed out by :meth:`alloc` and frames held by a
+        competing address space (:meth:`seize_frames` /
+        :meth:`occupy_fraction`); freeing a frame that is in neither state
+        is a double free and raises ``ValueError``.
+        """
         if not 0 <= frame < self.num_frames:
             raise ValueError(f"frame {frame} out of range")
+        if frame in self._allocated:
+            self._allocated.discard(frame)
+        elif frame in self._held:
+            self._held.discard(frame)
+        else:
+            raise ValueError(f"double free of frame {frame}")
         self._free[self.color_of(frame)].append(frame)
+
+    # ------------------------------------------------------------------
+    # Competing address spaces (memory pressure)
 
     def occupy_fraction(self, fraction: float, seed: int = 0) -> list[int]:
         """Simulate memory pressure by removing a fraction of free frames.
 
-        Returns the occupied frames so tests can release them.  Frames are
-        taken pseudo-randomly so some colors become scarcer than others,
-        which is what defeats hint honoring in practice.
+        Returns the occupied frames so tests can release them (via
+        :meth:`free`).  Frames are taken pseudo-randomly so some colors
+        become scarcer than others, which is what defeats hint honoring in
+        practice.
         """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("fraction must be within [0, 1]")
-        import random
-
         rng = random.Random(seed)
         all_free = [frame for queue in self._free for frame in queue]
         rng.shuffle(all_free)
@@ -98,10 +249,98 @@ class PhysicalMemory:
         taken_set = set(taken)
         for color, queue in enumerate(self._free):
             self._free[color] = deque(f for f in queue if f not in taken_set)
+        self._held.update(taken_set)
         return taken
+
+    def seize_frames(
+        self,
+        count: int,
+        rng: random.Random,
+        preferred_colors: Optional[set[int]] = None,
+    ) -> list[int]:
+        """A competing address space grabs up to ``count`` free frames.
+
+        With ``preferred_colors`` the competitor concentrates on those
+        colors first (color-skewed pressure — the case that defeats hints
+        hardest), spilling onto the remaining colors only once the
+        preferred ones are dry.  Seized frames move to the *held* state and
+        come back through :meth:`release_held` or :meth:`free`.
+        """
+        if count <= 0:
+            return []
+        skewed: list[int] = []
+        rest: list[int] = []
+        for color, queue in enumerate(self._free):
+            bucket = (
+                skewed
+                if preferred_colors is not None and color in preferred_colors
+                else rest
+            )
+            bucket.extend(queue)
+        rng.shuffle(skewed)
+        rng.shuffle(rest)
+        taken = (skewed + rest)[:count]
+        taken_set = set(taken)
+        for color, queue in enumerate(self._free):
+            self._free[color] = deque(f for f in queue if f not in taken_set)
+        self._held.update(taken_set)
+        return taken
+
+    def release_held(self, count: int, rng: random.Random) -> list[int]:
+        """The competing address space frees up to ``count`` held frames."""
+        if count <= 0 or not self._held:
+            return []
+        held = sorted(self._held)
+        rng.shuffle(held)
+        released = held[:count]
+        for frame in released:
+            self._held.discard(frame)
+            self._free[self.color_of(frame)].append(frame)
+        return released
 
     @property
     def hint_honor_rate(self) -> float:
         if self.hint_requests == 0:
             return 1.0
         return self.hints_honored / self.hint_requests
+
+
+class HeldFrameReclaimer(ReclaimPolicy):
+    """Evict a competing address space's frame (preferring the hint color).
+
+    Models the OS paging out another process under pressure: the victim is
+    a *held* frame, ideally of the requested color so the hint is still
+    honored — the cheapest graceful-degradation step.
+    """
+
+    def reclaim(
+        self, physmem: PhysicalMemory, preferred_color: Optional[int]
+    ) -> Optional[int]:
+        held = physmem.held_frames()
+        if not held:
+            return None
+        victim: Optional[int] = None
+        if preferred_color is not None:
+            matching = [f for f in held if physmem.color_of(f) == preferred_color]
+            if matching:
+                victim = min(matching)
+        if victim is None:
+            victim = min(held)
+        physmem.free(victim)
+        return victim
+
+
+class CascadeReclaimer(ReclaimPolicy):
+    """Try a sequence of reclaim policies in order."""
+
+    def __init__(self, policies: list[ReclaimPolicy]) -> None:
+        self.policies = list(policies)
+
+    def reclaim(
+        self, physmem: PhysicalMemory, preferred_color: Optional[int]
+    ) -> Optional[int]:
+        for policy in self.policies:
+            frame = policy.reclaim(physmem, preferred_color)
+            if frame is not None:
+                return frame
+        return None

@@ -1,0 +1,39 @@
+"""Fault injection, graceful degradation and consistency checking.
+
+The paper's central systems claim is that CDPC's preferred colors are
+*hints*: under memory pressure the OS falls back gracefully instead of
+failing (Section 5.3).  This package makes that claim testable:
+
+* :mod:`repro.robustness.faults` — a seedable :class:`FaultPlan` that
+  perturbs a run mid-simulation with color-skewed memory pressure from
+  competing address spaces, dropped ``madvise`` hints, forced allocation
+  failures and bin-hopping race storms;
+* :mod:`repro.robustness.degradation` — the event log and per-run report
+  of every graceful-degradation action (reclaims, watchdog trips, aborted
+  recolor steps, fallback-distance histogram);
+* :mod:`repro.robustness.invariants` — a page-table / physical-memory /
+  miss-accounting consistency checker runnable per simulation epoch.
+"""
+
+from repro.robustness.degradation import (
+    ColdPageReclaimer,
+    DegradationLog,
+    DegradationReport,
+)
+from repro.robustness.faults import FaultInjector, FaultPlan
+from repro.robustness.invariants import (
+    InvariantReport,
+    InvariantViolation,
+    check_invariants,
+)
+
+__all__ = [
+    "ColdPageReclaimer",
+    "DegradationLog",
+    "DegradationReport",
+    "FaultInjector",
+    "FaultPlan",
+    "InvariantReport",
+    "InvariantViolation",
+    "check_invariants",
+]

@@ -1,0 +1,230 @@
+"""Deterministic fault injection for simulation runs.
+
+A :class:`FaultPlan` describes, declaratively and seedably, how a run is
+perturbed while it executes:
+
+* **color-skewed memory pressure** — a competing address space seizes
+  free frames at phase boundaries, concentrated on a band of colors
+  (the case that defeats hint honoring hardest), and releases part of
+  them on the off-beat so available capacity *varies over time*;
+* **dropped / partial hints** — a fraction of the ``madvise`` hint table
+  (or of the Digital-UNIX touch order) never reaches the kernel;
+* **forced allocation failures** — individual allocations behave as if
+  memory were exhausted, exercising reclaim and abort paths;
+* **race storms** — the bin-hopping kernel race is amplified by extra
+  concurrent faulters.
+
+Everything is driven by one ``random.Random(seed)`` stream, so the same
+plan on the same program reproduces the same perturbations exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.osmodel.physmem import PhysicalMemory
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seedable description of mid-run perturbations.
+
+    All fields default to "off", so ``FaultPlan()`` is a no-op plan and
+    each fault class can be enabled independently.
+    """
+
+    seed: int = 0
+    #: Peak fraction of currently-free frames a competing address space
+    #: seizes (0 disables pressure).
+    pressure: float = 0.0
+    #: Fraction of the seized frames concentrated on the skewed color band.
+    pressure_color_skew: float = 0.75
+    #: Phase boundaries between seize pulses; the competitor releases
+    #: frames on the boundaries in between (capacity varies over time).
+    pressure_period: int = 2
+    #: Fraction of held frames released on an off-beat boundary.
+    release_fraction: float = 0.5
+    #: Fraction of CDPC hints (madvise table entries or touch-order pages)
+    #: that are dropped before delivery.
+    hint_loss: float = 0.0
+    #: Probability that any single allocation is forced to behave as if
+    #: memory were exhausted.
+    alloc_failure_rate: float = 0.0
+    #: Extra concurrent faulters injected into every page-fault round
+    #: (amplifies the bin-hopping kernel race; 0 disables).
+    race_storm: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("pressure", "pressure_color_skew", "hint_loss",
+                     "alloc_failure_rate", "release_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {value}")
+        if self.pressure_period < 1:
+            raise ValueError("pressure_period must be >= 1")
+        if self.race_storm < 0:
+            raise ValueError("race_storm must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.pressure > 0
+            or self.hint_loss > 0
+            or self.alloc_failure_rate > 0
+            or self.race_storm > 0
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "pressure": self.pressure,
+            "pressure_color_skew": self.pressure_color_skew,
+            "pressure_period": self.pressure_period,
+            "release_fraction": self.release_fraction,
+            "hint_loss": self.hint_loss,
+            "alloc_failure_rate": self.alloc_failure_rate,
+            "race_storm": self.race_storm,
+        }
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against one simulation's OS state.
+
+    The engine calls :meth:`initial_pressure` once before initialization,
+    :meth:`on_phase_boundary` at every phase boundary, and routes hint
+    delivery and fault concurrency through the filter methods.  All
+    randomness comes from the plan's seed.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        physmem: PhysicalMemory,
+        num_colors: int,
+        on_event: Optional[Callable[[str, dict], None]] = None,
+    ) -> None:
+        self.plan = plan
+        self.physmem = physmem
+        self.num_colors = num_colors
+        self.on_event = on_event
+        self._rng = random.Random(plan.seed)
+        self._phase_index = 0
+        self.frames_seized = 0
+        self.frames_released = 0
+        self.hints_dropped = 0
+        # The skewed color band: a contiguous half of the color space,
+        # chosen once per run so the pressure has a stable "shape".
+        band = max(1, num_colors // 2)
+        start = self._rng.randrange(num_colors)
+        self.skewed_colors = {(start + i) % num_colors for i in range(band)}
+        if plan.alloc_failure_rate > 0:
+            physmem.fail_hook = self._alloc_failure
+
+    # ------------------------------------------------------------------
+
+    def _emit(self, kind: str, detail: dict) -> None:
+        if self.on_event is not None:
+            self.on_event(kind, detail)
+
+    def _alloc_failure(self, preferred_color: Optional[int]) -> bool:
+        return self._rng.random() < self.plan.alloc_failure_rate
+
+    # ------------------------------------------------------------------
+    # Memory pressure (competing address spaces)
+
+    def _seize(self) -> int:
+        target = int(self.physmem.free_frames() * self.plan.pressure)
+        skew_count = int(target * self.plan.pressure_color_skew)
+        seized = self.physmem.seize_frames(
+            skew_count, self._rng, preferred_colors=self.skewed_colors
+        )
+        seized += self.physmem.seize_frames(target - len(seized), self._rng)
+        self.frames_seized += len(seized)
+        return len(seized)
+
+    def _release(self) -> int:
+        held = len(self.physmem.held_frames())
+        count = int(held * self.plan.release_fraction)
+        released = len(self.physmem.release_held(count, self._rng))
+        self.frames_released += released
+        return released
+
+    def initial_pressure(self) -> None:
+        """Apply the first seize pulse before the program initializes."""
+        if self.plan.pressure <= 0:
+            return
+        seized = self._seize()
+        self._emit("pressure", {"phase": "init", "seized": seized, "released": 0})
+
+    def on_phase_boundary(self) -> None:
+        """Oscillate the competing address space's footprint.
+
+        Even beats of ``pressure_period`` seize back up toward the target
+        fraction; odd beats release ``release_fraction`` of the held
+        frames — available memory capacity varies over time instead of
+        being a fixed pre-run constant.
+        """
+        self._phase_index += 1
+        if self.plan.pressure <= 0:
+            return
+        beat = (self._phase_index // self.plan.pressure_period) % 2
+        if beat == 0:
+            seized = self._seize()
+            if seized:
+                self._emit(
+                    "pressure",
+                    {"phase": self._phase_index, "seized": seized, "released": 0},
+                )
+        else:
+            released = self._release()
+            if released:
+                self._emit(
+                    "pressure",
+                    {"phase": self._phase_index, "seized": 0, "released": released},
+                )
+
+    # ------------------------------------------------------------------
+    # Hint delivery faults
+
+    def filter_hints(self, hints: dict[int, int]) -> dict[int, int]:
+        """Drop a deterministic fraction of the madvise hint table."""
+        if self.plan.hint_loss <= 0:
+            return dict(hints)
+        kept: dict[int, int] = {}
+        dropped = 0
+        for vpage in sorted(hints):
+            if self._rng.random() < self.plan.hint_loss:
+                dropped += 1
+                self.hints_dropped += 1
+                self._emit("hint_dropped", {"vpage": vpage})
+            else:
+                kept[vpage] = hints[vpage]
+        return kept
+
+    def filter_touch_order(self, order: list[int]) -> list[int]:
+        """Drop a fraction of the Digital-UNIX touch order.
+
+        A skipped page still faults later — in whatever order the program
+        first touches it — so the hint for it is effectively lost.
+        """
+        if self.plan.hint_loss <= 0:
+            return list(order)
+        kept: list[int] = []
+        for vpage in order:
+            if self._rng.random() < self.plan.hint_loss:
+                self.hints_dropped += 1
+                self._emit("hint_dropped", {"vpage": vpage})
+            else:
+                kept.append(vpage)
+        return kept
+
+    # ------------------------------------------------------------------
+    # Race storms
+
+    def fault_concurrency(self, concurrent: int) -> int:
+        """Amplify the number of concurrently racing page faulters."""
+        if self.plan.race_storm <= 0:
+            return concurrent
+        return concurrent + self.plan.race_storm

@@ -1,0 +1,142 @@
+"""Page-table / physical-memory / miss-accounting consistency checking.
+
+The OS model's correctness rests on a handful of invariants that no layer
+verified before this module existed: a frame must never be mapped twice,
+free lists must be disjoint from mapped frames, every free-list entry must
+sit on the list matching its color, and the memory system's two
+independent demand-miss counters must agree.  :func:`check_invariants`
+verifies all of them against live simulator state; the engine can run it
+per epoch (``EngineOptions(check_invariants=True)``) and the CLI exposes
+it through ``python -m repro faults --check-invariants``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.machine.memory_system import MemorySystem
+from repro.osmodel.vm import VirtualMemory
+
+
+class InvariantViolation(AssertionError):
+    """A consistency invariant of the OS model does not hold."""
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of one invariant sweep."""
+
+    checks: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def fail(self, message: str) -> None:
+        self.violations.append(message)
+
+    def raise_if_failed(self) -> None:
+        if self.violations:
+            raise InvariantViolation(
+                f"{len(self.violations)} invariant violation(s): "
+                + "; ".join(self.violations[:8])
+            )
+
+
+def check_invariants(
+    vm: VirtualMemory, ms: Optional[MemorySystem] = None
+) -> InvariantReport:
+    """Verify the OS model's consistency invariants.
+
+    Checks, in order:
+
+    1. the page table is injective — no physical frame is mapped by two
+       virtual pages;
+    2. every mapped frame is within the physical frame range;
+    3. every free-list entry sits on the list matching its color, appears
+       exactly once across all free lists, and is within range;
+    4. free, allocated and held frame sets are pairwise disjoint, every
+       mapped frame is in the allocated set, and the three states together
+       account for every physical frame (conservation);
+    5. when ``ms`` is given, the per-frame demand-miss counters sum to the
+       memory system's independently maintained demand-miss total.
+
+    Returns an :class:`InvariantReport`; call ``raise_if_failed()`` to
+    turn violations into an :class:`InvariantViolation`.
+    """
+    report = InvariantReport()
+    physmem = vm.physmem
+
+    # 1 + 2: page-table injectivity and range.
+    report.checks += 1
+    frame_owners: dict[int, int] = {}
+    for vpage, frame in vm.page_table.mappings():
+        if frame in frame_owners:
+            report.fail(
+                f"frame {frame} double-mapped by vpages "
+                f"{frame_owners[frame]} and {vpage}"
+            )
+        else:
+            frame_owners[frame] = vpage
+        if not 0 <= frame < physmem.num_frames:
+            report.fail(f"mapped frame {frame} out of range (vpage {vpage})")
+
+    # 3: free-list color placement, uniqueness and range.
+    report.checks += 1
+    free: set[int] = set()
+    for color, queue in enumerate(physmem.free_lists()):
+        for frame in queue:
+            if physmem.color_of(frame) != color:
+                report.fail(
+                    f"frame {frame} (color {physmem.color_of(frame)}) "
+                    f"on free list {color}"
+                )
+            if frame in free:
+                report.fail(f"frame {frame} appears twice in the free lists")
+            free.add(frame)
+            if not 0 <= frame < physmem.num_frames:
+                report.fail(f"free frame {frame} out of range")
+
+    # 4: state disjointness and conservation.
+    report.checks += 1
+    allocated = set(physmem.allocated_frames())
+    held = set(physmem.held_frames())
+    mapped = set(frame_owners)
+    for name_a, set_a, name_b, set_b in (
+        ("free", free, "allocated", allocated),
+        ("free", free, "held", held),
+        ("allocated", allocated, "held", held),
+        ("free", free, "mapped", mapped),
+    ):
+        overlap = set_a & set_b
+        if overlap:
+            report.fail(
+                f"{name_a}/{name_b} overlap on frames "
+                f"{sorted(overlap)[:4]} ({len(overlap)} total)"
+            )
+    unmapped_allocations = mapped - allocated
+    if unmapped_allocations:
+        report.fail(
+            f"mapped frames not accounted as allocated: "
+            f"{sorted(unmapped_allocations)[:4]}"
+        )
+    accounted = len(free) + len(allocated) + len(held)
+    if accounted != physmem.num_frames:
+        report.fail(
+            f"frame conservation broken: {len(free)} free + "
+            f"{len(allocated)} allocated + {len(held)} held "
+            f"= {accounted}, expected {physmem.num_frames}"
+        )
+
+    # 5: miss-count accounting across two independent counters.
+    if ms is not None:
+        report.checks += 1
+        per_frame = sum(ms.frame_misses.values())
+        if per_frame != ms.demand_l2_misses:
+            report.fail(
+                f"miss accounting mismatch: per-frame counters sum to "
+                f"{per_frame}, demand-miss total is {ms.demand_l2_misses}"
+            )
+    return report

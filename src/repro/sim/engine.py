@@ -41,6 +41,7 @@ from repro.core.runtime import CdpcRuntime
 from repro.machine.config import MachineConfig
 from repro.machine.memory_system import MemorySystem
 from repro.machine.stats import MachineStats
+from repro.osmodel.physmem import CascadeReclaimer, HeldFrameReclaimer
 from repro.osmodel.policies import (
     BinHoppingPolicy,
     CdpcHintPolicy,
@@ -48,6 +49,13 @@ from repro.osmodel.policies import (
     PageColoringPolicy,
 )
 from repro.osmodel.vm import VirtualMemory
+from repro.robustness.degradation import (
+    ColdPageReclaimer,
+    DegradationLog,
+    DegradationReport,
+)
+from repro.robustness.faults import FaultInjector, FaultPlan
+from repro.robustness.invariants import check_invariants
 from repro.sim.results import PhaseResult, RunResult, add_scaled_stats
 from repro.sim.tracegen import SimProfile, loop_traces
 from repro.sim.windows import representative_window
@@ -79,6 +87,22 @@ class EngineOptions:
     recolor_threshold: int = 16
     recolor_max_per_step: int = 32
     seed: int = 0
+    #: Deterministic mid-run perturbations (pressure, hint loss, forced
+    #: allocation failures, race storms); None runs fault-free.
+    fault_plan: Optional[FaultPlan] = None
+    #: Run the page-table/physical-memory/miss-accounting invariant sweep
+    #: after initialization and after every phase, raising on violation.
+    check_invariants: bool = False
+    #: Graceful degradation: on allocator exhaustion, reclaim a competing
+    #: address space's frame or evict the coldest mapped page instead of
+    #: raising OutOfMemoryError.  (Reclaim only engages where the run
+    #: would previously have crashed, so fault-free results are
+    #: unchanged.)
+    reclaim: bool = True
+    #: Hint-honor-rate watchdog: when the rate drops below this threshold
+    #: the engine abandons the static CDPC hints and falls back to the
+    #: Section 2.1 dynamic recolorer.  None disables the watchdog.
+    hint_watchdog: Optional[float] = None
 
     def resolved_delivery(self) -> str:
         if self.cdpc_delivery != "auto":
@@ -144,6 +168,18 @@ class _Simulation:
         if options.memory_pressure > 0:
             self.vm.physmem.occupy_fraction(options.memory_pressure, seed=options.seed)
 
+        self.degradation_log = DegradationLog()
+        self.vm.physmem.event_hook = self.degradation_log.record
+        self.injector: Optional[FaultInjector] = None
+        if options.fault_plan is not None and options.fault_plan.active:
+            self.injector = FaultInjector(
+                options.fault_plan,
+                self.vm.physmem,
+                config.num_colors,
+                on_event=self.degradation_log.record,
+            )
+            self.injector.initial_pressure()
+
         self.runtime: Optional[CdpcRuntime] = None
         if options.cdpc:
             self.runtime = CdpcRuntime.from_summary(self.summary, config, self.num_cpus)
@@ -151,6 +187,13 @@ class _Simulation:
         self.ms = MemorySystem(
             config, prefetch_fills_tlb=options.prefetch_fills_tlb
         )
+        if options.reclaim:
+            self.vm.physmem.reclaim_policy = CascadeReclaimer([
+                HeldFrameReclaimer(),
+                ColdPageReclaimer(self.vm, self.ms, on_evict=self._on_page_evicted),
+            ])
+        self._invariant_checks = 0
+        self._watchdog_tripped = False
         self.clocks = [0.0] * self.num_cpus
         self.page_cache: dict[int, int] = {}  # vpage -> frame base address
         self._rng = random.Random(options.seed)
@@ -167,6 +210,7 @@ class _Simulation:
                 self.ms,
                 threshold=options.recolor_threshold,
                 max_per_step=options.recolor_max_per_step,
+                on_degradation=self.degradation_log.record,
             )
 
     # ------------------------------------------------------------------
@@ -190,16 +234,72 @@ class _Simulation:
         return budget
 
     # ------------------------------------------------------------------
+    # Robustness hooks
+
+    def _on_page_evicted(self, vpage: int, frame: int) -> None:
+        """Cold-page reclaim evicted a mapping; drop the stale translation."""
+        self.page_cache.pop(vpage, None)
+
+    def _run_invariant_sweep(self) -> None:
+        if not self.options.check_invariants:
+            return
+        report = check_invariants(self.vm, self.ms)
+        self._invariant_checks += 1
+        report.raise_if_failed()
+
+    def _watchdog_check(self) -> None:
+        """Fall back from static hints to dynamic recoloring when hints rot.
+
+        Once the hint honor rate drops below the watchdog threshold the
+        compile-time coloring is no longer being realized — pressure or
+        hint loss has scattered the pages — so the static hints are
+        abandoned and the Section 2.1 dynamic recolorer takes over,
+        repairing the worst conflicts at run time.
+        """
+        threshold = self.options.hint_watchdog
+        if threshold is None or self._watchdog_tripped or not self.options.cdpc:
+            return
+        physmem = self.vm.physmem
+        if physmem.hint_requests < 8:  # too few samples to judge
+            return
+        rate = physmem.hint_honor_rate
+        if rate >= threshold:
+            return
+        self._watchdog_tripped = True
+        if isinstance(self.vm.policy, CdpcHintPolicy):
+            self.vm.policy.clear_hints()
+        if self.recolorer is None:
+            from repro.osmodel.dynamic import DynamicRecolorer
+
+            self.recolorer = DynamicRecolorer(
+                self.vm,
+                self.ms,
+                threshold=self.options.recolor_threshold,
+                max_per_step=self.options.recolor_max_per_step,
+                on_degradation=self.degradation_log.record,
+            )
+        self.degradation_log.record(
+            "watchdog_trip",
+            {"hint_honor_rate": round(rate, 4), "threshold": threshold,
+             "hint_requests": physmem.hint_requests},
+        )
+
+    # ------------------------------------------------------------------
     # Setup and initialization
 
     def deliver_cdpc(self) -> None:
         assert self.runtime is not None
         delivery = self.options.resolved_delivery()
         if delivery == "madvise":
-            self.runtime.install_hints(self.vm)
+            hints = self.runtime.hints
+            if self.injector is not None:
+                hints = self.injector.filter_hints(hints)
+            self.vm.madvise_colors(hints)
         elif delivery == "touch":
             # Serialized user-level faulting, charged to the master.
             order = self.runtime.touch_order()
+            if self.injector is not None:
+                order = self.injector.filter_touch_order(order)
             t = self.clocks[0]
             stats = self.ms.stats.cpus[0]
             for vpage in order:
@@ -270,6 +370,8 @@ class _Simulation:
     # Steady state
 
     def run_phase(self, phase, record: bool) -> Optional[PhaseResult]:
+        if self.injector is not None:
+            self.injector.on_phase_boundary()
         bus = self.ms.bus
         if record:
             self.ms.stats = MachineStats.for_cpus(self.num_cpus)
@@ -285,6 +387,8 @@ class _Simulation:
         self._run_sequential_tail(self.clocks[0] - t0)
         if self.recolorer is not None:
             self._dynamic_recolor_step()
+        self._watchdog_check()
+        self._run_invariant_sweep()
         if not record:
             return None
         bus_delta = {
@@ -427,12 +531,16 @@ class _Simulation:
         flags = all_flags[start:end]
         prefetches = all_prefetches[start:end] if all_prefetches is not None else None
         access = ms.access
+        fault_concurrency = (
+            concurrent if self.injector is None
+            else self.injector.fault_concurrency(concurrent)
+        )
         for index, addr in enumerate(addrs):
             vpage = addr // psz
             base = page_cache.get(vpage)
             if base is None:
                 if not vm.page_table.is_mapped(vpage):
-                    vm.fault(vpage, cpu, concurrent_faults=concurrent)
+                    vm.fault(vpage, cpu, concurrent_faults=fault_concurrency)
                     t += fault_ns
                     kernel_total += fault_ns
                 base = vm.page_table.frame_of(vpage) * psz
@@ -471,6 +579,7 @@ class _Simulation:
         if self.options.cdpc:
             self.deliver_cdpc()
         self.run_init()
+        self._run_invariant_sweep()
         window = representative_window(self.program)
         for phase in window.warmup:
             self.run_phase(phase, record=False)
@@ -501,6 +610,15 @@ class _Simulation:
             phases=phase_results,
             hint_honor_rate=self.vm.physmem.hint_honor_rate,
             array_misses=self._attribute_misses(),
+            degradation=DegradationReport.collect(
+                self.degradation_log,
+                self.vm.physmem,
+                aborted_recolor_steps=(
+                    self.recolorer.aborted_steps if self.recolorer else 0
+                ),
+                invariant_checks=self._invariant_checks,
+                injector=self.injector,
+            ),
         )
 
     def _attribute_misses(self) -> dict[str, int]:

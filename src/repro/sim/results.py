@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.machine.config import MachineConfig
 from repro.machine.stats import OVERHEAD_CATEGORIES, CpuStats, MachineStats, MissKind
+from repro.robustness.degradation import DegradationReport
 
 
 def add_scaled_cpu_stats(dst: CpuStats, src: CpuStats, weight: float) -> None:
@@ -68,6 +70,10 @@ class RunResult:
     #: and "other"), unweighted and including warmup — a diagnostic for
     #: which data structures drive the misses.
     array_misses: dict[str, int] = field(default_factory=dict)
+    #: Graceful-degradation accounting: reclaims, watchdog trips, aborted
+    #: recolor steps, fallback-distance histogram (None when the run was
+    #: produced without the engine, e.g. hand-built in tests).
+    degradation: Optional[DegradationReport] = None
 
     # ------------------------------------------------------------------
     # Figure 2 quantities
@@ -170,6 +176,9 @@ class RunResult:
             "bus_utilization_breakdown": self.bus_utilization_breakdown(),
             "hint_honor_rate": self.hint_honor_rate,
             "array_misses": dict(self.array_misses),
+            "degradation": (
+                self.degradation.to_dict() if self.degradation is not None else None
+            ),
             "phases": [
                 {"name": p.name, "occurrences": p.occurrences,
                  "wall_ns": p.wall_ns}

@@ -1,0 +1,94 @@
+"""Tests for the ``python -m repro faults`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestFaultsParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["faults", "tomcatv"])
+        assert args.command == "faults"
+        assert args.pressure == 0.0
+        assert args.hint_loss == 0.0
+        assert args.alloc_failure_rate == 0.0
+        assert args.race_storm == 0
+        assert args.seed == 0
+        assert args.watchdog == pytest.approx(0.5)
+        assert not args.check_invariants
+        assert not args.no_cdpc
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["faults", "swim", "--pressure", "0.6", "--hint-loss", "0.2",
+             "--alloc-failure-rate", "0.05", "--race-storm", "3",
+             "--seed", "7", "--check-invariants", "--cpus", "4"]
+        )
+        assert args.pressure == pytest.approx(0.6)
+        assert args.hint_loss == pytest.approx(0.2)
+        assert args.alloc_failure_rate == pytest.approx(0.05)
+        assert args.race_storm == 3
+        assert args.seed == 7
+        assert args.check_invariants
+        assert args.cpus == 4
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "gcc"])
+
+
+FAST = ["--cpus", "2"]
+
+
+class TestFaultsCommand:
+    def test_acceptance_invocation(self, capsys):
+        """The ISSUE acceptance command completes and reports degradation."""
+        code = main(
+            ["faults", "tomcatv", "--pressure", "0.6", "--hint-loss", "0.2",
+             "--check-invariants", *FAST]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degradation report" in out
+        assert "reclaims" in out
+        assert "watchdog trips" in out
+        assert "fallback distance histogram" in out
+        assert "hint honor rate" in out
+
+    def test_fault_free_run(self, capsys):
+        assert main(["faults", "tomcatv", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "degradation report" in out
+
+    def test_json_payload_includes_plan_and_report(self, capsys):
+        code = main(
+            ["faults", "tomcatv", "--pressure", "0.5", "--hint-loss", "0.1",
+             "--seed", "3", "--json", *FAST]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fault_plan"]["pressure"] == pytest.approx(0.5)
+        assert payload["fault_plan"]["seed"] == 3
+        assert payload["degradation"] is not None
+        assert payload["degradation"]["frames_seized"] > 0
+
+    def test_same_seed_is_reproducible(self, capsys):
+        argv = ["faults", "tomcatv", "--pressure", "0.6", "--hint-loss", "0.2",
+                "--alloc-failure-rate", "0.02", "--seed", "11",
+                "--check-invariants", "--json", *FAST]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_different_seeds_change_degradation(self, capsys):
+        base = ["faults", "tomcatv", "--pressure", "0.6", "--hint-loss", "0.3",
+                "--json", *FAST]
+        main([*base, "--seed", "1"])
+        a = json.loads(capsys.readouterr().out)
+        main([*base, "--seed", "2"])
+        b = json.loads(capsys.readouterr().out)
+        assert a["degradation"] != b["degradation"] or a["wall_ns"] != b["wall_ns"]

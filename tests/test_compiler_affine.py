@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common import Communication, Partitioning
+from repro.common import Communication
 from repro.compiler.affine import (
     AffineNest,
     AffinePhase,

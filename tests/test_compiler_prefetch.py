@@ -1,7 +1,5 @@
 """Tests for locality analysis and the prefetch-insertion pass."""
 
-import pytest
-
 from repro.compiler.ir import (
     ArrayDecl,
     Loop,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common import Communication, Direction, Partitioning
+from repro.common import Communication, Direction
 from repro.core.access_summary import (
     AccessSummary,
     ArrayPartitioning,

@@ -1,7 +1,5 @@
 """Tests for Steps 2-4: set ordering, segment ordering, cyclic assignment."""
 
-import pytest
-
 from repro.core.access_summary import AccessSummary
 from repro.core.cyclic import (
     assign_cyclic,

@@ -15,7 +15,6 @@ from repro.compiler.ir import (
     StridedAccess,
     WholeArrayAccess,
 )
-from repro.workloads import iter_workloads
 
 EXAMPLE = """
 # A red/black solver.

@@ -1,7 +1,5 @@
 """Tests for the dynamic page-recoloring extension."""
 
-import pytest
-
 from repro.machine.config import CacheConfig, MachineConfig
 from repro.machine.memory_system import MemorySystem
 from repro.osmodel.dynamic import DynamicRecolorer
@@ -101,6 +99,40 @@ class TestRecolorer:
         ms8 = MemorySystem(config8)
         recolorer8 = DynamicRecolorer(vm8, ms8)
         assert recolorer8.migration_cost_ns() > recolorer.migration_cost_ns()
+
+    def test_step_survives_allocator_exhaustion(self):
+        """OOM mid-migration aborts the interval instead of crashing."""
+        config, vm, ms, recolorer = build()
+        provoke_conflicts(config, vm, ms, [0, 16, 32])
+        mapped_before = dict(vm.page_table.mappings())
+        vm.physmem.occupy_fraction(1.0, seed=0)  # drain every free frame
+        events, cost = recolorer.step(0.0)
+        assert events == [] and cost == 0.0
+        assert recolorer.aborted_steps == 1
+        # Transactionality: every page is still mapped, exactly as before.
+        assert dict(vm.page_table.mappings()) == mapped_before
+
+    def test_aborted_step_reports_degradation(self):
+        config, vm, ms, recolorer = build()
+        seen = []
+        recolorer.on_degradation = lambda kind, detail: seen.append((kind, detail))
+        provoke_conflicts(config, vm, ms, [0, 16, 32])
+        vm.physmem.occupy_fraction(1.0, seed=0)
+        recolorer.step(0.0)
+        assert seen and seen[0][0] == "aborted_recolor"
+        assert "wanted_color" in seen[0][1]
+
+    def test_step_resumes_after_pressure_lifts(self):
+        config, vm, ms, recolorer = build()
+        provoke_conflicts(config, vm, ms, [0, 16, 32])
+        taken = vm.physmem.occupy_fraction(1.0, seed=0)
+        recolorer.step(0.0)
+        assert recolorer.aborted_steps == 1
+        for frame in taken:
+            vm.physmem.free(frame)
+        provoke_conflicts(config, vm, ms, [0, 16, 32])
+        events, _ = recolorer.step(0.0)
+        assert events  # migration works again once memory is back
 
     def test_engine_integration(self):
         from repro.machine.config import sgi_base

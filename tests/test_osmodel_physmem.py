@@ -1,10 +1,17 @@
 """Tests for the physical memory manager."""
 
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.osmodel.physmem import OutOfMemoryError, PhysicalMemory
+from repro.osmodel.physmem import (
+    CascadeReclaimer,
+    HeldFrameReclaimer,
+    OutOfMemoryError,
+    PhysicalMemory,
+)
 
 
 class TestPhysicalMemory:
@@ -85,6 +92,13 @@ class TestPhysicalMemory:
         with pytest.raises(ValueError):
             PhysicalMemory(num_frames=8, num_colors=0)
 
+    def test_free_releases_occupied_frame(self):
+        pm = PhysicalMemory(num_frames=64, num_colors=8)
+        taken = pm.occupy_fraction(0.5, seed=1)
+        free_before = pm.free_frames()
+        pm.free(taken[0])
+        assert pm.free_frames() == free_before + 1
+
     @given(st.lists(st.integers(0, 7), min_size=1, max_size=32))
     @settings(max_examples=50, deadline=None)
     def test_no_frame_allocated_twice(self, preferred):
@@ -96,8 +110,6 @@ class TestPhysicalMemory:
     @settings(max_examples=50, deadline=None)
     def test_alloc_free_roundtrip_conserves_frames(self, colors, seed):
         pm = PhysicalMemory(num_frames=colors * 4, num_colors=colors)
-        import random
-
         rng = random.Random(seed)
         held = []
         for _ in range(200):
@@ -106,3 +118,165 @@ class TestPhysicalMemory:
             elif pm.free_frames():
                 held.append(pm.alloc(rng.randrange(colors)))
         assert pm.free_frames() + len(held) == colors * 4
+
+
+class TestFallbackSpiral:
+    def test_candidates_unique_with_even_colors(self):
+        # Distance num_colors // 2 reaches the same color from both sides;
+        # the spiral must probe it once, not twice.
+        pm = PhysicalMemory(num_frames=8, num_colors=8)
+        candidates = [c for _, c in pm.fallback_candidates(0)]
+        assert len(candidates) == len(set(candidates)) == 7
+        assert set(candidates) == set(range(1, 8))
+
+    def test_candidates_unique_with_odd_colors(self):
+        pm = PhysicalMemory(num_frames=7, num_colors=7)
+        candidates = [c for _, c in pm.fallback_candidates(3)]
+        assert len(candidates) == len(set(candidates)) == 6
+
+    def test_opposite_color_probed_at_half_distance(self):
+        pm = PhysicalMemory(num_frames=8, num_colors=8)
+        distances = dict((c, d) for d, c in pm.fallback_candidates(0))
+        assert distances[4] == 4
+
+    def test_fallback_distance_histogram(self):
+        pm = PhysicalMemory(num_frames=16, num_colors=8)
+        pm.alloc(preferred_color=0)
+        pm.alloc(preferred_color=0)
+        pm.alloc(preferred_color=0)  # falls back to distance 1
+        assert pm.fallback_distance == {0: 2, 1: 1}
+
+    def test_histogram_records_far_fallbacks(self):
+        pm = PhysicalMemory(num_frames=8, num_colors=8)
+        for color in range(8):
+            if color != 4:
+                pm.alloc(preferred_color=color)
+        # Only the opposite color remains: a hint for 0 lands 4 away.
+        frame = pm.alloc(preferred_color=0)
+        assert pm.color_of(frame) == 4
+        assert pm.fallback_distance[4] == 1
+
+
+class TestExhaustionAndReclaim:
+    def test_hint_honor_rate_under_pressure(self):
+        pressured = PhysicalMemory(num_frames=256, num_colors=8)
+        pressured.occupy_fraction(0.9, seed=3)
+        relaxed = PhysicalMemory(num_frames=256, num_colors=8)
+        for pm in (pressured, relaxed):
+            for i in range(20):
+                pm.alloc(preferred_color=i % 8)
+        assert pressured.hint_honor_rate < relaxed.hint_honor_rate
+        assert relaxed.hint_honor_rate == 1.0
+
+    def test_double_free_detected(self):
+        pm = PhysicalMemory(num_frames=8, num_colors=8)
+        frame = pm.alloc()
+        pm.free(frame)
+        with pytest.raises(ValueError, match="double free"):
+            pm.free(frame)
+
+    def test_free_of_never_allocated_frame_detected(self):
+        pm = PhysicalMemory(num_frames=8, num_colors=8)
+        with pytest.raises(ValueError, match="double free"):
+            pm.free(3)
+
+    def test_reclaim_replaces_oom(self):
+        pm = PhysicalMemory(num_frames=8, num_colors=8)
+        pm.occupy_fraction(1.0, seed=0)  # competing space holds everything
+        pm.reclaim_policy = HeldFrameReclaimer()
+        frame = pm.alloc(preferred_color=2)
+        assert pm.color_of(frame) == 2  # victim chosen to honor the hint
+        assert pm.reclaims == 1
+
+    def test_reclaim_unhinted_allocation(self):
+        pm = PhysicalMemory(num_frames=8, num_colors=8)
+        pm.occupy_fraction(1.0, seed=0)
+        pm.reclaim_policy = HeldFrameReclaimer()
+        assert pm.alloc() in range(8)
+
+    def test_no_reclaim_policy_still_raises(self):
+        pm = PhysicalMemory(num_frames=8, num_colors=8)
+        pm.occupy_fraction(1.0, seed=0)
+        with pytest.raises(OutOfMemoryError):
+            pm.alloc(preferred_color=0)
+
+    def test_exhausted_reclaimer_raises(self):
+        pm = PhysicalMemory(num_frames=8, num_colors=8)
+        pm.reclaim_policy = HeldFrameReclaimer()  # nothing held to evict
+        for _ in range(8):
+            pm.alloc()
+        with pytest.raises(OutOfMemoryError):
+            pm.alloc()
+
+    def test_cascade_tries_policies_in_order(self):
+        pm = PhysicalMemory(num_frames=8, num_colors=8)
+        pm.occupy_fraction(1.0, seed=0)
+        pm.reclaim_policy = CascadeReclaimer([HeldFrameReclaimer()])
+        assert pm.alloc(preferred_color=5) is not None
+        assert pm.reclaims == 1
+
+    def test_forced_failure_routes_through_reclaim(self):
+        pm = PhysicalMemory(num_frames=16, num_colors=8)
+        pm.occupy_fraction(0.5, seed=0)
+        pm.reclaim_policy = HeldFrameReclaimer()
+        pm.fail_hook = lambda color: True
+        frame = pm.alloc(preferred_color=1)
+        assert pm.forced_failures == 1
+        assert pm.reclaims == 1
+        assert frame in range(16)
+
+    def test_forced_failure_without_reclaim_raises(self):
+        pm = PhysicalMemory(num_frames=16, num_colors=8)
+        pm.fail_hook = lambda color: True
+        with pytest.raises(OutOfMemoryError):
+            pm.alloc(preferred_color=1)
+        assert pm.forced_failures == 1
+
+    def test_event_hook_sees_reclaims(self):
+        events = []
+        pm = PhysicalMemory(num_frames=8, num_colors=8)
+        pm.occupy_fraction(1.0, seed=0)
+        pm.reclaim_policy = HeldFrameReclaimer()
+        pm.event_hook = lambda kind, detail: events.append(kind)
+        pm.alloc(preferred_color=0)
+        assert "reclaim" in events
+
+
+class TestCompetingAddressSpaces:
+    def test_seize_prefers_skewed_colors(self):
+        pm = PhysicalMemory(num_frames=64, num_colors=8)
+        rng = random.Random(0)
+        seized = pm.seize_frames(16, rng, preferred_colors={0, 1})
+        assert len(seized) == 16
+        assert all(pm.color_of(f) in (0, 1) for f in seized)
+        assert pm.free_frames_of_color(0) == 0
+        assert pm.free_frames_of_color(1) == 0
+
+    def test_seize_spills_beyond_skewed_colors(self):
+        pm = PhysicalMemory(num_frames=64, num_colors=8)
+        rng = random.Random(0)
+        seized = pm.seize_frames(24, rng, preferred_colors={0, 1})
+        assert len(seized) == 24
+        spill = [f for f in seized if pm.color_of(f) not in (0, 1)]
+        assert len(spill) == 8
+
+    def test_release_held_returns_frames(self):
+        pm = PhysicalMemory(num_frames=64, num_colors=8)
+        rng = random.Random(0)
+        pm.seize_frames(32, rng)
+        released = pm.release_held(10, rng)
+        assert len(released) == 10
+        assert pm.free_frames() == 64 - 32 + 10
+        assert len(pm.held_frames()) == 22
+
+    def test_seize_release_is_deterministic(self):
+        def trace(seed):
+            pm = PhysicalMemory(num_frames=64, num_colors=8)
+            rng = random.Random(seed)
+            events = [tuple(pm.seize_frames(20, rng, preferred_colors={2, 3}))]
+            events.append(tuple(pm.release_held(7, rng)))
+            events.append(tuple(pm.seize_frames(11, rng)))
+            return events
+
+        assert trace(9) == trace(9)
+        assert trace(9) != trace(10)

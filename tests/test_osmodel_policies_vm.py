@@ -208,6 +208,32 @@ class TestVirtualMemory:
         assert histogram[:4] == [1, 1, 1, 1]
         assert sum(histogram) == 4
 
+    def test_partially_installed_hints(self):
+        # A lossy madvise (some hint pages dropped in transit) must leave a
+        # coherent policy: hinted pages land on their colors, dropped pages
+        # silently use the fallback, and later re-delivery fills the gaps.
+        config = vm_config()
+        policy = CdpcHintPolicy(
+            config.num_colors, fallback=PageColoringPolicy(config.num_colors)
+        )
+        vm = VirtualMemory(config, policy)
+        full = {vpage: (vpage * 5) % config.num_colors for vpage in range(8)}
+        delivered = {v: c for v, c in full.items() if v % 2 == 0}
+        assert vm.madvise_colors(delivered) == 4
+        for vpage in range(8):
+            vm.fault(vpage)
+            if vpage in delivered:
+                assert vm.color_of_vpage(vpage) == delivered[vpage]
+            else:
+                # Fallback page coloring: vpage mod colors.
+                assert vm.color_of_vpage(vpage) == vpage % config.num_colors
+        # Re-delivering the dropped half only affects pages not yet faulted.
+        rest = {v: c for v, c in full.items() if v % 2 == 1}
+        vm.madvise_colors(rest)
+        vm.fault(9)
+        assert policy.hint_for(9) is None
+        assert policy.num_hints == 8
+
     def test_memory_pressure_defeats_hints(self):
         config = vm_config()
         policy = CdpcHintPolicy(

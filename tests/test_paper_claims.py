@@ -1,7 +1,5 @@
 """Targeted tests for specific quantitative claims in the paper's text."""
 
-import pytest
-
 from repro.machine.config import sgi_2way, sgi_8way, sgi_base
 from repro.machine.stats import MissKind
 from repro.sim.engine import EngineOptions, run_benchmark

@@ -6,8 +6,6 @@ tests drive a reverse-partitioned program through scheduling, trace
 generation and CDPC hint generation.
 """
 
-import pytest
-
 from repro.common import Direction
 from repro.compiler.ir import (
     ArrayDecl,

@@ -1,0 +1,263 @@
+"""Tests for fault injection and graceful degradation."""
+
+import json
+
+import pytest
+
+from repro.machine.config import CacheConfig, MachineConfig
+from repro.machine.memory_system import MemorySystem
+from repro.osmodel.physmem import PhysicalMemory
+from repro.osmodel.policies import PageColoringPolicy
+from repro.osmodel.vm import VirtualMemory
+from repro.robustness.degradation import (
+    ColdPageReclaimer,
+    DegradationLog,
+    DegradationReport,
+)
+from repro.robustness.faults import FaultInjector, FaultPlan
+from repro.sim.engine import EngineOptions, run_program
+from repro.sim.tracegen import SimProfile
+
+from tests.conftest import make_two_array_program
+
+
+def machine(num_cpus=2) -> MachineConfig:
+    return MachineConfig(
+        num_cpus=num_cpus,
+        page_size=256,
+        l1d=CacheConfig(512, 64, 2),
+        l1i=CacheConfig(512, 64, 2),
+        l2=CacheConfig(4096, 64, 1),  # 16 colors
+    )
+
+
+class TestFaultPlan:
+    def test_defaults_are_inactive(self):
+        assert not FaultPlan().active
+
+    def test_each_fault_class_activates(self):
+        assert FaultPlan(pressure=0.5).active
+        assert FaultPlan(hint_loss=0.1).active
+        assert FaultPlan(alloc_failure_rate=0.01).active
+        assert FaultPlan(race_storm=2).active
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(pressure=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(hint_loss=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(pressure_period=0)
+        with pytest.raises(ValueError):
+            FaultPlan(race_storm=-1)
+
+    def test_to_dict_roundtrip(self):
+        plan = FaultPlan(seed=3, pressure=0.4, hint_loss=0.2)
+        assert FaultPlan(**plan.to_dict()) == plan
+
+
+class TestFaultInjector:
+    def test_hint_filtering_drops_fraction(self):
+        physmem = PhysicalMemory(64, 16)
+        injector = FaultInjector(FaultPlan(seed=1, hint_loss=0.5), physmem, 16)
+        hints = {vpage: vpage % 16 for vpage in range(200)}
+        kept = injector.filter_hints(hints)
+        assert 0 < len(kept) < 200
+        assert injector.hints_dropped == 200 - len(kept)
+        assert all(hints[v] == c for v, c in kept.items())
+
+    def test_hint_filtering_deterministic(self):
+        def run(seed):
+            physmem = PhysicalMemory(64, 16)
+            injector = FaultInjector(FaultPlan(seed=seed, hint_loss=0.3), physmem, 16)
+            return injector.filter_hints({v: v % 16 for v in range(100)})
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_touch_order_filtering_preserves_order(self):
+        physmem = PhysicalMemory(64, 16)
+        injector = FaultInjector(FaultPlan(seed=2, hint_loss=0.4), physmem, 16)
+        order = list(range(100))
+        kept = injector.filter_touch_order(order)
+        assert kept == sorted(kept)
+        assert 0 < len(kept) < 100
+
+    def test_zero_loss_keeps_everything(self):
+        physmem = PhysicalMemory(64, 16)
+        injector = FaultInjector(FaultPlan(seed=0), physmem, 16)
+        hints = {1: 2, 3: 4}
+        assert injector.filter_hints(hints) == hints
+        assert injector.filter_touch_order([5, 6]) == [5, 6]
+
+    def test_initial_pressure_seizes_frames(self):
+        physmem = PhysicalMemory(160, 16)
+        injector = FaultInjector(FaultPlan(seed=0, pressure=0.5), physmem, 16)
+        injector.initial_pressure()
+        assert physmem.free_frames() == 80
+        assert injector.frames_seized == 80
+
+    def test_pressure_is_color_skewed(self):
+        physmem = PhysicalMemory(320, 16)
+        injector = FaultInjector(
+            FaultPlan(seed=0, pressure=0.5, pressure_color_skew=1.0), physmem, 16
+        )
+        injector.initial_pressure()
+        held_colors = {physmem.color_of(f) for f in physmem.held_frames()}
+        assert held_colors == injector.skewed_colors
+        assert len(held_colors) == 8
+
+    def test_phase_boundaries_oscillate(self):
+        physmem = PhysicalMemory(160, 16)
+        plan = FaultPlan(seed=0, pressure=0.5, pressure_period=1,
+                         release_fraction=0.5)
+        injector = FaultInjector(plan, physmem, 16)
+        injector.initial_pressure()
+        seized_after_init = injector.frames_seized
+        injector.on_phase_boundary()  # beat 1 -> release
+        assert injector.frames_released > 0
+        injector.on_phase_boundary()  # beat 0 -> seize again
+        assert injector.frames_seized > seized_after_init
+
+    def test_race_storm_amplifies_concurrency(self):
+        physmem = PhysicalMemory(64, 16)
+        injector = FaultInjector(FaultPlan(seed=0, race_storm=4), physmem, 16)
+        assert injector.fault_concurrency(2) == 6
+        no_storm = FaultInjector(FaultPlan(seed=0), physmem, 16)
+        assert no_storm.fault_concurrency(2) == 2
+
+    def test_alloc_failure_hook_installed(self):
+        physmem = PhysicalMemory(64, 16)
+        FaultInjector(FaultPlan(seed=0, alloc_failure_rate=1.0), physmem, 16)
+        assert physmem.fail_hook is not None
+
+
+class TestColdPageReclaimer:
+    def test_evicts_coldest_mapped_page(self):
+        config = machine()
+        vm = VirtualMemory(config, PageColoringPolicy(config.num_colors))
+        ms = MemorySystem(config)
+        for vpage in range(4):
+            vm.ensure_mapped(vpage)
+        # Heat up pages 0-2; page 3 stays cold.
+        for vpage in range(3):
+            addr = vpage * config.page_size
+            ms.access(0, 0.0, addr, vm.translate(addr), is_write=False)
+        cold_frame = vm.page_table.frame_of(3)
+        evicted = []
+        reclaimer = ColdPageReclaimer(vm, ms, on_evict=lambda v, f: evicted.append(v))
+        frame = reclaimer.reclaim(vm.physmem, None)
+        assert frame == cold_frame
+        assert evicted == [3]
+        assert not vm.page_table.is_mapped(3)
+        # The freed frame is immediately claimable.
+        assert frame in [f for q in vm.physmem.free_lists() for f in q]
+
+    def test_empty_page_table_returns_none(self):
+        config = machine()
+        vm = VirtualMemory(config, PageColoringPolicy(config.num_colors))
+        ms = MemorySystem(config)
+        assert ColdPageReclaimer(vm, ms).reclaim(vm.physmem, None) is None
+
+
+class TestDegradationReport:
+    def test_log_counts_and_caps_detail(self):
+        log = DegradationLog(max_detailed_events=4)
+        for i in range(10):
+            log.record("reclaim", {"frame": i})
+        assert log.count("reclaim") == 10
+        assert len(log.events) == 4
+        assert log.total == 10
+
+    def test_collect_reads_physmem_counters(self):
+        physmem = PhysicalMemory(16, 8)
+        physmem.alloc(preferred_color=0)
+        physmem.alloc(preferred_color=0)
+        physmem.alloc(preferred_color=0)  # distance-1 fallback
+        report = DegradationReport.collect(DegradationLog(), physmem)
+        assert report.fallback_distance_histogram == {0: 2, 1: 1}
+        assert report.fallback_allocations == 1
+
+    def test_to_dict_is_json_serializable(self):
+        report = DegradationReport(reclaims=2, fallback_distance_histogram={0: 5, 3: 1})
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["reclaims"] == 2
+        assert payload["fallback_distance_histogram"] == {"0": 5, "3": 1}
+
+
+@pytest.fixture
+def tiny_program(tiny_config):
+    return make_two_array_program(tiny_config.page_size, pages_per_array=8)
+
+
+class TestEngineUnderFaults:
+    def options(self, **kw):
+        base = dict(
+            policy="page_coloring",
+            cdpc=True,
+            profile=SimProfile.fast(),
+            check_invariants=True,
+            hint_watchdog=0.5,
+        )
+        base.update(kw)
+        return EngineOptions(**base)
+
+    def test_run_completes_under_combined_faults(self, tiny_config, tiny_program):
+        plan = FaultPlan(seed=3, pressure=0.7, hint_loss=0.3,
+                         alloc_failure_rate=0.05)
+        result = run_program(tiny_program, tiny_config,
+                             self.options(fault_plan=plan))
+        assert result.wall_ns > 0
+        report = result.degradation
+        assert report is not None
+        assert report.pressure_events > 0
+        assert report.frames_seized > 0
+        assert report.invariant_checks > 0
+
+    def test_same_seed_reproduces_identical_results(self, tiny_config, tiny_program):
+        plan = FaultPlan(seed=11, pressure=0.6, hint_loss=0.2)
+        a = run_program(tiny_program, tiny_config, self.options(fault_plan=plan))
+        b = run_program(tiny_program, tiny_config, self.options(fault_plan=plan))
+        assert json.dumps(a.to_dict(), sort_keys=True) == json.dumps(
+            b.to_dict(), sort_keys=True
+        )
+
+    def test_different_seeds_differ(self, tiny_config, tiny_program):
+        a = run_program(
+            tiny_program, tiny_config,
+            self.options(fault_plan=FaultPlan(seed=1, pressure=0.6, hint_loss=0.3)),
+        )
+        b = run_program(
+            tiny_program, tiny_config,
+            self.options(fault_plan=FaultPlan(seed=2, pressure=0.6, hint_loss=0.3)),
+        )
+        assert (
+            a.degradation.to_dict() != b.degradation.to_dict()
+            or a.wall_ns != b.wall_ns
+        )
+
+    def test_fault_free_run_reports_clean_degradation(self, tiny_config, tiny_program):
+        result = run_program(tiny_program, tiny_config, self.options())
+        report = result.degradation
+        assert report.reclaims == 0
+        assert report.watchdog_trips == 0
+        assert report.dropped_hints == 0
+        assert report.pressure_events == 0
+
+    def test_watchdog_trips_under_heavy_pressure(self, tiny_config, tiny_program):
+        plan = FaultPlan(seed=5, pressure=0.95, pressure_color_skew=1.0,
+                         hint_loss=0.5)
+        result = run_program(
+            tiny_program, tiny_config,
+            self.options(fault_plan=plan, hint_watchdog=0.95),
+        )
+        assert result.degradation.watchdog_trips == 1
+
+    def test_race_storm_with_bin_hopping(self, tiny_config, tiny_program):
+        plan = FaultPlan(seed=4, race_storm=4)
+        result = run_program(
+            tiny_program, tiny_config,
+            self.options(policy="bin_hopping", cdpc=False, hint_watchdog=None,
+                         fault_plan=plan, race_seed=4),
+        )
+        assert result.wall_ns > 0

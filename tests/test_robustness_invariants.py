@@ -1,0 +1,137 @@
+"""Tests for the page-table / physmem / miss-accounting invariant checker."""
+
+import pytest
+
+from repro.machine.config import CacheConfig, MachineConfig
+from repro.machine.memory_system import MemorySystem
+from repro.osmodel.policies import PageColoringPolicy
+from repro.osmodel.vm import VirtualMemory
+from repro.robustness.invariants import InvariantViolation, check_invariants
+
+
+def machine(num_cpus=2) -> MachineConfig:
+    return MachineConfig(
+        num_cpus=num_cpus,
+        page_size=256,
+        l1d=CacheConfig(512, 64, 2),
+        l1i=CacheConfig(512, 64, 2),
+        l2=CacheConfig(4096, 64, 1),  # 16 colors
+    )
+
+
+def build():
+    config = machine()
+    vm = VirtualMemory(config, PageColoringPolicy(config.num_colors))
+    ms = MemorySystem(config)
+    return config, vm, ms
+
+
+class TestHealthyState:
+    def test_fresh_vm_passes(self):
+        _, vm, ms = build()
+        report = check_invariants(vm, ms)
+        assert report.ok
+        assert report.checks >= 4
+
+    def test_active_vm_passes(self):
+        config, vm, ms = build()
+        for vpage in range(24):
+            vm.ensure_mapped(vpage)
+            addr = vpage * config.page_size
+            ms.access(0, 0.0, addr, vm.translate(addr), is_write=False)
+        report = check_invariants(vm, ms)
+        assert report.ok, report.violations
+
+    def test_pressured_vm_passes(self):
+        _, vm, ms = build()
+        vm.physmem.occupy_fraction(0.5, seed=1)
+        for vpage in range(16):
+            vm.ensure_mapped(vpage)
+        assert check_invariants(vm, ms).ok
+
+    def test_without_memory_system(self):
+        _, vm, _ = build()
+        vm.ensure_mapped(0)
+        report = check_invariants(vm)
+        assert report.ok
+
+    def test_raise_if_failed_is_noop_when_ok(self):
+        _, vm, ms = build()
+        check_invariants(vm, ms).raise_if_failed()
+
+
+class TestCorruptionDetection:
+    def test_catches_double_mapped_frame(self):
+        """The checker is non-vacuous: a deliberate double mapping trips it."""
+        _, vm, ms = build()
+        vm.ensure_mapped(0)
+        frame = vm.page_table.frame_of(0)
+        # Corrupt the page table directly: map a second vpage to the same
+        # frame without going through the allocator.
+        vm.page_table._map[99] = frame
+        report = check_invariants(vm, ms)
+        assert not report.ok
+        assert any("double-mapped" in v for v in report.violations)
+        with pytest.raises(InvariantViolation):
+            report.raise_if_failed()
+
+    def test_catches_free_mapped_overlap(self):
+        _, vm, ms = build()
+        vm.ensure_mapped(0)
+        frame = vm.page_table.frame_of(0)
+        # Corrupt the free lists: push a mapped frame back as if free.
+        vm.physmem._free[vm.physmem.color_of(frame)].append(frame)
+        report = check_invariants(vm, ms)
+        assert not report.ok
+        assert any("overlap" in v for v in report.violations)
+
+    def test_catches_wrong_color_free_list(self):
+        _, vm, ms = build()
+        physmem = vm.physmem
+        frame = physmem._free[0].popleft()
+        physmem._free[1].append(frame)  # frame of color 0 on list 1
+        report = check_invariants(vm, ms)
+        assert not report.ok
+        assert any("on free list" in v for v in report.violations)
+
+    def test_catches_duplicate_free_entry(self):
+        _, vm, ms = build()
+        physmem = vm.physmem
+        physmem._free[0].append(physmem._free[0][0])
+        report = check_invariants(vm, ms)
+        assert not report.ok
+        assert any("twice" in v for v in report.violations)
+
+    def test_catches_conservation_break(self):
+        _, vm, ms = build()
+        vm.physmem._free[0].popleft()  # frame vanishes from every state
+        report = check_invariants(vm, ms)
+        assert not report.ok
+        assert any("conservation" in v for v in report.violations)
+
+    def test_catches_miss_accounting_mismatch(self):
+        config, vm, ms = build()
+        vm.ensure_mapped(0)
+        ms.access(0, 0.0, 0, vm.translate(0), is_write=False)
+        ms.frame_misses[vm.page_table.frame_of(0)] += 5  # tamper one counter
+        report = check_invariants(vm, ms)
+        assert not report.ok
+        assert any("miss accounting" in v for v in report.violations)
+
+
+class TestEngineIntegration:
+    def test_check_invariants_option_runs_per_epoch(self):
+        from repro.machine.config import sgi_base
+        from repro.sim.engine import EngineOptions, run_benchmark
+        from repro.sim.tracegen import SimProfile
+
+        result = run_benchmark(
+            "tomcatv",
+            sgi_base(2).scaled(16),
+            EngineOptions(
+                policy="page_coloring",
+                check_invariants=True,
+                profile=SimProfile.fast(),
+            ),
+        )
+        assert result.degradation.invariant_checks >= 2

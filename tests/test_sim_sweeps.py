@@ -61,7 +61,6 @@ class TestUnscaledWarning:
 
         program = get_workload("tomcatv", scale=1).program  # 14MB
         config = sgi_base(2).scaled(16)  # 64KB cache
-        from repro.compiler.ir import Phase
         import dataclasses
 
         # Shrink occurrences so the (slow) mis-scaled run stays quick.

@@ -1,8 +1,6 @@
 """Tests for trace generation."""
 
 import numpy as np
-import pytest
-
 from repro.compiler.ir import (
     ArrayDecl,
     BoundaryAccess,

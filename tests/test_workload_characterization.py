@@ -4,10 +4,7 @@ One test per benchmark asserting the specific behaviour the paper (and
 docs/workload_models.md) attributes to it, measured from a real run.
 """
 
-import pytest
-
 from repro.machine.config import sgi_base
-from repro.machine.stats import MissKind
 from repro.sim.engine import EngineOptions, run_benchmark
 from repro.sim.tracegen import SimProfile
 
