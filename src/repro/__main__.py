@@ -5,6 +5,7 @@ Examples::
     python -m repro run tomcatv --cpus 8 --policy page_coloring --cdpc
     python -m repro sweep swim --policies page_coloring,bin_hopping,cdpc
     python -m repro faults tomcatv --pressure 0.6 --hint-loss 0.2 --check-invariants
+    python -m repro bench --fast --workloads tomcatv,swim
     python -m repro list
 """
 
@@ -210,6 +211,49 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.sim.bench import run_bench, write_bench
+
+    config = _make_config(args)
+    workloads = (
+        list(WORKLOAD_NAMES)
+        if args.workloads == "all"
+        else args.workloads.split(",")
+    )
+    for name in workloads:
+        if name not in WORKLOAD_NAMES:
+            print(f"repro bench: error: unknown workload {name!r}", file=sys.stderr)
+            return 2
+    options = EngineOptions(
+        profile=SimProfile.fast() if args.fast else SimProfile(),
+    )
+    payload = run_bench(
+        config, workloads, options=options, max_workers=args.workers
+    )
+    write_bench(payload, args.output)
+    ref = payload["reference"]
+    fast = payload["fast"]
+    print(
+        render_table(
+            ["leg", "wall s", "refs/s", "workers"],
+            [
+                ["reference", round(ref["wall_s"], 3),
+                 int(ref["refs_per_sec"]), ref["max_workers"]],
+                ["fast", round(fast["wall_s"], 3),
+                 int(fast["refs_per_sec"]), fast["max_workers"]],
+            ],
+        )
+    )
+    print(f"\nspeedup: {payload['speedup']:.2f}x  ({args.output})")
+    if not payload["equivalent"]:
+        print("repro bench: FAST PATH DIVERGED FROM REFERENCE:", file=sys.stderr)
+        for line in payload["divergences"]:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("fast path bit-identical to reference on every run")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -295,6 +339,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the full two-sweep simulation profile instead of fast",
     )
 
+    bench_parser = sub.add_parser(
+        "bench",
+        help="time the Figure 6 policy sweep on both engine paths and "
+        "write BENCH_engine.json",
+    )
+    bench_parser.add_argument("--cpus", type=int, default=8)
+    bench_parser.add_argument("--machine", choices=sorted(_MACHINES),
+                              default="sgi_base")
+    bench_parser.add_argument("--scale", type=int, default=16,
+                              help="geometric scale factor (default 16)")
+    bench_parser.add_argument(
+        "--workloads", default="all",
+        help="comma-separated workload names, or 'all' (default)",
+    )
+    bench_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size for the fast leg (default: os.cpu_count())",
+    )
+    bench_parser.add_argument(
+        "--fast", action="store_true",
+        help="single-sweep fast simulation profile",
+    )
+    bench_parser.add_argument(
+        "--output", default="BENCH_engine.json",
+        help="where to write the JSON report (default: BENCH_engine.json)",
+    )
+
     file_parser = sub.add_parser(
         "runfile", help="run a workload described in the text format"
     )
@@ -321,6 +392,7 @@ def main(argv=None) -> int:
         "sweep": cmd_sweep,
         "runfile": cmd_runfile,
         "faults": cmd_faults,
+        "bench": cmd_bench,
     }
     return handlers[args.command](args)
 

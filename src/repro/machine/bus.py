@@ -15,8 +15,12 @@ import enum
 from dataclasses import dataclass
 
 
-class BusTransactionKind(enum.Enum):
-    """The transaction kinds of Figure 2's bus-utilization breakdown."""
+class BusTransactionKind(str, enum.Enum):
+    """The transaction kinds of Figure 2's bus-utilization breakdown.
+
+    ``str`` mixin: members hash at C speed, keeping the per-transaction
+    accounting dicts cheap in the hot path.
+    """
 
     DATA = "data"  # request/reply pairs for cache fills
     WRITEBACK = "writeback"

@@ -5,6 +5,13 @@ and which are evicted, not the data itself.  The fully-associative cache is
 used as a *shadow* cache to separate conflict misses (miss in the real
 cache, hit in a fully-associative cache of the same capacity) from capacity
 misses (miss in both), the standard classification the paper relies on.
+
+The set-associative model is on the simulator's per-reference hot path, so
+it keeps two redundant views of its contents: the per-set LRU lists that
+define replacement behaviour, and a flat ``resident`` set that answers
+membership probes in O(1).  The engine's vectorized hit filter
+(``docs/performance.md``) relies on ``resident`` and on :meth:`promote`,
+which must replay exactly the LRU effect of a :meth:`lookup` hit.
 """
 
 from __future__ import annotations
@@ -24,14 +31,24 @@ class SetAssociativeCache:
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
-        self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
+        num_sets = config.num_sets
+        self._sets: list[list[int]] = [[] for _ in range(num_sets)]
+        # Hot-path constants, hoisted out of the per-reference lookups:
+        # line_size is a validated power of two, so ``// line_size`` is a
+        # shift; num_sets may not be (odd associativities), so keep ``%``.
+        self._num_sets = num_sets
+        self._line_shift = config.line_size.bit_length() - 1
+        self._associativity = config.associativity
+        #: Flat membership view of every resident line (all sets combined).
+        #: Kept exactly in sync with the per-set lists.
+        self.resident: set[int] = set()
 
     def _set_for(self, line_addr: int) -> list[int]:
-        return self._sets[(line_addr // self.config.line_size) % self.config.num_sets]
+        return self._sets[(line_addr >> self._line_shift) % self._num_sets]
 
     def lookup(self, line_addr: int) -> bool:
         """Probe for a line; on a hit the line becomes most recently used."""
-        ways = self._set_for(line_addr)
+        ways = self._sets[(line_addr >> self._line_shift) % self._num_sets]
         try:
             ways.remove(line_addr)
         except ValueError:
@@ -41,32 +58,70 @@ class SetAssociativeCache:
 
     def contains(self, line_addr: int) -> bool:
         """Probe without disturbing LRU order."""
-        return line_addr in self._set_for(line_addr)
+        return line_addr in self.resident
 
     def insert(self, line_addr: int) -> Optional[int]:
         """Insert a line, returning the evicted line address if any."""
-        ways = self._set_for(line_addr)
+        ways = self._sets[(line_addr >> self._line_shift) % self._num_sets]
         if line_addr in ways:
             ways.remove(line_addr)
             ways.insert(0, line_addr)
             return None
         ways.insert(0, line_addr)
-        if len(ways) > self.config.associativity:
-            return ways.pop()
+        self.resident.add(line_addr)
+        if len(ways) > self._associativity:
+            victim = ways.pop()
+            self.resident.discard(victim)
+            return victim
         return None
+
+    def access_line(self, line_addr: int) -> tuple[bool, Optional[int]]:
+        """Combined lookup-then-insert: one set probe per reference.
+
+        Returns ``(hit, evicted)``.  Equivalent to ``lookup`` followed, on
+        a miss, by ``insert`` — the form every demand access takes — but
+        with a single set indexing.
+        """
+        ways = self._sets[(line_addr >> self._line_shift) % self._num_sets]
+        try:
+            ways.remove(line_addr)
+        except ValueError:
+            ways.insert(0, line_addr)
+            self.resident.add(line_addr)
+            if len(ways) > self._associativity:
+                victim = ways.pop()
+                self.resident.discard(victim)
+                return False, victim
+            return False, None
+        ways.insert(0, line_addr)
+        return True, None
+
+    def promote(self, line_addr: int) -> None:
+        """Make a *known-resident* line most recently used.
+
+        Exactly the state effect of a :meth:`lookup` hit, used by the
+        engine's bulk hit filter after it has verified residency through
+        ``resident``.  Calling it for a non-resident line is a bug.
+        """
+        ways = self._sets[(line_addr >> self._line_shift) % self._num_sets]
+        if ways[0] != line_addr:
+            ways.remove(line_addr)
+            ways.insert(0, line_addr)
 
     def invalidate(self, line_addr: int) -> bool:
         """Remove a line (coherence invalidation).  True if it was present."""
-        ways = self._set_for(line_addr)
+        ways = self._sets[(line_addr >> self._line_shift) % self._num_sets]
         try:
             ways.remove(line_addr)
         except ValueError:
             return False
+        self.resident.discard(line_addr)
         return True
 
     def flush(self) -> None:
         for ways in self._sets:
             ways.clear()
+        self.resident.clear()
 
     def resident_lines(self) -> Iterator[int]:
         for ways in self._sets:
@@ -74,7 +129,7 @@ class SetAssociativeCache:
 
     def occupancy(self) -> int:
         """Number of resident lines."""
-        return sum(len(ways) for ways in self._sets)
+        return len(self.resident)
 
     def utilization(self) -> float:
         """Fraction of the cache's line slots that are occupied."""

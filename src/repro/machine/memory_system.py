@@ -26,6 +26,7 @@ conflict behaviour that CDPC targets.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from typing import NamedTuple, Optional
 
 from repro.machine.bus import BusTransactionKind, SplitTransactionBus
@@ -79,10 +80,10 @@ class MemorySystem:
         self._inflight: dict[tuple[int, int], float] = {}
         # Conflict misses per physical frame since the last inspection —
         # the counters a dynamic recoloring policy consumes (Section 2.1).
-        self._frame_conflicts: dict[int, int] = {}
+        self._frame_conflicts: defaultdict[int, int] = defaultdict(int)
         # All external-cache misses per physical frame, never reset — used
         # for per-array miss attribution in run results.
-        self.frame_misses: dict[int, int] = {}
+        self.frame_misses: defaultdict[int, int] = defaultdict(int)
         # Demand-miss total maintained at the access layer, independently
         # of the per-frame counters above; the invariant checker verifies
         # the two accounting paths agree (sum(frame_misses) == this).
@@ -90,6 +91,9 @@ class MemorySystem:
         self._line = config.l2.line_size
         self._line_mask = ~(self._line - 1)
         self._word = config.word_size
+        # Hot-path constants (page_size is a validated power of two).
+        self._page_shift = config.page_size.bit_length() - 1
+        self._tlb_miss_ns = config.tlb.miss_latency_ns
 
     # ------------------------------------------------------------------
     # Demand accesses
@@ -106,14 +110,14 @@ class MemorySystem:
         """Perform one reference; updates statistics and returns its timing."""
         stats = self.stats.cpus[cpu]
         kernel_ns = 0.0
-        vpage = vaddr // self.config.page_size
-        if not self._tlb[cpu].access(vpage):
+        if not self._tlb[cpu].access(vaddr >> self._page_shift):
             stats.tlb_misses += 1
-            kernel_ns = self.config.tlb.miss_latency_ns
+            kernel_ns = self._tlb_miss_ns
 
         vline = vaddr & self._line_mask
         l1 = self._l1i[cpu] if is_instr else self._l1d[cpu]
-        if l1.lookup(vline):
+        l1_hit, _evicted = l1.access_line(vline)
+        if l1_hit:
             if is_instr:
                 stats.l1i_hits += 1
             else:
@@ -127,7 +131,6 @@ class MemorySystem:
             stats.l1i_misses += 1
         else:
             stats.l1d_misses += 1
-        l1.insert(vline)
 
         stall, l2_hit, kind = self._l2_access(cpu, time_ns, vaddr, paddr, is_write, stats)
         if kind is not None:
@@ -163,10 +166,10 @@ class MemorySystem:
 
         kind = self._classify_miss(cpu, pline, paddr, shadow_hit)
         stats.l2_misses[kind] += 1
-        frame = paddr // self.config.page_size
-        self.frame_misses[frame] = self.frame_misses.get(frame, 0) + 1
+        frame = paddr >> self._page_shift
+        self.frame_misses[frame] += 1
         if kind is MissKind.CONFLICT:
-            self._frame_conflicts[frame] = self._frame_conflicts.get(frame, 0) + 1
+            self._frame_conflicts[frame] += 1
         self._seen[cpu].add(pline)
 
         latency = self._fetch_line(cpu, time_ns, pline, stats)
@@ -312,6 +315,18 @@ class MemorySystem:
     # ------------------------------------------------------------------
     # Introspection helpers (used by tests and analysis)
 
+    def fast_path_state(self, cpu: int):
+        """Mutable per-CPU structures backing the engine's bulk hit filter.
+
+        Returns ``(tlb, l1d, l1i)``.  The engine probes ``tlb.entries``
+        and the caches' ``resident`` sets to prove a reference is an
+        on-chip read hit with a TLB hit, then replays exactly the LRU
+        effects (``Tlb.entries`` move-to-back, ``SetAssociativeCache.promote``)
+        and credits the hit counters in bulk — bypassing :meth:`access`
+        for references it would have answered without side effects.
+        """
+        return self._tlb[cpu], self._l1d[cpu], self._l1i[cpu]
+
     def l2_utilization(self, cpu: int) -> float:
         return self._l2[cpu].utilization()
 
@@ -329,7 +344,7 @@ class MemorySystem:
     def consume_frame_conflicts(self) -> dict[int, int]:
         """Return and reset the per-frame conflict-miss counters."""
         counters = self._frame_conflicts
-        self._frame_conflicts = {}
+        self._frame_conflicts = defaultdict(int)
         return counters
 
     def invalidate_frame(self, frame: int) -> None:

@@ -16,8 +16,12 @@ import enum
 from dataclasses import dataclass, field
 
 
-class MissKind(enum.Enum):
-    """Classification of an external-cache miss."""
+class MissKind(str, enum.Enum):
+    """Classification of an external-cache miss.
+
+    The ``str`` mixin gives members C-level hashing, which matters because
+    the hot simulation loop indexes per-kind counters on every L2 miss.
+    """
 
     COLD = "cold"
     CAPACITY = "capacity"

@@ -38,6 +38,18 @@ class Tlb:
         """Check for a mapping without filling (used by prefetch drop logic)."""
         return vpage in self._entries
 
+    @property
+    def entries(self) -> dict[int, None]:
+        """The live entry table, least recently used first.
+
+        Exposed for the engine's bulk hit filter, which needs O(1)
+        membership probes and replays the move-to-back of a hit directly
+        (``del entries[vpage]; entries[vpage] = None``) while crediting
+        ``hits`` in bulk.  Treat as read-mostly; any mutation must preserve
+        the LRU-order invariant ``access`` maintains.
+        """
+        return self._entries
+
     def invalidate(self, vpage: int) -> None:
         self._entries.pop(vpage, None)
 

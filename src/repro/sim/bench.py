@@ -1,0 +1,158 @@
+"""End-to-end engine benchmark: the Figure 6 policy sweep, both paths.
+
+``python -m repro bench`` times the full policy sweep (every workload under
+page coloring, bin hopping and CDPC) twice:
+
+* **reference** — the pre-optimization engine configuration: per-reference
+  oracle path (``fast_path=False``), no trace cache, serial execution;
+* **fast** — the optimized configuration: vectorized hit filter, trace
+  caching, and the sweep fanned out over worker processes.
+
+Both legs produce ``RunResult`` objects whose serialized form
+(``to_dict()``) must match bit-for-bit — the simulated statistics are
+deterministic, so any divergence is a fast-path bug and the bench exits
+nonzero.  The timing summary is written to ``BENCH_engine.json``.
+
+A measurement caveat that matters when reading the numbers: host wall
+clock on small shared machines is noisy (CPU steal, frequency scaling),
+and the parallel leg's win depends on ``os.cpu_count()``.  On a
+single-core host the fast leg runs serially and the reported speedup is
+the hit filter + trace cache alone (about 2x); the 3x end-to-end figure
+needs the process pool, i.e. a multi-core host.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.machine.config import MachineConfig
+from repro.sim.engine import EngineOptions
+from repro.sim.results import RunResult
+from repro.sim.sweeps import STANDARD_POLICIES, policy_sweep
+from repro.sim.trace_cache import default_trace_cache
+
+#: Default output file, at the repository root when run from there.
+BENCH_OUTPUT = "BENCH_engine.json"
+
+
+def modeled_references(results: dict[str, dict[str, RunResult]]) -> int:
+    """Total memory references modeled across a sweep's results."""
+    total = 0
+    for sweep in results.values():
+        for result in sweep.values():
+            for cpu in result.stats.cpus:
+                total += cpu.l1d_hits + cpu.l1d_misses
+                total += cpu.l1i_hits + cpu.l1i_misses
+    return total
+
+
+def _run_leg(
+    workloads: Sequence[str],
+    config: MachineConfig,
+    options: EngineOptions,
+    max_workers: Optional[int],
+) -> tuple[dict[str, dict[str, RunResult]], float, float]:
+    """Run the policy sweep for every workload; returns (results, wall_s, cpu_s).
+
+    ``cpu_s`` is the parent process's CPU time only — when the sweep fans
+    out to worker processes it understates the true compute, so wall
+    seconds is the headline figure.
+    """
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    results = {
+        workload: policy_sweep(
+            workload, config, options=options, max_workers=max_workers
+        )
+        for workload in workloads
+    }
+    return results, time.perf_counter() - wall0, time.process_time() - cpu0
+
+
+def find_divergences(
+    fast: dict[str, dict[str, RunResult]],
+    reference: dict[str, dict[str, RunResult]],
+) -> list[str]:
+    """Fields where the fast path's serialized results differ from the oracle."""
+    divergences: list[str] = []
+    for workload, sweep in reference.items():
+        for label, ref_result in sweep.items():
+            fast_dict = fast[workload][label].to_dict()
+            ref_dict = ref_result.to_dict()
+            if fast_dict == ref_dict:
+                continue
+            fields = [key for key in ref_dict if fast_dict.get(key) != ref_dict[key]]
+            divergences.append(f"{workload}/{label}: {', '.join(fields)}")
+    return divergences
+
+
+def run_bench(
+    config: MachineConfig,
+    workloads: Sequence[str],
+    options: Optional[EngineOptions] = None,
+    max_workers: Optional[int] = None,
+) -> dict:
+    """Time the Figure 6 sweep on both engine paths and compare results."""
+    base = options or EngineOptions()
+    reference_options = replace(base, fast_path=False, trace_cache=False)
+    fast_options = replace(base, fast_path=True, trace_cache=True)
+
+    ref_results, ref_wall, ref_cpu = _run_leg(
+        workloads, config, reference_options, max_workers=1
+    )
+
+    cache = default_trace_cache()
+    cache.clear()
+    fast_results, fast_wall, fast_cpu = _run_leg(
+        workloads, config, fast_options, max_workers=max_workers
+    )
+
+    divergences = find_divergences(fast_results, ref_results)
+    refs = modeled_references(fast_results)
+    workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+    return {
+        "benchmark": "figure6_policy_sweep",
+        "machine": {
+            "num_cpus": config.num_cpus,
+            "scale_factor": config.scale_factor,
+        },
+        "workloads": list(workloads),
+        "policies": list(STANDARD_POLICIES),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "reference": {
+            "fast_path": False,
+            "trace_cache": False,
+            "max_workers": 1,
+            "wall_s": ref_wall,
+            "cpu_s": ref_cpu,
+            "refs_per_sec": refs / ref_wall if ref_wall > 0 else 0.0,
+        },
+        "fast": {
+            "fast_path": True,
+            "trace_cache": True,
+            "max_workers": workers,
+            "wall_s": fast_wall,
+            "cpu_s": fast_cpu,
+            "refs_per_sec": refs / fast_wall if fast_wall > 0 else 0.0,
+            "trace_cache_stats": cache.stats(),
+        },
+        "modeled_references": refs,
+        "speedup": ref_wall / fast_wall if fast_wall > 0 else 0.0,
+        "equivalent": not divergences,
+        "divergences": divergences,
+    }
+
+
+def write_bench(payload: dict, path: str = BENCH_OUTPUT) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")

@@ -3,10 +3,21 @@
 The figures of the paper are sweeps — over mapping policies (Figures 6/9),
 processor counts (Figure 2), or cache configurations (Figure 7).  These
 helpers run them with one call and return labeled results.
+
+Individual runs are independent, so sweeps fan out over a
+``concurrent.futures.ProcessPoolExecutor``.  Every run is fully described
+by a picklable ``(workload, config, options)`` triple that is materialized
+in the parent process (callers may pass lambdas for config factories; they
+are evaluated before dispatch).  Results always come back in task order,
+so a parallel sweep returns exactly the same dict — same keys, same
+insertion order, same values — as ``max_workers=1``, which runs in-process
+with no executor at all.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
 from typing import Callable, Optional, Sequence
 
@@ -22,20 +33,50 @@ STANDARD_POLICIES: dict[str, dict] = {
 }
 
 
+def _run_task(task: tuple[str, MachineConfig, Optional[EngineOptions]]) -> RunResult:
+    """Execute one benchmark run; module-level so it pickles to workers."""
+    workload, config, options = task
+    return run_benchmark(workload, config, options)
+
+
+def run_tasks(
+    tasks: Sequence[tuple[str, MachineConfig, Optional[EngineOptions]]],
+    max_workers: Optional[int] = None,
+) -> list[RunResult]:
+    """Run independent benchmark tasks, in parallel where it helps.
+
+    ``max_workers=None`` sizes the pool to ``os.cpu_count()`` (capped at
+    the task count); ``max_workers=1`` — or a single-CPU host — is the
+    serial fallback and executes in-process, with no worker processes and
+    therefore no pickling of results.  Output order matches task order in
+    both modes.
+    """
+    tasks = list(tasks)
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    max_workers = max(1, min(max_workers, len(tasks)))
+    if max_workers == 1:
+        return [_run_task(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(_run_task, tasks))
+
+
 def policy_sweep(
     workload: str,
     config: MachineConfig,
     policies: Optional[dict[str, dict]] = None,
     options: Optional[EngineOptions] = None,
+    max_workers: Optional[int] = None,
 ) -> dict[str, RunResult]:
     """Run one workload under each labeled policy configuration."""
     base = options or EngineOptions()
-    results: dict[str, RunResult] = {}
-    for label, overrides in (policies or STANDARD_POLICIES).items():
-        results[label] = run_benchmark(
-            workload, config, replace(base, **overrides)
-        )
-    return results
+    labeled = policies or STANDARD_POLICIES
+    tasks = [
+        (workload, config, replace(base, **overrides))
+        for overrides in labeled.values()
+    ]
+    results = run_tasks(tasks, max_workers=max_workers)
+    return dict(zip(labeled.keys(), results))
 
 
 def cpu_sweep(
@@ -43,12 +84,18 @@ def cpu_sweep(
     make_config: Callable[[int], MachineConfig],
     cpu_counts: Sequence[int] = (1, 2, 4, 8, 16),
     options: Optional[EngineOptions] = None,
+    max_workers: Optional[int] = None,
 ) -> dict[int, RunResult]:
-    """Run one workload across processor counts (the Figure 2/6 x-axis)."""
-    return {
-        cpus: run_benchmark(workload, make_config(cpus), options)
-        for cpus in cpu_counts
-    }
+    """Run one workload across processor counts (the Figure 2/6 x-axis).
+
+    ``make_config`` is called in the parent for every count, so it may be
+    a lambda: only the resulting ``MachineConfig`` crosses the process
+    boundary.
+    """
+    counts = list(cpu_counts)
+    tasks = [(workload, make_config(cpus), options) for cpus in counts]
+    results = run_tasks(tasks, max_workers=max_workers)
+    return dict(zip(counts, results))
 
 
 def speedup_table(

@@ -68,6 +68,35 @@ class SimProfile:
         return cls(ref_stride=None, sweep_limit=1.0)
 
 
+@dataclass(frozen=True)
+class RefStream:
+    """A :class:`CpuTrace` decomposed into plain-list columns for the engine.
+
+    The engine's inner loop indexes python lists (cheaper than numpy
+    scalars); the derived columns are batch-computed with numpy once per
+    (trace, geometry) pair:
+
+    * ``vpages``/``offsets`` — page number and in-page offset of every
+      reference, so the simulation loop never divides per reference;
+    * ``vlines`` — the external-cache-line-aligned virtual address used by
+      the (L2-line-granular) on-chip cache model;
+    * ``fast_kinds`` — per-reference hit-filter class: 0 = must take the
+      full per-reference path (references carrying a prefetch), 1 = data
+      read eligible for the bulk hit filter, 2 = instruction fetch
+      eligible for it, 3 = data write eligible for the write filter (the
+      filter still rejects it at run time unless the written line is
+      already exclusively owned by the referencing processor).
+    """
+
+    addrs: list
+    flags: list
+    prefetch: Optional[list]
+    vpages: list
+    offsets: list
+    vlines: list
+    fast_kinds: list
+
+
 @dataclass
 class CpuTrace:
     """One processor's reference stream for one loop."""
@@ -79,6 +108,41 @@ class CpuTrace:
 
     def __len__(self) -> int:
         return len(self.addrs)
+
+    def ref_stream(self, page_size: int, line_size: int) -> RefStream:
+        """The engine-facing column view, memoized per geometry.
+
+        Traces are immutable once generated, and the trace cache reuses
+        them across warmup/measured passes and runs, so the (possibly
+        expensive) numpy-to-list conversion is done at most once per
+        (page_size, line_size) pair.
+        """
+        key = (page_size, line_size)
+        cached = self.__dict__.get("_ref_stream")
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        addrs = self.addrs
+        page_shift = page_size.bit_length() - 1
+        vpages = (addrs >> page_shift).tolist()
+        offsets = (addrs & (page_size - 1)).tolist()
+        vlines = (addrs & ~(line_size - 1)).tolist()
+        writes = (self.flags & FLAG_WRITE) != 0
+        instr = (self.flags & FLAG_INSTR) != 0
+        kinds = np.where(writes, np.where(instr, 0, 3), np.where(instr, 2, 1))
+        if self.prefetch is not None:
+            kinds = np.where(self.prefetch != 0, 0, kinds)
+        fast_kinds = kinds.astype(np.int8).tolist()
+        stream = RefStream(
+            addrs=addrs.tolist(),
+            flags=self.flags.tolist(),
+            prefetch=self.prefetch.tolist() if self.prefetch is not None else None,
+            vpages=vpages,
+            offsets=offsets,
+            vlines=vlines,
+            fast_kinds=fast_kinds,
+        )
+        self.__dict__["_ref_stream"] = (key, stream)
+        return stream
 
 
 #: Virtual-address region where instruction footprints are placed (far

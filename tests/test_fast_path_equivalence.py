@@ -1,0 +1,71 @@
+"""Fast-path/oracle equivalence: the optimization must be bit-identical.
+
+The vectorized hit filter (``EngineOptions(fast_path=True)``) retires
+references in bulk only when it can prove the oracle would produce the
+same state and timing; everything else falls through to the per-reference
+path.  These tests pin the contract: for every policy and engine feature
+that shapes the reference stream or the memory-system state machine, the
+full serialized ``RunResult`` — counters, float stall times, overheads,
+degradation report — matches the ``fast_path=False`` oracle exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.machine.config import sgi_base
+from repro.robustness.faults import FaultPlan
+from repro.sim.engine import EngineOptions, run_benchmark
+from repro.sim.tracegen import SimProfile
+
+CONFIG = sgi_base(4).scaled(16)
+
+#: Every variant crosses a different hazard for the hit filter:
+#: coherence (cdpc/bin_hopping layouts), mid-reference TLB fills
+#: (prefetch_fills_tlb), phase-boundary remapping (dynamic_recolor), and
+#: mid-run frame seizure/reclaim (fault plans).
+VARIANTS = {
+    "page_coloring": {"policy": "page_coloring"},
+    "bin_hopping": {"policy": "bin_hopping"},
+    "cdpc": {"policy": "bin_hopping", "cdpc": True},
+    "prefetch": {"policy": "page_coloring", "prefetch": True},
+    "prefetch_fills_tlb": {
+        "policy": "bin_hopping",
+        "cdpc": True,
+        "prefetch": True,
+        "prefetch_fills_tlb": True,
+    },
+    "dynamic_recolor": {"policy": "bin_hopping", "dynamic_recolor": True},
+    "fault_plan": {
+        "policy": "bin_hopping",
+        "cdpc": True,
+        "fault_plan": FaultPlan(
+            seed=7, pressure=0.4, hint_loss=0.2, alloc_failure_rate=0.02
+        ),
+    },
+    "fault_race": {
+        "policy": "bin_hopping",
+        "race_seed": 3,
+        "fault_plan": FaultPlan(seed=3, race_storm=2),
+    },
+}
+
+
+@pytest.mark.parametrize("workload", ["tomcatv", "swim"])
+@pytest.mark.parametrize("label", sorted(VARIANTS))
+def test_fast_path_matches_reference(workload, label):
+    base = EngineOptions(profile=SimProfile.fast(), **VARIANTS[label])
+    fast = run_benchmark(
+        workload, CONFIG, replace(base, fast_path=True, trace_cache=True)
+    )
+    reference = run_benchmark(
+        workload, CONFIG, replace(base, fast_path=False, trace_cache=False)
+    )
+    assert fast.to_dict() == reference.to_dict()
+
+
+def test_fast_path_is_the_default():
+    assert EngineOptions().fast_path
+    assert EngineOptions().trace_cache

@@ -46,6 +46,29 @@ class TestCpuSweep:
         assert results[2].num_cpus == 2
 
 
+class TestParallelSweeps:
+    def test_policy_sweep_parallel_matches_serial(self):
+        config = sgi_base(2).scaled(16)
+        serial = policy_sweep("fpppp", config, options=FAST, max_workers=1)
+        parallel = policy_sweep("fpppp", config, options=FAST, max_workers=2)
+        assert list(serial) == list(parallel)  # deterministic ordering
+        for label in serial:
+            assert serial[label].to_dict() == parallel[label].to_dict()
+
+    def test_cpu_sweep_parallel_with_lambda_config(self):
+        # make_config lambdas never cross the process boundary: configs
+        # are materialized in the parent before dispatch.
+        results = cpu_sweep(
+            "fpppp",
+            lambda cpus: sgi_base(cpus).scaled(16),
+            cpu_counts=(1, 2),
+            options=FAST,
+            max_workers=2,
+        )
+        assert list(results) == [1, 2]
+        assert results[2].num_cpus == 2
+
+
 class TestSpeedupTable:
     def test_relative_to_baseline(self):
         config = sgi_base(4).scaled(16)

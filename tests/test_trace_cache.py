@@ -1,0 +1,92 @@
+"""Trace cache: hits on identical inputs, invalidation on any change."""
+
+from __future__ import annotations
+
+from repro.machine.config import sgi_base
+from repro.sim.engine import EngineOptions, run_benchmark
+from repro.sim.trace_cache import TraceCache, default_trace_cache, trace_key
+from repro.sim.tracegen import SimProfile
+
+FAST = EngineOptions(profile=SimProfile.fast())
+CONFIG = sgi_base(2).scaled(16)
+
+
+class TestTraceCacheUnit:
+    def test_miss_generates_then_hits(self):
+        cache = TraceCache()
+        calls = []
+        key = ("schedule", "layout", "config", "profile", None, 1.0)
+        first = cache.get_or_generate(key, lambda: calls.append(1) or ["trace"])
+        second = cache.get_or_generate(key, lambda: calls.append(1) or ["other"])
+        assert first is second
+        assert calls == [1]
+        assert cache.stats() == {
+            "entries": 1, "hits": 1, "misses": 1, "evictions": 0,
+        }
+
+    def test_lru_eviction(self):
+        cache = TraceCache(max_entries=2)
+        for name in ("a", "b", "c"):
+            cache.get_or_generate((name,), lambda name=name: [name])
+        assert cache.evictions == 1
+        assert ("a",) not in cache  # least recently used
+        assert ("b",) in cache and ("c",) in cache
+
+    def test_clear_drops_entries_and_keeps_counters(self):
+        cache = TraceCache()
+        cache.get_or_generate(("k",), lambda: ["t"])
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.misses == 1
+        cache.reset_counters()
+        assert cache.stats() == {
+            "entries": 0, "hits": 0, "misses": 0, "evictions": 0,
+        }
+
+    def test_key_varies_with_every_fingerprint_component(self):
+        base = trace_key("sched", "layout", "config", "profile", None, 1.0)
+        assert base != trace_key("sched2", "layout", "config", "profile", None, 1.0)
+        assert base != trace_key("sched", "layout2", "config", "profile", None, 1.0)
+        assert base != trace_key("sched", "layout", "config", "fast", None, 1.0)
+        assert base != trace_key("sched", "layout", "config", "profile", ("pf",), 1.0)
+        # Occurrence-dependent fraction scale invalidates too.
+        assert base != trace_key("sched", "layout", "config", "profile", None, 0.5)
+
+
+class TestTraceCacheEngine:
+    def _fresh(self):
+        cache = default_trace_cache()
+        cache.clear()
+        cache.reset_counters()
+        return cache
+
+    def test_repeat_run_hits_without_new_misses(self):
+        cache = self._fresh()
+        run_benchmark("fpppp", CONFIG, FAST)
+        misses = cache.misses
+        assert misses > 0
+        run_benchmark("fpppp", CONFIG, FAST)
+        assert cache.misses == misses  # every trace reused
+        assert cache.hits > 0
+
+    def test_layout_change_invalidates(self):
+        cache = self._fresh()
+        run_benchmark("fpppp", CONFIG, FAST)
+        misses = cache.misses
+        # An unaligned layout has different array bases: new keys, no reuse.
+        run_benchmark("fpppp", CONFIG, FAST, aligned=False)
+        assert cache.misses > misses
+
+    def test_profile_change_invalidates(self):
+        cache = self._fresh()
+        run_benchmark("fpppp", CONFIG, FAST)
+        misses = cache.misses
+        run_benchmark("fpppp", CONFIG, FAST, profile=SimProfile())
+        assert cache.misses > misses
+
+    def test_disabled_cache_is_untouched(self):
+        cache = self._fresh()
+        run_benchmark("fpppp", CONFIG, FAST, trace_cache=False)
+        assert cache.stats() == {
+            "entries": 0, "hits": 0, "misses": 0, "evictions": 0,
+        }
