@@ -4,6 +4,8 @@ Examples::
 
     python -m repro run tomcatv --cpus 8 --policy page_coloring --cdpc
     python -m repro sweep swim --policies page_coloring,bin_hopping,cdpc
+    python -m repro lint --format json
+    python -m repro lint applu --cpus 16
     python -m repro faults tomcatv --pressure 0.6 --hint-loss 0.2 --check-invariants
     python -m repro bench --fast --workloads tomcatv,swim
     python -m repro list
@@ -84,6 +86,52 @@ def cmd_run(args) -> int:
             [_result_row(result.label(), result)],
         )
     )
+    return 0
+
+
+def cmd_lint(args) -> int:
+    """Static race detection + color-plan linting, no simulation."""
+    from repro.checker import lint_program
+
+    config = _make_config(args)
+    if args.file:
+        from repro.compiler.frontend import parse_program
+
+        with open(args.file) as handle:
+            program = parse_program(handle.read())
+        programs = [program.scaled(args.scale)]
+    elif args.workload == "all":
+        programs = [
+            get_workload(name, scale=args.scale).program
+            for name in WORKLOAD_NAMES
+        ]
+    else:
+        programs = [get_workload(args.workload, scale=args.scale).program]
+
+    reports = [
+        lint_program(
+            program,
+            config,
+            cdpc=not args.no_cdpc,
+            aligned=not args.unaligned,
+        )
+        for program in programs
+    ]
+    num_errors = sum(len(report.errors()) for report in reports)
+    if args.format == "json":
+        payload = {
+            "machine": args.machine,
+            "cpus": args.cpus,
+            "scale": args.scale,
+            "num_errors": num_errors,
+            "num_warnings": sum(len(r.warnings()) for r in reports),
+            "reports": [report.to_dict() for report in reports],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print("\n\n".join(report.render_text() for report in reports))
+    if args.strict and num_errors:
+        return 1
     return 0
 
 
@@ -289,6 +337,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated: page_coloring, bin_hopping, cdpc",
     )
 
+    lint_parser = sub.add_parser(
+        "lint",
+        help="static race detection and color-plan linting (no simulation)",
+    )
+    lint_parser.add_argument(
+        "workload", nargs="?", default="all",
+        choices=[*WORKLOAD_NAMES, "all"],
+        help="bundled workload to lint, or 'all' (default)",
+    )
+    lint_parser.add_argument(
+        "--file", default=None,
+        help="lint a workload described in the text format instead",
+    )
+    lint_parser.add_argument("--cpus", type=int, default=16,
+                             help="processor count to check against (default 16)")
+    lint_parser.add_argument("--machine", choices=sorted(_MACHINES),
+                             default="sgi_base")
+    lint_parser.add_argument("--scale", type=int, default=16,
+                             help="geometric scale factor (default 16)")
+    lint_parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format (json is stable-ordered for CI diffing)",
+    )
+    lint_parser.add_argument(
+        "--no-cdpc", action="store_true",
+        help="skip the CDPC coloring (color-plan rules needing it are skipped)",
+    )
+    lint_parser.add_argument("--unaligned", action="store_true",
+                             help="lint the packed unaligned layout")
+    lint_parser.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero when ERROR-severity diagnostics exist",
+    )
+
     faults_parser = sub.add_parser(
         "faults",
         help="run one configuration under deterministic fault injection",
@@ -393,6 +475,7 @@ def main(argv=None) -> int:
         "runfile": cmd_runfile,
         "faults": cmd_faults,
         "bench": cmd_bench,
+        "lint": cmd_lint,
     }
     return handlers[args.command](args)
 

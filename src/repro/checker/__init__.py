@@ -1,0 +1,53 @@
+"""Static analysis for the CDPC pipeline: race detector + color-plan linter.
+
+Public surface::
+
+    from repro.checker import lint_program, LintReport, Severity
+
+    report = lint_program(program, config)
+    if not report.clean:
+        print(report.render_text())
+
+See :mod:`repro.checker.races` for the affine dependence / race rules and
+:mod:`repro.checker.colorlint` for the color-plan rules; rule ids and
+their paper cross-references are documented in ``docs/static_analysis.md``.
+"""
+
+from repro.checker.diagnostics import (
+    Diagnostic,
+    LintError,
+    LintReport,
+    Severity,
+)
+from repro.checker.lint import (
+    lint_context,
+    lint_context_report,
+    lint_program,
+    lint_workload,
+)
+from repro.checker.races import (
+    DependenceVerdict,
+    check_nest,
+    lint_affine,
+    test_cross_processor,
+)
+from repro.checker.registry import DEFAULT_REGISTRY, LintContext, Rule, RuleRegistry
+
+__all__ = [
+    "DEFAULT_REGISTRY",
+    "Diagnostic",
+    "DependenceVerdict",
+    "LintContext",
+    "LintError",
+    "LintReport",
+    "Rule",
+    "RuleRegistry",
+    "Severity",
+    "check_nest",
+    "lint_affine",
+    "lint_context",
+    "lint_context_report",
+    "lint_program",
+    "lint_workload",
+    "test_cross_processor",
+]

@@ -1,0 +1,307 @@
+"""Color-plan linting (rule family ``color``).
+
+These rules inspect a finished :class:`~repro.core.coloring.ColoringResult`
+together with the machine geometry and predict — before any simulation —
+the trouble the simulator would otherwise spend minutes discovering
+dynamically:
+
+* ``C001`` — a processor's footprint overflows a color bin (more pages of
+  one color than the external cache's associativity can hold);
+* ``C002`` — two arrays a processor uses *together* (group-access pairs,
+  Section 5.1) collide on the same color even though the footprint fits;
+* ``C003`` — unsummarizable strided accesses CDPC silently skipped
+  (the su2cor situation of Section 6.1);
+* ``C004`` — padding/alignment opportunities the Section 5.4 layout
+  measures missed in the virtually-indexed on-chip cache.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.checker.diagnostics import Diagnostic, Severity
+from repro.checker.registry import LintContext, register
+from repro.compiler.ir import LoopKind, StridedAccess
+
+#: Fraction of a processor's footprint that must be stacked *beyond* the
+#: cache associativity before C001/C002 call the plan troubled.  A page
+#: sequence at ~85% color occupancy inevitably double-stacks a handful of
+#: bins (swim at 16 CPUs: 6 of 222 pages, harmless); real conflict
+#: trouble is an order of magnitude above this (applu: 64%).
+EXCESS_FRACTION_THRESHOLD = 0.10
+
+
+def _per_cpu_color_pages(
+    ctx: LintContext,
+) -> dict[int, dict[int, list[tuple[int, str]]]]:
+    """cpu -> color -> [(page, array)] from the coloring's segments."""
+    assert ctx.coloring is not None
+    per_cpu: dict[int, dict[int, list[tuple[int, str]]]] = {}
+    for segment in ctx.coloring.segments:
+        for page in segment.pages:
+            color = ctx.coloring.colors.get(page)
+            if color is None:
+                continue
+            for cpu in segment.cpus:
+                per_cpu.setdefault(cpu, {}).setdefault(color, []).append(
+                    (page, segment.array)
+                )
+    return per_cpu
+
+
+@register(
+    "C001",
+    "Per-processor footprint overflows a color bin",
+    family="color",
+    paper_section="2.1, 6.1",
+    needs_coloring=True,
+)
+def rule_color_bin_overflow(ctx: LintContext) -> Iterator[Diagnostic]:
+    """More same-color pages for one processor than the cache can hold.
+
+    With an ``A``-way external cache, ``A`` pages of one color fit
+    conflict-free; a bin holding more guarantees conflict misses for that
+    processor.  The message distinguishes a *capacity* overflow (footprint
+    larger than the whole cache — only a bigger cache helps) from an
+    *avoidable* one (the footprint fits but the plan stacked pages).
+    """
+    assoc = ctx.config.l2.associativity
+    capacity_pages = ctx.config.num_colors * assoc
+    per_cpu = _per_cpu_color_pages(ctx)
+    worst: tuple[int, int, int] | None = None  # (count, cpu, color)
+    overflowing_cpus: list[int] = []
+    avoidable_cpus: list[int] = []
+    for cpu in sorted(per_cpu):
+        bins = per_cpu[cpu]
+        count, color = max(
+            ((len(pages), color) for color, pages in bins.items()),
+            key=lambda item: (item[0], -item[1]),
+        )
+        if count <= assoc:
+            continue
+        total = sum(len(pages) for pages in bins.values())
+        excess = sum(
+            len(pages) - assoc for pages in bins.values() if len(pages) > assoc
+        )
+        if excess < EXCESS_FRACTION_THRESHOLD * total:
+            continue  # a handful of double-stacked bins is round-robin noise
+        overflowing_cpus.append(cpu)
+        if total <= capacity_pages:
+            avoidable_cpus.append(cpu)
+        if worst is None or count > worst[0]:
+            worst = (count, cpu, color)
+    if worst is None:
+        return
+    count, cpu, color = worst
+    arrays = sorted({array for _, array in per_cpu[cpu][color]})
+    if avoidable_cpus:
+        nature = (
+            f"the footprint of {len(avoidable_cpus)} of them fits in the "
+            f"cache, so a different page order could avoid the conflicts"
+        )
+    else:
+        nature = (
+            "every affected footprint exceeds the cache capacity, so the "
+            "overflow is unavoidable at this cache size"
+        )
+    yield Diagnostic(
+        rule_id="C001",
+        severity=Severity.WARNING,
+        message=(
+            f"{len(overflowing_cpus)} processor(s) have more pages on one "
+            f"color than the {assoc}-way external cache can hold "
+            f"(worst: cpu {cpu} stacks {count} pages on color {color}, "
+            f"from {', '.join(arrays)}); {nature}"
+        ),
+        fix_hint=(
+            "shrink the per-processor working set, increase cache "
+            "associativity, or revisit the segment ordering"
+        ),
+        evidence={
+            "worst_cpu": cpu,
+            "worst_color": color,
+            "worst_count": count,
+            "overflowing_cpus": overflowing_cpus,
+            "avoidable_cpus": avoidable_cpus,
+            "associativity": assoc,
+        },
+    )
+
+
+@register(
+    "C002",
+    "Grouped arrays collide on one color for one processor",
+    family="color",
+    paper_section="5.1-5.3, 6.1",
+    needs_coloring=True,
+)
+def rule_grouped_collision(ctx: LintContext) -> Iterator[Diagnostic]:
+    """Arrays used together whose pages share a color bin on one processor.
+
+    Steps 2-4 of the algorithm exist to keep arrays of one access set from
+    landing on the same colors; this rule checks the *result* delivers
+    that for every group-access pair.  Only processors whose footprint
+    fits in the cache are considered — capacity overflows are C001's
+    business.
+    """
+    assoc = ctx.config.l2.associativity
+    capacity_pages = ctx.config.num_colors * assoc
+    per_cpu = _per_cpu_color_pages(ctx)
+    collisions: dict[frozenset[str], list[tuple[int, int]]] = {}
+    for cpu, bins in per_cpu.items():
+        total = sum(len(pages) for pages in bins.values())
+        if total > capacity_pages:
+            continue
+        excess = sum(
+            len(pages) - assoc for pages in bins.values() if len(pages) > assoc
+        )
+        if excess < EXCESS_FRACTION_THRESHOLD * total:
+            continue
+        for color, pages in bins.items():
+            if len(pages) <= assoc:
+                continue
+            arrays = sorted({array for _, array in pages})
+            for idx, array_a in enumerate(arrays):
+                for array_b in arrays[idx + 1 :]:
+                    if ctx.summary.are_grouped(array_a, array_b):
+                        key = frozenset((array_a, array_b))
+                        collisions.setdefault(key, []).append((cpu, color))
+    for pair in sorted(collisions, key=sorted):
+        bins_hit = collisions[pair]
+        array_a, array_b = sorted(pair)
+        cpus = sorted({cpu for cpu, _ in bins_hit})
+        yield Diagnostic(
+            rule_id="C002",
+            severity=Severity.WARNING,
+            array=array_a,
+            message=(
+                f"arrays '{array_a}' and '{array_b}' are accessed in the "
+                f"same loops but the color plan stacks their pages on "
+                f"{len(bins_hit)} shared color bin(s) for processor(s) "
+                f"{cpus}, although the footprint fits in the cache"
+            ),
+            fix_hint=(
+                "the within-set segment ordering or cyclic rotation failed "
+                "for this pair; inspect the access-set ordering"
+            ),
+            evidence={
+                "pair": [array_a, array_b],
+                "bins": [list(b) for b in bins_hit],
+            },
+        )
+
+
+@register(
+    "C003",
+    "Unsummarizable strided access skipped by CDPC",
+    family="color",
+    paper_section="5.1, 6.1",
+)
+def rule_unsummarizable_strided(ctx: LintContext) -> Iterator[Diagnostic]:
+    """Arrays CDPC silently leaves to default OS placement.
+
+    A cyclically-distributed (strided) access gives each processor a
+    non-contiguous footprint the run-time library cannot summarize, so
+    the whole array is dropped from coloring — exactly the su2cor
+    situation of Section 6.1.  WARNING when the access happens in a
+    PARALLEL loop (the array is hot and uncolored), INFO when it only
+    occurs in suppressed/sequential code.
+    """
+    sightings: dict[str, dict] = {}
+    for phase in ctx.program.phases:
+        for loop in phase.loops:
+            for access in loop.accesses:
+                if not isinstance(access, StridedAccess):
+                    continue
+                info = sightings.setdefault(
+                    access.array, {"loops": [], "parallel": False}
+                )
+                info["loops"].append(f"{phase.name}/{loop.name}")
+                if loop.kind is LoopKind.PARALLEL:
+                    info["parallel"] = True
+    for array in sorted(sightings):
+        info = sightings[array]
+        severity = Severity.WARNING if info["parallel"] else Severity.INFO
+        pages = len(ctx.layout.pages(array, ctx.config.page_size))
+        yield Diagnostic(
+            rule_id="C003",
+            severity=severity,
+            array=array,
+            loop=info["loops"][0].split("/", 1)[1],
+            phase=info["loops"][0].split("/", 1)[0],
+            message=(
+                f"array '{array}' ({pages} pages) is accessed with a cyclic "
+                f"stride in {', '.join(info['loops'])}; its per-processor "
+                f"footprint is not contiguous, so CDPC cannot summarize it "
+                f"and silently leaves its pages to default OS placement"
+            ),
+            fix_hint=(
+                "restructure to a blocked/partitioned distribution if the "
+                "array is hot, or accept default placement"
+            ),
+            evidence={"loops": info["loops"], "pages": pages},
+        )
+
+
+@register(
+    "C004",
+    "Missed padding/alignment between grouped arrays",
+    family="color",
+    paper_section="5.4",
+)
+def rule_padding_missed(ctx: LintContext) -> Iterator[Diagnostic]:
+    """Layout measures of Section 5.4 the current layout failed to apply.
+
+    Two checks against the virtually-indexed on-chip cache: arrays used
+    together must not start at the same L1 line index (padding), and no
+    array may start mid-line (alignment).  The aligned layout pass
+    guarantees both; this rule verifies the *actual* base addresses.
+    """
+    line = ctx.config.l1d.line_size
+    l1_lines = ctx.config.l1d.num_lines
+    misaligned = sorted(
+        name for name, base in ctx.layout.bases.items() if base % line
+    )
+    if misaligned:
+        shown = ", ".join(misaligned[:6]) + ("…" if len(misaligned) > 6 else "")
+        yield Diagnostic(
+            rule_id="C004",
+            severity=Severity.WARNING,
+            array=misaligned[0],
+            message=(
+                f"{len(misaligned)} array(s) do not start on a "
+                f"{line}-byte cache-line boundary ({shown}): structures "
+                f"false-share their edge lines"
+            ),
+            fix_hint="enable the aligned layout pass (aligned=True)",
+            evidence={"arrays": misaligned},
+        )
+    offsets = {
+        name: (base // line) % l1_lines for name, base in ctx.layout.bases.items()
+    }
+    names = sorted(offsets)
+    for idx, array_a in enumerate(names):
+        for array_b in names[idx + 1 :]:
+            if offsets[array_a] != offsets[array_b]:
+                continue
+            if not ctx.summary.are_grouped(array_a, array_b):
+                continue
+            yield Diagnostic(
+                rule_id="C004",
+                severity=Severity.WARNING,
+                array=array_a,
+                message=(
+                    f"arrays '{array_a}' and '{array_b}' are used in the "
+                    f"same loops but start at the same on-chip cache line "
+                    f"index ({offsets[array_a]}): they evict each other in "
+                    f"the virtually-indexed L1"
+                ),
+                fix_hint=(
+                    "pad one base address by a few lines (the layout pass "
+                    "staggers grouped arrays automatically)"
+                ),
+                evidence={
+                    "pair": [array_a, array_b],
+                    "l1_line_index": offsets[array_a],
+                },
+            )

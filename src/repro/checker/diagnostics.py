@@ -1,0 +1,170 @@
+"""Diagnostics: the output vocabulary of the static analyzer.
+
+Every rule in :mod:`repro.checker` reports its findings as
+:class:`Diagnostic` records — a rule id, a severity, the program location
+(loop and/or array), a human-readable message and a fix hint.  A
+:class:`LintReport` aggregates the diagnostics of one analysis run and
+renders them as text (for humans) or JSON (for CI to diff).
+
+Severities follow the usual compiler convention:
+
+* ``ERROR`` — the program is provably wrong under its declared execution
+  mode (e.g. a loop declared ``PARALLEL`` with a proven cross-processor
+  write overlap).  ``strict`` runs refuse to simulate such a program.
+* ``WARNING`` — the program is legal but the static evidence predicts
+  avoidable trouble (conflict misses, false sharing, load imbalance).
+* ``INFO`` — advisory findings (e.g. a loop that looks needlessly
+  ``SUPPRESSED``).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; higher values are more severe."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:  # "ERROR", not "Severity.ERROR"
+        return self.name
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one rule at one program location."""
+
+    rule_id: str
+    severity: Severity
+    message: str
+    #: Loop (or nest) name the finding anchors to; None for whole-program.
+    loop: Optional[str] = None
+    #: Phase containing the loop, when known.
+    phase: Optional[str] = None
+    #: Array the finding concerns, when it concerns one.
+    array: Optional[str] = None
+    #: Actionable suggestion ("declare the loop SEQUENTIAL", "pad array x").
+    fix_hint: Optional[str] = None
+    #: Structured evidence (witness iterations, page counts, ...).
+    evidence: dict = field(default_factory=dict)
+
+    @property
+    def span(self) -> str:
+        """Human-readable source span, e.g. ``timestep/residual[x]``."""
+        parts = [p for p in (self.phase, self.loop) if p]
+        location = "/".join(parts) if parts else "<program>"
+        if self.array:
+            location += f"[{self.array}]"
+        return location
+
+    def to_dict(self) -> dict:
+        payload = {
+            "rule_id": self.rule_id,
+            "severity": self.severity.name,
+            "message": self.message,
+            "loop": self.loop,
+            "phase": self.phase,
+            "array": self.array,
+            "fix_hint": self.fix_hint,
+        }
+        if self.evidence:
+            payload["evidence"] = self.evidence
+        return payload
+
+    def render(self) -> str:
+        line = f"{self.severity.name:<7} {self.rule_id:<6} {self.span}: {self.message}"
+        if self.fix_hint:
+            line += f"\n        hint: {self.fix_hint}"
+        return line
+
+
+class LintError(RuntimeError):
+    """Raised by strict runs when ERROR-severity diagnostics exist."""
+
+    def __init__(self, report: "LintReport"):
+        errors = report.errors()
+        lines = "\n".join(d.render() for d in errors)
+        super().__init__(
+            f"static analysis found {len(errors)} error(s):\n{lines}"
+        )
+        self.report = report
+
+
+@dataclass
+class LintReport:
+    """All diagnostics from one analysis run of one program."""
+
+    program: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def extend(self, findings: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(findings)
+
+    def sort(self) -> None:
+        """Deterministic order: severity desc, then rule id, then span."""
+        self.diagnostics.sort(
+            key=lambda d: (-int(d.severity), d.rule_id, d.span, d.message)
+        )
+
+    def by_severity(self, severity: Severity) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    def errors(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    def warnings(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    def by_rule(self, rule_id: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule_id == rule_id]
+
+    def max_severity(self) -> Optional[Severity]:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    @property
+    def clean(self) -> bool:
+        """No findings at WARNING severity or above."""
+        severity = self.max_severity()
+        return severity is None or severity < Severity.WARNING
+
+    def raise_if_errors(self) -> None:
+        if self.errors():
+            raise LintError(self)
+
+    def to_dict(self) -> dict:
+        self.sort()
+        return {
+            "program": self.program,
+            "num_errors": len(self.errors()),
+            "num_warnings": len(self.warnings()),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def render_text(self) -> str:
+        self.sort()
+        if not self.diagnostics:
+            return f"{self.program}: clean (no findings)"
+        lines = [
+            f"{self.program}: {len(self.errors())} error(s), "
+            f"{len(self.warnings())} warning(s), "
+            f"{len(self.by_severity(Severity.INFO))} note(s)"
+        ]
+        lines.extend(d.render() for d in self.diagnostics)
+        return "\n".join(lines)

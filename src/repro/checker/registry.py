@@ -1,0 +1,137 @@
+"""Rule registry: discoverable, individually addressable analysis rules.
+
+Each rule is a function from a :class:`LintContext` to an iterable of
+:class:`~repro.checker.diagnostics.Diagnostic`.  Registration attaches the
+metadata the docs and the CLI surface: a stable rule id, a one-line title,
+and the paper section the rule reproduces.
+
+Two rule families exist (mirroring the two analyses of the tentpole):
+
+* ``race``  — affine dependence / race detection over loop declarations
+  and static schedules (Sections 3.2, 5.1);
+* ``color`` — color-plan linting over a :class:`ColoringResult` plus
+  machine geometry (Sections 2.1, 5.2-5.4, 6.1-6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from repro.checker.diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.compiler.ir import Program
+    from repro.compiler.padding import Layout
+    from repro.core.access_summary import AccessSummary
+    from repro.core.coloring import ColoringResult
+    from repro.machine.config import MachineConfig
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may inspect: program, machine, compiler outputs."""
+
+    program: "Program"
+    config: "MachineConfig"
+    num_cpus: int
+    layout: "Layout"
+    summary: "AccessSummary"
+    #: CDPC output; None when linting a non-CDPC configuration (color
+    #: rules that require it are skipped).
+    coloring: Optional["ColoringResult"] = None
+    #: Whether the layout was produced by the aligned+padded layout pass.
+    aligned: bool = True
+
+
+RuleFn = Callable[[LintContext], Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered analysis rule plus its documentation metadata."""
+
+    rule_id: str
+    title: str
+    family: str  # "race" | "color"
+    paper_section: str
+    fn: RuleFn
+    #: Rules needing a ColoringResult are skipped when none is available.
+    needs_coloring: bool = False
+
+    def run(self, ctx: LintContext) -> list[Diagnostic]:
+        if self.needs_coloring and ctx.coloring is None:
+            return []
+        return list(self.fn(ctx))
+
+
+@dataclass
+class RuleRegistry:
+    """Ordered collection of rules, addressable by id."""
+
+    rules: dict[str, Rule] = field(default_factory=dict)
+
+    def register(
+        self,
+        rule_id: str,
+        title: str,
+        family: str,
+        paper_section: str,
+        needs_coloring: bool = False,
+    ) -> Callable[[RuleFn], RuleFn]:
+        """Decorator registering ``fn`` under ``rule_id``."""
+        if family not in ("race", "color"):
+            raise ValueError(f"unknown rule family {family!r}")
+
+        def decorator(fn: RuleFn) -> RuleFn:
+            if rule_id in self.rules:
+                raise ValueError(f"duplicate rule id {rule_id!r}")
+            self.rules[rule_id] = Rule(
+                rule_id=rule_id,
+                title=title,
+                family=family,
+                paper_section=paper_section,
+                fn=fn,
+                needs_coloring=needs_coloring,
+            )
+            return fn
+
+        return decorator
+
+    def get(self, rule_id: str) -> Rule:
+        return self.rules[rule_id]
+
+    def ids(self) -> list[str]:
+        return sorted(self.rules)
+
+    def family(self, family: str) -> list[Rule]:
+        return [r for r in self.rules.values() if r.family == family]
+
+    def run_all(
+        self,
+        ctx: LintContext,
+        only: Optional[Iterable[str]] = None,
+        skip: Optional[Iterable[str]] = None,
+    ) -> list[Diagnostic]:
+        """Run every (selected) rule and concatenate the findings."""
+        selected = set(only) if only is not None else None
+        skipped = set(skip) if skip is not None else set()
+        unknown = (selected or set()) | skipped
+        unknown -= set(self.rules)
+        if unknown:
+            raise KeyError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        findings: list[Diagnostic] = []
+        for rule_id in sorted(self.rules):
+            if selected is not None and rule_id not in selected:
+                continue
+            if rule_id in skipped:
+                continue
+            findings.extend(self.rules[rule_id].run(ctx))
+        return findings
+
+
+#: The process-wide default registry; rule modules register into it at
+#: import time (see repro.checker.races / repro.checker.colorlint).
+DEFAULT_REGISTRY = RuleRegistry()
+
+register = DEFAULT_REGISTRY.register

@@ -121,12 +121,12 @@ def _merge_pages(
     array: str, page_cpus: dict[int, set[int]]
 ) -> Iterable[UniformAccessSegment]:
     """Merge consecutive pages with equal processor sets into segments."""
-    run_start: int | None = None
+    run_start = -1  # page numbers are non-negative; -1 means "no open run"
     run_cpus: frozenset[int] = frozenset()
-    prev_page: int | None = None
+    prev_page = -1
     for page in sorted(page_cpus):
         cpus = frozenset(page_cpus[page])
-        if run_start is None:
+        if run_start < 0:
             run_start, run_cpus, prev_page = page, cpus, page
             continue
         if cpus == run_cpus and page == prev_page + 1:
@@ -134,7 +134,7 @@ def _merge_pages(
             continue
         yield UniformAccessSegment(array, run_start, prev_page + 1, run_cpus)
         run_start, run_cpus, prev_page = page, cpus, page
-    if run_start is not None:
+    if run_start >= 0:
         yield UniformAccessSegment(array, run_start, prev_page + 1, run_cpus)
 
 

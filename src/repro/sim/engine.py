@@ -30,7 +30,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.compiler.ir import LoopKind, Program
 from repro.compiler.padding import layout_arrays
@@ -72,6 +72,10 @@ from repro.sim.tracegen import (
     occurrence_scale,
 )
 from repro.sim.windows import representative_window
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.checker.diagnostics import LintReport
+    from repro.osmodel.dynamic import DynamicRecolorer
 
 _CHUNK = 16  # references simulated per processor per scheduling round
 
@@ -126,6 +130,14 @@ class EngineOptions:
     #: cache, reusing them across warmup/measured passes, repeated phase
     #: occurrences and runs with identical trace inputs.
     trace_cache: bool = True
+    #: Run the repro.checker static-analysis gate before simulating.  By
+    #: default it is warn-only: ERROR diagnostics emit a warning and the
+    #: run proceeds.
+    lint: bool = True
+    #: With ``strict=True`` the engine refuses to simulate a program with
+    #: ERROR-severity diagnostics, raising
+    #: :class:`repro.checker.LintError` instead.
+    strict: bool = False
 
     def resolved_delivery(self) -> str:
         if self.cdpc_delivery != "auto":
@@ -207,6 +219,10 @@ class _Simulation:
         if options.cdpc:
             self.runtime = CdpcRuntime.from_summary(self.summary, config, self.num_cpus)
 
+        self.lint_report: Optional["LintReport"] = None
+        if options.lint:
+            self.lint_report = self._run_lint_gate()
+
         self.ms = MemorySystem(
             config, prefetch_fills_tlb=options.prefetch_fills_tlb
         )
@@ -227,7 +243,7 @@ class _Simulation:
         # Occurrence counters per phase, for miss_variation (Section 3.2's
         # wave5 anomaly: one phase whose miss rate varies per occurrence).
         self._phase_occurrence: dict[str, int] = {}
-        self.recolorer = None
+        self.recolorer: Optional["DynamicRecolorer"] = None
         if options.dynamic_recolor:
             from repro.osmodel.dynamic import DynamicRecolorer
 
@@ -240,6 +256,43 @@ class _Simulation:
             )
 
     # ------------------------------------------------------------------
+
+    def _run_lint_gate(self) -> "LintReport":
+        """Pre-simulation static gate, reusing the artifacts just built.
+
+        Warn-only by default: ERROR diagnostics emit a warning and the
+        simulation proceeds; ``strict=True`` refuses to simulate the
+        program.  The already-computed layout, summary and CDPC coloring
+        are handed to the checker, so the gate adds no duplicate
+        compilation work.
+        """
+        from repro.checker.lint import lint_context, lint_context_report
+
+        ctx = lint_context(
+            self.program,
+            self.config,
+            num_cpus=self.num_cpus,
+            aligned=self.options.aligned,
+            cdpc=self.options.cdpc,
+            layout=self.layout,
+            summary=self.summary,
+            coloring=self.runtime.coloring if self.runtime else None,
+        )
+        report = lint_context_report(ctx)
+        if self.options.strict:
+            report.raise_if_errors()
+        elif report.errors():
+            import warnings
+
+            first = report.errors()[0]
+            warnings.warn(
+                f"static analysis found {len(report.errors())} ERROR "
+                f"diagnostic(s) in '{self.program.name}'; simulating anyway "
+                f"(strict=False). First: {first.rule_id} {first.span}: "
+                f"{first.message}",
+                stacklevel=4,
+            )
+        return report
 
     def _frame_budget(self) -> int:
         psz = self.config.page_size

@@ -1,0 +1,196 @@
+"""Adversarial property tests: seeded races must never be reported clean.
+
+Each case constructs an affine nest that *provably* contains a
+cross-processor overlap — the overlap is planted by construction, with a
+known witness — and asserts the detector never answers ``clean``.  The
+generators randomize subscript coefficients, loop extents, processor
+counts, partitioning and direction, so the detector's refutation logic
+(GCD, Banerjee bounds) is exercised against inputs where refutation would
+be *wrong*.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.checker import check_nest, test_cross_processor as _cross
+from repro.common import Direction, Partitioning, iteration_ranges
+from repro.compiler.affine import AffineNest, AffineRef, I, J, Subscript
+from repro.compiler.ir import LoopKind
+
+cross_verdict = _cross
+
+SEEDS = range(40)
+
+
+def make_nest(refs, i_extent, j_extent, part, direction):
+    return AffineNest(
+        name="adv", i_extent=i_extent, j_extent=j_extent, refs=tuple(refs),
+        kind=LoopKind.PARALLEL, partitioning=part, direction=direction,
+    )
+
+
+def cpu_map(i_extent, num_cpus, part, direction):
+    cpu_of = [0] * i_extent
+    ranges = iteration_ranges(i_extent, num_cpus, part, direction)
+    for cpu, (lo, hi) in enumerate(ranges):
+        for i in range(lo, hi):
+            cpu_of[i] = cpu
+    return cpu_of
+
+
+def random_schedule(rng):
+    part = rng.choice([Partitioning.EVEN, Partitioning.BLOCKED])
+    direction = rng.choice([Direction.FORWARD, Direction.REVERSE])
+    return part, direction
+
+
+def subscript_value(sub, i, j):
+    return sub.i_coef * i + sub.j_coef * j + sub.const
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_constructed_overlap_never_clean(seed):
+    """Random coefficients, witness planted by choosing the constants.
+
+    Pick a witness (i1, j1) / (i2, j2) on two different processors first,
+    pick arbitrary coefficients for both references, then solve for the
+    second reference's constants so both subscripts agree at the witness.
+    The pair therefore *has* a cross-processor overlap whatever else the
+    coefficients do.
+    """
+    rng = random.Random(seed)
+    num_cpus = rng.choice([2, 4, 8, 16])
+    i_extent = rng.randrange(2 * num_cpus, 4 * num_cpus + 1)
+    j_extent = rng.randrange(4, 33)
+    part, direction = random_schedule(rng)
+    cpu_of = cpu_map(i_extent, num_cpus, part, direction)
+
+    i1 = rng.randrange(i_extent)
+    others = [i for i in range(i_extent) if cpu_of[i] != cpu_of[i1]]
+    i2 = rng.choice(others)
+    j1 = rng.randrange(j_extent)
+    j2 = rng.randrange(j_extent)
+
+    def coef(allow_zero=True):
+        choices = [-2, -1, 1, 2] + ([0] if allow_zero else [])
+        return rng.choice(choices)
+
+    row_a = Subscript(coef(), coef(), rng.randrange(-3, 4))
+    col_a = Subscript(coef(), coef(), rng.randrange(-3, 4))
+    a2, b2 = coef(), coef()
+    d2, e2 = coef(), coef()
+    c2 = subscript_value(row_a, i1, j1) - (a2 * i2 + b2 * j2)
+    f2 = subscript_value(col_a, i1, j1) - (d2 * i2 + e2 * j2)
+    ref_a = AffineRef("A", row_a, col_a, is_write=True)
+    ref_b = AffineRef(
+        "A", Subscript(a2, b2, c2), Subscript(d2, e2, f2),
+        is_write=rng.random() < 0.5,
+    )
+
+    nest = make_nest([ref_a, ref_b], i_extent, j_extent, part, direction)
+    verdict = cross_verdict(ref_a, ref_b, nest, num_cpus)
+    assert verdict.status != "clean", (
+        f"seeded overlap at ({i1},{j1})/({i2},{j2}) on cpus "
+        f"{cpu_of[i1]}/{cpu_of[i2]} reported clean"
+    )
+    if verdict.status == "race":
+        w_i1, w_j1, w_i2, w_j2 = verdict.witness
+        assert subscript_value(ref_a.row, w_i1, w_j1) == subscript_value(
+            ref_b.row, w_i2, w_j2
+        )
+        assert subscript_value(ref_a.col, w_i1, w_j1) == subscript_value(
+            ref_b.col, w_i2, w_j2
+        )
+        assert cpu_of[w_i1] != cpu_of[w_i2]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_boundary_shift_overlap_never_clean(seed):
+    """The classic un-declared stencil: read of column i +/- delta."""
+    rng = random.Random(seed)
+    num_cpus = rng.choice([2, 4, 8, 16])
+    i_extent = rng.randrange(2 * num_cpus, 6 * num_cpus)
+    j_extent = rng.randrange(2, 65)
+    part, direction = random_schedule(rng)
+    delta = rng.choice([-2, -1, 1, 2])
+
+    write = AffineRef("A", J(), I(), is_write=True)
+    read = AffineRef("A", J(), I(delta))
+    nest = make_nest([write, read], i_extent, j_extent, part, direction)
+    verdict = cross_verdict(write, read, nest, num_cpus)
+    # A |delta| of 1-2 always crosses at least one partition boundary
+    # when every processor owns at least one iteration; BLOCKED schedules
+    # can leave trailing processors empty but the first boundary remains.
+    assert verdict.status == "race"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_shared_region_write_never_clean(seed):
+    """Every processor writes a shared column/row region."""
+    rng = random.Random(seed)
+    num_cpus = rng.choice([2, 4, 8])
+    i_extent = rng.randrange(num_cpus, 4 * num_cpus)
+    j_extent = rng.randrange(2, 33)
+    part, direction = random_schedule(rng)
+    shared_col = rng.randrange(4)
+
+    ref = AffineRef("A", J(), Subscript(const=shared_col), is_write=True)
+    nest = make_nest([ref], i_extent, j_extent, part, direction)
+    cpu_of = cpu_map(i_extent, num_cpus, part, direction)
+    if len(set(cpu_of)) < 2:
+        pytest.skip("schedule degenerated to one processor")
+    verdict = cross_verdict(ref, ref, nest, num_cpus)
+    assert verdict.status == "race"
+    assert verdict.is_write_write
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_check_nest_flags_seeded_race_as_error(seed):
+    """End to end: a PARALLEL nest with a planted race yields an ERROR."""
+    rng = random.Random(seed)
+    num_cpus = rng.choice([2, 4, 8])
+    i_extent = rng.randrange(2 * num_cpus, 6 * num_cpus)
+    j_extent = rng.randrange(2, 33)
+    part, direction = random_schedule(rng)
+
+    clean_write = AffineRef("A", J(), I(), is_write=True)
+    racy_read = AffineRef("A", J(), I(rng.choice([-1, 1])))
+    nest = make_nest([clean_write, racy_read], i_extent, j_extent, part, direction)
+    findings = check_nest(nest, num_cpus)
+    assert any(d.rule_id in ("A001", "A002") for d in findings)
+    assert all(d.rule_id != "A003" for d in findings)  # exact, not budget-bound
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_race_free_partitioned_nest_no_false_positive(seed):
+    """The dual property: truly disjoint accesses must report clean."""
+    rng = random.Random(seed)
+    num_cpus = rng.choice([2, 4, 8, 16])
+    i_extent = rng.randrange(num_cpus, 6 * num_cpus)
+    j_extent = rng.randrange(2, 65)
+    part, direction = random_schedule(rng)
+
+    # Both references touch exactly column i — private per processor.
+    write = AffineRef("A", J(), I(), is_write=True)
+    read = AffineRef("A", J(rng.randrange(-3, 4)), I())
+    nest = make_nest([write, read], i_extent, j_extent, part, direction)
+    assert cross_verdict(write, read, nest, num_cpus).status == "clean"
+    assert check_nest(nest, num_cpus) == []
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_parity_disjoint_nest_no_false_positive(seed):
+    """GCD-refutable pairs stay clean under random extents/schedules."""
+    rng = random.Random(seed)
+    num_cpus = rng.choice([2, 4, 8])
+    i_extent = rng.randrange(num_cpus, 4 * num_cpus)
+    j_extent = rng.randrange(2, 33)
+    part, direction = random_schedule(rng)
+
+    even = AffineRef("A", Subscript(i_coef=2), J(), is_write=True)
+    odd = AffineRef("A", Subscript(i_coef=2, const=1), J(), is_write=True)
+    nest = make_nest([even, odd], i_extent, j_extent, part, direction)
+    assert cross_verdict(even, odd, nest, num_cpus).status == "clean"

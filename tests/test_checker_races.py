@@ -1,0 +1,410 @@
+"""The affine dependence test and the declarative-IR race rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checker import (
+    Severity,
+    check_nest,
+    lint_affine,
+    lint_program,
+    test_cross_processor as _test_cross_processor,
+)
+from repro.checker.races import _egcd, _solve_2var
+from repro.common import Direction, Partitioning, iteration_ranges
+from repro.compiler.affine import (
+    AffineNest,
+    AffinePhase,
+    AffineProgram,
+    AffineRef,
+    Array2D,
+    C,
+    I,
+    J,
+    Subscript,
+)
+from repro.compiler.ir import (
+    ArrayDecl,
+    BoundaryAccess,
+    Loop,
+    LoopKind,
+    PartitionedAccess,
+    Phase,
+    Program,
+    StridedAccess,
+    WholeArrayAccess,
+)
+from repro.machine.config import sgi_base
+
+# Aliased so pytest does not collect the analysis entry point as a test.
+cross_verdict = _test_cross_processor
+
+
+def nest(refs, i_extent=32, j_extent=32, kind=LoopKind.PARALLEL, **kwargs):
+    return AffineNest(
+        name="nest", i_extent=i_extent, j_extent=j_extent,
+        refs=tuple(refs), kind=kind, **kwargs,
+    )
+
+
+def cpu_of(i, extent, cpus, part=Partitioning.EVEN, direction=Direction.FORWARD):
+    for cpu, (lo, hi) in enumerate(iteration_ranges(extent, cpus, part, direction)):
+        if lo <= i < hi:
+            return cpu
+    raise AssertionError(f"iteration {i} unassigned")
+
+
+def assert_valid_witness(verdict, num_cpus, n, part=Partitioning.EVEN,
+                         direction=Direction.FORWARD):
+    """Re-derive the witness: same element, different processors."""
+    assert verdict.status == "race"
+    i1, j1, i2, j2 = verdict.witness
+
+    def value(sub, i, j):
+        return sub.i_coef * i + sub.j_coef * j + sub.const
+
+    assert value(verdict.ref_a.row, i1, j1) == value(verdict.ref_b.row, i2, j2)
+    assert value(verdict.ref_a.col, i1, j1) == value(verdict.ref_b.col, i2, j2)
+    c1 = cpu_of(i1, n, num_cpus, part, direction)
+    c2 = cpu_of(i2, n, num_cpus, part, direction)
+    assert c1 != c2
+    assert verdict.cpus == (c1, c2)
+
+
+class TestIntegerMachinery:
+    @pytest.mark.parametrize("a,b", [(12, 18), (-12, 18), (12, -18), (-5, -7),
+                                     (0, 4), (4, 0), (0, 0), (1, 1)])
+    def test_egcd_identity(self, a, b):
+        g, x, y = _egcd(a, b)
+        assert g == a * x + b * y
+        assert g >= 0
+        if a or b:
+            assert a % g == 0 and b % g == 0
+
+    def test_solve_2var_finds_bounded_solution(self):
+        sol = _solve_2var(3, 5, 1, 20, 20)
+        assert sol is not None
+        x, y = sol
+        assert 3 * x - 5 * y == 1
+        assert 0 <= x < 20 and 0 <= y < 20
+
+    def test_solve_2var_gcd_infeasible(self):
+        assert _solve_2var(4, 6, 3, 100, 100) is None  # gcd(4,6)=2 does not divide 3
+
+    def test_solve_2var_bounds_infeasible(self):
+        assert _solve_2var(1, 1, 50, 10, 10) is None  # x - y = 50 needs x >= 50
+
+    def test_solve_2var_degenerate_coefficients(self):
+        assert _solve_2var(0, 0, 0, 4, 4) == (0, 0)
+        assert _solve_2var(0, 0, 1, 4, 4) is None
+        assert _solve_2var(0, 2, -4, 4, 4) == (0, 2)
+        assert _solve_2var(2, 0, 4, 4, 4) == (2, 0)
+
+
+class TestAffineDependence:
+    """The canonical shapes of the paper's compiler analyses."""
+
+    def test_own_columns_clean(self):
+        # A(j, i): each processor writes its own columns — no overlap.
+        ref = AffineRef("A", J(), I(), is_write=True)
+        verdict = cross_verdict(ref, ref, nest([ref]), 4)
+        assert verdict.status == "clean"
+
+    def test_neighbour_column_read_races(self):
+        # Stencil without boundary declaration: read of column i+1
+        # crosses into the neighbouring processor's partition.
+        write = AffineRef("A", J(), I(), is_write=True)
+        read = AffineRef("A", J(), I(1))
+        verdict = cross_verdict(write, read, nest([write, read]), 4)
+        assert_valid_witness(verdict, 4, 32)
+        assert not verdict.is_write_write
+
+    def test_gcd_refutation(self):
+        # 2i vs 2i'+1: even and odd rows never meet.
+        a = AffineRef("A", Subscript(i_coef=2), J(), is_write=True)
+        b = AffineRef("A", Subscript(i_coef=2, const=1), J(), is_write=True)
+        verdict = cross_verdict(a, b, nest([a, b], i_extent=16, j_extent=16), 4)
+        assert verdict.status == "clean"
+
+    def test_bounds_refutation(self):
+        # Row offset beyond the other reference's reach.
+        a = AffineRef("A", J(), I(), is_write=True)
+        b = AffineRef("A", J(100), I(), is_write=True)
+        verdict = cross_verdict(a, b, nest([a, b]), 4)
+        assert verdict.status == "clean"
+
+    def test_shared_column_self_pair_races(self):
+        # Every processor writes column 0: reduction without privatization.
+        ref = AffineRef("A", J(), C(0), is_write=True)
+        verdict = cross_verdict(ref, ref, nest([ref]), 4)
+        assert_valid_witness(verdict, 4, 32)
+        assert verdict.is_write_write
+
+    def test_transpose_races_via_general_path(self):
+        # A(i, j) vs A(j, i): neither equation is j-free, so the capped
+        # pair enumeration does the work.
+        a = AffineRef("A", I(), J(), is_write=True)
+        b = AffineRef("A", J(), I())
+        verdict = cross_verdict(a, b, nest([a, b]), 4)
+        assert_valid_witness(verdict, 4, 32)
+
+    def test_budget_exhaustion_is_unknown_not_clean(self):
+        a = AffineRef("A", I(), J(), is_write=True)
+        b = AffineRef("A", J(), I())
+        verdict = cross_verdict(a, b, nest([a, b]), 4, max_pairs=10)
+        assert verdict.status == "unknown"
+
+    def test_single_cpu_is_clean(self):
+        ref = AffineRef("A", J(), C(0), is_write=True)
+        assert cross_verdict(ref, ref, nest([ref]), 1).status == "clean"
+
+    def test_different_arrays_rejected(self):
+        a = AffineRef("A", J(), I(), is_write=True)
+        b = AffineRef("B", J(), I(), is_write=True)
+        with pytest.raises(ValueError):
+            cross_verdict(a, b, nest([a, b]), 4)
+
+    @pytest.mark.parametrize("part", [Partitioning.EVEN, Partitioning.BLOCKED])
+    @pytest.mark.parametrize("direction", [Direction.FORWARD, Direction.REVERSE])
+    def test_schedule_variants_keep_witness_valid(self, part, direction):
+        write = AffineRef("A", J(), I(), is_write=True)
+        read = AffineRef("A", J(), I(1))
+        n = nest([write, read], i_extent=33, partitioning=part, direction=direction)
+        verdict = cross_verdict(write, read, n, 16)
+        assert_valid_witness(verdict, 16, 33, part, direction)
+
+    def test_read_read_pairs_are_not_tested(self):
+        read = AffineRef("A", J(), C(0))
+        report = lint_affine(
+            AffineProgram(
+                "ro",
+                arrays=[Array2D("A", 32, 32)],
+                phases=[AffinePhase("p", (nest([read]),))],
+            ),
+            4,
+        )
+        assert len(report) == 0
+
+
+class TestCheckNest:
+    def test_write_write_race_is_A001_error(self):
+        ref = AffineRef("A", J(), C(0), is_write=True)
+        findings = check_nest(nest([ref]), 4, phase="p")
+        assert [d.rule_id for d in findings] == ["A001"]
+        assert findings[0].severity is Severity.ERROR
+        assert findings[0].span == "p/nest[A]"
+        assert findings[0].evidence["witness"]
+
+    def test_read_write_race_is_A002_error(self):
+        write = AffineRef("A", J(), I(), is_write=True)
+        read = AffineRef("A", J(), I(1))
+        findings = check_nest(nest([write, read]), 4)
+        assert [d.rule_id for d in findings] == ["A002"]
+
+    def test_budget_exhaustion_is_A003_warning(self):
+        a = AffineRef("A", I(), J(), is_write=True)
+        b = AffineRef("A", J(), I())
+        findings = check_nest(nest([a, b]), 4, max_pairs=10)
+        assert [d.rule_id for d in findings] == ["A003"]
+        assert findings[0].severity is Severity.WARNING
+
+    def test_clean_parallel_nest_has_no_findings(self):
+        ref = AffineRef("A", J(), I(), is_write=True)
+        assert check_nest(nest([ref]), 4) == []
+
+    def test_needlessly_suppressed_is_A004_info(self):
+        ref = AffineRef("A", J(), I(), is_write=True)
+        coarse = nest([ref], i_extent=64, kind=LoopKind.SUPPRESSED,
+                      instructions_per_point=8.0)
+        findings = check_nest(coarse, 4)
+        assert [d.rule_id for d in findings] == ["A004"]
+        assert findings[0].severity is Severity.INFO
+
+    def test_racy_suppressed_nest_gets_no_A004(self):
+        ref = AffineRef("A", J(), C(0), is_write=True)
+        coarse = nest([ref], i_extent=64, kind=LoopKind.SUPPRESSED,
+                      instructions_per_point=8.0)
+        assert check_nest(coarse, 4) == []
+
+    def test_fine_grain_suppressed_nest_gets_no_A004(self):
+        ref = AffineRef("A", J(), I(), is_write=True)
+        fine = nest([ref], kind=LoopKind.SUPPRESSED, instructions_per_point=1.0)
+        assert check_nest(fine, 4) == []
+
+    def test_lint_affine_aggregates_phases(self):
+        racy = AffineRef("A", J(), C(0), is_write=True)
+        clean = AffineRef("A", J(), I(), is_write=True)
+        program = AffineProgram(
+            "two",
+            arrays=[Array2D("A", 32, 32)],
+            phases=[
+                AffinePhase("p1", (nest([clean]),)),
+                AffinePhase("p2", (nest([racy]),)),
+            ],
+        )
+        report = lint_affine(program, 4)
+        assert [d.rule_id for d in report] == ["A001"]
+        assert report.errors()[0].phase == "p2"
+        assert not report.clean
+
+
+# ----------------------------------------------------------------------
+# Declarative-IR rules (via lint_program on hand-built programs).
+
+
+PAGE = 4096
+
+
+def program_of(loops, arrays=None, name="prog"):
+    arrays = arrays or (ArrayDecl("x", 64 * PAGE),)
+    return Program(name, tuple(arrays), (Phase("p", tuple(loops)),))
+
+
+def lint(program, cpus=4, **kwargs):
+    return lint_program(program, sgi_base(cpus).scaled(16), num_cpus=cpus, **kwargs)
+
+
+class TestIrRaceRules:
+    def test_disjoint_partitioned_writes_are_clean(self):
+        loop = Loop("l", LoopKind.PARALLEL,
+                    (PartitionedAccess("x", units=64, is_write=True),))
+        assert len(lint(program_of([loop]))) == 0
+
+    def test_boundary_write_is_R001_error(self):
+        loop = Loop("l", LoopKind.PARALLEL,
+                    (BoundaryAccess("x", units=64, is_write=True),))
+        report = lint(program_of([loop]))
+        errors = report.by_rule("R001")
+        assert errors and errors[0].severity is Severity.ERROR
+        assert errors[0].array == "x"
+
+    def test_whole_array_write_vs_partitioned_read_is_R001(self):
+        loop = Loop("l", LoopKind.PARALLEL, (
+            WholeArrayAccess("x", is_write=True),
+            PartitionedAccess("x", units=64),
+        ))
+        assert lint(program_of([loop])).by_rule("R001")
+
+    def test_boundary_read_next_to_partitioned_write_is_clean(self):
+        # The declared stencil idiom: reads reach into neighbours, writes
+        # stay home.  BoundaryAccess(read) overlapping the write is fine
+        # only if the strips don't cross partitions... strips DO cross, so
+        # this is exactly the case R001 must flag (read-write).
+        loop = Loop("l", LoopKind.PARALLEL, (
+            PartitionedAccess("x", units=64, is_write=True),
+            BoundaryAccess("x", units=64),
+        ))
+        report = lint(program_of([loop]))
+        hits = report.by_rule("R001")
+        assert hits and "read-write" in hits[0].message
+
+    def test_sequential_loop_is_not_checked(self):
+        loop = Loop("l", LoopKind.SEQUENTIAL,
+                    (BoundaryAccess("x", units=64, is_write=True),))
+        assert not lint(program_of([loop])).by_rule("R001")
+
+    def test_single_cpu_never_races(self):
+        loop = Loop("l", LoopKind.PARALLEL,
+                    (BoundaryAccess("x", units=64, is_write=True),))
+        assert not lint(program_of([loop]), cpus=1).by_rule("R001")
+
+    def test_strided_write_vs_partitioned_read_is_R002(self):
+        loop = Loop("l", LoopKind.PARALLEL, (
+            StridedAccess("x", block_bytes=1024, is_write=True),
+            PartitionedAccess("x", units=64),
+        ))
+        report = lint(program_of([loop]))
+        hits = report.by_rule("R002")
+        assert hits and hits[0].severity is Severity.ERROR
+        assert not report.by_rule("R001")  # strided pairs are R002's job
+
+    def test_identical_strided_writes_are_clean(self):
+        loop = Loop("l", LoopKind.PARALLEL, (
+            StridedAccess("x", block_bytes=1024, is_write=True),
+            StridedAccess("x", block_bytes=1024),
+        ))
+        assert not lint(program_of([loop])).by_rule("R002")
+
+    def test_mismatched_strided_blocks_are_R002(self):
+        loop = Loop("l", LoopKind.PARALLEL, (
+            StridedAccess("x", block_bytes=1024, is_write=True),
+            StridedAccess("x", block_bytes=2048),
+        ))
+        assert lint(program_of([loop])).by_rule("R002")
+
+    def test_unaligned_partition_boundary_is_R004(self):
+        # 96-byte units on a 128-byte line: written boundaries mid-line.
+        arrays = (ArrayDecl("x", 96 * 8),)
+        loop = Loop("l", LoopKind.PARALLEL,
+                    (PartitionedAccess("x", units=8, is_write=True),))
+        report = lint(program_of([loop], arrays))
+        hits = report.by_rule("R004")
+        assert hits and hits[0].severity is Severity.WARNING
+
+    def test_aligned_partition_boundary_has_no_R004(self):
+        loop = Loop("l", LoopKind.PARALLEL,
+                    (PartitionedAccess("x", units=64, is_write=True),))
+        assert not lint(program_of([loop])).by_rule("R004")
+
+    def test_read_only_misalignment_has_no_R004(self):
+        arrays = (ArrayDecl("x", 96 * 8),)
+        loop = Loop("l", LoopKind.PARALLEL,
+                    (PartitionedAccess("x", units=8),))
+        assert not lint(program_of([loop], arrays)).by_rule("R004")
+
+    def test_line_multiple_strided_write_has_no_R004(self):
+        loop = Loop("l", LoopKind.PARALLEL,
+                    (StridedAccess("x", block_bytes=1024, is_write=True),))
+        assert not lint(program_of([loop])).by_rule("R004")
+
+    def test_off_line_strided_write_is_R004(self):
+        loop = Loop("l", LoopKind.PARALLEL,
+                    (StridedAccess("x", block_bytes=96, is_write=True),))
+        assert lint(program_of([loop])).by_rule("R004")
+
+    def test_applu_shape_imbalance_is_R005(self):
+        # 33 iterations, 16 processors, blocked: ceil(33/16)=3 per CPU,
+        # 11 CPUs used, 5 idle — the Section 4.1 example.
+        loop = Loop("l", LoopKind.PARALLEL,
+                    (PartitionedAccess("x", units=33, is_write=True,
+                                       partitioning=Partitioning.BLOCKED),),
+                    iterations=33)
+        report = lint(program_of([loop]), cpus=16)
+        hits = report.by_rule("R005")
+        assert hits and hits[0].severity is Severity.WARNING
+        assert hits[0].evidence["imbalance"] >= 0.15
+        assert "processors get no work" in hits[0].message
+
+    def test_balanced_schedule_has_no_R005(self):
+        loop = Loop("l", LoopKind.PARALLEL,
+                    (PartitionedAccess("x", units=64, is_write=True),),
+                    iterations=64)
+        assert not lint(program_of([loop]), cpus=16).by_rule("R005")
+
+    def test_needlessly_suppressed_loop_is_R006_info(self):
+        loop = Loop("l", LoopKind.SUPPRESSED,
+                    (PartitionedAccess("x", units=64, is_write=True),),
+                    iterations=64, instructions_per_word=8.0)
+        report = lint(program_of([loop]), cpus=4)
+        hits = report.by_rule("R006")
+        assert hits and hits[0].severity is Severity.INFO
+        assert report.clean  # INFO-only findings keep the report clean
+
+    def test_racy_suppressed_loop_gets_no_R006(self):
+        loop = Loop("l", LoopKind.SUPPRESSED,
+                    (BoundaryAccess("x", units=64, is_write=True),),
+                    iterations=64, instructions_per_word=8.0)
+        assert not lint(program_of([loop]), cpus=4).by_rule("R006")
+
+    def test_strided_suppressed_loop_gets_no_R006(self):
+        loop = Loop("l", LoopKind.SUPPRESSED,
+                    (StridedAccess("x", block_bytes=1024, is_write=True),),
+                    iterations=64, instructions_per_word=8.0)
+        assert not lint(program_of([loop]), cpus=4).by_rule("R006")
+
+    def test_fine_grain_suppressed_loop_gets_no_R006(self):
+        loop = Loop("l", LoopKind.SUPPRESSED,
+                    (PartitionedAccess("x", units=64, is_write=True),),
+                    iterations=64, instructions_per_word=1.0)
+        assert not lint(program_of([loop]), cpus=4).by_rule("R006")

@@ -1,0 +1,89 @@
+"""Linting the bundled SPEC95fp models reproduces the paper's findings.
+
+Expectations at the paper's operating point (16 processors, 1/16 scale):
+
+* every bundled model is free of ERROR findings — the models are
+  race-free by construction;
+* su2cor's gauge arrays are flagged unsummarizable (C003) — the
+  Section 6.1 case where CDPC leaves strided arrays to the OS;
+* applu's 33-iteration blocked partitioning on 16 processors is warned
+  about (R005, Section 4.1), with idle processors in evidence;
+* fpppp (instruction-stream bound, one big whole-array footprint) comes
+  back with no findings at all;
+* tomcatv and swim lint clean.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checker import Severity, lint_workload
+from repro.machine.config import sgi_base
+from repro.workloads.specfp import WORKLOAD_NAMES
+
+CONFIG = sgi_base(16).scaled(16)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {name: lint_workload(name, CONFIG) for name in WORKLOAD_NAMES}
+
+
+def test_all_bundled_workloads_are_error_free(reports):
+    noisy = {
+        name: [d.render() for d in report.errors()]
+        for name, report in reports.items()
+        if report.errors()
+    }
+    assert not noisy, f"bundled workloads must lint ERROR-free: {noisy}"
+
+
+def test_su2cor_strided_arrays_flagged_unsummarizable(reports):
+    hits = reports["su2cor"].by_rule("C003")
+    flagged = {d.array for d in hits}
+    assert {"u1", "u2"} <= flagged
+    assert all(d.severity is Severity.WARNING for d in hits)
+    # The message must say what CDPC silently did about it.
+    assert "default OS placement" in hits[0].message
+
+
+def test_applu_blocked_imbalance_warned(reports):
+    hits = reports["applu"].by_rule("R005")
+    assert hits, "applu's 33-on-16 imbalance must be flagged"
+    worst = max(hits, key=lambda d: d.evidence["imbalance"])
+    assert worst.evidence["imbalance"] >= 0.3
+    assert 0 in worst.evidence["counts"], "blocked 33-on-16 idles processors"
+
+
+def test_fpppp_instruction_stream_lints_silently(reports):
+    assert len(reports["fpppp"]) == 0
+
+
+@pytest.mark.parametrize("name", ["tomcatv", "swim"])
+def test_paper_clean_workloads_lint_clean(reports, name):
+    report = reports[name]
+    assert report.clean, report.render_text()
+
+
+def test_wave5_strided_push_loops_are_info_only(reports):
+    report = reports["wave5"]
+    hits = report.by_rule("C003")
+    assert hits, "wave5's particle push gathers are strided"
+    assert all(d.severity is Severity.INFO for d in hits)
+    assert report.clean
+
+
+def test_reports_render_and_serialize(reports):
+    for name, report in reports.items():
+        payload = report.to_dict()
+        assert payload["program"] == name
+        assert payload["num_errors"] == 0
+        text = report.render_text()
+        assert text.startswith(name)
+
+
+def test_scaling_does_not_change_the_verdicts():
+    """The findings are scale-invariant: 256 colors are preserved."""
+    full = lint_workload("applu", sgi_base(16))
+    scaled = lint_workload("applu", CONFIG)
+    assert sorted(d.rule_id for d in full) == sorted(d.rule_id for d in scaled)

@@ -98,3 +98,69 @@ class TestRunfile:
         main(["runfile", str(path), "--cpus", "2", "--fast", "--json"])
         payload = json.loads(capsys.readouterr().out)
         assert payload["scale_factor"] == 16
+
+
+class TestLint:
+    RACY_TEXT = (
+        "program racy\n"
+        "array a 2097152\n"
+        "phase p\n"
+        "  parallel loop l ipw 3.0\n"
+        "    write a boundary units 64 shift 0.5\n"
+    )
+
+    def test_lint_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.workload == "all"
+        assert args.cpus == 16
+        assert args.scale == 16
+        assert args.format == "text"
+        assert not args.strict
+
+    def test_lint_rejects_unknown_format(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint", "--format", "xml"])
+
+    def test_lint_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint", "gcc"])
+
+    def test_lint_help_describes_the_command(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["lint", "--help"])
+        assert excinfo.value.code == 0
+        assert "lint" in capsys.readouterr().out
+
+    def test_lint_single_workload_text(self, capsys):
+        assert main(["lint", "tomcatv"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_reports_su2cor_strided(self, capsys):
+        assert main(["lint", "su2cor"]) == 0
+        assert "C003" in capsys.readouterr().out
+
+    def test_lint_all_workloads_json(self, capsys):
+        import json
+
+        assert main(["lint", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cpus"] == 16
+        assert payload["num_errors"] == 0
+        names = [report["program"] for report in payload["reports"]]
+        assert "tomcatv" in names and "applu" in names
+
+    def test_lint_file_reports_error_but_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "racy.workload"
+        path.write_text(self.RACY_TEXT)
+        assert main(["lint", "--file", str(path)]) == 0
+        assert "R001" in capsys.readouterr().out
+
+    def test_lint_strict_fails_on_error_findings(self, tmp_path, capsys):
+        path = tmp_path / "racy.workload"
+        path.write_text(self.RACY_TEXT)
+        assert main(["lint", "--file", str(path), "--strict"]) == 1
+        assert "ERROR" in capsys.readouterr().out
+
+    def test_lint_strict_passes_clean_workloads(self, capsys):
+        assert main(["lint", "swim", "--strict"]) == 0
+        capsys.readouterr()
