@@ -7,14 +7,24 @@ as the paper derives its table from the same experiments.
 
 Each benchmark prints its table (run pytest with ``-s`` to see it) and
 writes it to ``benchmarks/results/<name>.txt``.
+
+Setting ``REPRO_BENCH_STORE=<dir>`` additionally persists every run to a
+crash-consistent :class:`repro.harness.ResultStore`: an interrupted or
+crashed benchmark session resumes from the completed runs instead of
+regenerating every figure from scratch.  Entries are keyed by full task
+fingerprints, so changing a machine config or engine option can never
+reuse a stale run — but results do NOT track source-code changes, so
+clear the directory after modifying the simulator.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
+from repro.harness.store import ResultStore, task_fingerprint
 from repro.machine.config import MachineConfig, alpha_server, sgi_2way, sgi_4mb, sgi_base
 from repro.sim.engine import EngineOptions, run_benchmark
 from repro.sim.results import RunResult
@@ -36,6 +46,11 @@ _RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 _run_cache: dict[tuple, RunResult] = {}
 
+#: Optional durable store: completed runs survive a crashed or
+#: interrupted benchmark session (opt-in via REPRO_BENCH_STORE=<dir>).
+_STORE_DIR = os.environ.get("REPRO_BENCH_STORE")
+_STORE: ResultStore | None = ResultStore(_STORE_DIR) if _STORE_DIR else None
+
 
 def make_config(name: str, num_cpus: int) -> MachineConfig:
     return _CONFIGS[name](num_cpus).scaled(BENCH_SCALE)
@@ -50,20 +65,30 @@ def cached_run(
     prefetch: bool = False,
     aligned: bool = True,
 ) -> RunResult:
-    """Run one benchmark configuration, memoized for the whole session."""
+    """Run one benchmark configuration, memoized for the whole session
+    (and across sessions when ``REPRO_BENCH_STORE`` is set)."""
     key = (workload, config_name, num_cpus, policy, cdpc, prefetch, aligned)
     result = _run_cache.get(key)
-    if result is None:
-        config = make_config(config_name, num_cpus)
-        options = EngineOptions(
-            policy=policy,
-            cdpc=cdpc,
-            prefetch=prefetch,
-            aligned=aligned,
-            profile=FAST,
-        )
-        result = run_benchmark(workload, config, options)
-        _run_cache[key] = result
+    if result is not None:
+        return result
+    config = make_config(config_name, num_cpus)
+    options = EngineOptions(
+        policy=policy,
+        cdpc=cdpc,
+        prefetch=prefetch,
+        aligned=aligned,
+        profile=FAST,
+    )
+    fingerprint = task_fingerprint((workload, config, options))
+    if _STORE is not None:
+        stored = _STORE.get(fingerprint)
+        if stored is not None:
+            _run_cache[key] = stored
+            return stored
+    result = run_benchmark(workload, config, options)
+    if _STORE is not None:
+        _STORE.put(fingerprint, result, label=result.label())
+    _run_cache[key] = result
     return result
 
 

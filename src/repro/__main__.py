@@ -16,6 +16,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from typing import TYPE_CHECKING
 
 from repro.analysis.report import render_table
 from repro.machine.config import MachineConfig, alpha_server, sgi_2way, sgi_4mb, sgi_base
@@ -23,6 +24,14 @@ from repro.robustness.faults import FaultPlan
 from repro.sim.engine import EngineOptions, run_benchmark, run_program
 from repro.sim.tracegen import SimProfile
 from repro.workloads import WORKLOAD_NAMES, get_workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.harness import CampaignOptions
+
+#: Where ``--resume`` persists results when no ``--store`` is given.
+#: Entries are keyed by full task fingerprints, so one directory safely
+#: serves every workload/policy/machine combination.
+DEFAULT_STORE = ".repro/campaigns"
 
 _MACHINES = {
     "sgi_base": sgi_base,
@@ -135,23 +144,75 @@ def cmd_lint(args) -> int:
     return 0
 
 
+def _campaign_options(args) -> "CampaignOptions":
+    """Fault-tolerance options shared by the campaign-running commands."""
+    from repro.harness import CampaignOptions, RetryPolicy
+
+    store = args.store
+    if args.resume and store is None:
+        store = DEFAULT_STORE
+    return CampaignOptions(
+        store=store,
+        resume=args.resume or store is not None,
+        retry=RetryPolicy(max_attempts=max(1, args.retries + 1)),
+        timeout_s=args.timeout,
+        strict=args.strict,
+    )
+
+
 def cmd_sweep(args) -> int:
+    """Compare mapping policies as one fault-tolerant campaign.
+
+    Completed runs are durable the moment they finish when a store is
+    configured (``--store``/``--resume``); Ctrl-C flushes what finished
+    and prints the partial report instead of a traceback.
+    """
+    from repro.sim.sweeps import run_task_campaign
+
     config = _make_config(args)
+    labels = args.policies.split(",")
+    tasks = [
+        (args.workload, config, _options_for(label, args)) for label in labels
+    ]
+    campaign = _campaign_options(args)
+    try:
+        outcome = run_task_campaign(
+            tasks, max_workers=args.workers, campaign=campaign
+        )
+    except KeyboardInterrupt:
+        # strict mode re-raises after flushing completed results.
+        print("\nrepro sweep: interrupted", file=sys.stderr)
+        return 130
+    report = outcome.report
+
     rows = []
-    payload = {}
-    for label in args.policies.split(","):
-        result = run_benchmark(args.workload, config, _options_for(label, args))
+    payload: dict = {}
+    for label, result in zip(labels, outcome.results):
+        if result is None:
+            continue
         rows.append(_result_row(label, result))
         payload[label] = result.to_dict()
     if args.json:
+        payload["campaign"] = report.to_dict()
         print(json.dumps(payload, indent=2))
-        return 0
-    print(
-        render_table(
-            ["policy", "wall ms", "MCPI", "conflict", "capacity", "bus"], rows
-        )
-    )
-    return 0
+    else:
+        if rows:
+            print(
+                render_table(
+                    ["policy", "wall ms", "MCPI", "conflict", "capacity", "bus"],
+                    rows,
+                )
+            )
+        print(f"\ncampaign: {report.summary()}")
+        for failure in report.failures:
+            print(
+                f"  FAILED {failure.label}: {failure.kind} "
+                f"after {failure.attempts} attempt(s) {failure.message}",
+                file=sys.stderr,
+            )
+    if report.interrupted:
+        return 130
+    return 0 if report.ok else 1
 
 
 def cmd_runfile(args) -> int:
@@ -293,6 +354,12 @@ def cmd_bench(args) -> int:
         )
     )
     print(f"\nspeedup: {payload['speedup']:.2f}x  ({args.output})")
+    counters = fast.get("campaign", {})
+    if counters.get("retries") or counters.get("pool_restarts"):
+        print(
+            f"campaign: {counters.get('retries', 0)} retries, "
+            f"{counters.get('pool_restarts', 0)} pool restarts"
+        )
     if not payload["equivalent"]:
         print("repro bench: FAST PATH DIVERGED FROM REFERENCE:", file=sys.stderr)
         for line in payload["divergences"]:
@@ -335,6 +402,34 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--policies", default="page_coloring,bin_hopping,cdpc",
         help="comma-separated: page_coloring, bin_hopping, cdpc",
+    )
+    sweep_parser.add_argument(
+        "--resume", action="store_true",
+        help="persist completed runs durably and skip any already in the "
+        f"store (default store: {DEFAULT_STORE})",
+    )
+    sweep_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="result-store directory (implies result persistence; "
+        "completed runs are written atomically as they finish)",
+    )
+    sweep_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (default: CPUs this process may use)",
+    )
+    sweep_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-run wall-clock deadline; hung workers are killed and "
+        "the run retried (parallel mode only)",
+    )
+    sweep_parser.add_argument(
+        "--retries", type=int, default=2,
+        help="retries per run after a crash or timeout (default 2)",
+    )
+    sweep_parser.add_argument(
+        "--strict", action="store_true",
+        help="fail fast on the first unrecoverable run failure instead "
+        "of reporting the completed subset",
     )
 
     lint_parser = sub.add_parser(

@@ -1,0 +1,423 @@
+"""The campaign orchestrator: run many independent tasks, survive anything.
+
+:func:`run_campaign` executes a list of independent, deterministic tasks
+with the full fault-tolerance stack: durable results via
+:class:`~repro.harness.store.ResultStore`, bounded retries via
+:class:`~repro.harness.retry.RetryPolicy`, and hang/crash recovery via
+:class:`~repro.harness.watchdog.PoolSupervisor`.  Guarantees:
+
+* **Durability** — with a store configured, every completed result is on
+  disk (atomically) before the next task is scheduled to report; a crash
+  of the orchestrator itself loses only in-flight work.
+* **Resume** — tasks whose fingerprints are already in the store are not
+  re-run; their results are loaded and counted as ``loaded``.
+* **Determinism** — results are assembled in task order regardless of
+  completion order, worker count, retries, or resume, so a campaign that
+  completes is byte-identical to the ``max_workers=1`` serial run.
+* **Graceful degradation** — with ``strict=False`` a campaign never
+  raises for task failures: it returns the completed subset plus a
+  :class:`~repro.harness.report.CampaignReport`.  ``strict=True``
+  preserves fail-fast semantics: the first unrecoverable failure raises
+  (the task's own exception where there is one, else
+  :class:`CampaignError`).
+* **Interruptible** — ``KeyboardInterrupt`` cancels pending work, kills
+  the pool, and (non-strict) returns the partial campaign with the
+  remaining tasks marked ``cancelled``; completed results are already
+  durable.
+
+``max_workers=1`` runs tasks in-process with no pool, no pickling and no
+watchdog (timeouts need a killable worker, so they are parallel-only);
+retries, the store, and interrupt handling behave identically.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence, Union
+
+from repro.harness.report import CampaignReport, FailureKind, TaskFailure
+from repro.harness.retry import RetryPolicy
+from repro.harness.store import ResultStore
+from repro.harness.watchdog import PoolSupervisor, available_cpus
+
+
+class CampaignError(RuntimeError):
+    """A strict campaign hit an unrecoverable failure with no exception
+    of its own to re-raise (worker crash or timeout)."""
+
+    def __init__(self, failure: TaskFailure, report: CampaignReport) -> None:
+        super().__init__(
+            f"task {failure.index} ({failure.label}) failed with "
+            f"{failure.kind} after {failure.attempts} attempt(s)"
+            + (f": {failure.message}" if failure.message else "")
+        )
+        self.failure = failure
+        self.report = report
+
+
+@dataclass(frozen=True)
+class CampaignOptions:
+    """Fault-tolerance configuration for one campaign."""
+
+    #: Durable result store: a :class:`ResultStore`, a directory path, or
+    #: ``None`` for in-memory-only execution.
+    store: Union[ResultStore, str, None] = None
+    #: With a store, skip tasks whose results are already durable.
+    resume: bool = True
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Per-task wall-clock deadline, measured from when the task starts
+    #: on a worker (queue time excluded).  ``None`` disables the
+    #: watchdog.  Parallel-only: the serial path cannot preempt.
+    timeout_s: Optional[float] = None
+    #: Poll interval of the supervision loop.
+    heartbeat_s: float = 0.1
+    #: Fail fast (raise on first unrecoverable failure) instead of
+    #: returning the completed subset plus the report.
+    strict: bool = False
+
+    def resolved_store(self) -> Optional[ResultStore]:
+        if self.store is None or isinstance(self.store, ResultStore):
+            return self.store
+        return ResultStore(self.store)
+
+
+@dataclass
+class Campaign:
+    """Outcome of one campaign: task-ordered results plus accounting."""
+
+    #: One slot per task, in task order; ``None`` where the task failed.
+    results: list[Optional[Any]]
+    report: CampaignReport
+
+    def completed(self) -> dict[int, Any]:
+        """Index → result for every task that produced one."""
+        return {
+            index: result
+            for index, result in enumerate(self.results)
+            if result is not None
+        }
+
+    def raise_if_failed(self) -> None:
+        if self.report.interrupted:
+            raise KeyboardInterrupt
+        if self.report.failures:
+            raise CampaignError(self.report.failures[0], self.report)
+
+
+class _CampaignState:
+    """Mutable bookkeeping shared by the serial and parallel paths."""
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: list,
+        labels: list[str],
+        keys: Optional[list[str]],
+        options: CampaignOptions,
+    ) -> None:
+        self.fn = fn
+        self.tasks = tasks
+        self.labels = labels
+        self.keys = keys
+        self.options = options
+        self.retry = options.retry
+        self.store = options.resolved_store()
+        if self.store is not None and keys is None:
+            raise ValueError("a result store requires per-task keys")
+        self.results: list[Optional[Any]] = [None] * len(tasks)
+        self.attempts = [0] * len(tasks)
+        self.report = CampaignReport(total=len(tasks))
+        self.failures: dict[int, TaskFailure] = {}
+
+    # -- store interaction ---------------------------------------------
+
+    def load_resumable(self) -> list[int]:
+        """Fill results from the store; return the indices still to run."""
+        pending = []
+        for index in range(len(self.tasks)):
+            if self.store is not None and self.options.resume:
+                cached = self.store.get(self.keys[index])  # type: ignore[index]
+                if cached is not None:
+                    self.results[index] = cached
+                    self.report.loaded += 1
+                    continue
+            pending.append(index)
+        return pending
+
+    def complete(self, index: int, result: Any) -> None:
+        self.attempts[index] += 1
+        self.results[index] = result
+        self.report.executed += 1
+        if self.store is not None:
+            self.store.put(
+                self.keys[index],  # type: ignore[index]
+                result,
+                label=self.labels[index],
+                attempts=self.attempts[index],
+            )
+
+    # -- failure bookkeeping -------------------------------------------
+
+    def charge(self, index: int, kind: FailureKind, message: str) -> bool:
+        """Record a failed attempt; return True when the task may retry.
+
+        ``attempts`` counts only *charged* attempts — a task requeued
+        because a sibling broke the pool does not burn retry budget.
+        """
+        self.attempts[index] += 1
+        self.report.record_failed_attempt(kind)
+        if self.retry.should_retry(kind, self.attempts[index]):
+            return True
+        self.fail(index, kind, message)
+        return False
+
+    def fail(self, index: int, kind: FailureKind, message: str) -> None:
+        self.failures[index] = TaskFailure(
+            index=index,
+            label=self.labels[index],
+            kind=kind,
+            attempts=self.attempts[index],
+            message=message,
+        )
+
+    def cancel_remaining(self) -> None:
+        """Mark every task without a result or a recorded failure as
+        cancelled (loaded/completed results are untouched)."""
+        for index in range(len(self.tasks)):
+            if self.results[index] is None and index not in self.failures:
+                self.fail(index, FailureKind.CANCELLED, "campaign interrupted")
+        self.report.interrupted = True
+
+    def finish(self, started: float) -> Campaign:
+        self.report.completed = sum(
+            1 for result in self.results if result is not None
+        )
+        self.report.retries = sum(
+            max(0, attempts - 1) for attempts in self.attempts
+        )
+        self.report.failures = [
+            self.failures[index] for index in sorted(self.failures)
+        ]
+        self.report.elapsed_s = time.perf_counter() - started
+        return Campaign(results=self.results, report=self.report)
+
+
+def run_campaign(
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    *,
+    labels: Optional[Sequence[str]] = None,
+    keys: Optional[Sequence[str]] = None,
+    options: Optional[CampaignOptions] = None,
+    max_workers: Optional[int] = None,
+) -> Campaign:
+    """Run every task through the fault-tolerance stack.
+
+    ``fn`` must be a module-level callable taking one task (it crosses
+    the process boundary in parallel mode) and returning a non-``None``
+    result (``None`` is the campaign's "task failed" sentinel).  ``keys``
+    are the durable fingerprints (required when a store is configured);
+    ``labels`` name tasks in reports and manifests.
+    """
+    opts = options or CampaignOptions()
+    task_list = list(tasks)
+    label_list = (
+        [str(label) for label in labels]
+        if labels is not None
+        else [f"task[{i}]" for i in range(len(task_list))]
+    )
+    key_list = [str(key) for key in keys] if keys is not None else None
+    if len(label_list) != len(task_list):
+        raise ValueError("labels must match tasks 1:1")
+    if key_list is not None and len(key_list) != len(task_list):
+        raise ValueError("keys must match tasks 1:1")
+
+    state = _CampaignState(fn, task_list, label_list, key_list, opts)
+    started = time.perf_counter()
+    pending = state.load_resumable()
+
+    if max_workers is None:
+        max_workers = available_cpus()
+    max_workers = max(1, min(max_workers, len(pending) or 1))
+
+    if pending:
+        # Deadlines need a killable worker, so a timeout forces the pool
+        # even for a single task / single worker.
+        if max_workers == 1 and opts.timeout_s is None:
+            _run_serial(state, pending)
+        else:
+            _run_parallel(state, pending, max_workers)
+    return state.finish(started)
+
+
+# ----------------------------------------------------------------------
+# serial path
+
+
+def _run_serial(state: _CampaignState, pending: list[int]) -> None:
+    opts = state.options
+    for index in pending:
+        task = state.tasks[index]
+        while True:
+            state.report.attempts += 1
+            try:
+                result = state.fn(task)
+            except KeyboardInterrupt:
+                state.cancel_remaining()
+                if opts.strict:
+                    raise
+                return
+            except Exception as exc:
+                if state.charge(index, FailureKind.EXCEPTION, repr(exc)):
+                    time.sleep(
+                        state.retry.delay_s(
+                            state.attempts[index], state.labels[index]
+                        )
+                    )
+                    continue
+                if opts.strict:
+                    raise
+                break
+            else:
+                state.complete(index, result)
+                break
+
+
+# ----------------------------------------------------------------------
+# parallel path
+
+
+def _run_parallel(
+    state: _CampaignState, pending: list[int], max_workers: int
+) -> None:
+    opts = state.options
+    supervisor = PoolSupervisor(max_workers)
+    queue: deque[int] = deque(pending)
+    ready_at: dict[int, float] = {index: 0.0 for index in pending}
+    inflight: dict[Future, int] = {}
+
+    def requeue(index: int, charged: bool) -> None:
+        """Put a task back on the queue after a pool-wide event."""
+        supervisor.clear_heartbeat(index)
+        if charged:
+            delay = state.retry.delay_s(state.attempts[index], state.labels[index])
+        else:
+            # An innocent bystander of a sibling's crash or a pool
+            # restart: not charged against its attempt budget.
+            delay = 0.0
+            state.report.requeued += 1
+        ready_at[index] = time.monotonic() + delay
+        queue.append(index)
+
+    def handle_broken_pool() -> None:
+        """Charge a crash to every in-flight task that had actually
+        started on a worker; requeue the merely-queued for free."""
+        culprits = {
+            index: (FailureKind.CRASH, "worker process died")
+            for index in inflight.values()
+            if supervisor.started_at(index) is not None
+        }
+        drain_inflight(culprits)
+        supervisor.restart()
+        state.report.pool_restarts += 1
+
+    def drain_inflight(culprits: dict[int, tuple[FailureKind, str]]) -> None:
+        """Classify every in-flight task after the pool died under it."""
+        strict_error: Optional[CampaignError] = None
+        for future, index in list(inflight.items()):
+            future.cancel()
+            if index in culprits:
+                kind, message = culprits[index]
+                if state.charge(index, kind, message):
+                    requeue(index, charged=True)
+                elif opts.strict and strict_error is None:
+                    strict_error = CampaignError(
+                        state.failures[index], state.report
+                    )
+            else:
+                requeue(index, charged=False)
+        inflight.clear()
+        if strict_error is not None:
+            raise strict_error
+
+    try:
+        while queue or inflight:
+            now = time.monotonic()
+            # Submit every task whose backoff delay has elapsed.
+            for _ in range(len(queue)):
+                index = queue.popleft()
+                if ready_at[index] > now:
+                    queue.append(index)
+                    continue
+                try:
+                    future = supervisor.submit(state.fn, index, state.tasks[index])
+                except BrokenExecutor:
+                    # The pool died under a concurrent submission.  Put
+                    # this task back unattempted and recover the rest.
+                    queue.appendleft(index)
+                    handle_broken_pool()
+                    break
+                state.report.attempts += 1
+                inflight[future] = index
+
+            if not inflight:
+                # Everything runnable is backing off; sleep until the
+                # earliest becomes ready.
+                wake = min(ready_at[index] for index in queue)
+                time.sleep(max(0.0, min(wake - now, opts.heartbeat_s)))
+                continue
+
+            done, _ = wait(
+                list(inflight), timeout=opts.heartbeat_s,
+                return_when=FIRST_COMPLETED,
+            )
+
+            pool_broken = False
+            for future in done:
+                index = inflight.pop(future)
+                try:
+                    result = future.result()
+                except BrokenExecutor:
+                    # A worker died; the whole pool is poisoned.  This
+                    # future's task is charged only if it had started.
+                    pool_broken = True
+                    inflight[future] = index  # reclassified with the rest
+                except Exception as exc:
+                    if state.charge(index, FailureKind.EXCEPTION, repr(exc)):
+                        requeue(index, charged=True)
+                    elif opts.strict:
+                        raise
+                else:
+                    state.complete(index, result)
+
+            if pool_broken:
+                handle_broken_pool()
+                continue
+
+            overdue = supervisor.overdue(inflight.values(), opts.timeout_s)
+            if overdue:
+                # A hung worker cannot be cancelled — kill the pool and
+                # requeue everything that was riding on it.
+                culprits = {
+                    index: (
+                        FailureKind.TIMEOUT,
+                        f"exceeded {opts.timeout_s}s wall-clock deadline",
+                    )
+                    for index in overdue
+                }
+                drain_inflight(culprits)
+                supervisor.restart()
+                state.report.pool_restarts += 1
+    except KeyboardInterrupt:
+        for future in inflight:
+            future.cancel()
+        state.cancel_remaining()
+        supervisor.shutdown(graceful=False)
+        if opts.strict:
+            raise
+        return
+    finally:
+        supervisor.shutdown(graceful=True)

@@ -1,0 +1,132 @@
+"""Structured failure taxonomy and the per-campaign summary report.
+
+A campaign never hides what happened to it: every task that could not be
+completed is recorded as a :class:`TaskFailure` with a machine-readable
+:class:`FailureKind`, and the whole run is summarized by a
+:class:`CampaignReport` — attempts, retries, pool restarts, loaded-from-
+store counts, elapsed wall time — that callers can log, serialize, or
+assert on.  Graceful degradation means returning the completed subset
+*plus* this report instead of raising.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class FailureKind(str, enum.Enum):
+    """Why a task attempt (or a whole task) did not produce a result."""
+
+    #: The task exceeded its wall-clock deadline; the worker was killed.
+    TIMEOUT = "timeout"
+    #: The worker process died (SIGKILL, segfault, OOM-kill) mid-task.
+    CRASH = "crash"
+    #: The task raised an ordinary Python exception.
+    EXCEPTION = "exception"
+    #: The campaign was interrupted before the task could run (Ctrl-C).
+    CANCELLED = "cancelled"
+
+    def __str__(self) -> str:  # "timeout", not "FailureKind.TIMEOUT"
+        return self.value
+
+
+@dataclass
+class TaskFailure:
+    """One task's final, unrecovered failure."""
+
+    index: int
+    label: str
+    kind: FailureKind
+    attempts: int
+    message: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "label": self.label,
+            "kind": self.kind.value,
+            "attempts": self.attempts,
+            "message": self.message,
+        }
+
+
+@dataclass
+class CampaignReport:
+    """Accounting for one campaign: what ran, what retried, what failed."""
+
+    #: Number of tasks submitted to the campaign.
+    total: int = 0
+    #: Tasks that ended with a result (loaded or executed).
+    completed: int = 0
+    #: Tasks whose results were loaded from the store (resume hits).
+    loaded: int = 0
+    #: Tasks actually executed this campaign (total - loaded - failed).
+    executed: int = 0
+    #: Task attempts dispatched, including retries.
+    attempts: int = 0
+    #: Attempts beyond the first, summed over all tasks.
+    retries: int = 0
+    #: Attempts lost to a sibling task breaking the pool or to a pool
+    #: restart; requeued without being charged against the task's budget.
+    requeued: int = 0
+    #: Times the worker pool had to be replaced (crash or hung worker).
+    pool_restarts: int = 0
+    #: Failed attempts by kind, including ones later recovered by retry.
+    failed_attempts: dict[str, int] = field(default_factory=dict)
+    #: Final, unrecovered failures in task order.
+    failures: list[TaskFailure] = field(default_factory=list)
+    #: True when the campaign was cut short by KeyboardInterrupt.
+    interrupted: bool = False
+    #: Wall-clock seconds spent in the campaign.
+    elapsed_s: float = 0.0
+
+    def record_failed_attempt(self, kind: FailureKind) -> None:
+        key = kind.value
+        self.failed_attempts[key] = self.failed_attempts.get(key, 0) + 1
+
+    def failure_counts(self) -> dict[str, int]:
+        """Final failures grouped by kind (empty when the campaign is clean)."""
+        counts: dict[str, int] = {}
+        for failure in self.failures:
+            counts[failure.kind.value] = counts.get(failure.kind.value, 0) + 1
+        return counts
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.interrupted
+
+    def to_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "completed": self.completed,
+            "loaded": self.loaded,
+            "executed": self.executed,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "requeued": self.requeued,
+            "pool_restarts": self.pool_restarts,
+            "failed_attempts": dict(self.failed_attempts),
+            "failures": [failure.to_dict() for failure in self.failures],
+            "failure_counts": self.failure_counts(),
+            "interrupted": self.interrupted,
+            "elapsed_s": self.elapsed_s,
+            "ok": self.ok,
+        }
+
+    def summary(self) -> str:
+        """One-line human summary for CLI output and logs."""
+        parts = [f"{self.completed}/{self.total} completed"]
+        if self.loaded:
+            parts.append(f"{self.loaded} loaded from store")
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.pool_restarts:
+            parts.append(f"{self.pool_restarts} pool restarts")
+        counts = self.failure_counts()
+        if counts:
+            breakdown = ", ".join(f"{count} {kind}" for kind, count in sorted(counts.items()))
+            parts.append(f"failed: {breakdown}")
+        if self.interrupted:
+            parts.append("interrupted")
+        return "; ".join(parts) + f" in {self.elapsed_s:.2f}s"

@@ -1,0 +1,84 @@
+"""Bounded retries with exponential backoff and deterministic jitter.
+
+Transient failures — a worker killed by the OOM killer, a pool broken by
+a sibling crash, a deadline missed on an overloaded host — deserve
+another attempt; deterministic exceptions from a pure simulation do not.
+The policy therefore retries by :class:`~repro.harness.report.FailureKind`
+(timeouts and crashes by default) and keeps backoff *deterministic*: the
+jitter for attempt ``k`` of task ``t`` is derived from ``(t, k)`` by a
+seeded PRNG, so a resumed or re-run campaign sleeps exactly as long as
+the original would have.  (``random.Random`` seeded with a string hashes
+it with SHA-512, which is stable across processes and interpreter runs,
+unlike ``hash()``.)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.harness.report import FailureKind
+
+#: Failure kinds that are plausibly transient and worth retrying.
+TRANSIENT_KINDS: frozenset[FailureKind] = frozenset(
+    {FailureKind.TIMEOUT, FailureKind.CRASH}
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to attempt a task and how long to wait between tries."""
+
+    #: Total attempts per task (1 = no retries).
+    max_attempts: int = 3
+    #: Delay before the first retry, in seconds.
+    backoff_s: float = 0.1
+    #: Multiplier applied per subsequent retry.
+    backoff_factor: float = 2.0
+    #: Ceiling on any single delay.
+    max_backoff_s: float = 5.0
+    #: Fraction of the delay randomized (0 disables jitter, 0.25 means
+    #: the delay is uniform in [0.75·d, 1.25·d]).
+    jitter: float = 0.25
+    #: Failure kinds eligible for retry; anything else fails immediately.
+    #: Exceptions are excluded by default because the simulation is pure —
+    #: a deterministic error will simply recur.
+    retryable: frozenset[FailureKind] = field(default=TRANSIENT_KINDS)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def should_retry(self, kind: FailureKind, attempts: int) -> bool:
+        """Whether a task that has failed ``attempts`` times may run again."""
+        return kind in self.retryable and attempts < self.max_attempts
+
+    def delay_s(self, attempt: int, token: str = "") -> float:
+        """Backoff before retry number ``attempt`` (1-based) of task ``token``."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        base = min(
+            self.backoff_s * self.backoff_factor ** (attempt - 1),
+            self.max_backoff_s,
+        )
+        if base <= 0 or self.jitter == 0:
+            return base
+        rng = random.Random(f"repro-harness|{token}|{attempt}")
+        spread = self.jitter * base
+        return base - spread + rng.random() * 2.0 * spread
+
+    def to_dict(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff_s": self.backoff_s,
+            "backoff_factor": self.backoff_factor,
+            "max_backoff_s": self.max_backoff_s,
+            "jitter": self.jitter,
+            "retryable": sorted(kind.value for kind in self.retryable),
+        }

@@ -1,0 +1,203 @@
+"""Crash-consistent on-disk result store for experiment campaigns.
+
+Every completed run is durable the moment it finishes: results are
+pickled to a temporary file in the store directory and published with an
+atomic ``os.replace``, so a reader (or a resumed campaign) only ever sees
+complete entries — a crash mid-write leaves at most a ``*.tmp`` file that
+is ignored and swept on the next open.  A ``manifest.json`` (also written
+atomically) records a human-readable inventory; the ``*.pkl`` payload
+files are the source of truth and the manifest is rebuilt from them when
+they disagree.
+
+Entries are keyed by :func:`task_fingerprint` — a digest of the *full*
+task identity in the same spirit as the trace cache's keys
+(:mod:`repro.sim.trace_cache`): the workload name plus every field of the
+frozen ``MachineConfig`` and ``EngineOptions`` dataclasses, including
+nested simulation profiles and fault plans.  Anything that can change a
+run's result lands on a different key, so a store can never serve a stale
+result for a changed configuration, and unrelated campaigns can safely
+share one store directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = ["ResultStore", "task_fingerprint", "atomic_write_text"]
+
+#: Bumped whenever the persisted result format changes incompatibly;
+#: part of every fingerprint so old stores are ignored, not misread.
+STORE_VERSION = 1
+
+
+def task_fingerprint(task: tuple) -> str:
+    """Digest of one ``(workload, config, options)`` task's full identity.
+
+    Frozen dataclasses ``repr()`` every field deterministically (nested
+    ones included), so the digest covers the same complete input set the
+    trace cache keys on — policy, CDPC delivery, profile, fault plan,
+    seeds, scale — without hand-listing fields that could drift.
+    """
+    payload = repr((STORE_VERSION, task)).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via tmp+fsync+rename (crash-consistent)."""
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class ResultStore:
+    """Durable, resumable storage of completed task results.
+
+    ``put`` publishes atomically; ``get`` self-heals by discarding
+    entries that fail to unpickle (truncated by a crash before atomic
+    publication existed, or written by an incompatible version) so a
+    corrupt entry degrades to "re-run that task", never to a wedged
+    campaign.
+    """
+
+    MANIFEST = "manifest.json"
+
+    def __init__(self, root: "str | os.PathLike[str]") -> None:
+        self.root = Path(root)
+        self.results_dir = self.root / "results"
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        self._sweep_tmp_files()
+
+    # ------------------------------------------------------------------
+    # payloads
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.results_dir / f"{fingerprint}.pkl"
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self._path(fingerprint).exists()
+
+    def __len__(self) -> int:
+        return len(self.fingerprints())
+
+    def fingerprints(self) -> list[str]:
+        """Fingerprints of every durable entry, sorted for determinism."""
+        return sorted(path.stem for path in self.results_dir.glob("*.pkl"))
+
+    def get(self, fingerprint: str) -> Optional[Any]:
+        """Load one result, or ``None`` if absent or unreadable."""
+        path = self._path(fingerprint)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Self-heal: a result that cannot be loaded is as good as
+            # missing — drop it so the task is simply re-run.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(
+        self,
+        fingerprint: str,
+        result: Any,
+        label: str = "",
+        attempts: int = 1,
+    ) -> None:
+        """Durably publish one completed result (atomic tmp+rename)."""
+        path = self._path(fingerprint)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.results_dir, prefix=fingerprint + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self._record(fingerprint, label=label, attempts=attempts)
+
+    # ------------------------------------------------------------------
+    # manifest
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / self.MANIFEST
+
+    def manifest(self) -> dict:
+        """The manifest, reconciled against the payload files on disk."""
+        try:
+            with open(self.manifest_path) as handle:
+                manifest = json.load(handle)
+            entries = manifest.get("entries", {})
+            if not isinstance(entries, dict):
+                raise ValueError("malformed manifest")
+        except (OSError, ValueError):
+            entries = {}
+        # Payload files are the source of truth: drop manifest entries
+        # whose payload vanished, add stubs for payloads it never saw
+        # (e.g. a crash between os.replace and the manifest update).
+        durable = set(self.fingerprints())
+        entries = {fp: meta for fp, meta in entries.items() if fp in durable}
+        for fp in durable:
+            entries.setdefault(fp, {"label": "", "attempts": 0})
+        return {"version": STORE_VERSION, "entries": entries}
+
+    def _record(self, fingerprint: str, label: str, attempts: int) -> None:
+        manifest = self.manifest()
+        manifest["entries"][fingerprint] = {"label": label, "attempts": attempts}
+        atomic_write_text(
+            self.manifest_path,
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+        )
+
+    # ------------------------------------------------------------------
+    # housekeeping
+
+    def _sweep_tmp_files(self) -> None:
+        """Remove leftovers of writes interrupted before publication."""
+        for leftover in self.results_dir.glob("*.tmp"):
+            try:
+                leftover.unlink()
+            except OSError:
+                pass
+
+    def clear(self) -> None:
+        """Forget every stored result (the directory itself is kept)."""
+        for path in self.results_dir.glob("*.pkl"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        try:
+            self.manifest_path.unlink()
+        except OSError:
+            pass

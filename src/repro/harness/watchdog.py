@@ -1,0 +1,169 @@
+"""Worker-pool supervision: heartbeats, hang detection, pool replacement.
+
+``concurrent.futures`` alone cannot tell a slow task from a dead one: a
+future for a hung worker never completes, and a SIGKILLed worker breaks
+the whole pool, poisoning every sibling future with
+``BrokenProcessPool``.  The supervisor closes both gaps:
+
+* every task is dispatched through :func:`_supervised_call`, which first
+  records its start time in a shared heartbeat table — so the parent
+  knows which tasks have *actually started* (queued tasks must not be
+  charged for a crash) and how long each has been running;
+* :meth:`PoolSupervisor.overdue` compares heartbeats against a per-task
+  wall-clock deadline, and :meth:`PoolSupervisor.restart` terminates the
+  old pool's processes (SIGTERM, then SIGKILL) and provisions a fresh
+  one, so a single hung or murdered worker costs one pool restart — not
+  the campaign.
+
+Pool sizing honors CPU affinity: on cgroup- or taskset-limited hosts
+``os.cpu_count()`` reports the machine, not the quota, and sizing a pool
+to it oversubscribes workers.  :func:`available_cpus` asks the scheduler
+first.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.managers
+import os
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any, Callable, Iterable, MutableMapping, Optional
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware).
+
+    ``os.sched_getaffinity(0)`` reflects cgroup cpusets and ``taskset``
+    restrictions; ``os.cpu_count()`` is the fallback on platforms without
+    it (macOS, Windows).
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0)) or 1
+        except OSError:
+            pass
+    return os.cpu_count() or 1
+
+
+def _supervised_call(
+    fn: Callable[[Any], Any],
+    index: int,
+    task: Any,
+    heartbeat: Optional[MutableMapping[int, float]],
+) -> Any:
+    """Worker-side wrapper: stamp the heartbeat table, then run the task."""
+    if heartbeat is not None:
+        try:
+            heartbeat[index] = time.time()
+        except Exception:
+            pass  # a dying manager must not take the task down with it
+    return fn(task)
+
+
+class PoolSupervisor:
+    """Owns the ``ProcessPoolExecutor`` and its heartbeat table.
+
+    The executor is created lazily and replaced wholesale on
+    :meth:`restart`; the heartbeat table (a ``multiprocessing.Manager``
+    dict, shared with every worker) survives restarts so the orchestrator
+    can attribute crashes to started tasks even after the pool is gone.
+    """
+
+    def __init__(self, max_workers: int) -> None:
+        self.max_workers = max(1, max_workers)
+        self.restarts = 0
+        self._manager: Optional[multiprocessing.managers.SyncManager] = None
+        self._heartbeat: Optional[MutableMapping[int, float]] = None
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._manager is None:
+            self._manager = multiprocessing.Manager()
+            self._heartbeat = self._manager.dict()
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._executor
+
+    def submit(self, fn: Callable[[Any], Any], index: int, task: Any) -> Future:
+        self.clear_heartbeat(index)
+        executor = self._ensure()
+        return executor.submit(_supervised_call, fn, index, task, self._heartbeat)
+
+    def restart(self) -> None:
+        """Kill the current pool (hung workers included) and start fresh."""
+        self._terminate()
+        self.restarts += 1
+        self._ensure()
+
+    def shutdown(self, graceful: bool = True) -> None:
+        if self._executor is not None:
+            if graceful:
+                self._executor.shutdown(wait=True, cancel_futures=True)
+                self._executor = None
+            else:
+                self._terminate()
+        if self._manager is not None:
+            self._manager.shutdown()
+            self._manager = None
+            self._heartbeat = None
+
+    def _terminate(self) -> None:
+        executor = self._executor
+        self._executor = None
+        if executor is None:
+            return
+        processes = list(getattr(executor, "_processes", {}).values())
+        executor.shutdown(wait=False, cancel_futures=True)
+        for proc in processes:
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        deadline = time.monotonic() + 2.0
+        for proc in processes:
+            try:
+                proc.join(max(0.0, deadline - time.monotonic()))
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(1.0)
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------
+    # heartbeat queries
+
+    def started_at(self, index: int) -> Optional[float]:
+        """When task ``index`` began executing on a worker, if it has."""
+        if self._heartbeat is None:
+            return None
+        try:
+            return self._heartbeat.get(index)
+        except Exception:
+            return None
+
+    def clear_heartbeat(self, index: int) -> None:
+        if self._heartbeat is None:
+            return
+        try:
+            self._heartbeat.pop(index, None)
+        except Exception:
+            pass
+
+    def overdue(
+        self, indices: Iterable[int], timeout_s: Optional[float]
+    ) -> list[int]:
+        """Started tasks that have exceeded the wall-clock deadline."""
+        if timeout_s is None:
+            return []
+        now = time.time()
+        late = []
+        for index in indices:
+            started = self.started_at(index)
+            if started is not None and now - started > timeout_s:
+                late.append(index)
+        return late

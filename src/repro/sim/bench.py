@@ -13,12 +13,17 @@ Both legs produce ``RunResult`` objects whose serialized form
 deterministic, so any divergence is a fast-path bug and the bench exits
 nonzero.  The timing summary is written to ``BENCH_engine.json``.
 
+Both legs run as one fault-tolerant campaign each (:mod:`repro.harness`),
+so the JSON also carries the campaign's retry/failure counters, and the
+report file is published atomically (tmp+rename).
+
 A measurement caveat that matters when reading the numbers: host wall
 clock on small shared machines is noisy (CPU steal, frequency scaling),
-and the parallel leg's win depends on ``os.cpu_count()``.  On a
-single-core host the fast leg runs serially and the reported speedup is
-the hit filter + trace cache alone (about 2x); the 3x end-to-end figure
-needs the process pool, i.e. a multi-core host.
+and the parallel leg's win depends on the CPUs the process may actually
+use (``os.sched_getaffinity``).  On a single-core host the fast leg runs
+serially and the reported speedup is the hit filter + trace cache alone
+(about 2x); the 3x end-to-end figure needs the process pool, i.e. a
+multi-core host.
 """
 
 from __future__ import annotations
@@ -28,12 +33,17 @@ import os
 import platform
 import time
 from dataclasses import replace
+from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.harness.campaign import CampaignOptions
+from repro.harness.report import CampaignReport
+from repro.harness.store import atomic_write_text
+from repro.harness.watchdog import available_cpus
 from repro.machine.config import MachineConfig
 from repro.sim.engine import EngineOptions
 from repro.sim.results import RunResult
-from repro.sim.sweeps import STANDARD_POLICIES, policy_sweep
+from repro.sim.sweeps import STANDARD_POLICIES, Task, run_task_campaign
 from repro.sim.trace_cache import default_trace_cache
 
 #: Default output file, at the repository root when run from there.
@@ -56,22 +66,38 @@ def _run_leg(
     config: MachineConfig,
     options: EngineOptions,
     max_workers: Optional[int],
-) -> tuple[dict[str, dict[str, RunResult]], float, float]:
-    """Run the policy sweep for every workload; returns (results, wall_s, cpu_s).
+    campaign: Optional[CampaignOptions] = None,
+) -> tuple[dict[str, dict[str, RunResult]], float, float, CampaignReport]:
+    """Run the policy sweep for every workload as ONE campaign.
 
-    ``cpu_s`` is the parent process's CPU time only — when the sweep fans
-    out to worker processes it understates the true compute, so wall
-    seconds is the headline figure.
+    Returns ``(results, wall_s, cpu_s, report)``.  Batching every
+    workload×policy pair into a single campaign keeps the pool saturated
+    across workload boundaries and yields one fault-tolerance report for
+    the whole leg.  ``cpu_s`` is the parent process's CPU time only —
+    when the sweep fans out to worker processes it understates the true
+    compute, so wall seconds is the headline figure.
     """
+    labels = list(STANDARD_POLICIES)
+    tasks: list[Task] = [
+        (workload, config, replace(options, **overrides))
+        for workload in workloads
+        for overrides in STANDARD_POLICIES.values()
+    ]
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
-    results = {
-        workload: policy_sweep(
-            workload, config, options=options, max_workers=max_workers
-        )
-        for workload in workloads
-    }
-    return results, time.perf_counter() - wall0, time.process_time() - cpu0
+    outcome = run_task_campaign(
+        tasks,
+        max_workers=max_workers,
+        campaign=campaign or CampaignOptions(strict=True),
+    )
+    outcome.raise_if_failed()
+    wall = time.perf_counter() - wall0
+    cpu = time.process_time() - cpu0
+    results: dict[str, dict[str, RunResult]] = {}
+    for position, workload in enumerate(workloads):
+        chunk = outcome.results[position * len(labels):(position + 1) * len(labels)]
+        results[workload] = dict(zip(labels, chunk))
+    return results, wall, cpu, outcome.report
 
 
 def find_divergences(
@@ -96,25 +122,27 @@ def run_bench(
     workloads: Sequence[str],
     options: Optional[EngineOptions] = None,
     max_workers: Optional[int] = None,
+    campaign: Optional[CampaignOptions] = None,
 ) -> dict:
     """Time the Figure 6 sweep on both engine paths and compare results."""
     base = options or EngineOptions()
     reference_options = replace(base, fast_path=False, trace_cache=False)
     fast_options = replace(base, fast_path=True, trace_cache=True)
 
-    ref_results, ref_wall, ref_cpu = _run_leg(
+    ref_results, ref_wall, ref_cpu, ref_report = _run_leg(
         workloads, config, reference_options, max_workers=1
     )
 
     cache = default_trace_cache()
     cache.clear()
-    fast_results, fast_wall, fast_cpu = _run_leg(
-        workloads, config, fast_options, max_workers=max_workers
+    fast_results, fast_wall, fast_cpu, fast_report = _run_leg(
+        workloads, config, fast_options, max_workers=max_workers,
+        campaign=campaign,
     )
 
     divergences = find_divergences(fast_results, ref_results)
     refs = modeled_references(fast_results)
-    workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+    workers = max_workers if max_workers is not None else available_cpus()
     return {
         "benchmark": "figure6_policy_sweep",
         "machine": {
@@ -125,6 +153,7 @@ def run_bench(
         "policies": list(STANDARD_POLICIES),
         "host": {
             "cpu_count": os.cpu_count(),
+            "available_cpus": available_cpus(),
             "platform": platform.platform(),
             "python": platform.python_version(),
         },
@@ -135,6 +164,7 @@ def run_bench(
             "wall_s": ref_wall,
             "cpu_s": ref_cpu,
             "refs_per_sec": refs / ref_wall if ref_wall > 0 else 0.0,
+            "campaign": ref_report.to_dict(),
         },
         "fast": {
             "fast_path": True,
@@ -144,6 +174,7 @@ def run_bench(
             "cpu_s": fast_cpu,
             "refs_per_sec": refs / fast_wall if fast_wall > 0 else 0.0,
             "trace_cache_stats": cache.stats(),
+            "campaign": fast_report.to_dict(),
         },
         "modeled_references": refs,
         "speedup": ref_wall / fast_wall if fast_wall > 0 else 0.0,
@@ -153,6 +184,6 @@ def run_bench(
 
 
 def write_bench(payload: dict, path: str = BENCH_OUTPUT) -> None:
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    """Write the report atomically (tmp+rename) so a crash or a concurrent
+    reader never observes a truncated ``BENCH_engine.json``."""
+    atomic_write_text(Path(path), json.dumps(payload, indent=2) + "\n")

@@ -4,23 +4,34 @@ The figures of the paper are sweeps — over mapping policies (Figures 6/9),
 processor counts (Figure 2), or cache configurations (Figure 7).  These
 helpers run them with one call and return labeled results.
 
-Individual runs are independent, so sweeps fan out over a
-``concurrent.futures.ProcessPoolExecutor``.  Every run is fully described
-by a picklable ``(workload, config, options)`` triple that is materialized
-in the parent process (callers may pass lambdas for config factories; they
-are evaluated before dispatch).  Results always come back in task order,
-so a parallel sweep returns exactly the same dict — same keys, same
-insertion order, same values — as ``max_workers=1``, which runs in-process
-with no executor at all.
+Individual runs are independent, so sweeps fan out over a process pool
+managed by the fault-tolerant campaign orchestrator
+(:mod:`repro.harness`): completed results can be persisted durably the
+moment they finish (atomic writes, fingerprint-keyed), crashed or hung
+workers are replaced and their tasks retried with backoff, and an
+interrupted or partially-failed campaign returns the completed subset
+plus a :class:`~repro.harness.report.CampaignReport` instead of losing
+everything.  Every run is fully described by a picklable ``(workload,
+config, options)`` triple that is materialized in the parent process
+(callers may pass lambdas for config factories; they are evaluated before
+dispatch).  Results always come back in task order, so a parallel sweep
+returns exactly the same dict — same keys, same insertion order, same
+values — as ``max_workers=1``, which runs in-process with no executor at
+all.
+
+``policy_sweep``/``cpu_sweep``/``run_tasks`` keep their historical
+fail-fast contract (any task failure raises).  The ``*_campaign``
+variants accept :class:`~repro.harness.campaign.CampaignOptions` for
+durable stores, resume, retries, timeouts and graceful degradation.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
 from typing import Callable, Optional, Sequence
 
+from repro.harness.campaign import Campaign, CampaignOptions, run_campaign
+from repro.harness.store import task_fingerprint
 from repro.machine.config import MachineConfig
 from repro.sim.engine import EngineOptions, run_benchmark
 from repro.sim.results import RunResult
@@ -32,33 +43,103 @@ STANDARD_POLICIES: dict[str, dict] = {
     "cdpc": {"policy": "bin_hopping", "cdpc": True},
 }
 
+#: A task is one benchmark run, fully materialized and picklable.
+Task = tuple[str, MachineConfig, Optional[EngineOptions]]
 
-def _run_task(task: tuple[str, MachineConfig, Optional[EngineOptions]]) -> RunResult:
+#: The historical fail-fast contract of the plain sweep helpers.
+STRICT = CampaignOptions(strict=True)
+
+
+def _run_task(task: Task) -> RunResult:
     """Execute one benchmark run; module-level so it pickles to workers."""
     workload, config, options = task
     return run_benchmark(workload, config, options)
 
 
-def run_tasks(
-    tasks: Sequence[tuple[str, MachineConfig, Optional[EngineOptions]]],
+def _task_label(task: Task) -> str:
+    workload, config, options = task
+    opts = options or EngineOptions()
+    tags = [opts.policy]
+    if opts.cdpc:
+        tags.append("cdpc")
+    if opts.prefetch:
+        tags.append("pf")
+    return f"{workload}@{config.num_cpus}cpu[{'+'.join(tags)}]"
+
+
+def run_task_campaign(
+    tasks: Sequence[Task],
     max_workers: Optional[int] = None,
+    campaign: Optional[CampaignOptions] = None,
+) -> Campaign:
+    """Run benchmark tasks under the fault-tolerance harness.
+
+    ``max_workers=None`` sizes the pool to the CPUs this process may
+    actually use (``os.sched_getaffinity``, so cgroup- or taskset-limited
+    hosts are not oversubscribed), capped at the task count;
+    ``max_workers=1`` is the serial fallback and executes in-process,
+    with no worker processes and no pickling of results.  Output order
+    matches task order in both modes.
+    """
+    task_list = list(tasks)
+    return run_campaign(
+        _run_task,
+        task_list,
+        labels=[_task_label(task) for task in task_list],
+        keys=[task_fingerprint(task) for task in task_list],
+        options=campaign or STRICT,
+        max_workers=max_workers,
+    )
+
+
+def run_tasks(
+    tasks: Sequence[Task],
+    max_workers: Optional[int] = None,
+    campaign: Optional[CampaignOptions] = None,
 ) -> list[RunResult]:
     """Run independent benchmark tasks, in parallel where it helps.
 
-    ``max_workers=None`` sizes the pool to ``os.cpu_count()`` (capped at
-    the task count); ``max_workers=1`` — or a single-CPU host — is the
-    serial fallback and executes in-process, with no worker processes and
-    therefore no pickling of results.  Output order matches task order in
-    both modes.
+    Fail-fast by default: a task that ultimately fails (after any retries
+    the campaign options allow) raises instead of returning a partial
+    list.  Use :func:`run_task_campaign` for graceful degradation.
     """
-    tasks = list(tasks)
-    if max_workers is None:
-        max_workers = os.cpu_count() or 1
-    max_workers = max(1, min(max_workers, len(tasks)))
-    if max_workers == 1:
-        return [_run_task(task) for task in tasks]
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(_run_task, tasks))
+    outcome = run_task_campaign(tasks, max_workers=max_workers, campaign=campaign)
+    outcome.raise_if_failed()
+    return list(outcome.results)
+
+
+def _policy_tasks(
+    workload: str,
+    config: MachineConfig,
+    policies: Optional[dict[str, dict]],
+    options: Optional[EngineOptions],
+) -> tuple[list[str], list[Task]]:
+    base = options or EngineOptions()
+    labeled = policies or STANDARD_POLICIES
+    tasks: list[Task] = [
+        (workload, config, replace(base, **overrides))
+        for overrides in labeled.values()
+    ]
+    return list(labeled.keys()), tasks
+
+
+def policy_campaign(
+    workload: str,
+    config: MachineConfig,
+    policies: Optional[dict[str, dict]] = None,
+    options: Optional[EngineOptions] = None,
+    max_workers: Optional[int] = None,
+    campaign: Optional[CampaignOptions] = None,
+) -> tuple[dict[str, RunResult], Campaign]:
+    """Policy sweep under the harness: (completed subset, full campaign)."""
+    labels, tasks = _policy_tasks(workload, config, policies, options)
+    outcome = run_task_campaign(tasks, max_workers=max_workers, campaign=campaign)
+    completed = {
+        label: result
+        for label, result in zip(labels, outcome.results)
+        if result is not None
+    }
+    return completed, outcome
 
 
 def policy_sweep(
@@ -69,14 +150,44 @@ def policy_sweep(
     max_workers: Optional[int] = None,
 ) -> dict[str, RunResult]:
     """Run one workload under each labeled policy configuration."""
-    base = options or EngineOptions()
-    labeled = policies or STANDARD_POLICIES
-    tasks = [
-        (workload, config, replace(base, **overrides))
-        for overrides in labeled.values()
+    completed, outcome = policy_campaign(
+        workload, config, policies=policies, options=options,
+        max_workers=max_workers,
+    )
+    outcome.raise_if_failed()
+    return completed
+
+
+def _cpu_tasks(
+    workload: str,
+    make_config: Callable[[int], MachineConfig],
+    cpu_counts: Sequence[int],
+    options: Optional[EngineOptions],
+) -> tuple[list[int], list[Task]]:
+    counts = list(cpu_counts)
+    tasks: list[Task] = [
+        (workload, make_config(cpus), options) for cpus in counts
     ]
-    results = run_tasks(tasks, max_workers=max_workers)
-    return dict(zip(labeled.keys(), results))
+    return counts, tasks
+
+
+def cpu_campaign(
+    workload: str,
+    make_config: Callable[[int], MachineConfig],
+    cpu_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    options: Optional[EngineOptions] = None,
+    max_workers: Optional[int] = None,
+    campaign: Optional[CampaignOptions] = None,
+) -> tuple[dict[int, RunResult], Campaign]:
+    """CPU-count sweep under the harness: (completed subset, campaign)."""
+    counts, tasks = _cpu_tasks(workload, make_config, cpu_counts, options)
+    outcome = run_task_campaign(tasks, max_workers=max_workers, campaign=campaign)
+    completed = {
+        count: result
+        for count, result in zip(counts, outcome.results)
+        if result is not None
+    }
+    return completed, outcome
 
 
 def cpu_sweep(
@@ -92,10 +203,12 @@ def cpu_sweep(
     a lambda: only the resulting ``MachineConfig`` crosses the process
     boundary.
     """
-    counts = list(cpu_counts)
-    tasks = [(workload, make_config(cpus), options) for cpus in counts]
-    results = run_tasks(tasks, max_workers=max_workers)
-    return dict(zip(counts, results))
+    completed, outcome = cpu_campaign(
+        workload, make_config, cpu_counts=cpu_counts, options=options,
+        max_workers=max_workers,
+    )
+    outcome.raise_if_failed()
+    return completed
 
 
 def speedup_table(

@@ -58,6 +58,39 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "page_coloring" in out
         assert "cdpc" in out
+        assert "campaign:" in out
+
+    def test_sweep_store_then_resume(self, tmp_path, capsys):
+        store = str(tmp_path / "campaigns")
+        argv = ["sweep", "fpppp", "--cpus", "2", "--fast",
+                "--workers", "1", "--store", store]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "loaded from store" not in first
+        # Same sweep again: every run is served from the durable store.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "3 loaded from store" in second
+
+    def test_sweep_json_includes_campaign_report(self, tmp_path, capsys):
+        import json as jsonlib
+
+        store = str(tmp_path / "campaigns")
+        code = main(
+            ["sweep", "fpppp", "--cpus", "2", "--fast", "--json",
+             "--workers", "1", "--store", store,
+             "--policies", "page_coloring,cdpc"]
+        )
+        assert code == 0
+        payload = jsonlib.loads(capsys.readouterr().out)
+        assert payload["campaign"]["completed"] == 2
+        assert payload["campaign"]["ok"] is True
+        assert payload["page_coloring"]["policy"] == "page_coloring"
+
+    def test_sweep_resume_flag_parses_with_default_store(self):
+        args = build_parser().parse_args(["sweep", "swim", "--resume"])
+        assert args.resume
+        assert args.store is None  # filled with the default at run time
 
 
 class TestRunfile:

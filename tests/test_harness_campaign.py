@@ -1,0 +1,292 @@
+"""Tests for the campaign orchestrator: retries, watchdog, degradation.
+
+The task functions are module-level so they pickle to pool workers.
+Chaos scenarios (SIGKILL, hangs) coordinate through marker files in a
+temporary directory passed inside each task.
+"""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.harness import (
+    Campaign,
+    CampaignError,
+    CampaignOptions,
+    FailureKind,
+    RetryPolicy,
+    run_campaign,
+)
+
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_s=0.01, max_backoff_s=0.05)
+
+
+def square(task):
+    return task * task
+
+
+def record_and_square(task):
+    value, scratch = task
+    counter = Path(scratch) / f"ran_{value}"
+    counter.write_text(str(int(counter.read_text()) + 1 if counter.exists() else 1))
+    return value * value
+
+
+def raise_on_three(task):
+    if task == 3:
+        raise ValueError("three is right out")
+    return task * task
+
+
+def flaky_until_marked(task):
+    value, scratch = task
+    marker = Path(scratch) / f"failed_{value}"
+    if value == 2 and not marker.exists():
+        marker.write_text("")
+        raise RuntimeError("transient glitch")
+    return value * value
+
+
+def hang_once(task):
+    value, scratch = task
+    marker = Path(scratch) / f"hung_{value}"
+    if value == 1 and not marker.exists():
+        marker.write_text("")
+        time.sleep(300)
+    return value * value
+
+
+def interrupt_on_two(task):
+    if task == 2:
+        raise KeyboardInterrupt
+    return task * task
+
+
+class TestBasicExecution:
+    @pytest.mark.parametrize("max_workers", [1, 2])
+    def test_results_in_task_order(self, max_workers):
+        campaign = run_campaign(square, [3, 1, 2], max_workers=max_workers)
+        assert campaign.results == [9, 1, 4]
+        assert campaign.report.completed == 3
+        assert campaign.report.ok
+        assert campaign.report.retries == 0
+
+    def test_empty_campaign(self):
+        campaign = run_campaign(square, [])
+        assert campaign.results == []
+        assert campaign.report.ok
+
+    def test_labels_and_keys_must_match(self):
+        with pytest.raises(ValueError):
+            run_campaign(square, [1, 2], labels=["only-one"])
+        with pytest.raises(ValueError):
+            run_campaign(square, [1, 2], keys=["only-one"])
+
+    def test_store_requires_keys(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_campaign(
+                square, [1], options=CampaignOptions(store=str(tmp_path))
+            )
+
+
+class TestExceptionTaxonomy:
+    @pytest.mark.parametrize("max_workers", [1, 2])
+    def test_graceful_partial_results(self, max_workers):
+        campaign = run_campaign(
+            raise_on_three, [1, 2, 3, 4], max_workers=max_workers
+        )
+        assert campaign.results == [1, 4, None, 16]
+        assert campaign.completed() == {0: 1, 1: 4, 3: 16}
+        [failure] = campaign.report.failures
+        assert failure.kind is FailureKind.EXCEPTION
+        assert failure.index == 2
+        assert "three is right out" in failure.message
+        assert campaign.report.failure_counts() == {"exception": 1}
+        assert not campaign.report.ok
+
+    @pytest.mark.parametrize("max_workers", [1, 2])
+    def test_strict_raises_the_original_exception(self, max_workers):
+        with pytest.raises(ValueError, match="three is right out"):
+            run_campaign(
+                raise_on_three,
+                [1, 2, 3, 4],
+                options=CampaignOptions(strict=True),
+                max_workers=max_workers,
+            )
+
+    @pytest.mark.parametrize("max_workers", [1, 2])
+    def test_exception_retry_when_opted_in(self, tmp_path, max_workers):
+        retry = RetryPolicy(
+            max_attempts=3,
+            backoff_s=0.01,
+            retryable=frozenset({FailureKind.EXCEPTION}),
+        )
+        campaign = run_campaign(
+            flaky_until_marked,
+            [(1, str(tmp_path)), (2, str(tmp_path))],
+            options=CampaignOptions(retry=retry),
+            max_workers=max_workers,
+        )
+        assert campaign.results == [1, 4]
+        assert campaign.report.retries == 1
+        assert campaign.report.failed_attempts == {"exception": 1}
+        assert campaign.report.ok  # recovered → no final failures
+
+    def test_raise_if_failed(self):
+        campaign = run_campaign(raise_on_three, [3])
+        with pytest.raises(CampaignError, match="exception"):
+            campaign.raise_if_failed()
+
+
+class TestWatchdog:
+    def test_hung_worker_is_killed_and_task_retried(self, tmp_path):
+        options = CampaignOptions(
+            timeout_s=1.0, heartbeat_s=0.05, retry=FAST_RETRY
+        )
+        start = time.monotonic()
+        campaign = run_campaign(
+            hang_once,
+            [(1, str(tmp_path)), (2, str(tmp_path))],
+            options=options,
+            max_workers=2,
+        )
+        elapsed = time.monotonic() - start
+        assert campaign.results == [1, 4]
+        assert campaign.report.failed_attempts.get("timeout") == 1
+        assert campaign.report.pool_restarts >= 1
+        assert campaign.report.retries >= 1
+        assert elapsed < 60  # nowhere near the 300s hang
+
+    def test_timeout_exhaustion_reports_failure(self, tmp_path):
+        # Every attempt hangs: marker removed each time → task can never
+        # finish and must surface as a timeout failure.
+        options = CampaignOptions(
+            timeout_s=0.5,
+            heartbeat_s=0.05,
+            retry=RetryPolicy(max_attempts=2, backoff_s=0.01),
+        )
+        campaign = run_campaign(
+            hang_forever_task,
+            [(1, str(tmp_path))],
+            options=options,
+            max_workers=2,
+        )
+        assert campaign.results == [None]
+        [failure] = campaign.report.failures
+        assert failure.kind is FailureKind.TIMEOUT
+        assert failure.attempts == 2
+
+
+def hang_forever_task(task):
+    time.sleep(300)
+
+
+class TestKeyboardInterrupt:
+    def test_serial_interrupt_returns_partial_campaign(self):
+        campaign = run_campaign(
+            interrupt_on_two, [1, 2, 3], max_workers=1
+        )
+        assert campaign.results == [1, None, None]
+        assert campaign.report.interrupted
+        kinds = {f.kind for f in campaign.report.failures}
+        assert kinds == {FailureKind.CANCELLED}
+        assert len(campaign.report.failures) == 2
+
+    def test_serial_interrupt_strict_reraises(self):
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(
+                interrupt_on_two,
+                [1, 2, 3],
+                options=CampaignOptions(strict=True),
+                max_workers=1,
+            )
+
+    def test_interrupt_flushes_completed_results_to_store(self, tmp_path):
+        store_dir = tmp_path / "store"
+        campaign = run_campaign(
+            interrupt_on_two,
+            [1, 2, 3],
+            keys=["k1", "k2", "k3"],
+            options=CampaignOptions(store=str(store_dir)),
+            max_workers=1,
+        )
+        assert campaign.report.interrupted
+        from repro.harness import ResultStore
+
+        store = ResultStore(store_dir)
+        assert store.get("k1") == 1  # durable despite the interrupt
+        assert store.get("k2") is None
+
+    def test_raise_if_failed_reraises_interrupt(self):
+        campaign = run_campaign(interrupt_on_two, [2], max_workers=1)
+        with pytest.raises(KeyboardInterrupt):
+            campaign.raise_if_failed()
+
+
+class TestResume:
+    def test_only_missing_tasks_execute(self, tmp_path):
+        store = str(tmp_path / "store")
+        scratch = str(tmp_path / "scratch")
+        os.makedirs(scratch)
+        tasks = [(i, scratch) for i in (1, 2, 3)]
+        keys = [f"task{i}" for i in (1, 2, 3)]
+        options = CampaignOptions(store=store)
+
+        first = run_campaign(
+            record_and_square, tasks[:2], keys=keys[:2], options=options,
+            max_workers=1,
+        )
+        assert first.report.executed == 2
+
+        second = run_campaign(
+            record_and_square, tasks, keys=keys, options=options,
+            max_workers=1,
+        )
+        assert second.results == [1, 4, 9]
+        assert second.report.loaded == 2
+        assert second.report.executed == 1
+        # The resumed tasks really did not run again.
+        assert (Path(scratch) / "ran_1").read_text() == "1"
+        assert (Path(scratch) / "ran_2").read_text() == "1"
+        assert (Path(scratch) / "ran_3").read_text() == "1"
+
+    def test_resume_disabled_reruns_everything(self, tmp_path):
+        store = str(tmp_path / "store")
+        scratch = str(tmp_path / "scratch")
+        os.makedirs(scratch)
+        tasks = [(1, scratch)]
+        options = CampaignOptions(store=store)
+        run_campaign(record_and_square, tasks, keys=["k"], options=options)
+        rerun = run_campaign(
+            record_and_square, tasks, keys=["k"],
+            options=CampaignOptions(store=store, resume=False),
+        )
+        assert rerun.report.loaded == 0
+        assert rerun.report.executed == 1
+        assert (Path(scratch) / "ran_1").read_text() == "2"
+
+
+class TestReportSerialization:
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        campaign = run_campaign(raise_on_three, [1, 3])
+        payload = json.loads(json.dumps(campaign.report.to_dict()))
+        assert payload["total"] == 2
+        assert payload["completed"] == 1
+        assert payload["failure_counts"] == {"exception": 1}
+        assert payload["ok"] is False
+
+    def test_summary_mentions_failures_and_loads(self, tmp_path):
+        options = CampaignOptions(store=str(tmp_path))
+        run_campaign(square, [1], keys=["a"], options=options)
+        campaign = run_campaign(square, [1], keys=["a"], options=options)
+        summary = campaign.report.summary()
+        assert "1/1 completed" in summary
+        assert "loaded from store" in summary
+
+    def test_campaign_type(self):
+        campaign = run_campaign(square, [2])
+        assert isinstance(campaign, Campaign)

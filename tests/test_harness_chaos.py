@@ -1,0 +1,212 @@
+"""Chaos suite: SIGKILL a worker mid-sweep and prove nothing is lost.
+
+The acceptance bar for the harness (ISSUE 4):
+
+a) killing a worker mid-sweep loses **zero** completed results — every
+   finished run is already durable in the store;
+b) ``resume`` re-runs **only** the missing tasks;
+c) the reassembled results dict is **byte-identical** to the
+   ``max_workers=1`` serial oracle.
+
+The killer task function wraps the real sweep runner
+(:func:`repro.sim.sweeps._run_task`): the first attempt at the marked
+task SIGKILLs its own worker process (the hardest crash there is — no
+cleanup, no exception, the pool just breaks), later attempts run the real
+benchmark.  Execution counts are tracked with marker files so "re-runs
+only missing tasks" is asserted, not assumed.
+"""
+
+import os
+import signal
+from dataclasses import replace
+from pathlib import Path
+
+from repro.harness import CampaignOptions, ResultStore, RetryPolicy, run_campaign
+from repro.harness.store import task_fingerprint
+from repro.machine.config import sgi_base
+from repro.sim.engine import EngineOptions
+from repro.sim.sweeps import (
+    STANDARD_POLICIES,
+    _run_task,
+    policy_sweep,
+    run_task_campaign,
+)
+from repro.sim.tracegen import SimProfile
+
+FAST = EngineOptions(profile=SimProfile.fast())
+RETRY = RetryPolicy(max_attempts=3, backoff_s=0.01, max_backoff_s=0.05)
+
+
+def _sweep_tasks(workload="fpppp", cpus=2):
+    config = sgi_base(cpus).scaled(16)
+    labels = list(STANDARD_POLICIES)
+    tasks = [
+        (workload, config, replace(FAST, **overrides))
+        for overrides in STANDARD_POLICIES.values()
+    ]
+    return labels, tasks
+
+
+def chaos_run(task):
+    """Run one sweep task, SIGKILLing the worker on the marked attempt."""
+    (workload, config, options), scratch, victim = task
+    label = options.policy + ("+cdpc" if options.cdpc else "")
+    ran = Path(scratch) / f"ran_{label}"
+    ran.write_text(str(int(ran.read_text()) + 1 if ran.exists() else 1))
+    if label == victim:
+        kill_marker = Path(scratch) / f"killed_{label}"
+        if not kill_marker.exists():
+            kill_marker.write_text("")
+            os.kill(os.getpid(), signal.SIGKILL)
+    return _run_task((workload, config, options))
+
+
+def _runs(scratch, label):
+    marker = Path(scratch) / f"ran_{label}"
+    return int(marker.read_text()) if marker.exists() else 0
+
+
+class TestWorkerKillMidSweep:
+    def test_sigkill_loses_nothing_and_matches_serial_oracle(self, tmp_path):
+        labels, sweep_tasks = _sweep_tasks()
+        scratch = str(tmp_path / "scratch")
+        os.makedirs(scratch)
+        store_dir = tmp_path / "store"
+        chaos_tasks = [(task, scratch, "bin_hopping") for task in sweep_tasks]
+        keys = [task_fingerprint(task) for task in sweep_tasks]
+
+        campaign = run_campaign(
+            chaos_run,
+            chaos_tasks,
+            labels=labels,
+            keys=keys,
+            options=CampaignOptions(store=str(store_dir), retry=RETRY),
+            max_workers=2,
+        )
+
+        # The campaign survived the murder and completed everything.
+        assert campaign.report.ok, campaign.report.summary()
+        assert campaign.report.pool_restarts >= 1
+        assert campaign.report.failed_attempts.get("crash", 0) >= 1
+        assert all(result is not None for result in campaign.results)
+
+        # (a) zero completed results lost: every result is durable.
+        store = ResultStore(store_dir)
+        for key in keys:
+            assert store.get(key) is not None
+
+        # (c) byte-identical to the serial oracle.
+        oracle = policy_sweep(
+            "fpppp", sgi_base(2).scaled(16), options=FAST, max_workers=1
+        )
+        for label, result in zip(labels, campaign.results):
+            assert result.to_dict() == oracle[label].to_dict()
+
+    def test_resume_runs_only_missing_tasks(self, tmp_path):
+        labels, sweep_tasks = _sweep_tasks()
+        scratch = str(tmp_path / "scratch")
+        os.makedirs(scratch)
+        store_dir = str(tmp_path / "store")
+        keys = [task_fingerprint(task) for task in sweep_tasks]
+        options = CampaignOptions(store=store_dir, retry=RETRY)
+        chaos_tasks = [(task, scratch, "nobody") for task in sweep_tasks]
+
+        # Seed the store with the first two tasks only.
+        first = run_campaign(
+            chaos_run,
+            chaos_tasks[:2],
+            labels=labels[:2],
+            keys=keys[:2],
+            options=options,
+            max_workers=1,
+        )
+        assert first.report.executed == 2
+
+        # (b) the full campaign re-runs only the third task.
+        second = run_campaign(
+            chaos_run,
+            chaos_tasks,
+            labels=labels,
+            keys=keys,
+            options=options,
+            max_workers=2,
+        )
+        assert second.report.loaded == 2
+        assert second.report.executed == 1
+        assert _runs(scratch, "page_coloring") == 1
+        assert _runs(scratch, "bin_hopping") == 1
+        assert _runs(scratch, "bin_hopping+cdpc") == 1
+
+        # Resumed + fresh results still equal the serial oracle exactly.
+        oracle = policy_sweep(
+            "fpppp", sgi_base(2).scaled(16), options=FAST, max_workers=1
+        )
+        for label, result in zip(labels, second.results):
+            assert result.to_dict() == oracle[label].to_dict()
+
+    def test_kill_then_resume_end_to_end(self, tmp_path):
+        """The full crash story: kill → partial store → resume → oracle."""
+        labels, sweep_tasks = _sweep_tasks()
+        scratch = str(tmp_path / "scratch")
+        os.makedirs(scratch)
+        store_dir = str(tmp_path / "store")
+        keys = [task_fingerprint(task) for task in sweep_tasks]
+        chaos_tasks = [(task, scratch, "page_coloring") for task in sweep_tasks]
+
+        # First campaign: no retries at all, so the murdered task FAILS
+        # and the campaign degrades gracefully to the completed subset.
+        first = run_campaign(
+            chaos_run,
+            chaos_tasks,
+            labels=labels,
+            keys=keys,
+            options=CampaignOptions(
+                store=store_dir, retry=RetryPolicy(max_attempts=1)
+            ),
+            max_workers=2,
+        )
+        assert not first.report.ok
+        assert first.report.failure_counts().get("crash", 0) >= 1
+        survivors = [i for i, r in enumerate(first.results) if r is not None]
+        assert survivors  # the sweep was not a total loss
+        store = ResultStore(store_dir)
+        for index in survivors:
+            assert store.get(keys[index]) is not None
+
+        # Resume: only the failed task re-runs; the dict is whole again.
+        second = run_campaign(
+            chaos_run,
+            chaos_tasks,
+            labels=labels,
+            keys=keys,
+            options=CampaignOptions(store=store_dir, retry=RETRY),
+            max_workers=2,
+        )
+        assert second.report.ok
+        assert second.report.loaded == len(survivors)
+        assert second.report.executed == len(labels) - len(survivors)
+        oracle = policy_sweep(
+            "fpppp", sgi_base(2).scaled(16), options=FAST, max_workers=1
+        )
+        for label, result in zip(labels, second.results):
+            assert result.to_dict() == oracle[label].to_dict()
+
+
+class TestSweepCampaignDurability:
+    def test_run_task_campaign_persists_and_resumes(self, tmp_path):
+        """The sweep-level entry point wires fingerprints itself."""
+        _, sweep_tasks = _sweep_tasks()
+        store = str(tmp_path / "store")
+        first = run_task_campaign(
+            sweep_tasks, max_workers=1,
+            campaign=CampaignOptions(store=store, strict=True),
+        )
+        assert first.report.executed == len(sweep_tasks)
+        second = run_task_campaign(
+            sweep_tasks, max_workers=1,
+            campaign=CampaignOptions(store=store, strict=True),
+        )
+        assert second.report.loaded == len(sweep_tasks)
+        assert second.report.executed == 0
+        for a, b in zip(first.results, second.results):
+            assert a.to_dict() == b.to_dict()

@@ -1,0 +1,137 @@
+"""Tests for the crash-consistent result store and task fingerprints."""
+
+import dataclasses
+import json
+import pickle
+
+from repro.harness.report import FailureKind
+from repro.harness.retry import RetryPolicy
+from repro.harness.store import ResultStore, task_fingerprint
+from repro.machine.config import sgi_base
+from repro.sim.engine import EngineOptions
+from repro.sim.tracegen import SimProfile
+
+
+def _task(**overrides):
+    config = sgi_base(overrides.pop("cpus", 2)).scaled(16)
+    options = EngineOptions(profile=SimProfile.fast(), **overrides)
+    return ("fpppp", config, options)
+
+
+class TestTaskFingerprint:
+    def test_stable_for_identical_tasks(self):
+        assert task_fingerprint(_task()) == task_fingerprint(_task())
+
+    def test_differs_across_every_dimension(self):
+        base = task_fingerprint(_task())
+        assert task_fingerprint(("swim",) + _task()[1:]) != base
+        assert task_fingerprint(_task(cpus=4)) != base
+        assert task_fingerprint(_task(policy="bin_hopping")) != base
+        assert task_fingerprint(_task(cdpc=True)) != base
+        assert task_fingerprint(_task(seed=7)) != base
+
+    def test_covers_nested_profile(self):
+        # The profile is a nested frozen dataclass; its fields must land
+        # in the digest like the trace cache's keys.
+        workload, config, options = _task()
+        tweaked = dataclasses.replace(
+            options, profile=dataclasses.replace(options.profile, sweep_limit=2.0)
+        )
+        assert task_fingerprint((workload, config, tweaked)) != task_fingerprint(
+            (workload, config, options)
+        )
+
+    def test_is_a_hex_digest(self):
+        fingerprint = task_fingerprint(_task())
+        assert len(fingerprint) == 64
+        int(fingerprint, 16)  # raises if not hex
+
+
+class TestResultStore:
+    def test_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put("abc", {"x": 1}, label="demo")
+        assert store.get("abc") == {"x": 1}
+        assert "abc" in store
+        assert len(store) == 1
+
+    def test_missing_returns_none(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert store.get("nope") is None
+
+    def test_no_tmp_leftovers_after_put(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        for i in range(5):
+            store.put(f"fp{i}", list(range(i)))
+        assert list(store.results_dir.glob("*.tmp")) == []
+
+    def test_corrupt_entry_self_heals(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put("abc", [1, 2, 3])
+        (store.results_dir / "abc.pkl").write_bytes(b"\x80garbage")
+        assert store.get("abc") is None  # dropped, not raised
+        assert "abc" not in store  # file removed → task re-runs
+
+    def test_manifest_written_atomically_and_reconciled(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put("abc", 1, label="first", attempts=2)
+        manifest = json.loads(store.manifest_path.read_text())
+        assert manifest["entries"]["abc"] == {"label": "first", "attempts": 2}
+        # A payload the manifest never saw (crash between rename and
+        # manifest update) is adopted on the next read.
+        with open(store.results_dir / "orphan.pkl", "wb") as handle:
+            pickle.dump(42, handle)
+        reconciled = store.manifest()
+        assert "orphan" in reconciled["entries"]
+        # A manifest entry whose payload vanished is dropped.
+        (store.results_dir / "abc.pkl").unlink()
+        assert "abc" not in store.manifest()["entries"]
+
+    def test_interrupted_write_leftovers_swept_on_open(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        (store.results_dir / "abc.123.tmp").write_bytes(b"partial")
+        reopened = ResultStore(tmp_path / "store")
+        assert list(reopened.results_dir.glob("*.tmp")) == []
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put("abc", 1)
+        store.clear()
+        assert len(store) == 0
+        assert store.get("abc") is None
+
+
+class TestRetryPolicy:
+    def test_defaults_retry_only_transient_kinds(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(FailureKind.CRASH, 1)
+        assert policy.should_retry(FailureKind.TIMEOUT, 2)
+        assert not policy.should_retry(FailureKind.TIMEOUT, 3)
+        assert not policy.should_retry(FailureKind.EXCEPTION, 1)
+        assert not policy.should_retry(FailureKind.CANCELLED, 1)
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            backoff_s=0.1, backoff_factor=2.0, max_backoff_s=0.3, jitter=0.0
+        )
+        assert policy.delay_s(1) == 0.1
+        assert policy.delay_s(2) == 0.2
+        assert policy.delay_s(3) == 0.3  # capped
+        assert policy.delay_s(9) == 0.3
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_s=1.0, jitter=0.25, max_backoff_s=10.0)
+        first = policy.delay_s(1, "taskA")
+        assert first == policy.delay_s(1, "taskA")  # same token → same delay
+        assert 0.75 <= first <= 1.25
+        assert policy.delay_s(1, "taskB") != first
+
+    def test_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
