@@ -11,7 +11,7 @@ Run:  python examples/quickstart.py [workload] [num_cpus]
 
 import sys
 
-from repro import run_benchmark, sgi_base
+from repro import Session
 from repro.analysis.report import render_table
 from repro.machine.stats import MissKind
 
@@ -22,22 +22,21 @@ def main() -> None:
 
     # The paper's base machine: 1MB direct-mapped external cache, 4KB
     # pages, 256 page colors, 1.2 GB/s bus — scaled 1/16 (the color count,
-    # which is what page mapping is about, is preserved).
-    config = sgi_base(num_cpus).scaled(16)
+    # which is what page mapping is about, is preserved).  A Session binds
+    # the workload to that machine; each run() below overrides only the
+    # mapping policy.
+    session = Session(workload, cpus=num_cpus, scale=16)
+    config = session.config
     print(
         f"machine: {num_cpus} CPUs, {config.l2.size // 1024}KB external cache, "
         f"{config.num_colors} page colors (geometric scale 1/{config.scale_factor})"
     )
 
     runs = {
-        "page coloring (IRIX)": run_benchmark(
-            workload, config, policy="page_coloring"
-        ),
-        "bin hopping (Digital UNIX)": run_benchmark(
-            workload, config, policy="bin_hopping"
-        ),
-        "compiler-directed (CDPC)": run_benchmark(
-            workload, config, policy="page_coloring", cdpc=True
+        "page coloring (IRIX)": session.run(policy="page_coloring"),
+        "bin hopping (Digital UNIX)": session.run(policy="bin_hopping"),
+        "compiler-directed (CDPC)": session.run(
+            policy="page_coloring", cdpc=True
         ),
     }
 

@@ -18,16 +18,22 @@ The package is organised by the systems the paper relies on:
 
 Quickstart::
 
-    from repro import run_benchmark, sgi_base
+    from repro import Session
 
-    config = sgi_base(num_cpus=8).scaled(16)
-    base = run_benchmark("tomcatv", config, policy="page_coloring")
-    cdpc = run_benchmark("tomcatv", config, policy="page_coloring", cdpc=True)
+    session = Session("tomcatv", cpus=8)
+    base = session.run()
+    cdpc = session.with_options(cdpc=True).run()
     print(base.wall_ns / cdpc.wall_ns)
+
+The legacy functional entry points (``run_benchmark``, ``run_program``)
+remain available and now delegate through the session facade.
 """
 
+from repro.api import Session, run_benchmark, run_program
 from repro.core import AccessSummary, CdpcRuntime, ColoringResult, generate_page_colors
+from repro.harness import Campaign, CampaignOptions, CampaignReport
 from repro.machine import MachineConfig, MemorySystem, MissKind, alpha_server, sgi_2way, sgi_4mb, sgi_base
+from repro.obs import ObsConfig
 from repro.osmodel import VirtualMemory, make_policy
 from repro.robustness import (
     DegradationReport,
@@ -35,13 +41,16 @@ from repro.robustness import (
     InvariantViolation,
     check_invariants,
 )
-from repro.sim import EngineOptions, RunResult, SimProfile, run_benchmark, run_program
+from repro.sim import EngineOptions, RunResult, SimProfile
 from repro.workloads import WORKLOAD_NAMES, get_workload, iter_workloads
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AccessSummary",
+    "Campaign",
+    "CampaignOptions",
+    "CampaignReport",
     "CdpcRuntime",
     "ColoringResult",
     "DegradationReport",
@@ -51,7 +60,9 @@ __all__ = [
     "MachineConfig",
     "MemorySystem",
     "MissKind",
+    "ObsConfig",
     "RunResult",
+    "Session",
     "SimProfile",
     "VirtualMemory",
     "WORKLOAD_NAMES",

@@ -45,6 +45,31 @@ def _make_config(args) -> MachineConfig:
     return _MACHINES[args.machine](args.cpus).scaled(args.scale)
 
 
+def _obs_config(args):
+    """An ObsConfig when ``--metrics-out``/``--trace-out`` was given."""
+    from repro.obs import ObsConfig
+
+    metrics_out = getattr(args, "metrics_out", None)
+    trace_out = getattr(args, "trace_out", None)
+    if not metrics_out and not trace_out:
+        return None
+    return ObsConfig(metrics=bool(metrics_out), tracing=bool(trace_out))
+
+
+def _write_obs_outputs(args, report: dict) -> None:
+    """Write the per-run/per-campaign observability files the flags asked for."""
+    from repro.obs import write_metrics_json, write_trace_json
+    from repro.obs.metrics import MetricsRegistry
+
+    if args.metrics_out:
+        snapshot = report.get("metrics")
+        if snapshot is None:
+            snapshot = MetricsRegistry(scope="run").snapshot()
+        write_metrics_json(args.metrics_out, snapshot)
+    if args.trace_out:
+        write_trace_json(args.trace_out, report.get("trace_events", []))
+
+
 def _options_for(policy_label: str, args) -> EngineOptions:
     cdpc = policy_label == "cdpc" or args.cdpc
     native = args.policy if policy_label == "cdpc" else policy_label
@@ -56,6 +81,7 @@ def _options_for(policy_label: str, args) -> EngineOptions:
         prefetch=args.prefetch,
         aligned=not args.unaligned,
         profile=SimProfile.fast() if args.fast else SimProfile(),
+        obs=_obs_config(args),
     )
 
 
@@ -86,6 +112,8 @@ def cmd_run(args) -> int:
     config = _make_config(args)
     options = _options_for("cdpc" if args.cdpc else args.policy, args)
     result = run_benchmark(args.workload, config, options)
+    if args.metrics_out or args.trace_out:
+        _write_obs_outputs(args, result.obs or {})
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
         return 0
@@ -167,6 +195,9 @@ def cmd_sweep(args) -> int:
     configured (``--store``/``--resume``); Ctrl-C flushes what finished
     and prints the partial report instead of a traceback.
     """
+    from dataclasses import replace as dc_replace
+
+    from repro.obs import ProgressLine, Tracer
     from repro.sim.sweeps import run_task_campaign
 
     config = _make_config(args)
@@ -174,16 +205,28 @@ def cmd_sweep(args) -> int:
     tasks = [
         (args.workload, config, _options_for(label, args)) for label in labels
     ]
-    campaign = _campaign_options(args)
+    tracer = Tracer() if args.trace_out else None
+    progress = ProgressLine(label="sweep", force=args.progress)
+    campaign = dc_replace(
+        _campaign_options(args), tracer=tracer, on_progress=progress.update
+    )
     try:
         outcome = run_task_campaign(
             tasks, max_workers=args.workers, campaign=campaign
         )
     except KeyboardInterrupt:
         # strict mode re-raises after flushing completed results.
+        progress.finish()
         print("\nrepro sweep: interrupted", file=sys.stderr)
         return 130
+    finally:
+        progress.finish()
     report = outcome.report
+
+    if args.metrics_out or args.trace_out:
+        from repro.harness.campaign import campaign_obs_report
+
+        _write_obs_outputs(args, campaign_obs_report(outcome, tracer=tracer) or {})
 
     rows = []
     payload: dict = {}
@@ -320,6 +363,32 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_obs_check(args) -> int:
+    """Validate observability output files; exit nonzero on violation."""
+    from repro.obs import validate_metrics_file, validate_trace_file
+
+    if not args.metrics and not args.trace:
+        print("repro obs-check: error: pass --metrics and/or --trace",
+              file=sys.stderr)
+        return 2
+    status = 0
+    for label, path, check in (
+        ("metrics", args.metrics, validate_metrics_file),
+        ("trace", args.trace, validate_trace_file),
+    ):
+        if path is None:
+            continue
+        try:
+            check(path)
+        except (OSError, ValueError) as exc:
+            # SchemaError and json.JSONDecodeError are both ValueErrors.
+            print(f"repro obs-check: {label} {path}: {exc}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"{label} {path}: OK")
+    return status
+
+
 def cmd_bench(args) -> int:
     from repro.sim.bench import run_bench, write_bench
 
@@ -394,11 +463,29 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--json", action="store_true",
                        help="emit the result as JSON instead of a table")
 
+    def add_obs(p):
+        p.add_argument(
+            "--metrics-out", default=None, metavar="FILE",
+            help="write the run's metric-registry snapshot as JSON "
+            "(repro.obs.metrics/v1)",
+        )
+        p.add_argument(
+            "--trace-out", default=None, metavar="FILE",
+            help="write span trace events as chrome://tracing JSON "
+            "(repro.obs.trace/v1)",
+        )
+
     run_parser = sub.add_parser("run", help="run one configuration")
     add_common(run_parser)
+    add_obs(run_parser)
 
     sweep_parser = sub.add_parser("sweep", help="compare mapping policies")
     add_common(sweep_parser)
+    add_obs(sweep_parser)
+    sweep_parser.add_argument(
+        "--progress", action="store_true",
+        help="force the live progress line even when stderr is not a TTY",
+    )
     sweep_parser.add_argument(
         "--policies", default="page_coloring,bin_hopping,cdpc",
         help="comma-separated: page_coloring, bin_hopping, cdpc",
@@ -543,6 +630,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write the JSON report (default: BENCH_engine.json)",
     )
 
+    obs_parser = sub.add_parser(
+        "obs-check",
+        help="validate --metrics-out / --trace-out files against the "
+        "checked-in schemas",
+    )
+    obs_parser.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="metrics snapshot file to validate",
+    )
+    obs_parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="trace file to validate",
+    )
+
     file_parser = sub.add_parser(
         "runfile", help="run a workload described in the text format"
     )
@@ -571,6 +672,7 @@ def main(argv=None) -> int:
         "faults": cmd_faults,
         "bench": cmd_bench,
         "lint": cmd_lint,
+        "obs-check": cmd_obs_check,
     }
     return handlers[args.command](args)
 

@@ -8,6 +8,13 @@ from repro.analysis.access_maps import (
     page_access_map,
     va_order_map,
 )
+from repro.analysis.obs_report import (
+    histogram_quantile,
+    render_obs_report,
+    span_rollup,
+    summarize_metrics,
+    summarize_spans,
+)
 from repro.analysis.report import format_row, render_table
 from repro.analysis.spec_ratio import geometric_mean, spec_ratio, specfp_rating
 
@@ -19,11 +26,16 @@ __all__ = [
     "footprint_density",
     "format_row",
     "geometric_mean",
+    "histogram_quantile",
     "page_access_map",
     "grouped_bar_chart",
+    "render_obs_report",
     "render_table",
+    "span_rollup",
     "spec_ratio",
     "sparkline",
     "specfp_rating",
+    "summarize_metrics",
+    "summarize_spans",
     "va_order_map",
 ]

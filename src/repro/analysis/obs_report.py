@@ -1,0 +1,149 @@
+"""Human-readable summaries of observability output.
+
+Takes the payloads the obs layer emits — a metrics-registry snapshot
+(``repro.obs.metrics/v1``) and/or a trace-event list — and renders the
+compact text report ``python -m repro`` users and CI logs want: counters
+and gauges as a table, histograms with count/mean/p50/p90 computed from
+the fixed buckets, and spans rolled up by name (count, total/mean wall
+time).  Everything here is read-only over plain dicts, so it works
+equally on in-memory reports and on files loaded from ``--metrics-out``
+/ ``--trace-out``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.report import render_table
+
+__all__ = [
+    "histogram_quantile",
+    "render_obs_report",
+    "span_rollup",
+    "summarize_metrics",
+    "summarize_spans",
+]
+
+
+def histogram_quantile(histogram: dict, q: float) -> Optional[float]:
+    """Approximate the ``q``-quantile from fixed-bucket counts.
+
+    Returns the upper edge of the bucket containing the quantile (the
+    standard conservative estimate for cumulative bucket histograms), or
+    ``None`` for an empty histogram.  The overflow bucket has no upper
+    edge; its lower edge is returned instead.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be within [0, 1]")
+    counts = histogram["counts"]
+    total = sum(counts)
+    if total == 0:
+        return None
+    edges = list(histogram["edges"])
+    target = q * total
+    cumulative = 0
+    for index, count in enumerate(counts):
+        cumulative += count
+        if cumulative >= target and count:
+            if index < len(edges):
+                return float(edges[index])
+            return float(edges[-1]) if edges else None
+    return float(edges[-1]) if edges else None
+
+
+def summarize_metrics(snapshot: dict) -> str:
+    """Render one registry snapshot as text tables."""
+    sections: list[str] = [f"metrics ({snapshot.get('scope', '?')} scope)"]
+    counters = snapshot.get("counters", {})
+    if counters:
+        rows = [[name, counters[name]] for name in sorted(counters)]
+        sections.append(render_table(["counter", "value"], rows))
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        rows = [[name, round(gauges[name], 4)] for name in sorted(gauges)]
+        sections.append(render_table(["gauge", "value"], rows))
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        rows = []
+        for name in sorted(histograms):
+            histogram = histograms[name]
+            count = histogram.get("count", 0)
+            mean = histogram["sum"] / count if count else 0.0
+            p50 = histogram_quantile(histogram, 0.5)
+            p90 = histogram_quantile(histogram, 0.9)
+            rows.append(
+                [
+                    name,
+                    count,
+                    round(mean, 1),
+                    "-" if p50 is None else round(p50, 1),
+                    "-" if p90 is None else round(p90, 1),
+                ]
+            )
+        sections.append(
+            render_table(["histogram", "count", "mean", "p50<=", "p90<="], rows)
+        )
+    return "\n\n".join(sections)
+
+
+def span_rollup(events: list[dict]) -> dict[str, dict]:
+    """Aggregate complete-span events by name.
+
+    Returns ``name -> {count, total_us, mean_us, max_us, errors}``;
+    metadata and instant events are skipped.
+    """
+    rollup: dict[str, dict] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        entry = rollup.setdefault(
+            event["name"],
+            {"count": 0, "total_us": 0.0, "mean_us": 0.0, "max_us": 0.0,
+             "errors": 0},
+        )
+        duration = float(event.get("dur", 0.0))
+        entry["count"] += 1
+        entry["total_us"] += duration
+        entry["max_us"] = max(entry["max_us"], duration)
+        if event.get("args", {}).get("error"):
+            entry["errors"] += 1
+    for entry in rollup.values():
+        entry["mean_us"] = entry["total_us"] / entry["count"]
+    return rollup
+
+
+def summarize_spans(events: list[dict]) -> str:
+    """Render a trace-event list as a per-span-name table."""
+    rollup = span_rollup(events)
+    if not rollup:
+        return "spans: (none recorded)"
+    rows = []
+    for name in sorted(rollup):
+        entry = rollup[name]
+        rows.append(
+            [
+                name,
+                entry["count"],
+                round(entry["total_us"] / 1e3, 2),
+                round(entry["mean_us"] / 1e3, 3),
+                round(entry["max_us"] / 1e3, 3),
+                entry["errors"],
+            ]
+        )
+    return render_table(
+        ["span", "count", "total ms", "mean ms", "max ms", "errors"], rows
+    )
+
+
+def render_obs_report(report: dict) -> str:
+    """Full text summary of one ``{"metrics": ..., "trace_events": ...}``."""
+    parts: list[str] = []
+    snapshot = report.get("metrics")
+    if snapshot is not None:
+        parts.append(summarize_metrics(snapshot))
+    events = report.get("trace_events")
+    if events is not None:
+        parts.append(summarize_spans(events))
+    if not parts:
+        return "(no observability data)"
+    return "\n\n".join(parts)

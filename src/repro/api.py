@@ -1,0 +1,255 @@
+"""``repro.api`` — the unified session facade over the whole stack.
+
+Historically every entry point took its own spelling of the same knobs:
+``run_benchmark(name, config, options=...)``, sweeps taking
+``max_workers``, the bench taking ``options`` + ``max_workers``, the CLI
+taking ``--fast``/``--unaligned`` flags.  A :class:`Session` bundles one
+``(workload-or-program, MachineConfig, EngineOptions)`` triple and offers
+every operation on it:
+
+    from repro import Session
+
+    session = Session("tomcatv", cpus=8)
+    result = session.run()
+    sweep = session.sweep()              # policy comparison
+    bench = session.bench(["tomcatv"])   # engine benchmark
+
+Canonical keyword names are the :class:`EngineOptions` field names plus
+``workers`` for pool sizing.  The legacy spellings (``max_workers``,
+``fast``, ``unaligned``) are still accepted everywhere a session takes
+keywords, but emit :class:`DeprecationWarning` and will be removed; CI
+runs the repo's own callers with ``-W error::DeprecationWarning`` so
+internal code cannot regress onto them.
+
+``run_program`` / ``run_benchmark`` remain as thin delegates for
+existing callers and scripts.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import replace
+from typing import Any, Optional, Sequence, Union
+
+from repro.compiler.ir import Program
+from repro.harness.campaign import Campaign, CampaignOptions, campaign_obs_report
+from repro.machine.config import MachineConfig, sgi_base
+from repro.obs import ObsConfig
+from repro.sim import engine as _engine
+from repro.sim.engine import EngineOptions
+from repro.sim.results import RunResult
+from repro.sim.tracegen import SimProfile
+
+__all__ = [
+    "Session",
+    "canonicalize_kwargs",
+    "run_benchmark",
+    "run_program",
+]
+
+#: Legacy keyword → (canonical keyword, mapper).  The mapper converts the
+#: old value into the canonical one.
+_DEPRECATED_KWARGS = {
+    "max_workers": ("workers", lambda value: value),
+    "fast": ("profile", lambda value: SimProfile.fast() if value else SimProfile()),
+    "unaligned": ("aligned", lambda value: not value),
+}
+
+
+def canonicalize_kwargs(kwargs: dict) -> dict:
+    """Map legacy keyword spellings onto their canonical names.
+
+    Emits one :class:`DeprecationWarning` per legacy keyword used.
+    Passing a legacy keyword together with its canonical replacement is
+    ambiguous and raises ``TypeError``.
+    """
+    out = dict(kwargs)
+    for old, (new, mapper) in _DEPRECATED_KWARGS.items():
+        if old not in out:
+            continue
+        if new in out:
+            raise TypeError(f"got both {old!r} (deprecated) and {new!r}")
+        warnings.warn(
+            f"keyword {old!r} is deprecated; use {new!r}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        out[new] = mapper(out.pop(old))
+    return out
+
+
+_OPTION_FIELDS = frozenset(EngineOptions.__dataclass_fields__)
+
+
+class Session:
+    """One workload (or program), one machine, one set of engine options.
+
+    ``workload`` is a bundled SPEC95fp model name; pass ``program=`` for
+    a hand-built or parsed :class:`Program` instead.  ``config`` defaults
+    to the paper's base machine (``sgi_base``) at the given ``cpus`` and
+    ``scale``.  Remaining keywords are :class:`EngineOptions` fields
+    (canonical names; legacy spellings accepted with a deprecation
+    warning), plus ``obs=True`` as shorthand for a default
+    :class:`repro.obs.ObsConfig`.
+    """
+
+    def __init__(
+        self,
+        workload: Optional[str] = None,
+        *,
+        program: Optional[Program] = None,
+        config: Optional[MachineConfig] = None,
+        options: Optional[EngineOptions] = None,
+        cpus: int = 8,
+        scale: int = 16,
+        obs: Union[bool, ObsConfig, None] = None,
+        **overrides: Any,
+    ) -> None:
+        if (workload is None) == (program is None):
+            raise TypeError("pass exactly one of workload= or program=")
+        self.workload = workload
+        self.program = program
+        self.config = (
+            config if config is not None else sgi_base(num_cpus=cpus).scaled(scale)
+        )
+        overrides = canonicalize_kwargs(overrides)
+        if isinstance(obs, bool):
+            obs = ObsConfig() if obs else None
+        if obs is not None:
+            overrides.setdefault("obs", obs)
+        unknown = sorted(set(overrides) - _OPTION_FIELDS)
+        if unknown:
+            raise TypeError(f"unknown engine option(s): {', '.join(unknown)}")
+        base = options if options is not None else EngineOptions()
+        self.options = replace(base, **overrides) if overrides else base
+        #: The full fault-tolerance outcome of the most recent
+        #: :meth:`sweep` (``None`` until one has run).
+        self.last_campaign: Optional[Campaign] = None
+
+    # ------------------------------------------------------------------
+
+    def with_options(self, **overrides: Any) -> "Session":
+        """A new session sharing this one's target but altered options."""
+        overrides = canonicalize_kwargs(overrides)
+        return Session(
+            self.workload,
+            program=self.program,
+            config=self.config,
+            options=replace(self.options, **overrides),
+        )
+
+    def run(self, **overrides: Any) -> RunResult:
+        """Simulate the session's workload once; returns the run result."""
+        options = self.options
+        if overrides:
+            options = replace(options, **canonicalize_kwargs(overrides))
+        if self.program is not None:
+            return _engine.run_program(self.program, self.config, options)
+        assert self.workload is not None
+        return _engine.run_benchmark(self.workload, self.config, options)
+
+    def sweep(
+        self,
+        policies: Optional[dict[str, dict] | list[str]] = None,
+        *,
+        campaign: Optional[CampaignOptions] = None,
+        **kwargs: Any,
+    ) -> dict[str, RunResult]:
+        """Policy comparison sweep (the Figure 6 pattern).
+
+        ``policies`` is either a mapping of label → :class:`EngineOptions`
+        overrides, or a list of standard policy labels (see
+        ``repro.sim.sweeps.STANDARD_POLICIES``).  Returns label → result
+        for every completed run; the full :class:`Campaign` (report,
+        failures, retries) lands on ``self.last_campaign``.  Without
+        explicit ``campaign`` options the sweep keeps the historical
+        fail-fast contract and raises on any task failure.
+        """
+        from repro.sim.sweeps import STANDARD_POLICIES, policy_campaign
+
+        if self.workload is None:
+            raise TypeError("sweep() needs a named workload session")
+        if isinstance(policies, (list, tuple)):
+            unknown = [label for label in policies if label not in STANDARD_POLICIES]
+            if unknown:
+                raise ValueError(
+                    f"unknown policy label(s): {', '.join(unknown)}; "
+                    f"standard labels are {', '.join(STANDARD_POLICIES)}"
+                )
+            policies = {label: STANDARD_POLICIES[label] for label in policies}
+        kwargs = canonicalize_kwargs(kwargs)
+        workers = kwargs.pop("workers", None)
+        if kwargs:
+            raise TypeError(f"unknown sweep option(s): {', '.join(sorted(kwargs))}")
+        completed, outcome = policy_campaign(
+            self.workload,
+            self.config,
+            policies=policies,
+            options=self.options,
+            max_workers=workers,
+            campaign=campaign,
+        )
+        self.last_campaign = outcome
+        if campaign is None:
+            outcome.raise_if_failed()
+        return completed
+
+    def sweep_obs_report(self, tracer: Any = None) -> Optional[dict]:
+        """Observability rollup of the last sweep (or ``None``).
+
+        Pass the orchestrator tracer given to the sweep's
+        ``CampaignOptions`` to include the ``harness.task`` spans.
+        """
+        if self.last_campaign is None:
+            return None
+        return campaign_obs_report(self.last_campaign, tracer=tracer)
+
+    def bench(
+        self,
+        workloads: Optional[Sequence[str]] = None,
+        *,
+        campaign: Optional[CampaignOptions] = None,
+        **kwargs: Any,
+    ) -> dict:
+        """Run the two-leg engine benchmark; returns the report payload."""
+        from repro.sim.bench import run_bench
+        from repro.workloads import WORKLOAD_NAMES
+
+        kwargs = canonicalize_kwargs(kwargs)
+        workers = kwargs.pop("workers", None)
+        if kwargs:
+            raise TypeError(f"unknown bench option(s): {', '.join(sorted(kwargs))}")
+        return run_bench(
+            self.config,
+            list(workloads) if workloads is not None else list(WORKLOAD_NAMES),
+            options=self.options,
+            max_workers=workers,
+            campaign=campaign,
+        )
+
+    def __repr__(self) -> str:
+        target = self.workload if self.workload is not None else self.program.name
+        return (
+            f"Session({target!r}, cpus={self.config.num_cpus}, "
+            f"policy={self.options.policy!r}, cdpc={self.options.cdpc})"
+        )
+
+
+def run_program(
+    program: Program,
+    config: MachineConfig,
+    options: Optional[EngineOptions] = None,
+    **overrides: Any,
+) -> RunResult:
+    """Thin delegate: one program, one machine, one run."""
+    return Session(program=program, config=config, options=options, **overrides).run()
+
+
+def run_benchmark(
+    name: str,
+    config: MachineConfig,
+    options: Optional[EngineOptions] = None,
+    **overrides: Any,
+) -> RunResult:
+    """Thin delegate: one bundled workload, one machine, one run."""
+    return Session(name, config=config, options=options, **overrides).run()

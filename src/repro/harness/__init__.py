@@ -27,6 +27,7 @@ from repro.harness.campaign import (
     Campaign,
     CampaignError,
     CampaignOptions,
+    campaign_obs_report,
     run_campaign,
 )
 from repro.harness.report import CampaignReport, FailureKind, TaskFailure
@@ -44,6 +45,7 @@ __all__ = [
     "RetryPolicy",
     "TaskFailure",
     "available_cpus",
+    "campaign_obs_report",
     "run_campaign",
     "task_fingerprint",
 ]

@@ -42,6 +42,7 @@ from repro.harness.report import CampaignReport, FailureKind, TaskFailure
 from repro.harness.retry import RetryPolicy
 from repro.harness.store import ResultStore
 from repro.harness.watchdog import PoolSupervisor, available_cpus
+from repro.obs.tracing import NULL_TRACER
 
 
 class CampaignError(RuntimeError):
@@ -77,6 +78,17 @@ class CampaignOptions:
     #: Fail fast (raise on first unrecoverable failure) instead of
     #: returning the completed subset plus the report.
     strict: bool = False
+    #: Orchestrator-side :class:`repro.obs.Tracer` recording one
+    #: ``harness.task`` span per attempt (submit → resolution, so queue
+    #: time is visible); ``None`` disables span recording.  Spans are
+    #: closed on every outcome, including crashed workers and interrupts.
+    tracer: Any = None
+    #: Progress callback fired after resume loading and after every task
+    #: resolution, with a dict ``{done, total, failed, retried, loaded,
+    #: honor_rate}`` (``honor_rate`` is the mean ``hint_honor_rate`` over
+    #: completed results that carry one, else ``None``).  This is what
+    #: the CLI's live progress line consumes.
+    on_progress: Optional[Callable[[dict], None]] = None
 
     def resolved_store(self) -> Optional[ResultStore]:
         if self.store is None or isinstance(self.store, ResultStore):
@@ -107,6 +119,47 @@ class Campaign:
             raise CampaignError(self.report.failures[0], self.report)
 
 
+def campaign_obs_report(campaign: Campaign, tracer: Any = None) -> Optional[dict]:
+    """Roll per-run observability reports up into one campaign report.
+
+    Results carrying an ``obs`` attribute (``RunResult`` from an
+    obs-enabled engine) contribute their metric snapshots to a merged
+    campaign-scope registry (counters and histogram buckets add; gauges
+    keep the last write) and their trace events to one merged event
+    stream where each run gets its own ``pid`` row.  ``tracer`` — the
+    orchestrator-side tracer holding the ``harness.task`` spans — lands
+    on ``pid 0``.  Returns ``{"metrics": ..., "trace_events": ...}``, or
+    ``None`` when nothing was observed.
+    """
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracing import merge_trace_events
+
+    registry = MetricsRegistry(scope="campaign")
+    runs: list[dict] = []
+    groups: list[tuple[int, Optional[str], list[dict]]] = []
+    for index, result in enumerate(campaign.results):
+        report = getattr(result, "obs", None)
+        if not report:
+            continue
+        labeler = getattr(result, "label", None)
+        label = labeler() if callable(labeler) else f"run[{index}]"
+        snapshot = report.get("metrics")
+        if snapshot is not None:
+            registry.merge(snapshot)
+            runs.append({"label": label})
+        events = report.get("trace_events")
+        if events:
+            groups.append((index + 1, label, events))
+    if tracer is not None and getattr(tracer, "enabled", False):
+        groups.insert(0, (0, "campaign", tracer.export()))
+    if not runs and not groups:
+        return None
+    merged = registry.snapshot()
+    merged["runs"] = runs
+    merged["campaign"] = campaign.report.to_dict()
+    return {"metrics": merged, "trace_events": merge_trace_events(groups)}
+
+
 class _CampaignState:
     """Mutable bookkeeping shared by the serial and parallel paths."""
 
@@ -124,6 +177,8 @@ class _CampaignState:
         self.keys = keys
         self.options = options
         self.retry = options.retry
+        self.tracer = options.tracer if options.tracer is not None else NULL_TRACER
+        self.on_progress = options.on_progress
         self.store = options.resolved_store()
         if self.store is not None and keys is None:
             raise ValueError("a result store requires per-task keys")
@@ -131,6 +186,31 @@ class _CampaignState:
         self.attempts = [0] * len(tasks)
         self.report = CampaignReport(total=len(tasks))
         self.failures: dict[int, TaskFailure] = {}
+
+    # -- progress reporting --------------------------------------------
+
+    def progress_event(self) -> dict:
+        """The current campaign status as a progress-line event dict."""
+        completed = [result for result in self.results if result is not None]
+        honors = [
+            honor
+            for honor in (
+                getattr(result, "hint_honor_rate", None) for result in completed
+            )
+            if honor is not None
+        ]
+        return {
+            "done": len(completed),
+            "total": len(self.tasks),
+            "failed": len(self.failures),
+            "retried": sum(max(0, attempts - 1) for attempts in self.attempts),
+            "loaded": self.report.loaded,
+            "honor_rate": sum(honors) / len(honors) if honors else None,
+        }
+
+    def emit_progress(self) -> None:
+        if self.on_progress is not None:
+            self.on_progress(self.progress_event())
 
     # -- store interaction ---------------------------------------------
 
@@ -158,6 +238,7 @@ class _CampaignState:
                 label=self.labels[index],
                 attempts=self.attempts[index],
             )
+        self.emit_progress()
 
     # -- failure bookkeeping -------------------------------------------
 
@@ -182,6 +263,7 @@ class _CampaignState:
             attempts=self.attempts[index],
             message=message,
         )
+        self.emit_progress()
 
     def cancel_remaining(self) -> None:
         """Mark every task without a result or a recorded failure as
@@ -238,6 +320,7 @@ def run_campaign(
     state = _CampaignState(fn, task_list, label_list, key_list, opts)
     started = time.perf_counter()
     pending = state.load_resumable()
+    state.emit_progress()
 
     if max_workers is None:
         max_workers = available_cpus()
@@ -264,7 +347,15 @@ def _run_serial(state: _CampaignState, pending: list[int]) -> None:
         while True:
             state.report.attempts += 1
             try:
-                result = state.fn(task)
+                # The span context closes on every exit, so a raising
+                # task still leaves a consistent span tree behind.
+                with state.tracer.span(
+                    "harness.task",
+                    label=state.labels[index],
+                    index=index,
+                    attempt=state.attempts[index] + 1,
+                ):
+                    result = state.fn(task)
             except KeyboardInterrupt:
                 state.cancel_remaining()
                 if opts.strict:
@@ -298,6 +389,16 @@ def _run_parallel(
     queue: deque[int] = deque(pending)
     ready_at: dict[int, float] = {index: 0.0 for index in pending}
     inflight: dict[Future, int] = {}
+    # Orchestrator-side harness.task spans, one per submitted attempt
+    # (covering queue + execution time); closed on every outcome.
+    spans: dict[Future, Any] = {}
+
+    def close_span(future: Future, **attrs) -> None:
+        span = spans.pop(future, None)
+        if span is not None:
+            if attrs:
+                span.set(**attrs)
+            span.__exit__(None, None, None)
 
     def requeue(index: int, charged: bool) -> None:
         """Put a task back on the queue after a pool-wide event."""
@@ -331,6 +432,7 @@ def _run_parallel(
             future.cancel()
             if index in culprits:
                 kind, message = culprits[index]
+                close_span(future, error=kind.value)
                 if state.charge(index, kind, message):
                     requeue(index, charged=True)
                 elif opts.strict and strict_error is None:
@@ -338,6 +440,7 @@ def _run_parallel(
                         state.failures[index], state.report
                     )
             else:
+                close_span(future, requeued=True)
                 requeue(index, charged=False)
         inflight.clear()
         if strict_error is not None:
@@ -362,6 +465,12 @@ def _run_parallel(
                     break
                 state.report.attempts += 1
                 inflight[future] = index
+                spans[future] = state.tracer.span(
+                    "harness.task",
+                    label=state.labels[index],
+                    index=index,
+                    attempt=state.attempts[index] + 1,
+                )
 
             if not inflight:
                 # Everything runnable is backing off; sleep until the
@@ -386,11 +495,13 @@ def _run_parallel(
                     pool_broken = True
                     inflight[future] = index  # reclassified with the rest
                 except Exception as exc:
+                    close_span(future, error=type(exc).__name__)
                     if state.charge(index, FailureKind.EXCEPTION, repr(exc)):
                         requeue(index, charged=True)
                     elif opts.strict:
                         raise
                 else:
+                    close_span(future)
                     state.complete(index, result)
 
             if pool_broken:
@@ -414,6 +525,7 @@ def _run_parallel(
     except KeyboardInterrupt:
         for future in inflight:
             future.cancel()
+            close_span(future, error="cancelled")
         state.cancel_remaining()
         supervisor.shutdown(graceful=False)
         if opts.strict:

@@ -618,4 +618,6 @@ def loop_runner(ms: MemorySystem, vm, page_cache: dict, cpu: int, stream):
         stats.l2_hits += l2_hits_d
         stats.l1_stall_ns = l1_stall
         ms.demand_l2_misses += demand_d
+        ms.fast_retired_data += fastd_d
+        ms.fast_retired_instr += fasti_d
         result = (t, kernel_total, fault_kernel)

@@ -88,6 +88,11 @@ class MemorySystem:
         # of the per-frame counters above; the invariant checker verifies
         # the two accounting paths agree (sum(frame_misses) == this).
         self.demand_l2_misses = 0
+        # References retired through the vectorized fast path (flushed per
+        # chunk by the loop runner).  Pure observability: the per-CPU stats
+        # already include these, so the counters never feed results.
+        self.fast_retired_data = 0
+        self.fast_retired_instr = 0
         self._line = config.l2.line_size
         self._line_mask = ~(self._line - 1)
         self._word = config.word_size
@@ -370,3 +375,23 @@ class MemorySystem:
         """Flush a virtual page's TLB entry on every processor."""
         for tlb in self._tlb:
             tlb.invalidate(vpage)
+
+    # ------------------------------------------------------------------
+    # Observability
+
+    def emit_metrics(self, registry) -> None:
+        """Publish memory-system totals into a ``repro.obs`` registry.
+
+        Called once per run by the engine; complements
+        :meth:`MachineStats.emit_metrics` with the accounting only the
+        memory system holds (bus traffic, demand-miss cross-check,
+        fast-path retirement counters).
+        """
+        registry.counter("memsys.demand_l2_misses").inc(self.demand_l2_misses)
+        registry.counter("memsys.fast_retired_data").inc(self.fast_retired_data)
+        registry.counter("memsys.fast_retired_instr").inc(self.fast_retired_instr)
+        for kind in BusTransactionKind:
+            registry.counter(f"bus.transactions.{kind.value}").inc(
+                self.bus.transactions[kind]
+            )
+            registry.gauge(f"bus.busy_ns.{kind.value}").set(self.bus.busy_ns[kind])

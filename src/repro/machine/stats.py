@@ -177,3 +177,28 @@ class MachineStats:
 
     def miss_breakdown(self) -> dict[str, int]:
         return {kind.value: self.total_misses(kind) for kind in MissKind}
+
+    def emit_metrics(self, registry) -> None:
+        """Publish machine-wide totals into a ``repro.obs`` registry.
+
+        Runs once at the end of a simulation (never in the hot loop), so
+        it can afford to walk every CPU.  Metric names are stable and
+        documented in docs/observability.md.
+        """
+        registry.counter("machine.instructions").inc(self.total_instructions())
+        sums = {
+            "machine.l1d_hits": sum(c.l1d_hits for c in self.cpus),
+            "machine.l1d_misses": sum(c.l1d_misses for c in self.cpus),
+            "machine.l1i_hits": sum(c.l1i_hits for c in self.cpus),
+            "machine.l1i_misses": sum(c.l1i_misses for c in self.cpus),
+            "machine.l2_hits": sum(c.l2_hits for c in self.cpus),
+            "machine.tlb_misses": sum(c.tlb_misses for c in self.cpus),
+            "machine.prefetches_issued": sum(c.prefetches_issued for c in self.cpus),
+            "machine.prefetches_useful": sum(c.prefetches_useful for c in self.cpus),
+        }
+        for name, value in sums.items():
+            registry.counter(name).inc(value)
+        for kind in MissKind:
+            registry.counter(f"machine.l2_misses.{kind.value}").inc(
+                self.total_misses(kind)
+            )

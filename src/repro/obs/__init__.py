@@ -1,0 +1,164 @@
+"""``repro.obs`` — the zero-dependency observability layer.
+
+One front door for everything the stack reports about itself:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` (counters, gauges,
+  fixed-bucket histograms) with per-run and per-campaign scopes, a no-op
+  :data:`NULL_REGISTRY` default, and :class:`SampledProfiler` for
+  hot-path timings;
+* :mod:`repro.obs.tracing` — structured span tracing
+  (``compile.summaries``, ``color.assign``, ``sim.loop``,
+  ``harness.task``) exported as chrome://tracing ``traceEvents``;
+* :mod:`repro.obs.sinks` — in-memory, JSONL, whole-file JSON exports and
+  the live campaign :class:`ProgressLine`;
+* :mod:`repro.obs.schema` — checked-in schemas and a validator for the
+  ``--metrics-out`` / ``--trace-out`` files.
+
+The engine consumes the layer through :class:`ObsConfig` (a frozen,
+picklable knob block on ``EngineOptions``) resolved into an
+:class:`Observability` bundle.  With ``ObsConfig(...)`` unset everything
+collapses to the shared null registry/tracer — simulated results are
+bit-identical either way, by construction and by test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs.metrics import (
+    DEFAULT_DISTANCE_EDGES,
+    DEFAULT_NS_EDGES,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    SampledProfiler,
+)
+from repro.obs.sinks import (
+    InMemorySink,
+    JsonlSink,
+    ProgressLine,
+    write_metrics_json,
+    write_trace_json,
+)
+from repro.obs.schema import (
+    METRICS_SCHEMA,
+    TRACE_SCHEMA,
+    SchemaError,
+    validate_metrics,
+    validate_metrics_file,
+    validate_trace,
+    validate_trace_file,
+)
+from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer, merge_trace_events
+
+__all__ = [
+    "Counter",
+    "DEFAULT_DISTANCE_EDGES",
+    "DEFAULT_NS_EDGES",
+    "Gauge",
+    "Histogram",
+    "InMemorySink",
+    "JsonlSink",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "ObsConfig",
+    "Observability",
+    "ProgressLine",
+    "SampledProfiler",
+    "SchemaError",
+    "Span",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "merge_trace_events",
+    "validate_metrics",
+    "validate_metrics_file",
+    "validate_trace",
+    "validate_trace_file",
+    "write_metrics_json",
+    "write_trace_json",
+]
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Per-run observability knobs (frozen and picklable: it rides on
+    ``EngineOptions`` across process boundaries).
+
+    ``profile_sample_rate`` controls the hot-path profilers (engine
+    scheduling chunks, physmem allocation spiral): one event in ``rate``
+    is wall-clock timed, so instrumented overhead stays bounded (<5% at
+    the default rate); ``0`` disables the profilers while keeping plain
+    counters and spans.
+    """
+
+    metrics: bool = True
+    tracing: bool = True
+    profile_sample_rate: int = 64
+
+    @property
+    def active(self) -> bool:
+        return self.metrics or self.tracing
+
+
+class Observability:
+    """Resolved bundle of one run's registry + tracer.
+
+    Built from an :class:`ObsConfig` (or ``None``) by :meth:`from_config`;
+    the disabled bundle is the shared :data:`NULL_OBS`, so callers can
+    always dereference ``obs.registry`` / ``obs.tracer`` without None
+    checks and gate extra work on ``obs.enabled``.
+    """
+
+    __slots__ = ("config", "registry", "tracer", "enabled")
+
+    def __init__(self, config: ObsConfig, registry, tracer) -> None:
+        self.config = config
+        self.registry = registry
+        self.tracer = tracer
+        self.enabled = bool(registry.enabled or tracer.enabled)
+
+    @classmethod
+    def from_config(cls, config: Optional[ObsConfig]) -> "Observability":
+        if config is None or not config.active:
+            return NULL_OBS
+        registry = MetricsRegistry(scope="run") if config.metrics else NULL_REGISTRY
+        tracer = Tracer() if config.tracing else NULL_TRACER
+        return cls(config, registry, tracer)
+
+    def profiler(self, name: str) -> Optional[SampledProfiler]:
+        """A sampled timer feeding ``<name>_ns`` / ``<name>.sampled`` /
+        ``<name>.total``, or ``None`` when profiling is off."""
+        if not self.registry.enabled or self.config.profile_sample_rate < 1:
+            return None
+        return SampledProfiler(
+            self.registry.histogram(f"{name}_ns"),
+            self.registry.counter(f"{name}.sampled"),
+            self.registry.counter(f"{name}.total"),
+            self.config.profile_sample_rate,
+        )
+
+    def report(self) -> Optional[dict]:
+        """The serializable per-run observability report, or ``None``."""
+        if not self.enabled:
+            return None
+        report: dict = {}
+        if self.registry.enabled:
+            report["metrics"] = self.registry.snapshot()
+        if self.tracer.enabled:
+            report["trace_events"] = self.tracer.export()
+        return report
+
+
+#: Shared disabled bundle (null registry + null tracer).
+NULL_OBS = Observability(
+    ObsConfig(metrics=False, tracing=False), NULL_REGISTRY, NULL_TRACER
+)

@@ -1,0 +1,302 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The registry is the single place the stack reports what it did — cache
+hit/miss totals, trace-cache effectiveness, hint honor rates, sampled
+hot-path timings — so that a run, a sweep or a whole campaign can be
+inspected without grepping ad-hoc counters out of simulator internals.
+
+Design constraints, in order:
+
+* **Zero overhead when off.**  The default observability configuration is
+  the shared :data:`NULL_REGISTRY`, whose instruments are no-ops; hot
+  paths hold one reference and pay one attribute call per event at most,
+  and the engine's truly hot loops bypass even that via sampling
+  (:class:`SampledProfiler`) or by emitting from already-maintained
+  counters at run end.  Simulated *results* never depend on metrics:
+  instruments touch wall-clock and Python ints only, so a run with
+  metrics enabled is bit-identical to one without.
+* **Mergeable scopes.**  A per-run registry snapshot is a plain dict;
+  campaign-scope registries :meth:`~MetricsRegistry.merge` run snapshots
+  (counters add, gauges take the last value, histograms add bucket-wise),
+  which is how worker-process results roll up into one campaign view.
+* **Zero dependencies.**  Plain Python, JSON-friendly snapshots.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from typing import Callable, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "SampledProfiler",
+    "DEFAULT_NS_EDGES",
+    "DEFAULT_DISTANCE_EDGES",
+]
+
+#: Default bucket edges for nanosecond timing histograms: geometric from
+#: 1µs to ~1s, coarse enough to stay cheap, fine enough to spot a 2x.
+DEFAULT_NS_EDGES = tuple(float(1_000 * 4**i) for i in range(10))
+
+#: Default edges for small integer distances (spiral fallback, retries).
+DEFAULT_DISTANCE_EDGES = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+class Counter:
+    """A monotonically increasing count of events."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram: ``edges`` are upper bounds, plus overflow.
+
+    ``counts[i]`` counts observations ``<= edges[i]``; the final slot
+    counts everything above the last edge.  Bucket edges are fixed at
+    creation so snapshots from different runs merge bucket-wise.
+    """
+
+    __slots__ = ("name", "edges", "counts", "sum", "count")
+
+    def __init__(self, name: str, edges: tuple[float, ...]) -> None:
+        if not edges or list(edges) != sorted(edges):
+            raise ValueError("histogram edges must be sorted and non-empty")
+        self.name = name
+        self.edges = tuple(float(e) for e in edges)
+        self.counts = [0] * (len(edges) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def observe_many(self, value: float, times: int) -> None:
+        """Record ``times`` identical observations in O(1)."""
+        if times <= 0:
+            return
+        self.counts[bisect_left(self.edges, value)] += times
+        self.sum += value * times
+        self.count += times
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """A named collection of instruments with one scope (run or campaign).
+
+    Instruments are created on first use and cached, so hot code can call
+    ``registry.counter("x").inc()`` — though hot paths should hold the
+    instrument in a local.  Names are dotted paths
+    (``"trace_cache.hits"``); keep label-like variants in the name
+    (``"machine.l2_misses.conflict"``) so snapshots stay flat JSON.
+    """
+
+    enabled = True
+
+    def __init__(self, scope: str = "run") -> None:
+        self.scope = scope
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument factories ------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, edges: tuple[float, ...] = DEFAULT_NS_EDGES
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, edges)
+        elif instrument.edges != tuple(float(e) for e in edges):
+            raise ValueError(
+                f"histogram {name!r} already registered with different edges"
+            )
+        return instrument
+
+    # -- serialization and merging -------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-friendly dump of every instrument in this registry."""
+        return {
+            "schema": "repro.obs.metrics/v1",
+            "scope": self.scope,
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "edges": list(h.edges),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold one run-scope snapshot into this (campaign-scope) registry.
+
+        Counters and histogram buckets add; gauges take the merged
+        snapshot's value (last write wins, matching gauge semantics).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, payload in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name, tuple(payload["edges"]))
+            for index, count in enumerate(payload["counts"]):
+                hist.counts[index] += count
+            hist.sum += payload["sum"]
+            hist.count += payload["count"]
+
+
+class _NullInstrument:
+    """Shared do-nothing instrument returned by the null registry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, value: float, times: int) -> None:
+        pass
+
+    def mean(self) -> float:
+        return 0.0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """The disabled registry: every instrument is a shared no-op.
+
+    Keeping the interface identical to :class:`MetricsRegistry` lets
+    instrumented code hold instruments unconditionally; the cost of a
+    disabled metric is one no-op method call, and code that checks
+    ``registry.enabled`` first pays only a truthiness test.
+    """
+
+    enabled = False
+    scope = "null"
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, edges=DEFAULT_NS_EDGES) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> dict:
+        return {
+            "schema": "repro.obs.metrics/v1",
+            "scope": "null",
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        pass
+
+
+#: Shared no-op registry — the default everywhere observability is off.
+NULL_REGISTRY = NullRegistry()
+
+
+class SampledProfiler:
+    """Deterministically sampled wall-clock timer for hot paths.
+
+    Timing every scheduling chunk or allocation would cost more than the
+    work being measured, so the profiler times one event in ``rate``:
+    ``tick()`` is a counter increment and a modulo; only sampled events
+    pay the two ``perf_counter`` calls.  The histogram records
+    nanoseconds; ``sampled``/``total`` counters make the sampling rate
+    explicit in the output so readers can scale estimates back up.
+    """
+
+    __slots__ = ("rate", "_n", "histogram", "sampled", "total", "_clock")
+
+    def __init__(
+        self,
+        histogram: Histogram,
+        sampled: Counter,
+        total: Counter,
+        rate: int,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if rate < 1:
+            raise ValueError("sample rate must be >= 1")
+        self.rate = rate
+        self._n = 0
+        self.histogram = histogram
+        self.sampled = sampled
+        self.total = total
+        self._clock = clock
+
+    def tick(self) -> Optional[float]:
+        """Advance the event counter; return a start time when sampled."""
+        self._n += 1
+        self.total.inc()
+        if self._n % self.rate:
+            return None
+        self.sampled.inc()
+        return self._clock()
+
+    def observe(self, started: float) -> None:
+        """Record one sampled event's elapsed time (in nanoseconds)."""
+        self.histogram.observe((self._clock() - started) * 1e9)

@@ -1,0 +1,172 @@
+"""Checked-in JSON schemas for the observability outputs, plus a validator.
+
+The CI obs-smoke job (and any downstream consumer) needs a contract for
+what ``--metrics-out`` and ``--trace-out`` emit.  The schemas below are
+expressed in a small JSON-Schema subset (``type``, ``properties``,
+``required``, ``items``, ``enum``, ``additionalProperties`` as a schema)
+and validated by :func:`validate` — no third-party dependency, same
+spirit as the rest of the layer.
+
+Schema versions are embedded in the payloads (``repro.obs.metrics/v1``,
+``repro.obs.trace/v1``); bump them when the shape changes incompatibly.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "TRACE_SCHEMA",
+    "SchemaError",
+    "validate",
+    "validate_metrics",
+    "validate_trace",
+    "validate_metrics_file",
+    "validate_trace_file",
+]
+
+
+class SchemaError(ValueError):
+    """A payload did not conform to its schema."""
+
+
+_HISTOGRAM_SCHEMA = {
+    "type": "object",
+    "required": ["edges", "counts", "sum", "count"],
+    "properties": {
+        "edges": {"type": "array", "items": {"type": "number"}},
+        "counts": {"type": "array", "items": {"type": "integer"}},
+        "sum": {"type": "number"},
+        "count": {"type": "integer"},
+    },
+}
+
+#: Shape of a registry snapshot (run or campaign scope).  Campaign-scope
+#: files additionally carry per-run snapshots under ``runs``.
+METRICS_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "scope", "counters", "gauges", "histograms"],
+    "properties": {
+        "schema": {"enum": ["repro.obs.metrics/v1"]},
+        "scope": {"type": "string"},
+        "counters": {"type": "object", "additionalProperties": {"type": "integer"}},
+        "gauges": {"type": "object", "additionalProperties": {"type": "number"}},
+        "histograms": {
+            "type": "object",
+            "additionalProperties": _HISTOGRAM_SCHEMA,
+        },
+        "runs": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["label"],
+                "properties": {"label": {"type": "string"}},
+            },
+        },
+        "campaign": {"type": "object"},
+    },
+}
+
+_TRACE_EVENT_SCHEMA = {
+    "type": "object",
+    "required": ["name", "ph", "pid", "tid"],
+    "properties": {
+        "name": {"type": "string"},
+        "ph": {"enum": ["X", "i", "M"]},
+        "ts": {"type": "number"},
+        "dur": {"type": "number"},
+        "pid": {"type": "integer"},
+        "tid": {"type": "integer"},
+        "args": {"type": "object"},
+        "s": {"type": "string"},
+    },
+}
+
+#: Shape of a ``--trace-out`` file: the chrome://tracing JSON envelope.
+TRACE_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "traceEvents"],
+    "properties": {
+        "schema": {"enum": ["repro.obs.trace/v1"]},
+        "displayTimeUnit": {"type": "string"},
+        "traceEvents": {"type": "array", "items": _TRACE_EVENT_SCHEMA},
+    },
+}
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+}
+
+
+def _check(instance, schema: dict, path: str, errors: list[str]) -> None:
+    expected = schema.get("type")
+    if expected is not None:
+        pytype = _TYPES[expected]
+        ok = isinstance(instance, pytype)
+        # bool is an int subclass; reject it for numeric types.
+        if ok and expected in ("number", "integer") and isinstance(instance, bool):
+            ok = False
+        if not ok:
+            errors.append(f"{path}: expected {expected}, got {type(instance).__name__}")
+            return
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not one of {schema['enum']}")
+        return
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                errors.append(f"{path}: missing required key {name!r}")
+        properties = schema.get("properties", {})
+        for name, value in instance.items():
+            if name in properties:
+                _check(value, properties[name], f"{path}.{name}", errors)
+            elif isinstance(schema.get("additionalProperties"), dict):
+                _check(
+                    value, schema["additionalProperties"], f"{path}.{name}", errors
+                )
+    elif isinstance(instance, list):
+        item_schema = schema.get("items")
+        if item_schema is not None:
+            for index, value in enumerate(instance):
+                _check(value, item_schema, f"{path}[{index}]", errors)
+
+
+def validate(instance, schema: dict, label: str = "payload") -> None:
+    """Raise :class:`SchemaError` listing every violation, or return."""
+    errors: list[str] = []
+    _check(instance, schema, label, errors)
+    if errors:
+        raise SchemaError("; ".join(errors))
+
+
+def validate_metrics(payload: dict) -> None:
+    validate(payload, METRICS_SCHEMA, "metrics")
+
+
+def validate_trace(payload: dict) -> None:
+    validate(payload, TRACE_SCHEMA, "trace")
+
+
+def _load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def validate_metrics_file(path: str) -> dict:
+    """Load and validate a ``--metrics-out`` file; returns the payload."""
+    payload = _load(path)
+    validate_metrics(payload)
+    return payload
+
+
+def validate_trace_file(path: str) -> dict:
+    """Load and validate a ``--trace-out`` file; returns the payload."""
+    payload = _load(path)
+    validate_trace(payload)
+    return payload

@@ -1,0 +1,160 @@
+"""Observability sinks: in-memory, JSONL files, and the live progress line.
+
+Sinks are where metric snapshots and trace events end up:
+
+* :class:`InMemorySink` — a list, for tests and programmatic inspection;
+* :class:`JsonlSink` — one JSON object per line, append-friendly, the
+  format long campaigns stream to so a crash loses at most one line;
+* :func:`write_metrics_json` / :func:`write_trace_json` — whole-file
+  exports (atomic tmp+rename) behind the CLI's ``--metrics-out`` and
+  ``--trace-out`` flags; the trace file is the chrome://tracing
+  ``traceEvents`` envelope;
+* :class:`ProgressLine` — the live one-line campaign status
+  (``done/failed/retried`` plus aggregate hint honor rate) rendered to
+  stderr while ``python -m repro sweep`` runs.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import sys
+import tempfile
+from typing import Optional, TextIO
+
+__all__ = [
+    "InMemorySink",
+    "JsonlSink",
+    "ProgressLine",
+    "write_json_atomic",
+    "write_metrics_json",
+    "write_trace_json",
+]
+
+
+def write_json_atomic(path: str, payload: dict) -> None:
+    """Publish ``payload`` as JSON via tmp+rename (never a torn file)."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_name = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def write_metrics_json(path: str, snapshot: dict) -> None:
+    """Write one registry snapshot (run or campaign scope) to ``path``."""
+    write_json_atomic(path, snapshot)
+
+
+def write_trace_json(path: str, events: list[dict]) -> None:
+    """Write trace events in the chrome://tracing JSON envelope."""
+    write_json_atomic(
+        path,
+        {
+            "schema": "repro.obs.trace/v1",
+            "displayTimeUnit": "ms",
+            "traceEvents": events,
+        },
+    )
+
+
+class InMemorySink:
+    """Collects emitted payloads in order; the test double for sinks."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def emit(self, payload: dict) -> None:
+        self.records.append(payload)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Appends one compact JSON object per line to a file.
+
+    Lines are written and flushed individually, so a reader (or a crash)
+    observes only whole records.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle: Optional[io.TextIOWrapper] = open(path, "a")
+
+    def emit(self, payload: dict) -> None:
+        if self._handle is None:
+            raise ValueError("sink is closed")
+        self._handle.write(json.dumps(payload, separators=(",", ":")) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class ProgressLine:
+    """A single self-overwriting status line for long campaigns.
+
+    ``update`` takes the campaign progress event dict (see
+    :class:`repro.harness.campaign.CampaignOptions.on_progress`) and
+    renders ``sweep: 7/12 done, 1 failed, 2 retried, honor 0.98``.  The
+    line only renders to a TTY by default (CI logs stay clean);
+    ``finish()`` terminates it with a newline so subsequent output starts
+    cleanly.
+    """
+
+    def __init__(
+        self,
+        label: str = "sweep",
+        stream: Optional[TextIO] = None,
+        force: bool = False,
+    ) -> None:
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self._active = force or bool(getattr(self.stream, "isatty", lambda: False)())
+        self._wrote = False
+
+    def render(self, event: dict) -> str:
+        parts = [f"{event.get('done', 0)}/{event.get('total', 0)} done"]
+        if event.get("failed"):
+            parts.append(f"{event['failed']} failed")
+        if event.get("retried"):
+            parts.append(f"{event['retried']} retried")
+        if event.get("loaded"):
+            parts.append(f"{event['loaded']} loaded")
+        honor = event.get("honor_rate")
+        if honor is not None:
+            parts.append(f"honor {honor:.2f}")
+        return f"{self.label}: " + ", ".join(parts)
+
+    def update(self, event: dict) -> None:
+        if not self._active:
+            return
+        self.stream.write("\r\x1b[K" + self.render(event))
+        self.stream.flush()
+        self._wrote = True
+
+    def finish(self) -> None:
+        if self._active and self._wrote:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._wrote = False

@@ -1,0 +1,191 @@
+"""Structured span tracing with chrome://tracing-compatible export.
+
+A :class:`Tracer` records a tree of wall-clock *spans* — named intervals
+like ``compile.summaries``, ``color.assign``, ``sim.loop`` or
+``harness.task`` — each carrying optional event counts and attributes.
+Spans nest naturally via context managers and are always closed, even
+when the body raises (a crashed worker still yields a consistent span
+tree for whatever it got through).
+
+Export is the Trace Event Format's complete-event (``"ph": "X"``) list,
+loadable directly in ``chrome://tracing`` / Perfetto: timestamps are
+microseconds relative to the tracer's creation, ``pid``/``tid`` slot
+multiple runs of a campaign side by side, and span attributes land in
+``args``.  The :data:`NULL_TRACER` default keeps disabled tracing at one
+attribute check per span site.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "merge_trace_events"]
+
+
+class Span:
+    """One open interval; close it via the tracer's context manager."""
+
+    __slots__ = ("name", "start_us", "args", "_tracer")
+
+    def __init__(self, name: str, start_us: float, tracer: "Tracer") -> None:
+        self.name = name
+        self.start_us = start_us
+        self.args: dict = {}
+        self._tracer = tracer
+
+    def set(self, **attrs) -> None:
+        """Attach attributes (event counts, labels) to the span."""
+        self.args.update(attrs)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Accumulate a named event count on the span."""
+        self.args[name] = self.args.get(name, 0) + amount
+
+    # -- context manager -----------------------------------------------
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.args.setdefault("error", exc_type.__name__)
+        self._tracer._close(self)
+
+
+class Tracer:
+    """Records spans as complete trace events, in closing order.
+
+    ``depth`` tracks open spans so exports can assert every span closed;
+    the engine and harness always close via context managers, so a
+    nonzero depth at export time means a span leaked.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        pid: int = 0,
+        tid: int = 0,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.pid = pid
+        self.tid = tid
+        self._clock = clock
+        self._t0 = clock()
+        self.events: list[dict] = []
+        self.depth = 0
+
+    def _now_us(self) -> float:
+        return (self._clock() - self._t0) * 1e6
+
+    def span(self, name: str, **attrs) -> Span:
+        """Open a span; use as ``with tracer.span("sim.loop") as sp:``."""
+        self.depth += 1
+        span = Span(name, self._now_us(), self)
+        if attrs:
+            span.args.update(attrs)
+        return span
+
+    def _close(self, span: Span) -> None:
+        self.depth -= 1
+        event = {
+            "name": span.name,
+            "ph": "X",
+            "ts": span.start_us,
+            "dur": self._now_us() - span.start_us,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if span.args:
+            event["args"] = dict(span.args)
+        self.events.append(event)
+
+    def instant(self, name: str, **attrs) -> None:
+        """Record a zero-duration marker event."""
+        event = {
+            "name": name,
+            "ph": "i",
+            "ts": self._now_us(),
+            "pid": self.pid,
+            "tid": self.tid,
+            "s": "t",
+        }
+        if attrs:
+            event["args"] = dict(attrs)
+        self.events.append(event)
+
+    def export(self) -> list[dict]:
+        """The recorded trace events (chrome ``traceEvents`` entries)."""
+        return list(self.events)
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled tracer."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def count(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: spans are shared no-ops, export is empty."""
+
+    enabled = False
+    depth = 0
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def instant(self, name: str, **attrs) -> None:
+        pass
+
+    def export(self) -> list[dict]:
+        return []
+
+
+#: Shared no-op tracer — the default everywhere tracing is off.
+NULL_TRACER = NullTracer()
+
+
+def merge_trace_events(
+    groups: list[tuple[int, Optional[str], list[dict]]],
+) -> list[dict]:
+    """Combine per-run event lists into one campaign-wide event stream.
+
+    Each group is ``(pid, label, events)``: the events are re-stamped with
+    the group's ``pid`` so chrome://tracing shows each run as its own
+    process row, and a metadata event names the row after the run label.
+    Worker-process tracers measure from their own epoch, which is exactly
+    what per-``pid`` rows present correctly.
+    """
+    merged: list[dict] = []
+    for pid, label, events in groups:
+        if label is not None:
+            merged.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": label},
+                }
+            )
+        for event in events:
+            stamped = dict(event)
+            stamped["pid"] = pid
+            merged.append(stamped)
+    return merged

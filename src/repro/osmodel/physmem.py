@@ -89,6 +89,13 @@ class PhysicalMemory:
         #: returning True makes that allocation behave as if memory were
         #: exhausted (free lists skipped, reclaim consulted, else OOM).
         self.fail_hook: Optional[Callable[[Optional[int]], bool]] = None
+        #: Observability taps (``repro.obs``).  ``distance_hook`` receives
+        #: each hinted allocation's fallback distance; ``profiler`` is a
+        #: :class:`repro.obs.SampledProfiler` timing the allocation spiral.
+        #: Both default to ``None`` — the unobserved allocator pays one
+        #: identity check per call.
+        self.distance_hook: Optional[Callable[[float], None]] = None
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -149,6 +156,8 @@ class PhysicalMemory:
 
     def _record_distance(self, distance: int) -> None:
         self.fallback_distance[distance] = self.fallback_distance.get(distance, 0) + 1
+        if self.distance_hook is not None:
+            self.distance_hook(distance)
 
     def _reclaim_into(self, preferred_color: Optional[int]) -> Optional[int]:
         """Ask the reclaim policy for a frame; returns it claimed-ready."""
@@ -176,6 +185,17 @@ class PhysicalMemory:
         the reclaim policy is consulted before raising
         :class:`OutOfMemoryError`.
         """
+        profiler = self.profiler
+        if profiler is None:
+            return self._alloc(preferred_color)
+        started = profiler.tick()
+        try:
+            return self._alloc(preferred_color)
+        finally:
+            if started is not None:
+                profiler.observe(started)
+
+    def _alloc(self, preferred_color: Optional[int]) -> int:
         self.allocations += 1
         injected = False
         if self.fail_hook is not None and self.fail_hook(preferred_color):

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import math
 import random
+import time
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Optional
 
@@ -42,6 +43,7 @@ from repro.machine.config import MachineConfig
 from repro.machine.fast_path import loop_runner as fast_loop_runner
 from repro.machine.memory_system import MemorySystem
 from repro.machine.stats import MachineStats
+from repro.obs import DEFAULT_DISTANCE_EDGES, Observability, ObsConfig
 from repro.osmodel.physmem import CascadeReclaimer, HeldFrameReclaimer
 from repro.osmodel.policies import (
     BinHoppingPolicy,
@@ -138,6 +140,11 @@ class EngineOptions:
     #: ERROR-severity diagnostics, raising
     #: :class:`repro.checker.LintError` instead.
     strict: bool = False
+    #: Observability: metrics registry + span tracing + sampled hot-path
+    #: profiling (:class:`repro.obs.ObsConfig`).  ``None`` (the default)
+    #: is the shared no-op bundle; simulated results are bit-identical
+    #: with observability on or off — instruments only read wall clocks.
+    obs: Optional[ObsConfig] = None
 
     def resolved_delivery(self) -> str:
         if self.cdpc_delivery != "auto":
@@ -181,27 +188,35 @@ class _Simulation:
         self.config = config
         self.options = options
         self.num_cpus = config.num_cpus
+        self.obs = Observability.from_config(options.obs)
+        tracer = self.obs.tracer
 
         groups = _loop_group_pairs(program)
-        self.layout = layout_arrays(
-            program.arrays,
-            config.l2.line_size,
-            config.l1d.size,
-            aligned=options.aligned,
-            groups=groups,
-        )
-        self.summary = extract_summary(program, self.layout)
+        with tracer.span("compile.layout"):
+            self.layout = layout_arrays(
+                program.arrays,
+                config.l2.line_size,
+                config.l1d.size,
+                aligned=options.aligned,
+                groups=groups,
+            )
+        with tracer.span("compile.summaries"):
+            self.summary = extract_summary(program, self.layout)
         self.prefetch_plan: Optional[PrefetchPlan] = None
         if options.prefetch:
-            self.prefetch_plan = insert_prefetches(
-                program, self.layout, config, self.num_cpus
-            )
+            with tracer.span("compile.prefetch"):
+                self.prefetch_plan = insert_prefetches(
+                    program, self.layout, config, self.num_cpus
+                )
 
         policy = _build_policy(config, options)
         frames = self._frame_budget()
-        self.vm = VirtualMemory(config, policy, memory_frames=frames)
-        if options.memory_pressure > 0:
-            self.vm.physmem.occupy_fraction(options.memory_pressure, seed=options.seed)
+        with tracer.span("os.setup", frames=frames):
+            self.vm = VirtualMemory(config, policy, memory_frames=frames)
+            if options.memory_pressure > 0:
+                self.vm.physmem.occupy_fraction(
+                    options.memory_pressure, seed=options.seed
+                )
 
         self.degradation_log = DegradationLog()
         self.vm.physmem.event_hook = self.degradation_log.record
@@ -217,11 +232,15 @@ class _Simulation:
 
         self.runtime: Optional[CdpcRuntime] = None
         if options.cdpc:
-            self.runtime = CdpcRuntime.from_summary(self.summary, config, self.num_cpus)
+            with tracer.span("color.assign"):
+                self.runtime = CdpcRuntime.from_summary(
+                    self.summary, config, self.num_cpus
+                )
 
         self.lint_report: Optional["LintReport"] = None
         if options.lint:
-            self.lint_report = self._run_lint_gate()
+            with tracer.span("check.lint"):
+                self.lint_report = self._run_lint_gate()
 
         self.ms = MemorySystem(
             config, prefetch_fills_tlb=options.prefetch_fills_tlb
@@ -234,6 +253,27 @@ class _Simulation:
         self._invariant_checks = 0
         self._watchdog_tripped = False
         self._trace_cache = default_trace_cache() if options.trace_cache else None
+        # Observability wiring.  Profilers are ``None`` when disabled so
+        # the hot chunk path pays one identity check; the physmem hooks
+        # are installed only when metrics are on (one attribute check per
+        # hinted allocation otherwise).
+        self._chunk_prof = self.obs.profiler("engine.chunk")
+        registry = self.obs.registry
+        if registry.enabled:
+            self._tc_hits: Optional[object] = registry.counter("trace_cache.hits")
+            self._tc_misses: Optional[object] = registry.counter("trace_cache.misses")
+            self._tracegen_ns: Optional[object] = registry.histogram(
+                "tracegen.generate_ns"
+            )
+            physmem = self.vm.physmem
+            physmem.distance_hook = registry.histogram(
+                "physmem.fallback_distance", DEFAULT_DISTANCE_EDGES
+            ).observe
+            physmem.profiler = self.obs.profiler("physmem.alloc")
+        else:
+            self._tc_hits = None
+            self._tc_misses = None
+            self._tracegen_ns = None
         self._layout_fp = layout_fingerprint(self.layout)
         self._plan_fp = plan_fingerprint(self.prefetch_plan)
         self.clocks = [0.0] * self.num_cpus
@@ -582,7 +622,18 @@ class _Simulation:
         """
 
         def generate():
-            return loop_traces(
+            if self._tracegen_ns is None:
+                return loop_traces(
+                    loop,
+                    schedule,
+                    self.layout,
+                    self.config,
+                    self.options.profile,
+                    self.prefetch_plan,
+                    fraction_scale=fraction_scale,
+                )
+            started = time.perf_counter()
+            traces = loop_traces(
                 loop,
                 schedule,
                 self.layout,
@@ -591,6 +642,8 @@ class _Simulation:
                 self.prefetch_plan,
                 fraction_scale=fraction_scale,
             )
+            self._tracegen_ns.observe((time.perf_counter() - started) * 1e9)
+            return traces
 
         if self._trace_cache is None:
             return generate()
@@ -602,6 +655,8 @@ class _Simulation:
             self._plan_fp,
             fraction_scale,
         )
+        if self._tc_hits is not None:
+            (self._tc_hits if key in self._trace_cache else self._tc_misses).inc()
         return self._trace_cache.get_or_generate(key, generate)
 
     def _barrier(self) -> None:
@@ -689,9 +744,13 @@ class _Simulation:
             concurrent if self.injector is None
             else self.injector.fault_concurrency(concurrent)
         )
+        prof = self._chunk_prof
+        started = prof.tick() if prof is not None else None
         t, kernel_total, _faults = runner.send(
             (start, end, self.clocks[cpu], busy_per_ref, fault_concurrency)
         )
+        if started is not None:
+            prof.observe(started)
         stats = self.ms.stats.cpus[cpu]
         count = end - start
         stats.busy_ns += busy_per_ref * count
@@ -704,6 +763,8 @@ class _Simulation:
     def _run_chunk(self, cpu, loop, trace, stream, start, end, concurrent) -> None:
         if end <= start:
             return
+        prof = self._chunk_prof
+        prof_started = prof.tick() if prof is not None else None
         ms = self.ms
         vm = self.vm
         page_table = vm.page_table
@@ -771,29 +832,41 @@ class _Simulation:
         )
         stats.overhead_ns["kernel"] += kernel_total
         self.clocks[cpu] = t
+        if prof_started is not None:
+            prof.observe(prof_started)
 
     # ------------------------------------------------------------------
 
     def run(self) -> RunResult:
+        tracer = self.obs.tracer
         if self.options.cdpc:
-            self.deliver_cdpc()
-        self.run_init()
+            with tracer.span("cdpc.deliver", mode=self.options.resolved_delivery()):
+                self.deliver_cdpc()
+        with tracer.span("sim.init"):
+            self.run_init()
         self._run_invariant_sweep()
         window = representative_window(self.program)
-        for phase in window.warmup:
-            self.run_phase(phase, record=False)
+        with tracer.span("sim.warmup", phases=len(window.warmup)):
+            for phase in window.warmup:
+                self.run_phase(phase, record=False)
         total = MachineStats.for_cpus(self.num_cpus)
         wall = 0.0
         bus_busy: dict[str, float] = {}
         phase_results: list[PhaseResult] = []
         for phase, weight in zip(window.measured, window.weights):
-            result = self.run_phase(phase, record=True)
-            assert result is not None
+            with tracer.span("sim.loop", phase=phase.name, weight=weight) as span:
+                result = self.run_phase(phase, record=True)
+                assert result is not None
+                span.set(
+                    wall_ns=result.wall_ns,
+                    l2_misses=result.stats.total_l2_misses(),
+                )
             phase_results.append(result)
             add_scaled_stats(total, result.stats, weight)
             wall += result.wall_ns * weight
             for key, value in result.bus_busy_ns.items():
                 bus_busy[key] = bus_busy.get(key, 0.0) + value * weight
+        self._emit_run_metrics(total)
         return RunResult(
             workload=self.program.name,
             policy=self.options.policy,
@@ -818,7 +891,29 @@ class _Simulation:
                 invariant_checks=self._invariant_checks,
                 injector=self.injector,
             ),
+            obs=self.obs.report(),
         )
+
+    def _emit_run_metrics(self, total: MachineStats) -> None:
+        """Publish end-of-run counters into the run's metrics registry.
+
+        Emitting from the already-maintained simulator counters (instead
+        of instrumenting every access) keeps the hot paths untouched; the
+        registry is the read side, not the accounting of record.
+        """
+        registry = self.obs.registry
+        if not registry.enabled:
+            return
+        total.emit_metrics(registry)
+        self.ms.emit_metrics(registry)
+        physmem = self.vm.physmem
+        registry.counter("physmem.allocations").inc(physmem.allocations)
+        registry.counter("physmem.hint_requests").inc(physmem.hint_requests)
+        registry.counter("physmem.hints_honored").inc(physmem.hints_honored)
+        registry.counter("physmem.reclaims").inc(physmem.reclaims)
+        registry.counter("physmem.forced_failures").inc(physmem.forced_failures)
+        registry.gauge("physmem.hint_honor_rate").set(physmem.hint_honor_rate)
+        registry.gauge("engine.watchdog_tripped").set(float(self._watchdog_tripped))
 
     def _attribute_misses(self) -> dict[str, int]:
         """Map per-frame miss counts back to the arrays that own them."""

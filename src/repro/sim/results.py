@@ -74,6 +74,13 @@ class RunResult:
     #: recolor steps, fallback-distance histogram (None when the run was
     #: produced without the engine, e.g. hand-built in tests).
     degradation: Optional[DegradationReport] = None
+    #: Observability report (``{"metrics": <registry snapshot>,
+    #: "trace_events": [...]}``) when the run was executed with
+    #: ``EngineOptions.obs`` enabled, else ``None``.  Deliberately
+    #: excluded from :meth:`to_dict`: it carries wall-clock timings, and
+    #: ``to_dict`` is the bit-identity contract between the fast and
+    #: reference engine paths.
+    obs: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Figure 2 quantities

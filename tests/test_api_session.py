@@ -1,0 +1,133 @@
+"""Tests for the repro.api Session facade and keyword deprecation shims."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import Session
+from repro.api import canonicalize_kwargs, run_benchmark, run_program
+from repro.machine.config import sgi_base
+from repro.sim import engine as _engine
+from repro.sim.engine import EngineOptions
+from repro.sim.tracegen import SimProfile
+from tests.conftest import make_two_array_program
+
+
+@pytest.fixture(scope="module")
+def config():
+    """Scaled 2-CPU SGI machine — cheap enough for named-workload runs."""
+    return sgi_base(2).scaled(16)
+
+
+class TestSessionConstruction:
+    def test_importable_from_top_level(self):
+        assert repro.Session is Session
+        assert "Session" in repro.__all__
+
+    def test_requires_exactly_one_target(self, config):
+        with pytest.raises(TypeError, match="exactly one"):
+            Session()
+        with pytest.raises(TypeError, match="exactly one"):
+            Session(
+                "tomcatv", program=make_two_array_program(config.page_size)
+            )
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(TypeError, match="no_such_option"):
+            Session("tomcatv", no_such_option=1)
+
+    def test_default_config_scaling(self):
+        session = Session("tomcatv", cpus=4, scale=8)
+        assert session.config.num_cpus == 4
+
+    def test_with_options_returns_new_session(self, config):
+        base = Session("tomcatv", config=config)
+        derived = base.with_options(aligned=False)
+        assert derived is not base
+        assert derived.options.aligned is False
+        assert base.options.aligned is True
+
+    def test_obs_shorthand(self, config):
+        session = Session("tomcatv", config=config, obs=True)
+        assert session.options.obs is not None
+        assert session.options.obs.metrics
+        off = Session("tomcatv", config=config, obs=False)
+        assert off.options.obs is None
+
+
+class TestDeprecationShims:
+    def test_max_workers_maps_to_workers(self):
+        with pytest.warns(DeprecationWarning, match="max_workers"):
+            out = canonicalize_kwargs({"max_workers": 3})
+        assert out == {"workers": 3}
+
+    def test_fast_maps_to_profile(self):
+        with pytest.warns(DeprecationWarning, match="fast"):
+            out = canonicalize_kwargs({"fast": True})
+        assert out == {"profile": SimProfile.fast()}
+        with pytest.warns(DeprecationWarning):
+            assert canonicalize_kwargs({"fast": False}) == {
+                "profile": SimProfile()
+            }
+
+    def test_unaligned_maps_to_negated_aligned(self):
+        with pytest.warns(DeprecationWarning, match="unaligned"):
+            out = canonicalize_kwargs({"unaligned": True})
+        assert out == {"aligned": False}
+
+    def test_collision_with_canonical_name_rejected(self):
+        with pytest.raises(TypeError, match="both"):
+            canonicalize_kwargs({"fast": True, "profile": SimProfile()})
+
+    def test_canonical_names_pass_through_silently(self, recwarn):
+        out = canonicalize_kwargs({"workers": 2, "aligned": True})
+        assert out == {"workers": 2, "aligned": True}
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_session_accepts_legacy_kwargs(self, config):
+        with pytest.warns(DeprecationWarning):
+            session = Session("tomcatv", config=config, fast=True)
+        assert session.options.profile == SimProfile.fast()
+
+
+class TestDelegates:
+    def test_run_benchmark_matches_engine(self, config):
+        legacy = _engine.run_benchmark("tomcatv", config, profile=SimProfile.fast())
+        facade = run_benchmark("tomcatv", config, profile=SimProfile.fast())
+        assert facade.to_dict() == legacy.to_dict()
+
+    def test_run_program_matches_engine(self, config):
+        program = make_two_array_program(config.page_size)
+        legacy = _engine.run_program(
+            program, config, EngineOptions(profile=SimProfile.fast())
+        )
+        facade = run_program(program, config, profile=SimProfile.fast())
+        assert facade.to_dict() == legacy.to_dict()
+
+    def test_session_run_matches_delegate(self, config):
+        session = Session("tomcatv", config=config, profile=SimProfile.fast())
+        assert session.run().to_dict() == run_benchmark(
+            "tomcatv", config, profile=SimProfile.fast()
+        ).to_dict()
+
+    def test_session_run_override_does_not_mutate(self, config):
+        session = Session("tomcatv", config=config)
+        session.run(profile=SimProfile.fast())
+        assert session.options.profile == SimProfile()
+
+
+class TestSessionSweep:
+    def test_sweep_returns_policy_results(self, config):
+        session = Session("tomcatv", config=config, profile=SimProfile.fast())
+        results = session.sweep(
+            policies=["page_coloring", "bin_hopping"], workers=1
+        )
+        assert sorted(results) == ["bin_hopping", "page_coloring"]
+        assert session.last_campaign is not None
+        assert session.last_campaign.report.completed == 2
+
+    def test_sweep_obs_report_requires_sweep(self, config):
+        session = Session("tomcatv", config=config)
+        assert session.sweep_obs_report() is None

@@ -1,0 +1,166 @@
+"""Unit tests for the metrics registry: instruments, scopes, merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_NS_EDGES,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    ObsConfig,
+    Observability,
+    SampledProfiler,
+    validate_metrics,
+)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        counter.inc()
+        counter.inc(4)
+        assert registry.snapshot()["counters"]["hits"] == 5
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("y") is registry.gauge("y")
+        assert registry.histogram("z") is registry.histogram("z")
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("rate")
+        gauge.set(0.5)
+        gauge.set(0.25)
+        assert registry.snapshot()["gauges"]["rate"] == 0.25
+
+
+class TestHistogram:
+    def test_bucket_boundaries(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", edges=(10.0, 20.0))
+        # Edges are upper-inclusive: counts[i] counts values <= edges[i].
+        for value in (5, 10, 15, 20, 25):
+            hist.observe(value)
+        snap = registry.snapshot()["histograms"]["h"]
+        assert snap["edges"] == [10.0, 20.0]
+        assert snap["counts"] == [2, 2, 1]
+        assert snap["count"] == 5
+        assert snap["sum"] == 75.0
+
+    def test_observe_many(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", edges=(1.0,))
+        hist.observe_many(0.5, 10)
+        snap = registry.snapshot()["histograms"]["h"]
+        assert snap["counts"] == [10, 0]
+        assert snap["count"] == 10
+        assert snap["sum"] == 5.0
+
+    def test_mean(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        assert hist.mean() == 0.0
+        hist.observe(2.0)
+        hist.observe(4.0)
+        assert hist.mean() == 3.0
+
+    def test_default_edges_are_ns_scale(self):
+        assert DEFAULT_NS_EDGES[0] == 1000.0
+        assert all(b > a for a, b in zip(DEFAULT_NS_EDGES, DEFAULT_NS_EDGES[1:]))
+
+
+class TestScopesAndMerge:
+    def test_scope_isolation(self):
+        run_a = MetricsRegistry(scope="run")
+        run_b = MetricsRegistry(scope="run")
+        run_a.counter("n").inc(3)
+        assert "n" not in run_b.snapshot()["counters"]
+
+    def test_merge_counters_add_gauges_last_write(self):
+        campaign = MetricsRegistry(scope="campaign")
+        for value in (1, 2):
+            run = MetricsRegistry(scope="run")
+            run.counter("n").inc(value)
+            run.gauge("g").set(float(value))
+            campaign.merge(run.snapshot())
+        snap = campaign.snapshot()
+        assert snap["scope"] == "campaign"
+        assert snap["counters"]["n"] == 3
+        assert snap["gauges"]["g"] == 2.0
+
+    def test_merge_histograms_bucketwise(self):
+        campaign = MetricsRegistry(scope="campaign")
+        for _ in range(2):
+            run = MetricsRegistry(scope="run")
+            run.histogram("h", edges=(10.0,)).observe(5.0)
+            run.histogram("h", edges=(10.0,)).observe(15.0)
+            campaign.merge(run.snapshot())
+        snap = campaign.snapshot()["histograms"]["h"]
+        assert snap["counts"] == [2, 2]
+        assert snap["sum"] == 40.0
+
+    def test_merge_mismatched_edges_rejected(self):
+        campaign = MetricsRegistry(scope="campaign")
+        run = MetricsRegistry(scope="run")
+        run.histogram("h", edges=(10.0,)).observe(1.0)
+        campaign.histogram("h", edges=(99.0,))
+        with pytest.raises(ValueError):
+            campaign.merge(run.snapshot())
+
+    def test_snapshot_is_schema_valid(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(123.0)
+        validate_metrics(registry.snapshot())
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        assert not NULL_REGISTRY.enabled
+        NULL_REGISTRY.counter("x").inc(5)
+        NULL_REGISTRY.gauge("y").set(1.0)
+        NULL_REGISTRY.histogram("z").observe(2.0)
+        snap = NULL_REGISTRY.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+
+    def test_shared_singleton(self):
+        bundle = Observability.from_config(None)
+        assert bundle.registry is NULL_REGISTRY
+        assert not bundle.enabled
+
+
+class TestSampledProfiler:
+    def test_deterministic_sampling_rate(self):
+        registry = MetricsRegistry()
+        profiler = SampledProfiler(
+            registry.histogram("ns"),
+            registry.counter("sampled"),
+            registry.counter("total"),
+            rate=4,
+        )
+        observed = 0
+        for _ in range(16):
+            started = profiler.tick()
+            if started is not None:
+                profiler.observe(started)
+                observed += 1
+        snap = registry.snapshot()
+        assert snap["counters"]["total"] == 16
+        assert snap["counters"]["sampled"] == 4
+        assert observed == 4
+        assert snap["histograms"]["ns"]["count"] == 4
+
+    def test_observability_profiler_factory(self):
+        bundle = Observability.from_config(ObsConfig(profile_sample_rate=2))
+        profiler = bundle.profiler("engine.chunk")
+        assert profiler is not None
+        assert Observability.from_config(
+            ObsConfig(profile_sample_rate=0)
+        ).profiler("engine.chunk") is None
+        assert Observability.from_config(None).profiler("engine.chunk") is None

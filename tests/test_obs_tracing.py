@@ -1,0 +1,195 @@
+"""Tests for span tracing, sinks, and the schema validator."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    JsonlSink,
+    ProgressLine,
+    SchemaError,
+    Tracer,
+    merge_trace_events,
+    validate_metrics_file,
+    validate_trace,
+    validate_trace_file,
+    write_metrics_json,
+    write_trace_json,
+)
+
+
+def make_clock(times: list[float]):
+    """A fake clock handing out preset perf_counter values."""
+    queue = list(times)
+    return lambda: queue.pop(0) if queue else times[-1]
+
+
+class TestTracer:
+    def test_complete_event_shape(self):
+        tracer = Tracer(pid=3, tid=1, clock=make_clock([0.0, 0.001, 0.004]))
+        with tracer.span("sim.loop", phase="steady") as span:
+            span.set(weight=2)
+            span.count("chunks")
+        [event] = tracer.export()
+        assert event["name"] == "sim.loop"
+        assert event["ph"] == "X"
+        assert event["pid"] == 3 and event["tid"] == 1
+        assert event["ts"] == pytest.approx(1000.0)  # µs after tracer epoch
+        assert event["dur"] == pytest.approx(3000.0)
+        assert event["args"] == {"phase": "steady", "weight": 2, "chunks": 1}
+
+    def test_nesting_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            assert tracer.depth == 1
+            with tracer.span("inner"):
+                assert tracer.depth == 2
+        assert tracer.depth == 0
+        # Inner closes first, so it exports first.
+        assert [e["name"] for e in tracer.export()] == ["inner", "outer"]
+
+    def test_exception_closes_span_with_error(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("harness.task"):
+                raise RuntimeError("worker died")
+        assert tracer.depth == 0
+        [event] = tracer.export()
+        assert event["args"]["error"] == "RuntimeError"
+
+    def test_instant_event(self):
+        tracer = Tracer()
+        tracer.instant("watchdog.tripped", rate=0.2)
+        [event] = tracer.export()
+        assert event["ph"] == "i"
+        assert event["args"] == {"rate": 0.2}
+
+    def test_null_tracer_records_nothing(self):
+        with NULL_TRACER.span("x") as span:
+            span.set(a=1)
+            span.count("b")
+        NULL_TRACER.instant("y")
+        assert NULL_TRACER.export() == []
+        assert not NULL_TRACER.enabled
+
+    def test_export_is_schema_valid(self):
+        tracer = Tracer()
+        with tracer.span("compile.summaries"):
+            pass
+        tracer.instant("marker")
+        validate_trace(
+            {"schema": "repro.obs.trace/v1", "traceEvents": tracer.export()}
+        )
+
+
+class TestMergeTraceEvents:
+    def test_pid_restamping_and_process_names(self):
+        a = Tracer()
+        with a.span("sim.loop"):
+            pass
+        b = Tracer()
+        with b.span("sim.loop"):
+            pass
+        merged = merge_trace_events(
+            [(1, "run-a", a.export()), (2, "run-b", b.export())]
+        )
+        metadata = [e for e in merged if e["ph"] == "M"]
+        assert [m["args"]["name"] for m in metadata] == ["run-a", "run-b"]
+        spans = [e for e in merged if e["ph"] == "X"]
+        assert sorted(e["pid"] for e in spans) == [1, 2]
+        validate_trace({"schema": "repro.obs.trace/v1", "traceEvents": merged})
+
+
+class TestSinks:
+    def test_atomic_json_files_validate(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("os.setup"):
+            pass
+        metrics_path = tmp_path / "m.json"
+        trace_path = tmp_path / "t.json"
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("n").inc()
+        write_metrics_json(str(metrics_path), registry.snapshot())
+        write_trace_json(str(trace_path), tracer.export())
+        assert validate_metrics_file(str(metrics_path))["counters"] == {"n": 1}
+        payload = validate_trace_file(str(trace_path))
+        assert payload["displayTimeUnit"] == "ms"
+        # No stray tmp files left behind.
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["m.json", "t.json"]
+
+    def test_jsonl_sink_whole_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(str(path)) as sink:
+            sink.emit({"a": 1})
+            sink.emit({"b": 2})
+        lines = path.read_text().splitlines()
+        assert [json.loads(line) for line in lines] == [{"a": 1}, {"b": 2}]
+        with pytest.raises(ValueError):
+            sink.emit({"c": 3})
+
+
+class TestProgressLine:
+    def test_renders_campaign_event(self):
+        stream = io.StringIO()
+        line = ProgressLine(label="sweep", stream=stream, force=True)
+        line.update(
+            {"done": 7, "total": 12, "failed": 1, "retried": 2,
+             "loaded": 0, "honor_rate": 0.98}
+        )
+        assert "sweep: 7/12 done, 1 failed, 2 retried, honor 0.98" in stream.getvalue()
+        line.finish()
+        assert stream.getvalue().endswith("\n")
+
+    def test_inactive_off_tty(self):
+        stream = io.StringIO()  # not a TTY
+        line = ProgressLine(stream=stream)
+        line.update({"done": 1, "total": 2})
+        line.finish()
+        assert stream.getvalue() == ""
+
+    def test_omits_zero_fields_and_missing_honor(self):
+        line = ProgressLine(stream=io.StringIO(), force=True)
+        assert line.render({"done": 3, "total": 3, "honor_rate": None}) == (
+            "sweep: 3/3 done"
+        )
+
+
+class TestSchemaValidator:
+    def test_rejects_wrong_type(self):
+        with pytest.raises(SchemaError, match="traceEvents"):
+            validate_trace({"schema": "repro.obs.trace/v1", "traceEvents": "nope"})
+
+    def test_rejects_missing_required(self):
+        with pytest.raises(SchemaError, match="missing required"):
+            validate_trace({"schema": "repro.obs.trace/v1"})
+
+    def test_rejects_bad_enum(self):
+        with pytest.raises(SchemaError, match="ph"):
+            validate_trace(
+                {
+                    "schema": "repro.obs.trace/v1",
+                    "traceEvents": [
+                        {"name": "x", "ph": "Z", "pid": 0, "tid": 0}
+                    ],
+                }
+            )
+
+    def test_rejects_bool_masquerading_as_integer(self):
+        from repro.obs import validate_metrics
+
+        with pytest.raises(SchemaError, match="counters"):
+            validate_metrics(
+                {
+                    "schema": "repro.obs.metrics/v1",
+                    "scope": "run",
+                    "counters": {"flag": True},
+                    "gauges": {},
+                    "histograms": {},
+                }
+            )
