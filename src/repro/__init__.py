@@ -14,6 +14,8 @@ The package is organised by the systems the paper relies on:
   classification);
 * :mod:`repro.workloads` — synthetic SPEC95fp workload models;
 * :mod:`repro.sim` — trace generation and the timing engine;
+* :mod:`repro.scenarios` — multi-programmed dynamic-capacity churn
+  scenarios (the conditions the paper never measured);
 * :mod:`repro.analysis` — access maps and SPEC-ratio arithmetic.
 
 Quickstart::
@@ -41,27 +43,39 @@ from repro.robustness import (
     InvariantViolation,
     check_invariants,
 )
+from repro.scenarios import (
+    CapacityEvent,
+    JobSpec,
+    ScenarioReport,
+    ScenarioSpec,
+    generate_scenario,
+    run_scenario,
+)
 from repro.sim import EngineOptions, RunResult, SimProfile
 from repro.workloads import WORKLOAD_NAMES, get_workload, iter_workloads
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AccessSummary",
     "Campaign",
     "CampaignOptions",
     "CampaignReport",
+    "CapacityEvent",
     "CdpcRuntime",
     "ColoringResult",
     "DegradationReport",
     "EngineOptions",
     "FaultPlan",
     "InvariantViolation",
+    "JobSpec",
     "MachineConfig",
     "MemorySystem",
     "MissKind",
     "ObsConfig",
     "RunResult",
+    "ScenarioReport",
+    "ScenarioSpec",
     "Session",
     "SimProfile",
     "VirtualMemory",
@@ -70,11 +84,13 @@ __all__ = [
     "alpha_server",
     "check_invariants",
     "generate_page_colors",
+    "generate_scenario",
     "get_workload",
     "iter_workloads",
     "make_policy",
     "run_benchmark",
     "run_program",
+    "run_scenario",
     "sgi_2way",
     "sgi_4mb",
     "sgi_base",

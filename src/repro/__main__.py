@@ -258,6 +258,177 @@ def cmd_sweep(args) -> int:
     return 0 if report.ok else 1
 
 
+def _scenario_spec(args):
+    """The one scenario a ``scenario run`` invocation names."""
+    from repro.scenarios import ScenarioSpec, preset
+
+    if getattr(args, "spec", None):
+        with open(args.spec) as handle:
+            return ScenarioSpec.from_dict(json.load(handle))
+    return preset(args.name)
+
+
+def _scenario_row(scenario: str, label: str, result, degradation) -> list:
+    return [
+        scenario,
+        label,
+        round(result.wall_ns / 1e6, 2),
+        round(result.mcpi(), 2),
+        round(result.hint_honor_rate, 4),
+        degradation.get("adaptive_replans", 0) if degradation else 0,
+        degradation.get("watchdog_trips", 0) if degradation else 0,
+    ]
+
+
+_SCENARIO_COLUMNS = ["scenario", "mode", "wall ms", "MCPI", "honor",
+                     "replans", "trips"]
+
+
+def cmd_scenario(args) -> int:
+    """Multi-programmed dynamic-capacity churn scenarios.
+
+    ``run`` executes one scenario (a preset or a ``--spec`` JSON file)
+    across the three comparison modes; ``sweep`` executes several presets
+    as one crash-safe campaign.  Both inherit the sweep command's
+    durability flags (``--store``/``--resume``/``--retries``/
+    ``--timeout``/``--strict``).
+    """
+    if args.scenario_command == "list":
+        from repro.scenarios import iter_presets
+
+        rows = []
+        for name, spec in iter_presets():
+            rows.append([
+                name,
+                spec.workload,
+                spec.seed,
+                len(spec.jobs),
+                len(spec.capacity_events),
+                compile_horizon(spec),
+            ])
+        print(render_table(
+            ["preset", "workload", "seed", "jobs", "capacity events", "beats"],
+            rows,
+        ))
+        return 0
+
+    from dataclasses import replace as dc_replace
+
+    from repro.obs import ProgressLine, Tracer
+    from repro.scenarios import preset, run_scenario, scenario_tasks
+    from repro.sim.sweeps import run_task_campaign
+
+    config = _make_config(args)
+    base = EngineOptions(
+        profile=SimProfile.fast() if args.fast else SimProfile(),
+        check_invariants=args.check_invariants,
+        obs=_obs_config(args),
+    )
+    tracer = Tracer() if args.trace_out else None
+    progress = ProgressLine(label="scenario", force=args.progress)
+    campaign = dc_replace(
+        _campaign_options(args), tracer=tracer, on_progress=progress.update
+    )
+
+    if args.scenario_command == "run":
+        spec = _scenario_spec(args)
+        try:
+            report = run_scenario(
+                spec, config, options=base,
+                max_workers=args.workers, campaign=campaign,
+            )
+        except KeyboardInterrupt:
+            progress.finish()
+            print("\nrepro scenario: interrupted", file=sys.stderr)
+            return 130
+        finally:
+            progress.finish()
+        if args.metrics_out or args.trace_out:
+            from repro.harness.campaign import campaign_obs_report
+
+            _write_obs_outputs(
+                args, campaign_obs_report(report.campaign, tracer=tracer) or {}
+            )
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            degradation = report.degradation_summary()
+            rows = [
+                _scenario_row(spec.name, label, result,
+                              degradation.get(label))
+                for label, result in report.results.items()
+            ]
+            print(render_table(_SCENARIO_COLUMNS, rows))
+            print()
+            print(report.figure(width=args.width))
+            summary = report.campaign.report
+            print(f"\ncampaign: {summary.summary()}")
+        summary = report.campaign.report
+        if summary.interrupted:
+            return 130
+        return 0 if summary.ok else 1
+
+    # sweep: several presets, one campaign.
+    specs = [preset(name.strip()) for name in args.scenarios.split(",")]
+    labels: list[tuple[str, str]] = []
+    tasks = []
+    for spec in specs:
+        mode_labels, spec_tasks = scenario_tasks(spec, config, options=base)
+        labels.extend((spec.name, mode) for mode in mode_labels)
+        tasks.extend(spec_tasks)
+    try:
+        outcome = run_task_campaign(
+            tasks, max_workers=args.workers, campaign=campaign
+        )
+    except KeyboardInterrupt:
+        progress.finish()
+        print("\nrepro scenario: interrupted", file=sys.stderr)
+        return 130
+    finally:
+        progress.finish()
+    if args.metrics_out or args.trace_out:
+        from repro.harness.campaign import campaign_obs_report
+
+        _write_obs_outputs(args, campaign_obs_report(outcome, tracer=tracer) or {})
+    report = outcome.report
+    if args.json:
+        payload: dict = {
+            "scenarios": {
+                f"{scenario}/{mode}": result.to_dict()
+                for (scenario, mode), result in zip(labels, outcome.results)
+                if result is not None
+            },
+            "campaign": report.to_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        rows = [
+            _scenario_row(
+                scenario, mode, result,
+                result.degradation.to_dict() if result.degradation else None,
+            )
+            for (scenario, mode), result in zip(labels, outcome.results)
+            if result is not None
+        ]
+        print(render_table(_SCENARIO_COLUMNS, rows))
+        print(f"\ncampaign: {report.summary()}")
+        for failure in report.failures:
+            print(
+                f"  FAILED {failure.label}: {failure.kind} "
+                f"after {failure.attempts} attempt(s) {failure.message}",
+                file=sys.stderr,
+            )
+    if report.interrupted:
+        return 130
+    return 0 if report.ok else 1
+
+
+def compile_horizon(spec) -> int:
+    from repro.scenarios import compile_churn
+
+    return compile_churn(spec).horizon
+
+
 def cmd_runfile(args) -> int:
     from repro.compiler.frontend import parse_program
 
@@ -630,6 +801,90 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write the JSON report (default: BENCH_engine.json)",
     )
 
+    scenario_parser = sub.add_parser(
+        "scenario",
+        help="multi-programmed dynamic-capacity churn scenarios "
+        "(CDPC-adaptive vs dynamic-recolor vs bin-hopping)",
+    )
+    scn_sub = scenario_parser.add_subparsers(
+        dest="scenario_command", required=True
+    )
+    scn_sub.add_parser("list", help="list the scenario presets")
+
+    def add_scenario_common(p):
+        p.add_argument("--cpus", type=int, default=8)
+        p.add_argument("--machine", choices=sorted(_MACHINES),
+                       default="sgi_base")
+        p.add_argument("--scale", type=int, default=16,
+                       help="geometric scale factor (default 16)")
+        p.add_argument("--fast", action="store_true",
+                       help="single-sweep fast simulation profile")
+        p.add_argument("--json", action="store_true",
+                       help="emit the report as JSON instead of tables")
+        p.add_argument(
+            "--progress", action="store_true",
+            help="force the live progress line even when stderr is not a TTY",
+        )
+        p.add_argument(
+            "--resume", action="store_true",
+            help="persist completed runs durably and skip any already in "
+            f"the store (default store: {DEFAULT_STORE})",
+        )
+        p.add_argument(
+            "--store", default=None, metavar="DIR",
+            help="result-store directory (implies result persistence)",
+        )
+        p.add_argument(
+            "--workers", type=int, default=None,
+            help="process-pool size (default: CPUs this process may use)",
+        )
+        p.add_argument(
+            "--timeout", type=float, default=None, metavar="SECONDS",
+            help="per-run wall-clock deadline (parallel mode only)",
+        )
+        p.add_argument(
+            "--retries", type=int, default=2,
+            help="retries per run after a crash or timeout (default 2)",
+        )
+        p.add_argument(
+            "--strict", action="store_true",
+            help="fail fast on the first unrecoverable run failure",
+        )
+        p.add_argument(
+            "--check-invariants", action="store_true",
+            help="verify page-table/physmem invariants after init and "
+            "every epoch of every mode",
+        )
+        add_obs(p)
+
+    scn_run = scn_sub.add_parser(
+        "run", help="run one scenario across the comparison modes"
+    )
+    from repro.scenarios import PRESETS
+
+    scn_run.add_argument(
+        "name", nargs="?", default="smoke", choices=sorted(PRESETS),
+        help="scenario preset name (default smoke; see 'scenario list')",
+    )
+    scn_run.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="run a ScenarioSpec JSON file instead of a preset",
+    )
+    scn_run.add_argument(
+        "--width", type=int, default=40,
+        help="bar width of the churn figure (default 40)",
+    )
+    add_scenario_common(scn_run)
+
+    scn_sweep = scn_sub.add_parser(
+        "sweep", help="run several scenario presets as one campaign"
+    )
+    scn_sweep.add_argument(
+        "--scenarios", default="smoke,churn",
+        help="comma-separated preset names (default: smoke,churn)",
+    )
+    add_scenario_common(scn_sweep)
+
     obs_parser = sub.add_parser(
         "obs-check",
         help="validate --metrics-out / --trace-out files against the "
@@ -673,6 +928,7 @@ def main(argv=None) -> int:
         "bench": cmd_bench,
         "lint": cmd_lint,
         "obs-check": cmd_obs_check,
+        "scenario": cmd_scenario,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,79 @@
+"""The churn figure family: policy comparison under dynamic capacity.
+
+Renders the result the paper never measured — CDPC (with adaptive
+re-planning) vs dynamic recoloring vs bin hopping while co-runners come
+and go and the host revokes capacity.  Three panels:
+
+* **honor rate** per mode — how much of the intended coloring survived;
+* **MCPI** per mode — what the churn cost in misses;
+* **capacity timeline** — frames available per beat, reconstructed from
+  the degradation events, so the reader can line dips up with trips and
+  re-plans.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.analysis.figures import ascii_bar, bar_chart
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.scenarios.runner import ScenarioReport
+
+
+def capacity_timeline(
+    timeline: Sequence[Sequence[int]], width: int = 40
+) -> str:
+    """ASCII capacity-over-beats strip.
+
+    ``timeline`` rows are ``(beat, capacity_frames, free_frames)`` as the
+    churn driver records them after each beat's actions
+    (:attr:`repro.robustness.degradation.DegradationReport.capacity_timeline`).
+    The bar shows total capacity; the trailing numbers capacity and free.
+    """
+    rows = [tuple(row) for row in timeline]
+    if not rows:
+        return "(no churn beats)"
+    total = max(capacity for _beat, capacity, _free in rows)
+    if total <= 0:
+        return "(no capacity recorded)"
+    lines = []
+    for beat, capacity, free in rows:
+        bar = ascii_bar(capacity, total, width)
+        lines.append(
+            f"beat {beat:>3}  {bar.ljust(width)}  {capacity:>6} ({free} free)"
+        )
+    return "\n".join(lines)
+
+
+def churn_figure(report: "ScenarioReport", width: int = 40) -> str:
+    """The full churn figure for one scenario report."""
+    if not report.results:
+        return f"scenario {report.spec.name!r}: no completed modes"
+    sections = [f"scenario {report.spec.name!r} (workload "
+                f"{report.spec.workload!r}, seed {report.spec.seed})"]
+    sections.append("\nhint honor rate (higher is better):")
+    sections.append(bar_chart(report.honor_rates(), width=width))
+    sections.append("\nMCPI (lower is better):")
+    sections.append(bar_chart(report.mcpi(), width=width))
+    degradation = report.degradation_summary()
+    timeline = next(
+        (
+            summary["capacity_timeline"]
+            for summary in degradation.values()
+            if summary.get("capacity_timeline")
+        ),
+        None,
+    )
+    if timeline:
+        sections.append("\ncapacity timeline (frames):")
+        sections.append(capacity_timeline(timeline, width=width))
+    replans = {
+        label: summary.get("adaptive_replans", 0)
+        for label, summary in degradation.items()
+    }
+    if any(replans.values()):
+        sections.append("\nadaptive re-plans: " + ", ".join(
+            f"{label}={count}" for label, count in replans.items()
+        ))
+    return "\n".join(sections)

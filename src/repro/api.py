@@ -81,6 +81,21 @@ def canonicalize_kwargs(kwargs: dict) -> dict:
 _OPTION_FIELDS = frozenset(EngineOptions.__dataclass_fields__)
 
 
+def _is_scenario(value: Any) -> bool:
+    """Whether a ``sweep(policies=...)`` argument names a churn scenario.
+
+    Scenario forms: a :class:`repro.scenarios.ScenarioSpec`, a preset
+    name string, or a spec dict — distinguished from a policy-override
+    mapping by its ``jobs``/``capacity_events`` keys.
+    """
+    if isinstance(value, str):
+        return True
+    if isinstance(value, dict):
+        return "jobs" in value or "capacity_events" in value
+    # Duck-typed so repro.scenarios stays a lazy import.
+    return type(value).__name__ == "ScenarioSpec"
+
+
 class Session:
     """One workload (or program), one machine, one set of engine options.
 
@@ -125,6 +140,9 @@ class Session:
         #: The full fault-tolerance outcome of the most recent
         #: :meth:`sweep` (``None`` until one has run).
         self.last_campaign: Optional[Campaign] = None
+        #: The full :class:`repro.scenarios.ScenarioReport` of the most
+        #: recent scenario sweep (``None`` until one has run).
+        self.last_scenario: Optional[Any] = None
 
     # ------------------------------------------------------------------
 
@@ -150,7 +168,7 @@ class Session:
 
     def sweep(
         self,
-        policies: Optional[dict[str, dict] | list[str]] = None,
+        policies: Optional[Any] = None,
         *,
         campaign: Optional[CampaignOptions] = None,
         **kwargs: Any,
@@ -159,16 +177,26 @@ class Session:
 
         ``policies`` is either a mapping of label → :class:`EngineOptions`
         overrides, or a list of standard policy labels (see
-        ``repro.sim.sweeps.STANDARD_POLICIES``).  Returns label → result
-        for every completed run; the full :class:`Campaign` (report,
-        failures, retries) lands on ``self.last_campaign``.  Without
-        explicit ``campaign`` options the sweep keeps the historical
-        fail-fast contract and raises on any task failure.
+        ``repro.sim.sweeps.STANDARD_POLICIES``) — or a *churn scenario*: a
+        :class:`repro.scenarios.ScenarioSpec`, a preset name (``"smoke"``,
+        ``"churn"``), or a spec dict (recognized by its ``jobs`` /
+        ``capacity_events`` keys).  A scenario runs the session's workload
+        across the comparison modes under the spec's capacity churn; the
+        full :class:`repro.scenarios.ScenarioReport` lands on
+        ``self.last_scenario``.
+
+        Returns label → result for every completed run; the full
+        :class:`Campaign` (report, failures, retries) lands on
+        ``self.last_campaign``.  Without explicit ``campaign`` options the
+        sweep keeps the historical fail-fast contract and raises on any
+        task failure.
         """
         from repro.sim.sweeps import STANDARD_POLICIES, policy_campaign
 
         if self.workload is None:
             raise TypeError("sweep() needs a named workload session")
+        if _is_scenario(policies):
+            return self._scenario_sweep(policies, campaign=campaign, **kwargs)
         if isinstance(policies, (list, tuple)):
             unknown = [label for label in policies if label not in STANDARD_POLICIES]
             if unknown:
@@ -193,6 +221,40 @@ class Session:
         if campaign is None:
             outcome.raise_if_failed()
         return completed
+
+    def _scenario_sweep(
+        self,
+        scenario: Any,
+        *,
+        campaign: Optional[CampaignOptions] = None,
+        **kwargs: Any,
+    ) -> dict[str, RunResult]:
+        """Run a churn scenario across the comparison modes."""
+        from dataclasses import replace as dc_replace
+
+        from repro.scenarios import coerce_spec, run_scenario
+
+        spec = coerce_spec(scenario)
+        if spec.workload != self.workload:
+            # The session names the subject workload; the spec's default
+            # must not silently override it.
+            spec = dc_replace(spec, workload=self.workload)
+        kwargs = canonicalize_kwargs(kwargs)
+        workers = kwargs.pop("workers", None)
+        if kwargs:
+            raise TypeError(f"unknown sweep option(s): {', '.join(sorted(kwargs))}")
+        report = run_scenario(
+            spec,
+            self.config,
+            options=self.options,
+            max_workers=workers,
+            campaign=campaign,
+        )
+        self.last_scenario = report
+        self.last_campaign = report.campaign
+        if campaign is None and report.campaign is not None:
+            report.campaign.raise_if_failed()
+        return report.results
 
     def sweep_obs_report(self, tracer: Any = None) -> Optional[dict]:
         """Observability rollup of the last sweep (or ``None``).

@@ -90,7 +90,8 @@ _TRUE = MissKind.TRUE_SHARING
 _FALSE = MissKind.FALSE_SHARING
 
 
-def loop_runner(ms: MemorySystem, vm, page_cache: dict, cpu: int, stream):
+def loop_runner(ms: MemorySystem, vm, page_cache: dict, cpu: int, stream,
+                fault_watch=None):
     """Generator executing ``stream`` chunks for ``cpu``: the oracle, flat.
 
     Prime with ``next()``, then for each scheduling chunk ``send`` a tuple
@@ -100,6 +101,11 @@ def loop_runner(ms: MemorySystem, vm, page_cache: dict, cpu: int, stream):
     faults, what the steady-state engine charges to the kernel overhead
     category), and the page-fault component alone (what the init loop
     charges — it adds TLB service time to the clock but not to overhead).
+
+    ``fault_watch``, when given, is called after every page fault while
+    the cached bus state is already flushed — it may mutate the memory
+    system and page tables (the engine's adaptive-CDPC watchdog re-plans
+    and migrates pages from here).
 
     A runner is valid for one engine loop: everything captured is either
     a constant or a container mutated in place for the loop's lifetime.
@@ -378,6 +384,8 @@ def loop_runner(ms: MemorySystem, vm, page_cache: dict, cpu: int, stream):
                 if not is_mapped(vpage):
                     flush_bus()
                     fault(vpage, cpu, concurrent_faults=fault_concurrency)
+                    if fault_watch is not None:
+                        fault_watch()
                     (
                         bus_backlog,
                         bus_last_update,

@@ -9,7 +9,13 @@ under memory pressure a fault falls back to the nearest available color,
 exactly the degradation mode Section 5 describes.
 """
 
-from repro.osmodel.dynamic import DynamicRecolorer, RecolorEvent
+from repro.osmodel.dynamic import (
+    AdaptiveCdpc,
+    DynamicRecolorer,
+    MigrationAborted,
+    RecolorEvent,
+    ReplanEvent,
+)
 from repro.osmodel.page_table import PageTable
 from repro.osmodel.physmem import (
     CascadeReclaimer,
@@ -29,12 +35,15 @@ from repro.osmodel.policies import (
 from repro.osmodel.vm import VirtualMemory
 
 __all__ = [
+    "AdaptiveCdpc",
     "BinHoppingPolicy",
     "CascadeReclaimer",
     "DynamicRecolorer",
     "HeldFrameReclaimer",
+    "MigrationAborted",
     "OutOfMemoryError",
     "RecolorEvent",
+    "ReplanEvent",
     "CdpcHintPolicy",
     "MappingPolicy",
     "PageColoringPolicy",

@@ -1,19 +1,28 @@
-"""Dynamic page recoloring — the alternative the paper argues against.
+"""Dynamic page recoloring and the adaptive CDPC re-planner.
 
 Section 2.1 describes dynamic policies that detect conflicts at run time
 (via a cache-miss lookaside buffer or TLB state plus miss counters) and
 *recolor* a page by copying it to a frame of a different color.  The paper
 notes that "the performance of dynamic policies for multiprocessors has
 not been studied" and predicts high overheads: every processor's TLB must
-be flushed and the copy generates traffic.  This module implements such a
-policy so the prediction can be tested against CDPC (see
-``benchmarks/test_ablation_dynamic.py``).
+be flushed and the copy generates traffic.  :class:`DynamicRecolorer`
+implements such a policy so the prediction can be tested against CDPC
+(see ``benchmarks/test_ablation_dynamic.py``).
 
-The recolorer inspects per-frame conflict-miss counters accumulated by the
-memory system, picks the worst offenders, and migrates each to a frame of
-the least-loaded color.  Costs modeled per migration, following the
-paper's argument: a page copy (two page-sized bus transfers) plus a TLB
-shootdown on every processor.
+:class:`AdaptiveCdpc` is the middle ground the paper never needed on a
+dedicated machine: it keeps the compile-time plan but *re-plans* the
+color assignment transactionally when capacity churn (competing address
+spaces arriving and departing, the host revoking physical memory) makes
+the original colors unhonorable.  The plan's color classes are remapped
+bijectively onto the colors that still have capacity — a bijection
+preserves the plan's conflict-freedom — and a bounded number of
+already-mapped pages migrate to their new colors.
+
+Both recolorers share one transactional migration primitive: the
+replacement frame is allocated *before* the page is unmapped, the copy
+window is an explicit step (where a capacity revocation may strike), and
+every abort path returns the staged frame and leaves the VM→frame
+mapping and the free lists exactly as they were.
 """
 
 from __future__ import annotations
@@ -25,6 +34,55 @@ from repro.machine.memory_system import MemorySystem
 from repro.osmodel.physmem import OutOfMemoryError
 from repro.osmodel.vm import VirtualMemory
 
+#: Signature of the copy-window hook: ``(vpage, old_frame, new_frame)``.
+#: Fault injectors and churn drivers use it to revoke capacity in the
+#: worst possible window — after the copy destination is staged, before
+#: the remap commits.  Raising :class:`OutOfMemoryError` from the hook
+#: aborts the migration transactionally.
+MigrationHook = Callable[[int, int, int], None]
+
+
+def remap_plan_colors(
+    plan_colors: dict[int, int],
+    capacity_by_color: list[int],
+    demand_by_color: Optional[list[int]] = None,
+) -> dict[int, int]:
+    """Remap a vpage → color plan onto a surviving-capacity distribution.
+
+    Each plan color class carries a *demand* — how many of its pages
+    still need a frame (by default the class's page count).  Classes are
+    packed onto colors greedily, most demanding class first onto the
+    color with the most *remaining* capacity, debiting the capacity as
+    it goes.  When capacity is spread evenly this degenerates to a
+    permutation that preserves the plan's separation; when churn has
+    concentrated the grantable frames on a few colors, classes *fold*
+    onto the honorable band — trading some cache-bin separation for
+    placements that can actually be honored, which is the right trade
+    while capacity is gone (the next re-plan spreads back out once it
+    returns).  Classes with zero demand keep their color: all their
+    pages are placed, so moving their hint would only trigger migrations
+    and burn capacity the faulting classes need.  Ties break toward the
+    lowest color so the remap is deterministic.
+    """
+    num_colors = len(capacity_by_color)
+    usage = [0] * num_colors
+    for color in plan_colors.values():
+        usage[color % num_colors] += 1
+    demand = list(demand_by_color) if demand_by_color is not None else usage
+    remaining = list(capacity_by_color)
+    permutation: dict[int, int] = {}
+    for cls in sorted(range(num_colors), key=lambda c: (-demand[c], c)):
+        if demand[cls] <= 0:
+            permutation[cls] = cls
+            continue
+        target = max(range(num_colors), key=lambda c: (remaining[c], -c))
+        permutation[cls] = target
+        remaining[target] -= demand[cls]
+    return {
+        vpage: permutation[color % num_colors]
+        for vpage, color in plan_colors.items()
+    }
+
 
 @dataclass
 class RecolorEvent:
@@ -34,6 +92,68 @@ class RecolorEvent:
     old_frame: int
     new_frame: int
     conflicts: int
+
+
+class MigrationAborted(Exception):
+    """A migration ran out of memory; the staged frame was returned."""
+
+
+def migration_cost_ns(vm: VirtualMemory, ms: MemorySystem,
+                      shootdown_ns: float) -> float:
+    """Cost of one migration: copy both ways over the bus + shootdowns."""
+    page = vm.config.page_size
+    copy_ns = 2 * page / ms.bus.bandwidth_bytes_per_ns
+    return copy_ns + shootdown_ns * vm.config.num_cpus
+
+
+def migrate_page(
+    vm: VirtualMemory,
+    ms: MemorySystem,
+    vpage: int,
+    frame: int,
+    new_color: int,
+    conflicts: int = 0,
+    pre_remap_hook: Optional[MigrationHook] = None,
+) -> Optional[RecolorEvent]:
+    """Move one mapped page to a frame of ``new_color``, transactionally.
+
+    The transaction order is: stage (allocate the destination frame),
+    copy (the window where ``pre_remap_hook`` may revoke capacity or
+    fail), verify (the mapping may have moved under a reclaim), commit
+    (unmap + map + free the old frame + invalidate its cache lines).
+
+    Returns the :class:`RecolorEvent` on commit, ``None`` when the
+    migration was skipped because the mapping changed under us (the
+    staged frame is returned to its free list), and raises
+    :class:`MigrationAborted` when memory ran out — in every case the
+    VM→frame mapping and the free lists are left consistent.
+    """
+    physmem = vm.physmem
+    try:
+        new_frame = physmem.alloc(new_color)
+    except OutOfMemoryError as exc:
+        raise MigrationAborted(str(exc)) from exc
+    try:
+        # The copy window: two page-sized bus transfers in the model.  A
+        # capacity revocation (or an injected failure) may strike here.
+        if pre_remap_hook is not None:
+            pre_remap_hook(vpage, frame, new_frame)
+    except OutOfMemoryError as exc:
+        # Abort: return the staged frame; the page stays mapped where it
+        # was and the free lists balance.
+        physmem.free(new_frame)
+        raise MigrationAborted(str(exc)) from exc
+    if vm.page_table.frame_of(vpage) != frame:
+        # The page moved (or was reclaimed) under us while the allocator
+        # ran its reclaim path or during the copy window; drop this
+        # migration and return the staged frame.
+        physmem.free(new_frame)
+        return None
+    vm.page_table.unmap(vpage)
+    vm.page_table.map(vpage, new_frame)
+    physmem.free(frame)
+    ms.invalidate_frame(frame)
+    return RecolorEvent(vpage, frame, new_frame, conflicts)
 
 
 @dataclass
@@ -56,12 +176,14 @@ class DynamicRecolorer:
     aborted_steps: int = 0
     #: Optional degradation-event callback: ``(kind, detail)``.
     on_degradation: Optional[Callable[[str, dict], None]] = None
+    #: Optional copy-window hook (see :data:`MigrationHook`): called
+    #: between staging the destination frame and committing the remap, so
+    #: capacity revocation can be injected mid-migration.
+    pre_remap_hook: Optional[MigrationHook] = None
 
     def migration_cost_ns(self) -> float:
         """Cost of one migration: copy both ways over the bus + shootdowns."""
-        page = self.vm.config.page_size
-        copy_ns = 2 * page / (self.ms.bus.bandwidth_bytes_per_ns)
-        return copy_ns + self.shootdown_ns * self.vm.config.num_cpus
+        return migration_cost_ns(self.vm, self.ms, self.shootdown_ns)
 
     def _least_loaded_color(self) -> int:
         histogram = self.vm.color_histogram()
@@ -74,12 +196,14 @@ class DynamicRecolorer:
         inspected counters are consumed, so each interval reacts to fresh
         conflicts only.
 
-        The step is transactional per page: the replacement frame is
-        allocated *before* the page is unmapped, so a page is never left
-        unmapped on allocation failure.  When the allocator is exhausted
-        the remaining migrations for this interval are abandoned (recorded
-        in :attr:`aborted_steps`) rather than crashing the simulation —
-        recoloring is an optimization, not a correctness requirement.
+        Each migration is transactional (see :func:`migrate_page`): the
+        replacement frame is staged before the page is unmapped, and a
+        failure anywhere in the window — allocation exhaustion, or a
+        capacity revocation striking between the copy and the remap —
+        returns the staged frame and abandons the remaining migrations
+        for this interval (recorded in :attr:`aborted_steps`) with the
+        VM→frame mapping and free lists intact.  Recoloring is an
+        optimization, not a correctness requirement.
         """
         counters = self.ms.consume_frame_conflicts()
         if not counters:
@@ -102,8 +226,11 @@ class DynamicRecolorer:
             if new_color == self.vm.physmem.color_of(frame):
                 continue
             try:
-                new_frame = self.vm.physmem.alloc(new_color)
-            except OutOfMemoryError:
+                event = migrate_page(
+                    self.vm, self.ms, vpage, frame, new_color,
+                    conflicts=count, pre_remap_hook=self.pre_remap_hook,
+                )
+            except MigrationAborted:
                 self.aborted_steps += 1
                 if self.on_degradation is not None:
                     self.on_degradation(
@@ -112,16 +239,9 @@ class DynamicRecolorer:
                          "migrated_before_abort": len(performed)},
                     )
                 break
-            if self.vm.page_table.frame_of(vpage) != frame:
-                # The page moved (or was reclaimed) under us while the
-                # allocator ran its reclaim path; drop this migration.
-                self.vm.physmem.free(new_frame)
+            if event is None:
                 continue
-            self.vm.page_table.unmap(vpage)
-            self.vm.page_table.map(vpage, new_frame)
-            self.vm.physmem.free(frame)
-            self.ms.invalidate_frame(frame)
-            performed.append(RecolorEvent(vpage, frame, new_frame, count))
+            performed.append(event)
             total_cost += self.migration_cost_ns()
         self.events.extend(performed)
         return performed, total_cost
@@ -129,3 +249,167 @@ class DynamicRecolorer:
     @property
     def total_migrations(self) -> int:
         return len(self.events)
+
+
+@dataclass
+class ReplanEvent:
+    """One adaptive re-plan: new hints plus the migrations that realized it."""
+
+    #: The fresh vpage → color hint table (bijective remap of the plan).
+    hints: dict[int, int]
+    #: Migrations committed while realizing the new plan.
+    migrations: list[RecolorEvent]
+    #: True when the migration pass was cut short by exhaustion.
+    aborted: bool
+    #: Honor rate observed in the window that triggered the re-plan.
+    honor_rate_before: float
+    #: Kernel cost of the committed migrations.
+    cost_ns: float
+
+
+@dataclass
+class AdaptiveCdpc:
+    """Transactional mid-run color re-planning (the adaptive CDPC mode).
+
+    When capacity churn collapses the hint honor rate, the static plan is
+    not abandoned (the dynamic-recolorer fallback) but *re-planned*: the
+    plan's color classes that still have pages to place are packed onto
+    the colors ranked by surviving grantable capacity (free frames plus
+    reclaimable held frames), and the hottest stale mapped pages migrate
+    to their new colors — each migration transactional, every abort path
+    leaving VM/physmem invariants intact.
+    """
+
+    vm: VirtualMemory
+    ms: MemorySystem
+    #: The compile-time vpage → color plan being adapted.
+    plan_colors: dict[int, int]
+    #: Pages migrated per re-plan at most (bounds kernel time, exactly as
+    #: the dynamic recolorer bounds its inspection intervals).
+    max_migrations: int = 32
+    #: Per-processor TLB-shootdown cost (same model as the recolorer).
+    shootdown_ns: float = 3000.0
+    events: list[ReplanEvent] = field(default_factory=list)
+    aborted_replans: int = 0
+    on_degradation: Optional[Callable[[str, dict], None]] = None
+    #: Copy-window hook forwarded to every migration.
+    pre_remap_hook: Optional[MigrationHook] = None
+
+    def capacity_by_color(self) -> list[int]:
+        """Frames per color a fault of this address space can be *granted*.
+
+        Free frames are granted directly.  *Held* frames (a competing
+        address space's) count too: the held-frame reclaimer pages out a
+        competitor frame of the exact requested color when one exists, so
+        a color rich in held frames honors hints nearly as well as a free
+        one.  Frames this address space already maps do NOT count —
+        cold-page eviction picks the globally coldest page regardless of
+        the requested color, so owning frames of a color does not make
+        that color honorable.  *Revoked* frames are truly gone.
+        """
+        physmem = self.vm.physmem
+        capacity = [
+            physmem.free_frames_of_color(color)
+            for color in range(physmem.num_colors)
+        ]
+        for frame in physmem.held_frames():
+            capacity[physmem.color_of(frame)] += 1
+        return capacity
+
+    def replan(self, honor_rate: float = 0.0) -> ReplanEvent:
+        """Re-map the plan onto surviving capacity and migrate the worst pages.
+
+        The color permutation is computed by :meth:`remap_hints`; the
+        migration pass then walks the mapped pages whose current color
+        disagrees with the new hint, hottest (most recorded misses)
+        first, and moves up to :attr:`max_migrations` of them.  A
+        migration abort (exhaustion, or revocation striking in the copy
+        window) abandons the rest of the pass — the new hint table is
+        still installed, so subsequent faults land on honorable colors.
+        """
+        hints = self.remap_hints()
+        migrations: list[RecolorEvent] = []
+        aborted = False
+        cost = 0.0
+        physmem = self.vm.physmem
+        frame_misses = self.ms.frame_misses
+        stale = sorted(
+            (
+                (-frame_misses.get(frame, 0), vpage, frame)
+                for vpage, frame in self.vm.page_table.mappings()
+                if hints.get(vpage) is not None
+                and physmem.color_of(frame) != hints[vpage]
+            ),
+        )[: self.max_migrations]
+        for _priority, vpage, frame in stale:
+            try:
+                event = migrate_page(
+                    self.vm, self.ms, vpage, frame, hints[vpage],
+                    pre_remap_hook=self.pre_remap_hook,
+                )
+            except MigrationAborted:
+                aborted = True
+                self.aborted_replans += 1
+                if self.on_degradation is not None:
+                    self.on_degradation(
+                        "aborted_replan",
+                        {"vpage": vpage, "wanted_color": hints[vpage],
+                         "migrated_before_abort": len(migrations)},
+                    )
+                break
+            if event is None:
+                continue
+            migrations.append(event)
+            cost += migration_cost_ns(self.vm, self.ms, self.shootdown_ns)
+        outcome = ReplanEvent(
+            hints=hints,
+            migrations=migrations,
+            aborted=aborted,
+            honor_rate_before=honor_rate,
+            cost_ns=cost,
+        )
+        self.events.append(outcome)
+        if self.on_degradation is not None:
+            self.on_degradation(
+                "adaptive_replan",
+                {"migrations": len(migrations), "aborted": aborted,
+                 "honor_rate_before": round(honor_rate, 4)},
+            )
+        return outcome
+
+    def demand_by_color(self) -> list[int]:
+        """Pages per plan class that are *unmapped* — the future faults.
+
+        A page evicted by revocation (or a reclaim cascade) re-faults the
+        next time the program touches it; a page that is mapped does not
+        fault at all.  Ranking classes by unmapped pages aims the re-plan
+        at exactly the demand the new hints will serve.
+        """
+        num_colors = self.vm.physmem.num_colors
+        frame_of = self.vm.page_table.frame_of
+        demand = [0] * num_colors
+        for vpage, color in self.plan_colors.items():
+            if frame_of(vpage) is None:
+                demand[color % num_colors] += 1
+        return demand
+
+    def remap_hints(self) -> dict[int, int]:
+        """Remap the plan's colors onto surviving capacity.
+
+        See :func:`remap_plan_colors`; capacity here is grantable frames
+        (free plus reclaimable-with-matching-color held), demand the
+        unmapped pages per class.
+        """
+        return remap_plan_colors(
+            self.plan_colors,
+            self.capacity_by_color(),
+            demand_by_color=self.demand_by_color(),
+        )
+
+    @property
+    def total_replans(self) -> int:
+        return len(self.events)
+
+    @property
+    def total_migrations(self) -> int:
+        return sum(len(event.migrations) for event in self.events)

@@ -10,9 +10,11 @@ nearest color with free frames, so preferred colors remain strictly hints.
 Beyond the happy path, the manager models the degradation story of
 Section 5.3 explicitly:
 
-* every frame is in exactly one of three states — *free* (on a per-color
-  free list), *allocated* (handed out by :meth:`alloc`), or *held* (owned
-  by a competing address space, see :meth:`seize_frames`);
+* every frame is in exactly one of four states — *free* (on a per-color
+  free list), *allocated* (handed out by :meth:`alloc`), *held* (owned
+  by a competing address space, see :meth:`seize_frames`), or *revoked*
+  (physically removed from the machine's capacity by the host, see
+  :meth:`revoke_frames`);
 * exhaustion consults a pluggable :class:`ReclaimPolicy` before raising
   :class:`OutOfMemoryError`, so a pressured system can evict cold frames
   instead of crashing;
@@ -75,15 +77,30 @@ class PhysicalMemory:
             self._free[frame % num_colors].append(frame)
         self._allocated: set[int] = set()
         self._held: set[int] = set()
+        self._revoked: set[int] = set()
         self.allocations = 0
         self.hint_requests = 0
         self.hints_honored = 0
         self.reclaims = 0
         self.forced_failures = 0
+        self.frames_revoked_total = 0
+        self.frames_restored_total = 0
+        #: Frames a revocation wanted but could not obtain (free lists dry
+        #: and reclaim exhausted) — the shortfall is visible, not silent.
+        self.revocation_shortfall = 0
         #: Ring distance from the preferred color to the granted color, per
         #: hinted allocation.  ``{0: n}`` means every hint was honored.
         self.fallback_distance: dict[int, int] = {}
         self.reclaim_policy: Optional[ReclaimPolicy] = None
+        #: Reclaim policy consulted by :meth:`revoke_frames` when the free
+        #: lists cannot cover a revocation.  Kept separate from the
+        #: allocation-path ``reclaim_policy`` because the two answer
+        #: different questions: an exhausted *allocation* may evict the
+        #: competing address space's frames, but a host *revoking
+        #: capacity* must not confiscate another tenant's memory — the
+        #: subject's own cold pages pay.  ``None`` falls back to
+        #: ``reclaim_policy``.
+        self.revocation_policy: Optional[ReclaimPolicy] = None
         self.event_hook: Optional[EventHook] = None
         #: Injected-failure predicate: called with the preferred color;
         #: returning True makes that allocation behave as if memory were
@@ -317,6 +334,123 @@ class PhysicalMemory:
             self._held.discard(frame)
             self._free[self.color_of(frame)].append(frame)
         return released
+
+    # ------------------------------------------------------------------
+    # Capacity revocation (dynamic physical-memory capacity)
+
+    def revoked_frames(self) -> frozenset[int]:
+        """Frames the host has revoked from the machine's capacity."""
+        return frozenset(self._revoked)
+
+    def capacity_frames(self) -> int:
+        """Frames currently part of the machine (total minus revoked)."""
+        return self.num_frames - len(self._revoked)
+
+    def _revocation_victim(
+        self, free_counts: list[int], protect_colors: Optional[set[int]]
+    ) -> Optional[int]:
+        """Color-aware victim selection: drain the richest color first.
+
+        Taking frames from the color with the most free frames keeps the
+        per-color free lists balanced, so preferred-color hints stay
+        honorable for as long as possible.  ``protect_colors`` (e.g. the
+        colors a CDPC plan leans on) are only drained once every other
+        color is dry.  Deterministic: ties break toward the lowest color.
+        """
+        best: Optional[int] = None
+        best_key: Optional[tuple[int, int]] = None
+        for color, count in enumerate(free_counts):
+            if count <= 0:
+                continue
+            protected = (
+                1 if protect_colors is not None and color in protect_colors else 0
+            )
+            key = (protected, -count)
+            if best_key is None or key < best_key:
+                best, best_key = color, key
+        return best
+
+    def revoke_frames(
+        self,
+        count: int,
+        protect_colors: Optional[set[int]] = None,
+        reclaim: bool = True,
+    ) -> list[int]:
+        """The host revokes up to ``count`` frames of physical capacity.
+
+        Revocation is a first-class capacity event, not a fault: revoked
+        frames leave the machine entirely (state *revoked*) until
+        :meth:`restore_frames` returns them.  Victims are chosen
+        color-aware from the free lists; when the free lists cannot cover
+        the request and ``reclaim`` is allowed, the reclaim policy is
+        consulted (evicting held frames or cold mapped pages) so the
+        revocation succeeds by shrinking the tenant instead of failing.
+        Any remaining shortfall is recorded in
+        :attr:`revocation_shortfall` and reported via the event hook —
+        never raised.
+        """
+        if count <= 0:
+            return []
+        taken: list[int] = []
+        free_counts = [len(queue) for queue in self._free]
+        while len(taken) < count:
+            color = self._revocation_victim(free_counts, protect_colors)
+            if color is None:
+                if not reclaim or self._reclaim_for_revocation(protect_colors) is None:
+                    break
+                free_counts = [len(queue) for queue in self._free]
+                continue
+            frame = self._free[color].pop()  # newest free frame of the color
+            free_counts[color] -= 1
+            self._revoked.add(frame)
+            taken.append(frame)
+        self.frames_revoked_total += len(taken)
+        shortfall = count - len(taken)
+        if shortfall > 0:
+            self.revocation_shortfall += shortfall
+        self._emit(
+            "capacity_revoked",
+            {"requested": count, "revoked": len(taken), "shortfall": shortfall,
+             "capacity": self.capacity_frames()},
+        )
+        return taken
+
+    def _reclaim_for_revocation(
+        self, protect_colors: Optional[set[int]]
+    ) -> Optional[int]:
+        """Free one frame so a revocation can proceed; ``None`` when dry."""
+        policy = self.revocation_policy or self.reclaim_policy
+        if policy is None:
+            return None
+        frame = policy.reclaim(self, None)
+        if frame is not None:
+            self.reclaims += 1
+            self._emit(
+                "reclaim",
+                {"frame": frame, "color": self.color_of(frame),
+                 "preferred_color": None},
+            )
+        return frame
+
+    def restore_frames(self, count: int) -> list[int]:
+        """The host restores up to ``count`` revoked frames of capacity.
+
+        Frames return to their color's free list in deterministic
+        (sorted) order; color balance recovers naturally because
+        revocation drained the richest colors first.
+        """
+        if count <= 0 or not self._revoked:
+            return []
+        restored = sorted(self._revoked)[:count]
+        for frame in restored:
+            self._revoked.discard(frame)
+            self._free[self.color_of(frame)].append(frame)
+        self.frames_restored_total += len(restored)
+        self._emit(
+            "capacity_restored",
+            {"restored": len(restored), "capacity": self.capacity_frames()},
+        )
+        return restored
 
     @property
     def hint_honor_rate(self) -> float:

@@ -59,9 +59,23 @@ class DegradationReport:
     pressure_events: int = 0
     frames_seized: int = 0
     frames_released: int = 0
+    #: Capacity frames the host revoked / gave back during the run.
+    frames_revoked: int = 0
+    frames_restored: int = 0
+    #: Revocations the free lists + reclaim could not satisfy in full.
+    revocation_shortfall: int = 0
+    #: Adaptive CDPC transactional re-plans and the page migrations (and
+    #: aborted migration passes) they performed.
+    adaptive_replans: int = 0
+    replan_migrations: int = 0
+    aborted_replans: int = 0
     #: Hinted allocations by ring distance from the preferred color to the
     #: granted color; ``{0: n}`` means every hint was honored exactly.
     fallback_distance_histogram: dict[int, int] = field(default_factory=dict)
+    #: ``(beat, capacity_frames, free_frames)`` after each churn beat —
+    #: kept separately from ``events`` because the bounded detail trail
+    #: can overflow long before the last beat fires.
+    capacity_timeline: list[tuple[int, int, int]] = field(default_factory=list)
     invariant_checks: int = 0
     events: list[dict] = field(default_factory=list)
 
@@ -82,6 +96,7 @@ class DegradationReport:
             + self.forced_alloc_failures
             + self.dropped_hints
             + self.pressure_events
+            + self.adaptive_replans
         )
 
     @classmethod
@@ -92,7 +107,14 @@ class DegradationReport:
         aborted_recolor_steps: int = 0,
         invariant_checks: int = 0,
         injector=None,
+        churn=None,
+        adaptive=None,
     ) -> "DegradationReport":
+        frames_seized = injector.frames_seized if injector is not None else 0
+        frames_released = injector.frames_released if injector is not None else 0
+        if churn is not None:
+            frames_seized += churn.frames_seized
+            frames_released += churn.frames_released
         return cls(
             reclaims=physmem.reclaims,
             watchdog_trips=log.count("watchdog_trip"),
@@ -103,10 +125,23 @@ class DegradationReport:
                 else log.count("hint_dropped")
             ),
             pressure_events=log.count("pressure"),
-            frames_seized=injector.frames_seized if injector is not None else 0,
-            frames_released=injector.frames_released if injector is not None else 0,
+            frames_seized=frames_seized,
+            frames_released=frames_released,
+            frames_revoked=physmem.frames_revoked_total,
+            frames_restored=physmem.frames_restored_total,
+            revocation_shortfall=physmem.revocation_shortfall,
+            adaptive_replans=adaptive.total_replans if adaptive is not None else 0,
+            replan_migrations=(
+                adaptive.total_migrations if adaptive is not None else 0
+            ),
+            aborted_replans=(
+                adaptive.aborted_replans if adaptive is not None else 0
+            ),
             fallback_distance_histogram=dict(
                 sorted(physmem.fallback_distance.items())
+            ),
+            capacity_timeline=(
+                list(churn.timeline) if churn is not None else []
             ),
             invariant_checks=invariant_checks,
             events=list(log.events),
@@ -122,15 +157,41 @@ class DegradationReport:
             "pressure_events": self.pressure_events,
             "frames_seized": self.frames_seized,
             "frames_released": self.frames_released,
+            "frames_revoked": self.frames_revoked,
+            "frames_restored": self.frames_restored,
+            "revocation_shortfall": self.revocation_shortfall,
+            "adaptive_replans": self.adaptive_replans,
+            "replan_migrations": self.replan_migrations,
+            "aborted_replans": self.aborted_replans,
             "fallback_allocations": self.fallback_allocations,
             "fallback_distance_histogram": {
                 str(k): v
                 for k, v in sorted(self.fallback_distance_histogram.items())
             },
+            "capacity_timeline": [list(row) for row in self.capacity_timeline],
             "invariant_checks": self.invariant_checks,
             "total_events": self.total_events,
             "events": list(self.events),
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DegradationReport":
+        """Inverse of :meth:`to_dict`; rehydrates byte-identically.
+
+        ``fallback_allocations`` and ``total_events`` are derived
+        properties and are dropped; the histogram keys come back as ints.
+        """
+        payload = dict(data)
+        payload.pop("fallback_allocations", None)
+        payload.pop("total_events", None)
+        payload["fallback_distance_histogram"] = {
+            int(k): v
+            for k, v in payload.get("fallback_distance_histogram", {}).items()
+        }
+        payload["capacity_timeline"] = [
+            tuple(row) for row in payload.get("capacity_timeline", [])
+        ]
+        return cls(**payload)
 
 
 class ColdPageReclaimer(ReclaimPolicy):

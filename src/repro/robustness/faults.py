@@ -88,6 +88,11 @@ class FaultPlan:
             "race_storm": self.race_storm,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`; rehydrates byte-identically."""
+        return cls(**data)
+
 
 class FaultInjector:
     """Executes a :class:`FaultPlan` against one simulation's OS state.

@@ -57,9 +57,10 @@ def check_invariants(
     2. every mapped frame is within the physical frame range;
     3. every free-list entry sits on the list matching its color, appears
        exactly once across all free lists, and is within range;
-    4. free, allocated and held frame sets are pairwise disjoint, every
-       mapped frame is in the allocated set, and the three states together
-       account for every physical frame (conservation);
+    4. free, allocated, held and revoked frame sets are pairwise
+       disjoint, every mapped frame is in the allocated set, and the four
+       states together account for every physical frame (conservation),
+       with ``capacity_frames()`` agreeing with the revoked count;
     5. when ``ms`` is given, the per-frame demand-miss counters sum to the
        memory system's independently maintained demand-miss total.
 
@@ -103,12 +104,17 @@ def check_invariants(
     report.checks += 1
     allocated = set(physmem.allocated_frames())
     held = set(physmem.held_frames())
+    revoked = set(physmem.revoked_frames())
     mapped = set(frame_owners)
     for name_a, set_a, name_b, set_b in (
         ("free", free, "allocated", allocated),
         ("free", free, "held", held),
         ("allocated", allocated, "held", held),
         ("free", free, "mapped", mapped),
+        ("revoked", revoked, "free", free),
+        ("revoked", revoked, "allocated", allocated),
+        ("revoked", revoked, "held", held),
+        ("revoked", revoked, "mapped", mapped),
     ):
         overlap = set_a & set_b
         if overlap:
@@ -122,12 +128,19 @@ def check_invariants(
             f"mapped frames not accounted as allocated: "
             f"{sorted(unmapped_allocations)[:4]}"
         )
-    accounted = len(free) + len(allocated) + len(held)
+    accounted = len(free) + len(allocated) + len(held) + len(revoked)
     if accounted != physmem.num_frames:
         report.fail(
             f"frame conservation broken: {len(free)} free + "
-            f"{len(allocated)} allocated + {len(held)} held "
-            f"= {accounted}, expected {physmem.num_frames}"
+            f"{len(allocated)} allocated + {len(held)} held + "
+            f"{len(revoked)} revoked = {accounted}, "
+            f"expected {physmem.num_frames}"
+        )
+    if physmem.capacity_frames() != physmem.num_frames - len(revoked):
+        report.fail(
+            f"capacity accounting broken: capacity_frames() = "
+            f"{physmem.capacity_frames()}, expected "
+            f"{physmem.num_frames - len(revoked)}"
         )
 
     # 5: miss-count accounting across two independent counters.

@@ -1,0 +1,55 @@
+"""Multi-programmed, dynamic-capacity scenario suite.
+
+The paper evaluates CDPC on a dedicated machine; this package models the
+hostile conditions a production coloring service actually meets — co-
+scheduled jobs arriving and departing, the host revoking and restoring
+physical-memory capacity — and runs the policy comparison the paper never
+measured: static CDPC with adaptive re-planning vs dynamic recoloring vs
+bin hopping, under churn.
+
+* :mod:`repro.scenarios.spec` — the declarative, seedable scenario DSL
+  (:class:`ScenarioSpec`, :class:`JobSpec`, :class:`CapacityEvent`),
+  generator and presets;
+* :mod:`repro.scenarios.churn` — the lowered per-beat schedule
+  (:class:`ChurnSchedule`) and its executor (:class:`ChurnDriver`);
+* :mod:`repro.scenarios.runner` — crash-safe campaign execution of a
+  scenario across the comparison modes, and the churn figure family.
+"""
+
+from repro.scenarios.churn import ChurnAction, ChurnDriver, ChurnSchedule
+from repro.scenarios.runner import (
+    SCENARIO_MODES,
+    ScenarioReport,
+    run_scenario,
+    scenario_tasks,
+)
+from repro.scenarios.spec import (
+    PRESETS,
+    CapacityEvent,
+    JobSpec,
+    ScenarioSpec,
+    coerce_spec,
+    compile_churn,
+    generate_scenario,
+    iter_presets,
+    preset,
+)
+
+__all__ = [
+    "CapacityEvent",
+    "ChurnAction",
+    "ChurnDriver",
+    "ChurnSchedule",
+    "JobSpec",
+    "PRESETS",
+    "SCENARIO_MODES",
+    "ScenarioReport",
+    "ScenarioSpec",
+    "coerce_spec",
+    "compile_churn",
+    "generate_scenario",
+    "iter_presets",
+    "preset",
+    "run_scenario",
+    "scenario_tasks",
+]

@@ -1,0 +1,176 @@
+"""Flat churn schedules and their executor.
+
+A :class:`ChurnSchedule` is the lowered form of a scenario (see
+``repro.scenarios.spec``): a sorted tuple of :class:`ChurnAction` rows,
+each "at beat B, do OP with AMOUNT frames".  The schedule is frozen and
+has a deterministic ``repr``, which the harness relies on — campaign task
+fingerprints hash ``repr(task)``, so two runs of the same scenario find
+each other's stored results.
+
+:class:`ChurnDriver` executes the schedule against one simulation's
+physical memory.  The engine calls :meth:`on_beat` at every phase
+boundary; all randomness (which exact frames a co-runner seizes) comes
+from one ``random.Random(schedule.seed)`` stream, so the same schedule
+replays identically in serial, parallel, and resumed campaign runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.osmodel.physmem import PhysicalMemory
+
+#: Operations a churn action may perform, in same-beat execution order.
+CHURN_OPS = ("release", "restore", "seize", "revoke")
+
+
+@dataclass(frozen=True)
+class ChurnAction:
+    """One scheduled capacity change: at ``beat``, ``op`` ``amount`` frames.
+
+    ``amount`` >= 1 is an absolute frame count; an amount in (0, 1) is a
+    *fraction of total physical frames*, resolved against the machine the
+    scenario actually runs on — scenarios stay meaningful across machine
+    scales and workload footprints.
+    """
+
+    beat: int
+    op: str
+    amount: float
+    #: For ``seize``: fraction of the frames concentrated on a low-color
+    #: band (the worst case for a colored subject).  Ignored otherwise.
+    skew: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.beat < 0:
+            raise ValueError("churn action beat must be >= 0")
+        if self.op not in CHURN_OPS:
+            raise ValueError(f"unknown churn op {self.op!r}")
+        if self.amount <= 0:
+            raise ValueError("churn action amount must be > 0")
+        if not 0.0 <= self.skew <= 1.0:
+            raise ValueError("churn action skew must be in [0, 1]")
+
+    def resolve(self, total_frames: int) -> int:
+        """Frame count against a concrete machine."""
+        if self.amount < 1:
+            return int(self.amount * total_frames)
+        return int(self.amount)
+
+
+@dataclass(frozen=True)
+class ChurnSchedule:
+    """A complete, frozen per-beat capacity schedule."""
+
+    actions: tuple[ChurnAction, ...] = ()
+    seed: int = 0
+    #: Wrap beats modulo this period (0 → play the schedule once).
+    repeat_beats: int = 0
+
+    def __post_init__(self) -> None:
+        if self.repeat_beats < 0:
+            raise ValueError("repeat_beats must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        return bool(self.actions)
+
+    @property
+    def horizon(self) -> int:
+        """Last beat with a scheduled action."""
+        return max((a.beat for a in self.actions), default=0)
+
+    def actions_at(self, beat: int) -> tuple[ChurnAction, ...]:
+        """Actions due at an (already wrapped) beat, in execution order."""
+        return tuple(a for a in self.actions if a.beat == beat)
+
+
+@dataclass
+class ChurnDriver:
+    """Executes a :class:`ChurnSchedule` against one simulation's memory.
+
+    Seizes model co-runner arrivals (held frames, exactly the PR-1
+    pressure adversary's mechanism), releases model departures, and
+    revoke/restore move frames in and out of the host's capacity with
+    color-aware victim selection.  Every action is best-effort: a seize
+    or revocation that cannot obtain its full amount takes what it can —
+    the shortfall shows up in the physmem counters, never as a crash.
+    """
+
+    schedule: ChurnSchedule
+    physmem: PhysicalMemory
+    on_event: Optional[Callable[[str, dict], None]] = None
+    beat: int = 0
+    frames_seized: int = 0
+    frames_released: int = 0
+    frames_revoked: int = 0
+    frames_restored: int = 0
+    #: ``(beat, capacity_frames, free_frames)`` after each beat's actions —
+    #: the capacity timeline the obs layer plots.
+    timeline: list[tuple[int, int, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.schedule.seed)
+        num_colors = self.physmem.num_colors
+        band = max(1, num_colors // 2)
+        #: Low-color band that skewed seizes concentrate on; fixed (not
+        #: seeded) so a scenario's "shape" is a property of the spec.
+        self._skew_colors = set(range(band))
+
+    def _emit(self, kind: str, detail: dict) -> None:
+        if self.on_event is not None:
+            self.on_event(kind, detail)
+
+    def _apply(self, action: ChurnAction) -> int:
+        amount = action.resolve(self.physmem.num_frames)
+        if amount <= 0:
+            return 0
+        if action.op == "seize":
+            skewed = int(amount * action.skew)
+            taken = self.physmem.seize_frames(
+                skewed, self._rng, preferred_colors=self._skew_colors
+            )
+            taken += self.physmem.seize_frames(amount - len(taken), self._rng)
+            self.frames_seized += len(taken)
+            return len(taken)
+        if action.op == "release":
+            released = self.physmem.release_held(amount, self._rng)
+            self.frames_released += len(released)
+            return len(released)
+        if action.op == "revoke":
+            revoked = self.physmem.revoke_frames(amount)
+            self.frames_revoked += len(revoked)
+            return len(revoked)
+        restored = self.physmem.restore_frames(amount)
+        self.frames_restored += len(restored)
+        return len(restored)
+
+    def on_beat(self) -> int:
+        """Execute this beat's actions; returns how many frames moved."""
+        beat = self.beat
+        self.beat += 1
+        if self.schedule.repeat_beats > 0:
+            beat = beat % self.schedule.repeat_beats
+        moved = 0
+        for action in self.schedule.actions_at(beat):
+            done = self._apply(action)
+            moved += done
+            self._emit(
+                "churn",
+                {
+                    "beat": beat,
+                    "op": action.op,
+                    "requested": action.resolve(self.physmem.num_frames),
+                    "done": done,
+                },
+            )
+        self.timeline.append(
+            (
+                self.beat - 1,
+                self.physmem.capacity_frames(),
+                self.physmem.free_frames(),
+            )
+        )
+        return moved

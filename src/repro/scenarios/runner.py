@@ -1,0 +1,175 @@
+"""Crash-safe scenario execution across the comparison modes.
+
+One scenario runs the same workload under the same churn schedule in
+three modes — the comparison the paper never measured:
+
+* ``cdpc-adaptive`` — the static compile-time plan delivered via madvise,
+  watched by the hint-honor watchdog, *re-planned* transactionally when
+  churn collapses the honor rate;
+* ``dynamic-recolor`` — the same plan, but a watchdog trip abandons the
+  hints and hands over to the Section 2.1 miss-counter recolorer;
+* ``bin-hopping`` — the Digital-UNIX native policy, no plan at all.
+
+Each mode is one picklable ``(workload, config, options)`` task on the
+``repro.harness`` campaign orchestrator, so scenarios inherit the full
+durability story: atomic fingerprint-keyed result storage, resume after
+SIGKILL, retries, and task-order determinism (a parallel run returns the
+same results as a serial one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.harness.campaign import Campaign, CampaignOptions
+from repro.machine.config import MachineConfig
+from repro.scenarios.spec import ScenarioSpec, compile_churn
+from repro.sim.engine import EngineOptions
+from repro.sim.results import RunResult
+from repro.sim.sweeps import Task, run_task_campaign
+
+#: The three modes every scenario compares.  ``page_coloring`` +
+#: ``madvise`` delivery for the two CDPC modes so the hint table is live
+#: (and re-installable); the watchdog threshold is deliberately shared so
+#: the *response* to honor-rate collapse is the only variable.
+SCENARIO_MODES: dict[str, dict] = {
+    "cdpc-adaptive": {
+        "policy": "page_coloring",
+        "cdpc": True,
+        "cdpc_delivery": "madvise",
+        "hint_watchdog": 0.6,
+        "adaptive_cdpc": True,
+    },
+    "dynamic-recolor": {
+        "policy": "page_coloring",
+        "cdpc": True,
+        "cdpc_delivery": "madvise",
+        "hint_watchdog": 0.6,
+        "adaptive_cdpc": False,
+    },
+    "bin-hopping": {
+        "policy": "bin_hopping",
+    },
+}
+
+
+def scenario_tasks(
+    spec: ScenarioSpec,
+    config: MachineConfig,
+    options: Optional[EngineOptions] = None,
+    modes: Optional[dict[str, dict]] = None,
+) -> tuple[list[str], list[Task]]:
+    """Materialize one campaign task per comparison mode.
+
+    The scenario's churn schedule is compiled once (a pure function of
+    the spec) and embedded in every task's options, so the task tuple
+    fully describes the run — the harness fingerprint covers workload,
+    machine, mode *and* churn, and identical scenarios share stored
+    results.
+    """
+    schedule = compile_churn(spec)
+    base = options or EngineOptions()
+    # Enough measured epochs that every scheduled beat actually fires
+    # (beats = warmup phases + epochs * measured phases; horizon + 2 is a
+    # safe overshoot for single-phase windows), unless the caller asked
+    # for more.
+    epochs = max(base.epochs, schedule.horizon + 2)
+    base = replace(base, churn=schedule, seed=spec.seed, epochs=epochs)
+    labeled = modes or SCENARIO_MODES
+    labels = list(labeled.keys())
+    tasks: list[Task] = [
+        (spec.workload, config, replace(base, **overrides))
+        for overrides in labeled.values()
+    ]
+    return labels, tasks
+
+
+@dataclass
+class ScenarioReport:
+    """Per-mode outcomes of one scenario, plus the campaign that ran it."""
+
+    spec: ScenarioSpec
+    results: dict[str, RunResult] = field(default_factory=dict)
+    campaign: Optional[Campaign] = None
+
+    def honor_rates(self) -> dict[str, float]:
+        return {
+            label: result.hint_honor_rate
+            for label, result in self.results.items()
+        }
+
+    def mcpi(self) -> dict[str, float]:
+        """Misses per thousand instructions, the paper's cost currency."""
+        return {label: result.mcpi() for label, result in self.results.items()}
+
+    def wall_ns(self) -> dict[str, float]:
+        return {label: result.wall_ns for label, result in self.results.items()}
+
+    def degradation_summary(self) -> dict[str, dict]:
+        return {
+            label: result.degradation.to_dict()
+            for label, result in self.results.items()
+            if result.degradation is not None
+        }
+
+    def churn_events(self, label: Optional[str] = None) -> list[dict]:
+        """Capacity-churn events of one mode (default: the first)."""
+        if not self.results:
+            return []
+        if label is None:
+            label = next(iter(self.results))
+        degradation = self.results[label].degradation
+        if degradation is None:
+            return []
+        return [
+            event
+            for event in degradation.events
+            if event.get("kind") in ("churn", "capacity_revoked",
+                                     "capacity_restored")
+        ]
+
+    def figure(self, width: int = 40) -> str:
+        """The churn figure: honor rate and MCPI per mode, plus timeline."""
+        from repro.analysis.churn_report import churn_figure
+
+        return churn_figure(self, width=width)
+
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "scenario": self.spec.to_dict(),
+            "honor_rates": self.honor_rates(),
+            "mcpi": self.mcpi(),
+            "degradation": self.degradation_summary(),
+            "results": {
+                label: result.to_dict()
+                for label, result in self.results.items()
+            },
+        }
+        if self.campaign is not None:
+            payload["campaign"] = self.campaign.report.to_dict()
+        return payload
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    config: MachineConfig,
+    options: Optional[EngineOptions] = None,
+    modes: Optional[dict[str, dict]] = None,
+    max_workers: Optional[int] = None,
+    campaign: Optional[CampaignOptions] = None,
+) -> ScenarioReport:
+    """Run one scenario across the comparison modes under the harness.
+
+    Graceful by default when ``campaign`` options are provided (failed
+    modes are absent from ``results`` and visible in the campaign
+    report); fail-fast otherwise, matching the sweep helpers.
+    """
+    labels, tasks = scenario_tasks(spec, config, options=options, modes=modes)
+    outcome = run_task_campaign(tasks, max_workers=max_workers, campaign=campaign)
+    results = {
+        label: result
+        for label, result in zip(labels, outcome.results)
+        if result is not None
+    }
+    return ScenarioReport(spec=spec, results=results, campaign=outcome)

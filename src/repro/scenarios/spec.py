@@ -1,0 +1,317 @@
+"""Declarative, seedable scenario specifications.
+
+A :class:`ScenarioSpec` describes one multi-programmed, dynamic-capacity
+experiment: which SPEC95fp-style workload runs as the *subject*, which
+co-runner jobs arrive and depart (each seizing a slice of physical memory
+while resident), and how the host revokes and restores capacity over
+time.  Specs are frozen, hashable, and serialize losslessly through
+``to_dict``/``from_dict`` so the harness ``ResultStore`` can rehydrate
+them byte-identically.
+
+Time is measured in *beats* — phase boundaries of the simulated program
+(each warm-up and measured phase crossing is one beat).  Everything that
+happens in a scenario happens at a beat, which is what makes serial,
+parallel, and resumed campaign runs of the same seeded scenario
+bit-identical.
+
+``compile_churn`` lowers a spec into the flat :class:`ChurnSchedule` the
+engine executes; the lowering is a pure function of the spec, so the
+schedule never needs to be stored.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.scenarios.churn import ChurnAction, ChurnSchedule
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One co-runner: arrives at a beat, seizes frames, departs, releases.
+
+    The job models a competing address space the way the PR-1 fault
+    layer's pressure adversary did, but as a first-class scheduled entity
+    rather than a random oscillation: ``frames`` are seized at
+    ``arrive_beat`` (skewed toward low colors by ``color_skew``, the
+    worst case for a colored subject) and released at ``depart_beat``.
+    Beat 0 fires *before* the subject initializes, so a job arriving at
+    beat 0 constrains the capacity the program starts under.
+
+    ``frames`` >= 1 is an absolute count; a value in (0, 1) is a fraction
+    of the machine's total physical frames, resolved at run time — so one
+    spec stays meaningful across machine scales.
+    """
+
+    name: str
+    arrive_beat: int
+    depart_beat: int
+    frames: float
+    #: 0.0 → uniform over colors; 1.0 → concentrated on low colors.
+    color_skew: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.arrive_beat < 0:
+            raise ValueError(f"job {self.name!r}: arrive_beat must be >= 0")
+        if self.depart_beat <= self.arrive_beat:
+            raise ValueError(
+                f"job {self.name!r}: depart_beat must be > arrive_beat"
+            )
+        if self.frames <= 0:
+            raise ValueError(f"job {self.name!r}: frames must be > 0")
+        if not 0.0 <= self.color_skew <= 1.0:
+            raise ValueError(f"job {self.name!r}: color_skew must be in [0, 1]")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "arrive_beat": self.arrive_beat,
+            "depart_beat": self.depart_beat,
+            "frames": self.frames,
+            "color_skew": self.color_skew,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "JobSpec":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class CapacityEvent:
+    """The host changes physical-memory capacity at a beat.
+
+    ``delta_frames`` < 0 revokes capacity (color-aware victim selection
+    drains the richest colors first); > 0 restores previously revoked
+    frames.  A magnitude in (0, 1) is a fraction of total physical
+    frames, resolved at run time.  Revocation is a first-class event, not
+    a fault: it succeeds partially when memory is tight and the shortfall
+    is recorded, never raised.
+    """
+
+    beat: int
+    delta_frames: float
+
+    def __post_init__(self) -> None:
+        if self.beat < 0:
+            raise ValueError("capacity event beat must be >= 0")
+        if self.delta_frames == 0:
+            raise ValueError("capacity event delta_frames must be nonzero")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"beat": self.beat, "delta_frames": self.delta_frames}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CapacityEvent":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete churn scenario: subject workload + jobs + capacity events."""
+
+    name: str
+    #: Registered workload label the subject runs (see ``repro.workloads``).
+    workload: str = "swim"
+    seed: int = 0
+    jobs: tuple[JobSpec, ...] = ()
+    capacity_events: tuple[CapacityEvent, ...] = ()
+    #: Wrap the schedule every this many beats (0 → play once).
+    repeat_beats: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be nonempty")
+        if self.seed < 0:
+            raise ValueError("scenario seed must be >= 0")
+        if self.repeat_beats < 0:
+            raise ValueError("repeat_beats must be >= 0")
+        names = [job.name for job in self.jobs]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate job names in scenario {self.name!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "workload": self.workload,
+            "seed": self.seed,
+            "jobs": [job.to_dict() for job in self.jobs],
+            "capacity_events": [ev.to_dict() for ev in self.capacity_events],
+            "repeat_beats": self.repeat_beats,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ScenarioSpec":
+        return cls(
+            name=data["name"],
+            workload=data.get("workload", "swim"),
+            seed=data.get("seed", 0),
+            jobs=tuple(JobSpec.from_dict(j) for j in data.get("jobs", ())),
+            capacity_events=tuple(
+                CapacityEvent.from_dict(e)
+                for e in data.get("capacity_events", ())
+            ),
+            repeat_beats=data.get("repeat_beats", 0),
+        )
+
+
+def compile_churn(spec: ScenarioSpec) -> ChurnSchedule:
+    """Lower a scenario into the flat per-beat schedule the engine runs.
+
+    Pure function of the spec: job arrivals become ``seize`` actions,
+    departures ``release``, capacity shrinks ``revoke`` and growths
+    ``restore``.  Actions at the same beat execute in a fixed order —
+    departures, restores, arrivals, revocations — so freed capacity is
+    visible to same-beat demand and the hardest case (revocation) lands
+    last.
+    """
+    departures: list[ChurnAction] = []
+    restores: list[ChurnAction] = []
+    arrivals: list[ChurnAction] = []
+    revocations: list[ChurnAction] = []
+    for job in spec.jobs:
+        arrivals.append(
+            ChurnAction(job.arrive_beat, "seize", job.frames, job.color_skew)
+        )
+        departures.append(
+            ChurnAction(job.depart_beat, "release", job.frames, job.color_skew)
+        )
+    for event in spec.capacity_events:
+        if event.delta_frames < 0:
+            revocations.append(
+                ChurnAction(event.beat, "revoke", -event.delta_frames, 0.0)
+            )
+        else:
+            restores.append(
+                ChurnAction(event.beat, "restore", event.delta_frames, 0.0)
+            )
+    ordered = tuple(
+        sorted(
+            departures + restores + arrivals + revocations,
+            key=lambda a: (
+                a.beat,
+                ("release", "restore", "seize", "revoke").index(a.op),
+            ),
+        )
+    )
+    return ChurnSchedule(
+        actions=ordered, seed=spec.seed, repeat_beats=spec.repeat_beats
+    )
+
+
+def generate_scenario(
+    name: str,
+    *,
+    workload: str = "swim",
+    seed: int = 0,
+    num_jobs: int = 2,
+    beats: int = 8,
+    frames_per_job: float = 0.2,
+    revoke_fraction: float = 0.35,
+) -> ScenarioSpec:
+    """Generate a seeded random churn scenario.
+
+    Jobs arrive and depart at beats drawn from ``random.Random(seed)``;
+    the schedule also shrinks capacity by ``revoke_fraction`` of total
+    frames mid-run and restores it later.  Fractional sizes keep the
+    generated scenario meaningful on any machine scale.  The same (name,
+    seed, knobs) always yields the same spec.
+    """
+    if beats < 2:
+        raise ValueError("beats must be >= 2")
+    rng = random.Random(seed)
+    jobs = []
+    for index in range(num_jobs):
+        arrive = rng.randrange(0, beats - 1)
+        depart = rng.randrange(arrive + 1, beats + 1)
+        jobs.append(
+            JobSpec(
+                name=f"job{index}",
+                arrive_beat=arrive,
+                depart_beat=depart,
+                frames=frames_per_job,
+                color_skew=round(rng.uniform(0.0, 1.0), 3),
+            )
+        )
+    events = []
+    if revoke_fraction > 0:
+        shrink_beat = rng.randrange(1, max(2, beats // 2 + 1))
+        grow_beat = rng.randrange(shrink_beat + 1, beats + 2)
+        events.append(
+            CapacityEvent(beat=shrink_beat, delta_frames=-revoke_fraction)
+        )
+        events.append(
+            CapacityEvent(beat=grow_beat, delta_frames=revoke_fraction)
+        )
+    return ScenarioSpec(
+        name=name,
+        workload=workload,
+        seed=seed,
+        jobs=tuple(jobs),
+        capacity_events=tuple(events),
+    )
+
+
+def preset(name: str) -> ScenarioSpec:
+    """Named scenario presets for the CLI and CI smoke job.
+
+    ``smoke`` is the hostile-but-small schedule CI runs end to end: a
+    co-runner squatting on the low colors from *before* initialization
+    (beat 0 fires pre-init), a mid-run revocation deep enough to force
+    evictions of mapped pages, and a late restore — every churn path in
+    one short run.  ``churn`` is a larger generated multi-job schedule.
+    """
+    if name == "smoke":
+        return ScenarioSpec(
+            name="smoke",
+            workload="swim",
+            seed=7,
+            jobs=(
+                JobSpec(
+                    name="coworker",
+                    arrive_beat=0,
+                    depart_beat=7,
+                    frames=0.45,
+                    color_skew=0.9,
+                ),
+            ),
+            capacity_events=(
+                CapacityEvent(beat=2, delta_frames=-0.35),
+                CapacityEvent(beat=5, delta_frames=0.35),
+            ),
+        )
+    if name == "churn":
+        return generate_scenario(
+            "churn",
+            workload="swim",
+            seed=11,
+            num_jobs=3,
+            beats=10,
+            frames_per_job=0.18,
+            revoke_fraction=0.35,
+        )
+    raise KeyError(
+        f"unknown scenario preset {name!r} (have: smoke, churn)"
+    )
+
+
+PRESETS: tuple[str, ...] = ("smoke", "churn")
+
+
+def iter_presets() -> Iterable[tuple[str, ScenarioSpec]]:
+    for name in PRESETS:
+        yield name, preset(name)
+
+
+def coerce_spec(value: "ScenarioSpec | dict[str, Any] | str") -> ScenarioSpec:
+    """Accept a spec, its dict form, or a preset name."""
+    if isinstance(value, ScenarioSpec):
+        return value
+    if isinstance(value, dict):
+        return ScenarioSpec.from_dict(value)
+    if isinstance(value, str):
+        return preset(value)
+    raise TypeError(
+        f"expected ScenarioSpec, dict, or preset name; got {type(value).__name__}"
+    )

@@ -77,7 +77,8 @@ from repro.sim.windows import representative_window
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.checker.diagnostics import LintReport
-    from repro.osmodel.dynamic import DynamicRecolorer
+    from repro.osmodel.dynamic import AdaptiveCdpc, DynamicRecolorer
+    from repro.scenarios.churn import ChurnDriver, ChurnSchedule
 
 _CHUNK = 16  # references simulated per processor per scheduling round
 
@@ -122,6 +123,33 @@ class EngineOptions:
     #: the engine abandons the static CDPC hints and falls back to the
     #: Section 2.1 dynamic recolorer.  None disables the watchdog.
     hint_watchdog: Optional[float] = None
+    #: Scheduled capacity churn (co-runner arrivals/departures, host
+    #: capacity revocation/restoration), executed at phase boundaries.
+    #: None runs churn-free.
+    churn: Optional["ChurnSchedule"] = None
+    #: Adaptive CDPC: instead of abandoning the static hints when the
+    #: watchdog fires, re-plan the coloring transactionally against the
+    #: surviving capacity (demand-driven color remap + bounded
+    #: migrations) and keep going.  The adaptive watchdog is judged over
+    #: a *window* of recent faults — checked after every hinted fault,
+    #: not just at phase boundaries — so a mid-phase collapse is repaired
+    #: mid-phase.  Requires ``cdpc`` and ``hint_watchdog``.
+    adaptive_cdpc: bool = False
+    #: Re-plans allowed per run before the adaptive mode concedes and
+    #: falls back to the dynamic recolorer like a plain watchdog trip.
+    adaptive_max_replans: int = 4
+    #: A window only counts as a *collapse* (and triggers a re-plan) when
+    #: its honor rate is below ``hint_watchdog`` AND below this fraction
+    #: of the best healthy rate observed so far.  The relative test keeps
+    #: a plan that is merely mediocre from burning the re-plan budget the
+    #: moment the run starts; the watchdog reacts to *drops*.
+    adaptive_collapse_ratio: float = 0.8
+    #: Times the measured window repeats (statistics are averaged over
+    #: epochs, so results stay comparable across epoch counts).  Churn
+    #: scenarios need many phase-boundary beats for their schedules to
+    #: play out; a plain run keeps the default single epoch, which is
+    #: bit-identical to the historical behavior.
+    epochs: int = 1
     #: Vectorized hit filter: retire references that provably hit the
     #: on-chip cache and TLB with no coherence side effect in bulk,
     #: bypassing the per-reference memory-system call.  Results are
@@ -230,6 +258,16 @@ class _Simulation:
             )
             self.injector.initial_pressure()
 
+        self.churn: Optional["ChurnDriver"] = None
+        if options.churn is not None and options.churn.active:
+            from repro.scenarios.churn import ChurnDriver
+
+            self.churn = ChurnDriver(
+                options.churn,
+                self.vm.physmem,
+                on_event=self.degradation_log.record,
+            )
+
         self.runtime: Optional[CdpcRuntime] = None
         if options.cdpc:
             with tracer.span("color.assign"):
@@ -246,12 +284,34 @@ class _Simulation:
             config, prefetch_fills_tlb=options.prefetch_fills_tlb
         )
         if options.reclaim:
+            cold = ColdPageReclaimer(
+                self.vm, self.ms, on_evict=self._on_page_evicted
+            )
             self.vm.physmem.reclaim_policy = CascadeReclaimer([
                 HeldFrameReclaimer(),
-                ColdPageReclaimer(self.vm, self.ms, on_evict=self._on_page_evicted),
+                cold,
             ])
+            # Capacity revocation must not confiscate the competing
+            # address space's frames — the subject's cold pages pay.
+            self.vm.physmem.revocation_policy = cold
         self._invariant_checks = 0
         self._watchdog_tripped = False
+        self.adaptive: Optional["AdaptiveCdpc"] = None
+        # Windowed honor-rate baseline: counters at the last re-plan (or
+        # healthy phase boundary), so each watchdog window judges fresh
+        # faults only; the reference rate is the best healthy window seen,
+        # against which a collapse is judged.
+        self._honor_base_requests = 0
+        self._honor_base_honored = 0
+        self._honor_ref_rate: Optional[float] = None
+        # Per-fault adaptive watchdog hook for the chunk hot loop (None
+        # keeps the fault path free of the check entirely).
+        self._fault_watch = (
+            self._watchdog_fault_hook
+            if (options.adaptive_cdpc and options.cdpc
+                and options.hint_watchdog is not None)
+            else None
+        )
         self._trace_cache = default_trace_cache() if options.trace_cache else None
         # Observability wiring.  Profilers are ``None`` when disabled so
         # the hot chunk path pays one identity check; the physmem hooks
@@ -359,6 +419,30 @@ class _Simulation:
         """Cold-page reclaim evicted a mapping; drop the stale translation."""
         self.page_cache.pop(vpage, None)
 
+    #: Honor-rate histogram buckets sampled once per churn beat.
+    _HONOR_RATE_EDGES = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+    def _churn_beat(self) -> None:
+        """Advance the churn schedule one beat and sample churn telemetry.
+
+        Capacity revocation may evict mapped pages through the reclaim
+        cascade; the cold-page reclaimer's ``on_evict`` hook already
+        drops the engine's stale translations, so nothing else here needs
+        to touch the page cache.
+        """
+        self.churn.on_beat()
+        registry = self.obs.registry
+        if registry.enabled:
+            physmem = self.vm.physmem
+            registry.gauge("churn.capacity_frames").set(
+                float(physmem.capacity_frames())
+            )
+            registry.gauge("churn.free_frames").set(float(physmem.free_frames()))
+            if physmem.hint_requests:
+                registry.histogram(
+                    "churn.honor_rate", self._HONOR_RATE_EDGES
+                ).observe(physmem.hint_honor_rate)
+
     def _run_invariant_sweep(self) -> None:
         if not self.options.check_invariants:
             return
@@ -378,12 +462,19 @@ class _Simulation:
         threshold = self.options.hint_watchdog
         if threshold is None or self._watchdog_tripped or not self.options.cdpc:
             return
+        if self.options.adaptive_cdpc and self.runtime is not None:
+            self._adaptive_check(threshold, boundary=True)
+            return
         physmem = self.vm.physmem
         if physmem.hint_requests < 8:  # too few samples to judge
             return
         rate = physmem.hint_honor_rate
         if rate >= threshold:
             return
+        self._trip_watchdog(rate, threshold)
+
+    def _trip_watchdog(self, rate: float, threshold: float) -> None:
+        physmem = self.vm.physmem
         self._watchdog_tripped = True
         if isinstance(self.vm.policy, CdpcHintPolicy):
             self.vm.policy.clear_hints()
@@ -402,6 +493,112 @@ class _Simulation:
             {"hint_honor_rate": round(rate, 4), "threshold": threshold,
              "hint_requests": physmem.hint_requests},
         )
+
+    def _watchdog_fault_hook(self) -> None:
+        """Intra-phase adaptive watchdog, run after every hinted fault.
+
+        A capacity-revocation storm plays out *within* a phase — by the
+        phase boundary every evicted page has already re-faulted and the
+        damage is done.  Checking the window per fault lets the re-plan
+        fire mid-storm, while there is still unmapped demand to re-aim at
+        surviving capacity.
+        """
+        if self._watchdog_tripped or self.runtime is None:
+            return
+        threshold = self.options.hint_watchdog
+        if threshold is None:
+            return
+        self._adaptive_check(threshold)
+
+    def _reset_honor_window(self) -> None:
+        physmem = self.vm.physmem
+        self._honor_base_requests = physmem.hint_requests
+        self._honor_base_honored = physmem.hints_honored
+
+    def _adaptive_check(self, threshold: float, boundary: bool = False) -> None:
+        """Adaptive CDPC: re-plan colors transactionally instead of giving up.
+
+        The honor rate is judged over a *window* — faults since the last
+        re-plan (or healthy phase boundary) — because a re-plan is
+        supposed to repair the rate going forward; the cumulative rate
+        would keep a single early collapse visible forever and re-trigger
+        endlessly.  A window is a *collapse* only when it is below the
+        watchdog threshold AND below
+        :attr:`EngineOptions.adaptive_collapse_ratio` of the best healthy
+        window seen, so a plan that merely starts mediocre (capacity was
+        already tight at load time) does not burn the re-plan budget.
+
+        On collapse the plan's faulting classes are packed onto surviving
+        grantable capacity (see
+        :class:`repro.osmodel.dynamic.AdaptiveCdpc`), the new hints are
+        installed, and the hottest stale pages migrate with the same
+        shootdown/copy cost model the dynamic recolorer pays.  After
+        :attr:`EngineOptions.adaptive_max_replans` re-plans the mode
+        concedes and falls back to the dynamic recolorer, exactly like a
+        plain watchdog trip.
+        """
+        physmem = self.vm.physmem
+        window_requests = physmem.hint_requests - self._honor_base_requests
+        if window_requests < 8:  # too few samples to judge
+            return
+        window_honored = physmem.hints_honored - self._honor_base_honored
+        rate = window_honored / window_requests
+        ref = self._honor_ref_rate
+        collapsed = (
+            rate < threshold
+            and ref is not None
+            and rate < self.options.adaptive_collapse_ratio * ref
+        )
+        if not collapsed:
+            if boundary or window_requests >= 64:
+                # Healthy window: fold it into the reference rate and
+                # start fresh.  Rolling the window intra-phase keeps the
+                # judgment tracking the *recent* fault stream — without
+                # it, the faults of a long healthy stretch average away
+                # the first minutes of a collapse and the watchdog reacts
+                # only after the damage is done.
+                self._honor_ref_rate = rate if ref is None else max(ref, rate)
+                self._reset_honor_window()
+            return
+        if (
+            self.adaptive is not None
+            and self.adaptive.total_replans >= self.options.adaptive_max_replans
+        ):
+            self._trip_watchdog(rate, threshold)
+            return
+        if self.adaptive is None:
+            from repro.osmodel.dynamic import AdaptiveCdpc
+
+            self.adaptive = AdaptiveCdpc(
+                self.vm,
+                self.ms,
+                plan_colors=dict(self.runtime.hints),
+                max_migrations=self.options.recolor_max_per_step,
+                on_degradation=self.degradation_log.record,
+            )
+        if not any(self.adaptive.demand_by_color()):
+            # Nothing unmapped: the collapse already played out and there
+            # is no future demand to re-aim.  Start a fresh window rather
+            # than burning a re-plan on a no-op.
+            self._reset_honor_window()
+            return
+        with self.obs.tracer.span(
+            "cdpc.replan", honor_rate=round(rate, 4)
+        ) as span:
+            event = self.adaptive.replan(rate)
+            span.set(migrations=len(event.migrations), aborted=event.aborted)
+        if isinstance(self.vm.policy, CdpcHintPolicy):
+            self.vm.policy.install_hints(event.hints)
+        for migration in event.migrations:
+            self.page_cache.pop(migration.vpage, None)
+            self.ms.shootdown(migration.vpage)
+        if event.cost_ns:
+            stats = self.ms.stats.cpus
+            for cpu in range(self.num_cpus):
+                stats[cpu].overhead_ns["kernel"] += event.cost_ns
+            self._sync_clocks(max(self.clocks) + event.cost_ns)
+        # Fresh window: judge the re-planned hints on their own faults.
+        self._reset_honor_window()
 
     # ------------------------------------------------------------------
     # Setup and initialization
@@ -530,6 +727,8 @@ class _Simulation:
     def run_phase(self, phase, record: bool) -> Optional[PhaseResult]:
         if self.injector is not None:
             self.injector.on_phase_boundary()
+        if self.churn is not None:
+            self._churn_beat()
         bus = self.ms.bus
         if record:
             self.ms.stats = MachineStats.for_cpus(self.num_cpus)
@@ -692,7 +891,8 @@ class _Simulation:
             runners = []
             for cpu in range(self.num_cpus):
                 runner = fast_loop_runner(
-                    self.ms, self.vm, self.page_cache, cpu, streams[cpu]
+                    self.ms, self.vm, self.page_cache, cpu, streams[cpu],
+                    fault_watch=self._fault_watch,
                 )
                 next(runner)
                 runners.append(runner)
@@ -717,7 +917,8 @@ class _Simulation:
     def _simulate_cpu(self, cpu, loop, trace, concurrent) -> None:
         stream = trace.ref_stream(self.config.page_size, self.config.l2.line_size)
         if self.options.fast_path:
-            runner = fast_loop_runner(self.ms, self.vm, self.page_cache, cpu, stream)
+            runner = fast_loop_runner(self.ms, self.vm, self.page_cache, cpu,
+                                      stream, fault_watch=self._fault_watch)
             next(runner)
             self._run_chunk_fast(cpu, runner, loop, trace, 0, len(trace),
                                  concurrent)
@@ -790,6 +991,7 @@ class _Simulation:
             concurrent if self.injector is None
             else self.injector.fault_concurrency(concurrent)
         )
+        fault_watch = self._fault_watch
 
         index = start
         while index < end:
@@ -800,6 +1002,8 @@ class _Simulation:
                     vm.fault(vpage, cpu, concurrent_faults=fault_concurrency)
                     t += fault_ns
                     kernel_total += fault_ns
+                    if fault_watch is not None:
+                        fault_watch()
                 base = page_table.frame_of(vpage) * psz
                 page_cache[vpage] = base
             if prefetches is not None:
@@ -839,6 +1043,12 @@ class _Simulation:
 
     def run(self) -> RunResult:
         tracer = self.obs.tracer
+        # Beat 0 of a churn schedule fires before initialization — the
+        # analogue of the fault injector's initial pressure — so a
+        # scenario can constrain the capacity the program initializes
+        # under, not just perturb the steady state.
+        if self.churn is not None:
+            self._churn_beat()
         if self.options.cdpc:
             with tracer.span("cdpc.deliver", mode=self.options.resolved_delivery()):
                 self.deliver_cdpc()
@@ -853,19 +1063,24 @@ class _Simulation:
         wall = 0.0
         bus_busy: dict[str, float] = {}
         phase_results: list[PhaseResult] = []
-        for phase, weight in zip(window.measured, window.weights):
-            with tracer.span("sim.loop", phase=phase.name, weight=weight) as span:
-                result = self.run_phase(phase, record=True)
-                assert result is not None
-                span.set(
-                    wall_ns=result.wall_ns,
-                    l2_misses=result.stats.total_l2_misses(),
-                )
-            phase_results.append(result)
-            add_scaled_stats(total, result.stats, weight)
-            wall += result.wall_ns * weight
-            for key, value in result.bus_busy_ns.items():
-                bus_busy[key] = bus_busy.get(key, 0.0) + value * weight
+        epochs = max(1, self.options.epochs)
+        for epoch in range(epochs):
+            for phase, weight in zip(window.measured, window.weights):
+                scaled_weight = weight / epochs
+                with tracer.span(
+                    "sim.loop", phase=phase.name, weight=weight, epoch=epoch
+                ) as span:
+                    result = self.run_phase(phase, record=True)
+                    assert result is not None
+                    span.set(
+                        wall_ns=result.wall_ns,
+                        l2_misses=result.stats.total_l2_misses(),
+                    )
+                phase_results.append(result)
+                add_scaled_stats(total, result.stats, scaled_weight)
+                wall += result.wall_ns * scaled_weight
+                for key, value in result.bus_busy_ns.items():
+                    bus_busy[key] = bus_busy.get(key, 0.0) + value * scaled_weight
         self._emit_run_metrics(total)
         return RunResult(
             workload=self.program.name,
@@ -890,6 +1105,8 @@ class _Simulation:
                 ),
                 invariant_checks=self._invariant_checks,
                 injector=self.injector,
+                churn=self.churn,
+                adaptive=self.adaptive,
             ),
             obs=self.obs.report(),
         )
@@ -914,6 +1131,17 @@ class _Simulation:
         registry.counter("physmem.forced_failures").inc(physmem.forced_failures)
         registry.gauge("physmem.hint_honor_rate").set(physmem.hint_honor_rate)
         registry.gauge("engine.watchdog_tripped").set(float(self._watchdog_tripped))
+        registry.counter("physmem.frames_revoked").inc(physmem.frames_revoked_total)
+        registry.counter("physmem.frames_restored").inc(
+            physmem.frames_restored_total
+        )
+        if self.adaptive is not None:
+            registry.counter("engine.adaptive_replans").inc(
+                self.adaptive.total_replans
+            )
+            registry.counter("engine.replan_migrations").inc(
+                self.adaptive.total_migrations
+            )
 
     def _attribute_misses(self) -> dict[str, int]:
         """Map per-frame miss counts back to the arrays that own them."""

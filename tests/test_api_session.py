@@ -131,3 +131,75 @@ class TestSessionSweep:
     def test_sweep_obs_report_requires_sweep(self, config):
         session = Session("tomcatv", config=config)
         assert session.sweep_obs_report() is None
+
+
+class TestSessionScenarioSweep:
+    @pytest.fixture(scope="class")
+    def tiny_spec(self):
+        from repro.scenarios import CapacityEvent, ScenarioSpec
+
+        return ScenarioSpec(
+            name="tiny",
+            workload="swim",
+            seed=3,
+            capacity_events=(CapacityEvent(beat=1, delta_frames=-0.2),),
+        )
+
+    @pytest.fixture(scope="class")
+    def small_session(self):
+        from repro.machine.config import sgi_base
+
+        return Session(
+            "fpppp",
+            config=sgi_base(2).scaled(4),
+            profile=SimProfile.fast(),
+        )
+
+    def test_scenario_detection(self, tiny_spec):
+        from repro.api import _is_scenario
+
+        assert _is_scenario("smoke")
+        assert _is_scenario(tiny_spec)
+        assert _is_scenario(tiny_spec.to_dict())
+        assert _is_scenario({"name": "x", "capacity_events": []})
+        # Policy shapes must NOT be mistaken for scenarios.
+        assert not _is_scenario(None)
+        assert not _is_scenario(["page_coloring", "cdpc"])
+        assert not _is_scenario({"cdpc": {"cdpc": True}})
+
+    def test_sweep_runs_scenario_modes(self, small_session, tiny_spec):
+        results = small_session.sweep(tiny_spec, workers=1)
+        assert sorted(results) == [
+            "bin-hopping", "cdpc-adaptive", "dynamic-recolor"
+        ]
+        assert small_session.last_scenario is not None
+        assert small_session.last_campaign is not None
+        assert small_session.last_scenario.results is results or (
+            small_session.last_scenario.results == results
+        )
+
+    def test_session_workload_overrides_spec(self, small_session, tiny_spec):
+        # The fixture session already ran the sweep above in class scope;
+        # the report must carry the session's workload, not the spec's.
+        if small_session.last_scenario is None:
+            small_session.sweep(tiny_spec, workers=1)
+        assert small_session.last_scenario.spec.workload == "fpppp"
+
+    def test_scenario_report_renders_figure(self, small_session, tiny_spec):
+        if small_session.last_scenario is None:
+            small_session.sweep(tiny_spec, workers=1)
+        figure = small_session.last_scenario.figure(width=16)
+        assert "hint honor rate" in figure
+
+    def test_legacy_kwargs_still_shim(self, small_session, tiny_spec):
+        with pytest.warns(DeprecationWarning, match="max_workers"):
+            results = small_session.sweep(tiny_spec, max_workers=1)
+        assert len(results) == 3
+
+    def test_unknown_kwarg_rejected(self, small_session, tiny_spec):
+        with pytest.raises(TypeError, match="unknown sweep option"):
+            small_session.sweep(tiny_spec, bogus=1)
+
+    def test_unknown_preset_name_raises(self, small_session):
+        with pytest.raises(KeyError, match="unknown scenario preset"):
+            small_session.sweep("not-a-preset")

@@ -197,3 +197,74 @@ class TestLint:
     def test_lint_strict_passes_clean_workloads(self, capsys):
         assert main(["lint", "swim", "--strict"]) == 0
         capsys.readouterr()
+
+
+class TestScenarioCommand:
+    def test_parser_run_defaults(self):
+        args = build_parser().parse_args(["scenario", "run"])
+        assert args.scenario_command == "run"
+        assert args.name == "smoke"
+        assert args.spec is None
+        assert args.width == 40
+        assert args.cpus == 8 and args.scale == 16
+
+    def test_parser_sweep_defaults(self):
+        args = build_parser().parse_args(["scenario", "sweep"])
+        assert args.scenarios == "smoke,churn"
+
+    def test_parser_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario"])
+
+    def test_list_prints_presets(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "churn" in out
+
+    def test_run_prints_mode_table_and_figure(self, capsys):
+        code = main(
+            ["scenario", "run", "smoke", "--cpus", "2", "--scale", "4",
+             "--fast", "--workers", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for mode in ("cdpc-adaptive", "dynamic-recolor", "bin-hopping"):
+            assert mode in out
+        assert "hint honor rate" in out
+        assert "capacity timeline" in out
+
+    def test_run_json_payload(self, capsys):
+        import json as jsonlib
+
+        code = main(
+            ["scenario", "run", "smoke", "--cpus", "2", "--scale", "4",
+             "--fast", "--workers", "1", "--json"]
+        )
+        assert code == 0
+        payload = jsonlib.loads(capsys.readouterr().out)
+        assert payload["scenario"]["name"] == "smoke"
+        assert sorted(payload["honor_rates"]) == [
+            "bin-hopping", "cdpc-adaptive", "dynamic-recolor"
+        ]
+        assert "degradation" in payload
+
+    def test_run_spec_file(self, tmp_path, capsys):
+        import json as jsonlib
+
+        spec_path = tmp_path / "scenario.json"
+        spec_path.write_text(jsonlib.dumps({
+            "name": "from-file",
+            "workload": "fpppp",
+            "seed": 2,
+            "capacity_events": [{"beat": 1, "delta_frames": -0.2}],
+        }))
+        code = main(
+            ["scenario", "run", "--spec", str(spec_path), "--cpus", "2",
+             "--scale", "4", "--fast", "--workers", "1"]
+        )
+        assert code == 0
+        assert "from-file" in capsys.readouterr().out
+
+    def test_run_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "run", "no-such-preset"])

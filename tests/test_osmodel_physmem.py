@@ -280,3 +280,155 @@ class TestCompetingAddressSpaces:
 
         assert trace(9) == trace(9)
         assert trace(9) != trace(10)
+
+
+class TestCapacityRevocation:
+    def test_revoke_removes_capacity(self):
+        pm = PhysicalMemory(num_frames=64, num_colors=8)
+        revoked = pm.revoke_frames(16)
+        assert len(revoked) == 16
+        assert pm.capacity_frames() == 48
+        assert pm.free_frames() == 48
+        assert pm.frames_revoked_total == 16
+        assert pm.revoked_frames() == frozenset(revoked)
+
+    def test_revocation_drains_richest_colors_first(self):
+        pm = PhysicalMemory(num_frames=64, num_colors=8)
+        # Make color 0 poor: only 2 free frames remain there.
+        for _ in range(6):
+            pm.alloc(preferred_color=0)
+        pm.revoke_frames(8)
+        # The richest colors (1..7, 8 frames each) pay; the poor color
+        # keeps its 2 frames so hints for it stay honorable.
+        assert pm.free_frames_of_color(0) == 2
+
+    def test_protected_colors_drained_last(self):
+        pm = PhysicalMemory(num_frames=64, num_colors=8)
+        pm.revoke_frames(48, protect_colors={2, 3})
+        assert pm.free_frames_of_color(2) == 8
+        assert pm.free_frames_of_color(3) == 8
+
+    def test_shortfall_recorded_never_raised(self):
+        pm = PhysicalMemory(num_frames=8, num_colors=8)
+        for _ in range(8):
+            pm.alloc()
+        revoked = pm.revoke_frames(4)
+        assert revoked == []
+        assert pm.revocation_shortfall == 4
+        assert pm.capacity_frames() == 8
+
+    def test_revocation_reclaims_held_frames(self):
+        from repro.osmodel.physmem import HeldFrameReclaimer
+
+        pm = PhysicalMemory(num_frames=16, num_colors=8)
+        pm.occupy_fraction(1.0, seed=0)
+        pm.revocation_policy = HeldFrameReclaimer()
+        revoked = pm.revoke_frames(4)
+        assert len(revoked) == 4
+        assert pm.revocation_shortfall == 0
+        assert pm.reclaims == 4
+
+    def test_restore_returns_revoked_frames(self):
+        pm = PhysicalMemory(num_frames=64, num_colors=8)
+        revoked = pm.revoke_frames(16)
+        restored = pm.restore_frames(8)
+        assert restored == sorted(revoked)[:8]
+        assert pm.capacity_frames() == 56
+        assert pm.frames_restored_total == 8
+        pm.restore_frames(100)  # over-restore clamps to what is revoked
+        assert pm.capacity_frames() == 64
+        assert pm.restore_frames(1) == []
+
+    def test_revoked_frames_not_allocatable(self):
+        pm = PhysicalMemory(num_frames=8, num_colors=8)
+        pm.revoke_frames(8)
+        with pytest.raises(OutOfMemoryError):
+            pm.alloc()
+
+    def test_revoke_restore_round_trip_is_deterministic(self):
+        def trace():
+            pm = PhysicalMemory(num_frames=64, num_colors=8)
+            rng = random.Random(5)
+            pm.seize_frames(10, rng, preferred_colors={0})
+            events = [tuple(pm.revoke_frames(20))]
+            events.append(tuple(pm.restore_frames(12)))
+            events.append(tuple(pm.revoke_frames(6, protect_colors={1})))
+            return events
+
+        assert trace() == trace()
+
+    def test_event_hook_sees_capacity_events(self):
+        events = []
+        pm = PhysicalMemory(num_frames=64, num_colors=8)
+        pm.event_hook = lambda kind, detail: events.append((kind, detail))
+        pm.revoke_frames(4)
+        pm.restore_frames(4)
+        kinds = [kind for kind, _ in events]
+        assert kinds == ["capacity_revoked", "capacity_restored"]
+        assert events[0][1]["revoked"] == 4
+        assert events[1][1]["capacity"] == 64
+
+
+class TestChurnInvariantsProperty:
+    """Random churn sequences never violate frame-ownership invariants."""
+
+    @given(
+        st.integers(0, 10_000),
+        st.lists(
+            st.tuples(st.sampled_from(
+                ["alloc", "free", "seize", "release", "revoke", "restore"]
+            ), st.integers(1, 24)),
+            min_size=1,
+            max_size=60,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_four_state_model_survives_any_sequence(self, seed, ops):
+        from repro.machine.config import CacheConfig, MachineConfig
+        from repro.osmodel.policies import PageColoringPolicy
+        from repro.osmodel.vm import VirtualMemory
+        from repro.robustness.invariants import check_invariants
+
+        config = MachineConfig(
+            num_cpus=2,
+            page_size=256,
+            l1d=CacheConfig(512, 64, 2),
+            l1i=CacheConfig(512, 64, 2),
+            l2=CacheConfig(2048, 64, 1),  # 8 colors
+        )
+        vm = VirtualMemory(config, PageColoringPolicy(config.num_colors))
+        pm = vm.physmem
+        rng = random.Random(seed)
+        mapped: list[int] = []
+        next_vpage = 0
+        for op, amount in ops:
+            if op == "alloc":
+                for _ in range(amount):
+                    if pm.free_frames() == 0:
+                        break
+                    vm.ensure_mapped(next_vpage)
+                    mapped.append(next_vpage)
+                    next_vpage += 1
+            elif op == "free":
+                for _ in range(min(amount, len(mapped))):
+                    vpage = mapped.pop(rng.randrange(len(mapped)))
+                    frame = vm.page_table.frame_of(vpage)
+                    vm.page_table.unmap(vpage)
+                    pm.free(frame)
+            elif op == "seize":
+                pm.seize_frames(amount, rng, preferred_colors={0, 1})
+            elif op == "release":
+                pm.release_held(amount, rng)
+            elif op == "revoke":
+                pm.revoke_frames(amount)
+            elif op == "restore":
+                pm.restore_frames(amount)
+            check_invariants(vm).raise_if_failed()
+        # Conservation at the end, independent of the checker.
+        accounted = (
+            pm.free_frames()
+            + len(pm.allocated_frames())
+            + len(pm.held_frames())
+            + len(pm.revoked_frames())
+        )
+        assert accounted == pm.num_frames

@@ -1,0 +1,151 @@
+"""Round-trip tests: every robustness artifact rehydrates byte-identically.
+
+The campaign harness persists results with their degradation reports and
+fault plans; a resumed campaign must see exactly what the killed one
+computed.  These tests pin the ``to_dict``/``from_dict`` contracts and
+the :class:`ResultStore` pickle path end to end.
+"""
+
+import pytest
+
+from repro.harness.store import ResultStore, task_fingerprint
+from repro.robustness.degradation import DegradationReport
+from repro.robustness.faults import FaultPlan
+
+
+class TestFaultPlanRoundTrip:
+    def test_default_plan(self):
+        plan = FaultPlan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        assert not plan.active
+
+    def test_fully_loaded_plan(self):
+        plan = FaultPlan(
+            seed=13,
+            pressure=0.6,
+            pressure_color_skew=0.9,
+            pressure_period=3,
+            release_fraction=0.25,
+            hint_loss=0.1,
+            alloc_failure_rate=0.05,
+            race_storm=2,
+        )
+        rehydrated = FaultPlan.from_dict(plan.to_dict())
+        assert rehydrated == plan
+        assert rehydrated.to_dict() == plan.to_dict()
+        assert rehydrated.active
+
+    def test_dict_is_json_safe(self):
+        import json
+
+        payload = FaultPlan(seed=1, pressure=0.5).to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestDegradationReportRoundTrip:
+    def _loaded_report(self) -> DegradationReport:
+        return DegradationReport(
+            reclaims=7,
+            watchdog_trips=1,
+            aborted_recolor_steps=2,
+            forced_alloc_failures=3,
+            dropped_hints=4,
+            pressure_events=5,
+            frames_seized=60,
+            frames_released=40,
+            frames_revoked=32,
+            frames_restored=32,
+            revocation_shortfall=1,
+            adaptive_replans=2,
+            replan_migrations=17,
+            aborted_replans=1,
+            fallback_distance_histogram={0: 100, 1: 8, 4: 2},
+            capacity_timeline=[(0, 64, 30), (1, 48, 10), (2, 64, 26)],
+            invariant_checks=9,
+            events=[{"kind": "churn", "beat": 1, "op": "revoke"}],
+        )
+
+    def test_round_trip_is_byte_identical(self):
+        report = self._loaded_report()
+        rehydrated = DegradationReport.from_dict(report.to_dict())
+        assert rehydrated == report
+        assert rehydrated.to_dict() == report.to_dict()
+
+    def test_capacity_timeline_rows_come_back_as_tuples(self):
+        report = self._loaded_report()
+        rehydrated = DegradationReport.from_dict(report.to_dict())
+        assert rehydrated.capacity_timeline == report.capacity_timeline
+        assert all(
+            isinstance(row, tuple) for row in rehydrated.capacity_timeline
+        )
+
+    def test_histogram_keys_come_back_as_ints(self):
+        rehydrated = DegradationReport.from_dict(
+            self._loaded_report().to_dict()
+        )
+        assert all(
+            isinstance(k, int)
+            for k in rehydrated.fallback_distance_histogram
+        )
+
+    def test_derived_fields_dropped_on_rehydration(self):
+        report = self._loaded_report()
+        payload = report.to_dict()
+        assert payload["fallback_allocations"] == report.fallback_allocations
+        assert payload["total_events"] == report.total_events
+        # from_dict must tolerate (and ignore) the derived keys.
+        assert DegradationReport.from_dict(payload) == report
+
+    def test_empty_report_round_trips(self):
+        report = DegradationReport()
+        assert DegradationReport.from_dict(report.to_dict()) == report
+
+    def test_dict_is_json_safe(self):
+        import json
+
+        payload = self._loaded_report().to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestResultStoreRehydration:
+    @pytest.fixture(scope="class")
+    def churn_result(self):
+        """One real run with churn + faults so every field is populated."""
+        from repro.machine.config import sgi_base
+        from repro.scenarios import compile_churn, preset
+        from repro.sim.engine import EngineOptions, run_benchmark
+        from repro.sim.tracegen import SimProfile
+
+        schedule = compile_churn(preset("smoke"))
+        options = EngineOptions(
+            policy="page_coloring",
+            cdpc=True,
+            cdpc_delivery="madvise",
+            profile=SimProfile.fast(),
+            churn=schedule,
+            epochs=schedule.horizon + 2,
+            fault_plan=FaultPlan(seed=2, hint_loss=0.05),
+        )
+        return run_benchmark("fpppp", sgi_base(2).scaled(4), options)
+
+    def test_run_populates_churn_fields(self, churn_result):
+        degradation = churn_result.degradation
+        assert degradation is not None
+        assert degradation.frames_revoked > 0
+        assert degradation.capacity_timeline
+        assert degradation.dropped_hints > 0
+
+    def test_store_round_trip_is_byte_identical(self, churn_result, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        fingerprint = task_fingerprint(("fpppp", "churn-roundtrip"))
+        store.put(fingerprint, churn_result, label="fpppp")
+        loaded = store.get(fingerprint)
+        assert loaded is not None
+        assert loaded.to_dict() == churn_result.to_dict()
+        assert loaded.degradation == churn_result.degradation
+
+    def test_degradation_survives_dict_round_trip(self, churn_result):
+        degradation = churn_result.degradation
+        assert (
+            DegradationReport.from_dict(degradation.to_dict()) == degradation
+        )

@@ -1,0 +1,163 @@
+"""Tests for crash-safe scenario execution across the comparison modes."""
+
+import pytest
+
+from repro.harness.campaign import CampaignOptions
+from repro.machine.config import sgi_base
+from repro.scenarios import (
+    SCENARIO_MODES,
+    ScenarioSpec,
+    CapacityEvent,
+    JobSpec,
+    run_scenario,
+    scenario_tasks,
+)
+from repro.sim.engine import EngineOptions
+from repro.sim.tracegen import SimProfile
+
+
+@pytest.fixture(scope="module")
+def config():
+    return sgi_base(2).scaled(4)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    """A tiny but complete scenario: arrival, revocation, restore."""
+    return ScenarioSpec(
+        name="tiny",
+        workload="fpppp",
+        seed=3,
+        jobs=(JobSpec("co", arrive_beat=0, depart_beat=4, frames=0.3,
+                      color_skew=0.8),),
+        capacity_events=(
+            CapacityEvent(beat=1, delta_frames=-0.25),
+            CapacityEvent(beat=3, delta_frames=0.25),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def options():
+    return EngineOptions(profile=SimProfile.fast())
+
+
+class TestScenarioTasks:
+    def test_one_task_per_mode(self, config, spec, options):
+        labels, tasks = scenario_tasks(spec, config, options=options)
+        assert labels == list(SCENARIO_MODES)
+        assert len(tasks) == len(labels)
+
+    def test_tasks_embed_churn_and_seed(self, config, spec, options):
+        _, tasks = scenario_tasks(spec, config, options=options)
+        for _workload, _config, opts in tasks:
+            assert opts.churn is not None and opts.churn.active
+            assert opts.seed == spec.seed
+            assert opts.epochs >= opts.churn.horizon + 2
+
+    def test_tasks_are_fingerprintable(self, config, spec, options):
+        from repro.harness.store import task_fingerprint
+
+        _, tasks = scenario_tasks(spec, config, options=options)
+        prints = [task_fingerprint(task) for task in tasks]
+        assert len(set(prints)) == len(prints)  # modes differ
+        _, again = scenario_tasks(spec, config, options=options)
+        assert [task_fingerprint(t) for t in again] == prints
+
+    def test_mode_overrides_applied(self, config, spec, options):
+        labels, tasks = scenario_tasks(spec, config, options=options)
+        by_label = dict(zip(labels, tasks))
+        assert by_label["cdpc-adaptive"][2].adaptive_cdpc is True
+        assert by_label["dynamic-recolor"][2].adaptive_cdpc is False
+        assert by_label["bin-hopping"][2].policy == "bin_hopping"
+
+
+class TestRunScenario:
+    #: Two modes keep the determinism matrix cheap; the full three-mode
+    #: comparison runs in benchmarks/test_churn_scenarios.py.
+    MODES = {
+        "cdpc-adaptive": SCENARIO_MODES["cdpc-adaptive"],
+        "bin-hopping": SCENARIO_MODES["bin-hopping"],
+    }
+
+    @pytest.fixture(scope="class")
+    def serial(self, config, spec, options):
+        return run_scenario(
+            spec, config, options=options, modes=self.MODES, max_workers=1
+        )
+
+    def test_report_covers_every_mode(self, serial):
+        assert sorted(serial.results) == sorted(self.MODES)
+        for result in serial.results.values():
+            assert result.wall_ns > 0
+            assert result.degradation is not None
+
+    def test_churn_actually_fired(self, serial):
+        for result in serial.results.values():
+            degradation = result.degradation
+            assert degradation.frames_revoked > 0
+            assert degradation.frames_restored > 0
+            assert degradation.frames_seized > 0
+            assert degradation.capacity_timeline
+
+    def test_serial_equals_parallel(self, serial, config, spec, options):
+        parallel = run_scenario(
+            spec, config, options=options, modes=self.MODES, max_workers=2
+        )
+        for label in self.MODES:
+            assert (
+                parallel.results[label].to_dict()
+                == serial.results[label].to_dict()
+            )
+
+    def test_resume_after_kill_equals_serial(
+        self, serial, config, spec, options, tmp_path
+    ):
+        # A SIGKILL mid-campaign leaves some results durable and some
+        # missing; resuming must serve the durable ones byte-identically
+        # and recompute the rest.  Model the partial state by running one
+        # mode into the store, then the full scenario over the same store.
+        store = str(tmp_path / "campaign")
+        first = dict(self.MODES)
+        partial = {"cdpc-adaptive": first.pop("cdpc-adaptive")}
+        run_scenario(
+            spec, config, options=options, modes=partial, max_workers=1,
+            campaign=CampaignOptions(store=store),
+        )
+        resumed = run_scenario(
+            spec, config, options=options, modes=self.MODES, max_workers=1,
+            campaign=CampaignOptions(store=store),
+        )
+        assert resumed.campaign.report.loaded == 1
+        for label in self.MODES:
+            assert (
+                resumed.results[label].to_dict()
+                == serial.results[label].to_dict()
+            )
+
+    def test_report_to_dict_and_figure(self, serial):
+        payload = serial.to_dict()
+        assert payload["scenario"] == serial.spec.to_dict()
+        assert sorted(payload["honor_rates"]) == sorted(self.MODES)
+        assert "campaign" in payload
+        figure = serial.figure(width=20)
+        assert "hint honor rate" in figure
+        assert "capacity timeline" in figure
+
+    def test_churn_events_visible(self, serial):
+        events = serial.churn_events()
+        assert events
+        assert {event["kind"] for event in events} <= {
+            "churn", "capacity_revoked", "capacity_restored"
+        }
+
+    def test_graceful_mode_failure_with_campaign_options(
+        self, config, options
+    ):
+        bad_spec = ScenarioSpec(name="bad", workload="nosuchworkload")
+        outcome = run_scenario(
+            bad_spec, config, options=options, modes=self.MODES,
+            campaign=CampaignOptions(),
+        )
+        assert outcome.results == {}
+        assert len(outcome.campaign.report.failures) == len(self.MODES)

@@ -1,0 +1,291 @@
+"""Tests for the scenario DSL: specs, lowering, presets, generation."""
+
+import pytest
+
+from repro.scenarios.churn import ChurnAction, ChurnDriver, ChurnSchedule
+from repro.scenarios.spec import (
+    PRESETS,
+    CapacityEvent,
+    JobSpec,
+    ScenarioSpec,
+    coerce_spec,
+    compile_churn,
+    generate_scenario,
+    iter_presets,
+    preset,
+)
+
+
+class TestJobSpec:
+    def test_round_trip(self):
+        job = JobSpec("j", arrive_beat=1, depart_beat=4, frames=0.25,
+                      color_skew=0.5)
+        assert JobSpec.from_dict(job.to_dict()) == job
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="arrive_beat"):
+            JobSpec("j", arrive_beat=-1, depart_beat=2, frames=10)
+        with pytest.raises(ValueError, match="depart_beat"):
+            JobSpec("j", arrive_beat=3, depart_beat=3, frames=10)
+        with pytest.raises(ValueError, match="frames"):
+            JobSpec("j", arrive_beat=0, depart_beat=1, frames=0)
+        with pytest.raises(ValueError, match="color_skew"):
+            JobSpec("j", arrive_beat=0, depart_beat=1, frames=1, color_skew=2.0)
+
+
+class TestCapacityEvent:
+    def test_round_trip(self):
+        event = CapacityEvent(beat=3, delta_frames=-0.4)
+        assert CapacityEvent.from_dict(event.to_dict()) == event
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="beat"):
+            CapacityEvent(beat=-1, delta_frames=1)
+        with pytest.raises(ValueError, match="nonzero"):
+            CapacityEvent(beat=0, delta_frames=0)
+
+
+class TestScenarioSpec:
+    def test_round_trip_is_byte_identical(self):
+        spec = preset("smoke")
+        rehydrated = ScenarioSpec.from_dict(spec.to_dict())
+        assert rehydrated == spec
+        assert rehydrated.to_dict() == spec.to_dict()
+
+    def test_round_trip_defaults(self):
+        spec = ScenarioSpec(name="bare")
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        assert ScenarioSpec.from_dict({"name": "bare"}) == spec
+
+    def test_duplicate_job_names_rejected(self):
+        job = JobSpec("twin", arrive_beat=0, depart_beat=2, frames=10)
+        with pytest.raises(ValueError, match="duplicate"):
+            ScenarioSpec(name="dup", jobs=(job, job))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="name"):
+            ScenarioSpec(name="")
+        with pytest.raises(ValueError, match="seed"):
+            ScenarioSpec(name="x", seed=-1)
+        with pytest.raises(ValueError, match="repeat_beats"):
+            ScenarioSpec(name="x", repeat_beats=-1)
+
+    def test_specs_are_hashable(self):
+        assert len({preset("smoke"), preset("smoke"), preset("churn")}) == 2
+
+
+class TestCompileChurn:
+    def test_jobs_become_seize_release_pairs(self):
+        spec = ScenarioSpec(
+            name="one-job",
+            jobs=(JobSpec("j", arrive_beat=1, depart_beat=3, frames=16,
+                          color_skew=0.5),),
+        )
+        schedule = compile_churn(spec)
+        assert [(a.beat, a.op) for a in schedule.actions] == [
+            (1, "seize"), (3, "release"),
+        ]
+        assert schedule.actions[0].skew == 0.5
+
+    def test_capacity_events_become_revoke_restore(self):
+        spec = ScenarioSpec(
+            name="cap",
+            capacity_events=(
+                CapacityEvent(beat=2, delta_frames=-8),
+                CapacityEvent(beat=4, delta_frames=8),
+            ),
+        )
+        ops = [(a.beat, a.op) for a in compile_churn(spec).actions]
+        assert ops == [(2, "revoke"), (4, "restore")]
+
+    def test_same_beat_execution_order(self):
+        # Departures free capacity before same-beat demand; revocation,
+        # the hardest case, lands last.
+        spec = ScenarioSpec(
+            name="same-beat",
+            jobs=(
+                JobSpec("leaving", arrive_beat=0, depart_beat=2, frames=8),
+                JobSpec("arriving", arrive_beat=2, depart_beat=5, frames=8),
+            ),
+            capacity_events=(
+                CapacityEvent(beat=2, delta_frames=-4),
+                CapacityEvent(beat=2, delta_frames=2),
+            ),
+        )
+        at_beat_2 = [a.op for a in compile_churn(spec).actions if a.beat == 2]
+        assert at_beat_2 == ["release", "restore", "seize", "revoke"]
+
+    def test_lowering_is_pure(self):
+        spec = preset("churn")
+        assert compile_churn(spec) == compile_churn(spec)
+
+    def test_seed_and_repeat_carry_through(self):
+        spec = ScenarioSpec(name="x", seed=42, repeat_beats=6)
+        schedule = compile_churn(spec)
+        assert schedule.seed == 42
+        assert schedule.repeat_beats == 6
+
+
+class TestGenerateScenario:
+    def test_same_seed_same_spec(self):
+        a = generate_scenario("g", seed=5, num_jobs=3, beats=8)
+        b = generate_scenario("g", seed=5, num_jobs=3, beats=8)
+        assert a == b
+
+    def test_different_seed_different_spec(self):
+        a = generate_scenario("g", seed=5, num_jobs=3, beats=8)
+        b = generate_scenario("g", seed=6, num_jobs=3, beats=8)
+        assert a != b
+
+    def test_generated_spec_is_valid_and_lowerable(self):
+        spec = generate_scenario("g", seed=1, num_jobs=4, beats=12)
+        assert len(spec.jobs) == 4
+        schedule = compile_churn(spec)
+        assert schedule.active
+        # One shrink, one later grow.
+        revokes = [a for a in schedule.actions if a.op == "revoke"]
+        restores = [a for a in schedule.actions if a.op == "restore"]
+        assert len(revokes) == len(restores) == 1
+        assert restores[0].beat > revokes[0].beat
+
+    def test_beats_validation(self):
+        with pytest.raises(ValueError, match="beats"):
+            generate_scenario("g", beats=1)
+
+
+class TestPresets:
+    def test_every_preset_resolves(self):
+        for name, spec in iter_presets():
+            assert name in PRESETS
+            assert spec.name == name
+            assert compile_churn(spec).active
+
+    def test_smoke_exercises_every_churn_path(self):
+        ops = {a.op for a in compile_churn(preset("smoke")).actions}
+        assert ops == {"seize", "release", "revoke", "restore"}
+
+    def test_smoke_has_pre_init_arrival(self):
+        schedule = compile_churn(preset("smoke"))
+        assert any(a.beat == 0 and a.op == "seize" for a in schedule.actions)
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario preset"):
+            preset("nope")
+
+
+class TestCoerceSpec:
+    def test_accepts_spec_dict_and_name(self):
+        spec = preset("smoke")
+        assert coerce_spec(spec) is spec
+        assert coerce_spec(spec.to_dict()) == spec
+        assert coerce_spec("smoke") == spec
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError, match="ScenarioSpec"):
+            coerce_spec(42)
+
+
+class TestChurnSchedule:
+    def test_fractional_amount_resolves_against_total(self):
+        action = ChurnAction(beat=0, op="revoke", amount=0.25)
+        assert action.resolve(64) == 16
+        assert ChurnAction(beat=0, op="revoke", amount=8).resolve(64) == 8
+
+    def test_action_validation(self):
+        with pytest.raises(ValueError, match="op"):
+            ChurnAction(beat=0, op="steal", amount=1)
+        with pytest.raises(ValueError, match="amount"):
+            ChurnAction(beat=0, op="seize", amount=0)
+        with pytest.raises(ValueError, match="skew"):
+            ChurnAction(beat=0, op="seize", amount=1, skew=1.5)
+
+    def test_horizon(self):
+        schedule = ChurnSchedule(actions=(
+            ChurnAction(beat=2, op="seize", amount=4),
+            ChurnAction(beat=7, op="release", amount=4),
+        ))
+        assert schedule.horizon == 7
+        assert ChurnSchedule().horizon == 0
+        assert not ChurnSchedule().active
+
+    def test_repr_is_deterministic(self):
+        # Campaign fingerprints hash repr(task); the schedule inside the
+        # task options must repr identically across processes.
+        spec = preset("churn")
+        assert repr(compile_churn(spec)) == repr(compile_churn(spec))
+
+
+class TestChurnDriver:
+    def _physmem(self, frames=64, colors=8):
+        from repro.osmodel.physmem import PhysicalMemory
+
+        return PhysicalMemory(num_frames=frames, num_colors=colors)
+
+    def test_beats_execute_in_order_and_record_timeline(self):
+        schedule = ChurnSchedule(actions=(
+            ChurnAction(beat=0, op="seize", amount=16, skew=1.0),
+            ChurnAction(beat=1, op="revoke", amount=0.25),
+            ChurnAction(beat=2, op="restore", amount=0.25),
+            ChurnAction(beat=3, op="release", amount=16),
+        ))
+        pm = self._physmem()
+        driver = ChurnDriver(schedule=schedule, physmem=pm)
+        for _ in range(4):
+            driver.on_beat()
+        assert driver.frames_seized == 16
+        assert driver.frames_revoked == 16
+        assert driver.frames_restored == 16
+        assert driver.frames_released == 16
+        assert pm.free_frames() == 64
+        beats = [row[0] for row in driver.timeline]
+        assert beats == [0, 1, 2, 3]
+        capacities = [row[1] for row in driver.timeline]
+        assert capacities == [64, 48, 64, 64]
+
+    def test_skewed_seize_concentrates_on_low_colors(self):
+        schedule = ChurnSchedule(actions=(
+            ChurnAction(beat=0, op="seize", amount=24, skew=1.0),
+        ))
+        pm = self._physmem()
+        ChurnDriver(schedule=schedule, physmem=pm).on_beat()
+        low_band = set(range(4))
+        held_low = sum(
+            1 for f in pm.held_frames() if pm.color_of(f) in low_band
+        )
+        assert held_low == 24  # 4 colors * 8 frames per color > 24
+
+    def test_repeat_wraps_beats(self):
+        schedule = ChurnSchedule(
+            actions=(ChurnAction(beat=0, op="seize", amount=4),),
+            repeat_beats=2,
+        )
+        pm = self._physmem()
+        driver = ChurnDriver(schedule=schedule, physmem=pm)
+        for _ in range(4):
+            driver.on_beat()
+        assert driver.frames_seized == 8  # beats 0 and 2 both fire
+
+    def test_driver_replays_identically(self):
+        schedule = compile_churn(preset("smoke"))
+
+        def trace():
+            pm = self._physmem(frames=256, colors=8)
+            driver = ChurnDriver(schedule=schedule, physmem=pm)
+            for _ in range(schedule.horizon + 1):
+                driver.on_beat()
+            return driver.timeline, sorted(pm.held_frames())
+
+        assert trace() == trace()
+
+    def test_revoke_shortfall_is_recorded_not_raised(self):
+        pm = self._physmem(frames=8, colors=8)
+        pm.occupy_fraction(1.0, seed=0)
+        for frame in sorted(pm.held_frames()):
+            pm._held.discard(frame)
+            pm._allocated.add(frame)  # simulate fully mapped memory
+        schedule = ChurnSchedule(actions=(
+            ChurnAction(beat=0, op="revoke", amount=4),
+        ))
+        driver = ChurnDriver(schedule=schedule, physmem=pm)
+        driver.on_beat()  # must not raise
+        assert pm.revocation_shortfall == 4
