@@ -157,7 +157,14 @@ class Session:
         )
 
     def run(self, **overrides: Any) -> RunResult:
-        """Simulate the session's workload once; returns the run result."""
+        """Simulate the session's workload once; returns the run result.
+
+        Pass ``sampling="access_vector"`` to trade exactness for time on
+        long traces: repeated trace windows are clustered by access
+        vector and replayed from a measured representative, and the
+        result's ``sampling`` report carries the estimated miss total
+        with an explicit error bound (see docs/performance.md).
+        """
         options = self.options
         if overrides:
             options = replace(options, **canonicalize_kwargs(overrides))

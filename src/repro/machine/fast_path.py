@@ -91,7 +91,7 @@ _FALSE = MissKind.FALSE_SHARING
 
 
 def loop_runner(ms: MemorySystem, vm, page_cache: dict, cpu: int, stream,
-                fault_watch=None):
+                fault_watch=None, prev_reset=None):
     """Generator executing ``stream`` chunks for ``cpu``: the oracle, flat.
 
     Prime with ``next()``, then for each scheduling chunk ``send`` a tuple
@@ -106,6 +106,14 @@ def loop_runner(ms: MemorySystem, vm, page_cache: dict, cpu: int, stream,
     the cached bus state is already flushed — it may mutate the memory
     system and page tables (the engine's adaptive-CDPC watchdog re-plans
     and migrates pages from here).
+
+    ``prev_reset``, when given, is a shared one-element list cell: when
+    its flag is set at chunk entry, the cached ``prev_vpage`` is
+    invalidated before any reference executes.  The columnar kernel
+    (:mod:`repro.machine.columnar`) retires whole blocks *between* this
+    runner's chunks; a retired block moves other pages to the TLB tail,
+    so the move-to-back skip must not trust a ``prev_vpage`` that
+    predates it.
 
     A runner is valid for one engine loop: everything captured is either
     a constant or a container mutated in place for the loop's lifetime.
@@ -267,6 +275,9 @@ def loop_runner(ms: MemorySystem, vm, page_cache: dict, cpu: int, stream,
     while True:
         start, end, t, busy_per_ref, fault_concurrency = yield result
 
+        if prev_reset is not None and prev_reset[0]:
+            prev_vpage = -1
+            prev_reset[0] = False
         # Reload shared bus state (other CPUs ran between our chunks) and
         # reset the per-chunk statistic deltas.
         (

@@ -93,6 +93,10 @@ class MemorySystem:
         # already include these, so the counters never feed results.
         self.fast_retired_data = 0
         self.fast_retired_instr = 0
+        # Whole 16-reference column blocks retired in bulk by the
+        # columnar kernel (repro.machine.columnar); the per-reference
+        # counts above include the references inside these blocks.
+        self.fast_retired_blocks = 0
         self._line = config.l2.line_size
         self._line_mask = ~(self._line - 1)
         self._word = config.word_size
@@ -390,6 +394,7 @@ class MemorySystem:
         registry.counter("memsys.demand_l2_misses").inc(self.demand_l2_misses)
         registry.counter("memsys.fast_retired_data").inc(self.fast_retired_data)
         registry.counter("memsys.fast_retired_instr").inc(self.fast_retired_instr)
+        registry.counter("memsys.fast_retired_blocks").inc(self.fast_retired_blocks)
         for kind in BusTransactionKind:
             registry.counter(f"bus.transactions.{kind.value}").inc(
                 self.bus.transactions[kind]

@@ -5,7 +5,9 @@
   touched by a loop the way the generated code would (a[i], b[i], ... per
   iteration) — the interleaving is what makes same-color array starts
   thrash a direct-mapped cache;
-* :mod:`repro.sim.windows` — representative execution windows (Section 3.2);
+* :mod:`repro.sim.windows` — representative execution windows (Section
+  3.2) and the access-vector sampling plans behind
+  ``EngineOptions(sampling="access_vector")``;
 * :mod:`repro.sim.engine` — drives the streams through the memory system
   with per-processor clocks, barrier/sequential/suppressed overhead
   accounting, page-fault servicing and optional prefetching;
@@ -18,7 +20,13 @@ from repro.sim.engine import EngineOptions, run_benchmark, run_program
 from repro.sim.results import PhaseResult, RunResult
 from repro.sim.sweeps import STANDARD_POLICIES, cpu_sweep, policy_sweep, speedup_table
 from repro.sim.tracegen import SimProfile, loop_traces
-from repro.sim.windows import PhaseWindow, occurrence_variation, representative_window
+from repro.sim.windows import (
+    PhaseWindow,
+    WindowPlan,
+    access_vector_plan,
+    occurrence_variation,
+    representative_window,
+)
 
 __all__ = [
     "EngineOptions",
@@ -26,8 +34,10 @@ __all__ = [
     "cpu_sweep",
     "policy_sweep",
     "speedup_table",
+    "access_vector_plan",
     "PhaseResult",
     "PhaseWindow",
+    "WindowPlan",
     "RunResult",
     "SimProfile",
     "loop_traces",

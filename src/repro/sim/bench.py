@@ -1,29 +1,41 @@
-"""End-to-end engine benchmark: the Figure 6 policy sweep, both paths.
+"""End-to-end engine benchmark: the Figure 6 policy sweep, every path.
 
 ``python -m repro bench`` times the full policy sweep (every workload under
-page coloring, bin hopping and CDPC) twice:
+page coloring, bin hopping and CDPC) in four legs:
 
 * **reference** — the pre-optimization engine configuration: per-reference
   oracle path (``fast_path=False``), no trace cache, serial execution;
-* **fast** — the optimized configuration: vectorized hit filter, trace
-  caching, and the sweep fanned out over worker processes.
+* **fast/cold** — the optimized exact configuration (columnar epoch
+  kernel, trace caching, worker pool) against an empty trace cache: what
+  a first run pays, and the headline ``speedup``;
+* **fast/warm** — the same configuration rerun against the now-warm
+  cache, where traces, columnar block indexes and sampling plans are all
+  reused: what every subsequent run in a session pays (``speedup_warm``);
+* **sampled** — ``sampling="access_vector"`` on the warm cache: the
+  approximate leg.  Its results are *not* bit-identical; instead the
+  bench reports its maximum/mean relative MCPI error against the oracle
+  and whether every extrapolated miss total fell inside its reported
+  error bound (``speedup_sampled``).
 
-Both legs produce ``RunResult`` objects whose serialized form
-(``to_dict()``) must match bit-for-bit — the simulated statistics are
-deterministic, so any divergence is a fast-path bug and the bench exits
-nonzero.  The timing summary is written to ``BENCH_engine.json``.
+The exact legs produce ``RunResult`` objects whose serialized form
+(``to_dict()``) must match the oracle bit-for-bit — the simulated
+statistics are deterministic, so any divergence is a fast-path bug and
+the bench exits nonzero.  The timing summary is written to
+``BENCH_engine.json``, which also keeps a bounded ``history`` array (git
+revision, date, throughput, speedups) appended on every
+:func:`write_bench` so regressions are visible across commits.
 
-Both legs run as one fault-tolerant campaign each (:mod:`repro.harness`),
-so the JSON also carries the campaign's retry/failure counters, and the
-report file is published atomically (tmp+rename).
+Every leg runs as one fault-tolerant campaign (:mod:`repro.harness`), so
+the JSON also carries per-leg retry/failure counters, and the report file
+is published atomically (tmp+rename).
 
 A measurement caveat that matters when reading the numbers: host wall
 clock on small shared machines is noisy (CPU steal, frequency scaling),
-and the parallel leg's win depends on the CPUs the process may actually
-use (``os.sched_getaffinity``).  On a single-core host the fast leg runs
-serially and the reported speedup is the hit filter + trace cache alone
-(about 2x); the 3x end-to-end figure needs the process pool, i.e. a
-multi-core host.
+and the parallel legs' win depends on the CPUs the process may actually
+use (``os.sched_getaffinity``).  On a single-core host the fast legs run
+serially and the reported speedup is the columnar kernel + trace cache
+alone; the end-to-end figure needs the process pool, i.e. a multi-core
+host.
 """
 
 from __future__ import annotations
@@ -31,8 +43,10 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import time
 from dataclasses import replace
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -48,6 +62,9 @@ from repro.sim.trace_cache import default_trace_cache
 
 #: Default output file, at the repository root when run from there.
 BENCH_OUTPUT = "BENCH_engine.json"
+
+#: Maximum number of entries kept in the report's ``history`` array.
+HISTORY_LIMIT = 100
 
 
 def modeled_references(results: dict[str, dict[str, RunResult]]) -> int:
@@ -117,6 +134,41 @@ def find_divergences(
     return divergences
 
 
+def sampled_accuracy(
+    sampled: dict[str, dict[str, RunResult]],
+    reference: dict[str, dict[str, RunResult]],
+) -> dict:
+    """Accuracy of the sampled leg against the oracle, per run and overall.
+
+    Reports the maximum and mean relative MCPI error, and checks the
+    sampler's own error-bound contract: every run's extrapolated miss
+    total must lie within ``miss_error_bound`` of the oracle's exact
+    count (violations are listed by run).
+    """
+    mcpi_errors: list[float] = []
+    violations: list[str] = []
+    for workload, sweep in reference.items():
+        for label, ref_result in sweep.items():
+            s = sampled[workload][label]
+            ref_mcpi = ref_result.mcpi()
+            if ref_mcpi > 0:
+                mcpi_errors.append(abs(s.mcpi() - ref_mcpi) / ref_mcpi)
+            report = s.sampling or {}
+            exact = float(sum(ref_result.miss_breakdown().values()))
+            estimated = report.get("estimated_l2_misses", 0.0)
+            bound = report.get("miss_error_bound", 0.0)
+            if abs(estimated - exact) > bound:
+                violations.append(f"{workload}/{label}")
+    return {
+        "mcpi_max_rel_error": max(mcpi_errors) if mcpi_errors else 0.0,
+        "mcpi_mean_rel_error": (
+            sum(mcpi_errors) / len(mcpi_errors) if mcpi_errors else 0.0
+        ),
+        "bound_violations": violations,
+        "within_bound": not violations,
+    }
+
+
 def run_bench(
     config: MachineConfig,
     workloads: Sequence[str],
@@ -124,10 +176,11 @@ def run_bench(
     max_workers: Optional[int] = None,
     campaign: Optional[CampaignOptions] = None,
 ) -> dict:
-    """Time the Figure 6 sweep on both engine paths and compare results."""
+    """Time the Figure 6 sweep on every engine path and compare results."""
     base = options or EngineOptions()
     reference_options = replace(base, fast_path=False, trace_cache=False)
     fast_options = replace(base, fast_path=True, trace_cache=True)
+    sampled_options = replace(fast_options, sampling="access_vector")
 
     ref_results, ref_wall, ref_cpu, ref_report = _run_leg(
         workloads, config, reference_options, max_workers=1
@@ -135,13 +188,28 @@ def run_bench(
 
     cache = default_trace_cache()
     cache.clear()
-    fast_results, fast_wall, fast_cpu, fast_report = _run_leg(
+    cold_results, cold_wall, cold_cpu, cold_report = _run_leg(
         workloads, config, fast_options, max_workers=max_workers,
         campaign=campaign,
     )
+    # Second pass over the (now warm) trace cache: traces, columnar block
+    # indexes and window plans are all reused.  With a worker pool the
+    # warmth is per-worker, so warm == cold on multi-process runs.
+    warm_results, warm_wall, warm_cpu, warm_report = _run_leg(
+        workloads, config, fast_options, max_workers=max_workers,
+        campaign=campaign,
+    )
+    sampled_results, sampled_wall, sampled_cpu, sampled_report = _run_leg(
+        workloads, config, sampled_options, max_workers=max_workers,
+        campaign=campaign,
+    )
 
-    divergences = find_divergences(fast_results, ref_results)
-    refs = modeled_references(fast_results)
+    divergences = find_divergences(cold_results, ref_results)
+    divergences += [
+        f"warm:{line}" for line in find_divergences(warm_results, ref_results)
+    ]
+    accuracy = sampled_accuracy(sampled_results, ref_results)
+    refs = modeled_references(cold_results)
     workers = max_workers if max_workers is not None else available_cpus()
     return {
         "benchmark": "figure6_policy_sweep",
@@ -170,20 +238,92 @@ def run_bench(
             "fast_path": True,
             "trace_cache": True,
             "max_workers": workers,
-            "wall_s": fast_wall,
-            "cpu_s": fast_cpu,
-            "refs_per_sec": refs / fast_wall if fast_wall > 0 else 0.0,
+            # Mirrors the cold leg: BENCH consumers predating the
+            # warm/sampled split read these flat keys.
+            "wall_s": cold_wall,
+            "cpu_s": cold_cpu,
+            "refs_per_sec": refs / cold_wall if cold_wall > 0 else 0.0,
             "trace_cache_stats": cache.stats(),
-            "campaign": fast_report.to_dict(),
+            "campaign": cold_report.to_dict(),
+            "cold": {
+                "wall_s": cold_wall,
+                "cpu_s": cold_cpu,
+                "refs_per_sec": refs / cold_wall if cold_wall > 0 else 0.0,
+                "campaign": cold_report.to_dict(),
+            },
+            "warm": {
+                "wall_s": warm_wall,
+                "cpu_s": warm_cpu,
+                "refs_per_sec": refs / warm_wall if warm_wall > 0 else 0.0,
+                "trace_cache_stats": cache.stats(),
+                "campaign": warm_report.to_dict(),
+            },
+        },
+        "sampled": {
+            "sampling": "access_vector",
+            "max_workers": workers,
+            "wall_s": sampled_wall,
+            "cpu_s": sampled_cpu,
+            "refs_per_sec": refs / sampled_wall if sampled_wall > 0 else 0.0,
+            "campaign": sampled_report.to_dict(),
+            **accuracy,
         },
         "modeled_references": refs,
-        "speedup": ref_wall / fast_wall if fast_wall > 0 else 0.0,
+        "speedup": ref_wall / cold_wall if cold_wall > 0 else 0.0,
+        "speedup_warm": ref_wall / warm_wall if warm_wall > 0 else 0.0,
+        "speedup_sampled": (
+            ref_wall / sampled_wall if sampled_wall > 0 else 0.0
+        ),
         "equivalent": not divergences,
         "divergences": divergences,
     }
 
 
+def _git_revision() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def _history_entry(payload: dict) -> dict:
+    return {
+        "revision": _git_revision(),
+        "date": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "refs_per_sec": payload.get("fast", {}).get("refs_per_sec", 0.0),
+        "speedup": payload.get("speedup", 0.0),
+        "speedup_warm": payload.get("speedup_warm", 0.0),
+        "speedup_sampled": payload.get("speedup_sampled", 0.0),
+    }
+
+
 def write_bench(payload: dict, path: str = BENCH_OUTPUT) -> None:
-    """Write the report atomically (tmp+rename) so a crash or a concurrent
-    reader never observes a truncated ``BENCH_engine.json``."""
-    atomic_write_text(Path(path), json.dumps(payload, indent=2) + "\n")
+    """Publish the report, carrying the ``history`` array forward.
+
+    The previous report's history (if the file exists and parses) is
+    extended with one entry for this run — git revision, UTC date,
+    fast-leg throughput and the three speedups — and truncated to the
+    most recent :data:`HISTORY_LIMIT` entries, so the JSON doubles as a
+    lightweight perf-regression log across commits.  The file is written
+    atomically (tmp+rename) so a crash or a concurrent reader never
+    observes a truncated ``BENCH_engine.json``.
+    """
+    target = Path(path)
+    history: list[dict] = []
+    if target.exists():
+        try:
+            previous = json.loads(target.read_text())
+            if isinstance(previous, dict):
+                old = previous.get("history", [])
+                if isinstance(old, list):
+                    history = old
+        except (ValueError, OSError):
+            history = []
+    history = (history + [_history_entry(payload)])[-HISTORY_LIMIT:]
+    payload = dict(payload)
+    payload["history"] = history
+    atomic_write_text(target, json.dumps(payload, indent=2) + "\n")

@@ -168,3 +168,44 @@ class TestBenchGuard:
         payload = session.bench(workers=1)
         assert payload["divergences"] == []
         assert payload["benchmark"] == "figure6_policy_sweep"
+        assert payload["sampled"]["within_bound"] is True
+        assert payload["speedup_sampled"] > 0
+
+
+class TestBenchHistory:
+    PAYLOAD = {
+        "fast": {"refs_per_sec": 10.0},
+        "speedup": 2.0,
+        "speedup_warm": 3.0,
+        "speedup_sampled": 4.0,
+    }
+
+    def test_write_appends_history_across_runs(self, tmp_path):
+        import json
+
+        from repro.sim.bench import write_bench
+
+        path = tmp_path / "BENCH_engine.json"
+        write_bench(dict(self.PAYLOAD), str(path))
+        first = json.loads(path.read_text())
+        assert len(first["history"]) == 1
+        entry = first["history"][0]
+        assert entry["refs_per_sec"] == 10.0
+        assert entry["speedup"] == 2.0
+        assert entry["speedup_sampled"] == 4.0
+        assert "revision" in entry and "date" in entry
+
+        write_bench(dict(self.PAYLOAD), str(path))
+        second = json.loads(path.read_text())
+        assert len(second["history"]) == 2
+        assert second["history"][0] == first["history"][0]
+
+    def test_corrupt_previous_report_starts_fresh(self, tmp_path):
+        import json
+
+        from repro.sim.bench import write_bench
+
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text("{not json")
+        write_bench(dict(self.PAYLOAD), str(path))
+        assert len(json.loads(path.read_text())["history"]) == 1

@@ -1,0 +1,147 @@
+"""Access-vector sampled simulation: plans, error bounds, validation."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.machine.config import sgi_base
+from repro.sim.engine import EngineOptions, run_benchmark
+from repro.sim.tracegen import SimProfile
+from repro.sim.windows import (
+    ROLE_FORCED,
+    ROLE_LEADER,
+    ROLE_SKIP,
+    ROLE_VALIDATOR,
+    ROLE_WARM,
+    access_vector_plan,
+)
+
+CONFIG = sgi_base(4).scaled(16)
+FAST = SimProfile.fast()
+
+
+class _FakeTrace:
+    """Bare-bones stand-in for CpuTrace: addrs/flags/prefetch columns."""
+
+    def __init__(self, addrs, flags, prefetch=None):
+        self.addrs = np.asarray(addrs, dtype=np.int64)
+        self.flags = np.asarray(flags, dtype=np.uint8)
+        self.prefetch = prefetch
+
+    def __len__(self):
+        return len(self.addrs)
+
+
+def make_trace(n, period=64):
+    addrs = (np.arange(n) % period) * 8
+    return _FakeTrace(addrs, np.zeros(n, dtype=np.uint8))
+
+
+class TestWindowPlan:
+    def test_identical_windows_cluster_with_leader_first(self):
+        trace = make_trace(64 * 8)
+        plan = access_vector_plan(trace, 64, 32, 256, 16)
+        assert plan.num_windows == 8
+        assert plan.num_clusters == 1
+        assert plan.roles[0] == ROLE_LEADER
+        assert plan.roles[1] == ROLE_SKIP
+        assert ROLE_WARM in plan.roles
+        assert ROLE_VALIDATOR in plan.roles
+        assert plan.skippable_windows() > 0
+        # The leader precedes every skippable member, so its delta is
+        # always recorded before the first replay needs it.
+        assert plan.roles.index(ROLE_LEADER) < plan.roles.index(ROLE_SKIP)
+
+    def test_partial_tail_window_is_forced(self):
+        trace = make_trace(64 * 2 + 10)
+        plan = access_vector_plan(trace, 64, 32, 256, 16)
+        assert plan.roles[-1] == ROLE_FORCED
+        assert plan.clusters[-1] == -1
+
+    def test_slow_references_force_simulation(self):
+        base = make_trace(64 * 2)
+        flags = base.flags.copy()
+        flags[70] = 3  # write+instruction: slow-path carrier
+        plan = access_vector_plan(
+            _FakeTrace(base.addrs, flags), 64, 32, 256, 16
+        )
+        assert plan.roles[1] == ROLE_FORCED
+
+    def test_different_access_vectors_split_clusters(self):
+        addrs = np.concatenate(
+            [(np.arange(64) % 64) * 8, np.zeros(64, dtype=np.int64)]
+        )
+        trace = _FakeTrace(addrs, np.zeros(128, dtype=np.uint8))
+        plan = access_vector_plan(trace, 64, 32, 256, 16)
+        assert plan.num_clusters == 2
+
+    def test_plan_memoized_per_window_size(self):
+        trace = make_trace(256)
+        first = access_vector_plan(trace, 64, 32, 256, 16)
+        assert access_vector_plan(trace, 64, 32, 256, 16) is first
+        assert access_vector_plan(trace, 128, 32, 256, 16) is not first
+
+
+class TestSamplingValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="sampling"):
+            run_benchmark(
+                "tomcatv", CONFIG, EngineOptions(sampling="random")
+            )
+
+    def test_requires_fast_path(self):
+        with pytest.raises(ValueError, match="fast_path"):
+            run_benchmark(
+                "tomcatv", CONFIG,
+                EngineOptions(sampling="access_vector", fast_path=False),
+            )
+
+    def test_window_must_be_chunk_multiple(self):
+        with pytest.raises(ValueError, match="window"):
+            run_benchmark(
+                "tomcatv", CONFIG,
+                EngineOptions(sampling="access_vector", sampling_window=100),
+            )
+
+    def test_exact_runs_report_no_sampling(self):
+        result = run_benchmark("tomcatv", CONFIG, EngineOptions(profile=FAST))
+        assert result.sampling is None
+
+
+class TestSampledAccuracy:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        options = EngineOptions(profile=FAST)
+        exact = run_benchmark("tomcatv", CONFIG, options)
+        sampled = run_benchmark(
+            "tomcatv", CONFIG, replace(options, sampling="access_vector")
+        )
+        return exact, sampled
+
+    def test_report_shape_and_skipping(self, runs):
+        _, sampled = runs
+        report = sampled.sampling
+        assert report["mode"] == "access_vector"
+        assert report["skipped_windows"] > 0
+        assert report["windows"] == (
+            report["simulated_windows"] + report["skipped_windows"]
+        )
+        assert 0.0 < report["skip_ratio"] < 1.0
+        assert report["relative_error_bound"] >= 0.05  # reporting floor
+
+    def test_miss_bound_contains_oracle(self, runs):
+        exact, sampled = runs
+        exact_misses = sum(exact.miss_breakdown().values())
+        report = sampled.sampling
+        assert (
+            abs(report["estimated_l2_misses"] - exact_misses)
+            <= report["miss_error_bound"]
+        )
+
+    def test_mcpi_within_five_percent_of_oracle(self, runs):
+        exact, sampled = runs
+        error = abs(sampled.mcpi() - exact.mcpi()) / exact.mcpi()
+        assert error <= 0.05
