@@ -19,6 +19,7 @@ import sys
 from typing import TYPE_CHECKING
 
 from repro.analysis.report import render_table
+from repro.checker.staticmiss import StaticCheckError
 from repro.machine.config import MachineConfig, alpha_server, sgi_2way, sgi_4mb, sgi_base
 from repro.robustness.faults import FaultPlan
 from repro.sim.engine import EngineOptions, run_benchmark, run_program
@@ -83,6 +84,7 @@ def _options_for(policy_label: str, args) -> EngineOptions:
         profile=SimProfile.fast() if args.fast else SimProfile(),
         obs=_obs_config(args),
         sampling=getattr(args, "sampling", None),
+        static_check=getattr(args, "static_check", False),
     )
 
 
@@ -112,7 +114,11 @@ def cmd_list(_args) -> int:
 def cmd_run(args) -> int:
     config = _make_config(args)
     options = _options_for("cdpc" if args.cdpc else args.policy, args)
-    result = run_benchmark(args.workload, config, options)
+    try:
+        result = run_benchmark(args.workload, config, options)
+    except StaticCheckError as exc:
+        print(f"static-check FAILED: {exc}", file=sys.stderr)
+        return 1
     if args.metrics_out or args.trace_out:
         _write_obs_outputs(args, result.obs or {})
     if args.json:
@@ -152,9 +158,15 @@ def cmd_lint(args) -> int:
             config,
             cdpc=not args.no_cdpc,
             aligned=not args.unaligned,
+            static=True,
         )
         for program in programs
     ]
+    verifications = None
+    if args.verify_plan:
+        verifications = [
+            _verify_program_plan(program, config, args) for program in programs
+        ]
     num_errors = sum(len(report.errors()) for report in reports)
     if args.format == "json":
         payload = {
@@ -165,12 +177,143 @@ def cmd_lint(args) -> int:
             "num_warnings": sum(len(r.warnings()) for r in reports),
             "reports": [report.to_dict() for report in reports],
         }
+        if verifications is not None:
+            payload["verifications"] = [
+                {"program": program.name, **verification.to_dict()}
+                for program, verification in zip(programs, verifications)
+            ]
         print(json.dumps(payload, indent=2))
     else:
         print("\n\n".join(report.render_text() for report in reports))
+        if verifications is not None:
+            for program, verification in zip(programs, verifications):
+                print(_render_verification(program.name, verification))
     if args.strict and num_errors:
         return 1
     return 0
+
+
+def _verify_program_plan(program, config, args):
+    """Derive the plan the OS would realize and verify it symbolically."""
+    from repro.checker.lint import _group_pairs
+    from repro.checker.staticmiss import (
+        derive_static_plan,
+        program_image,
+        verify_plan,
+    )
+    from repro.compiler.padding import layout_arrays
+    from repro.compiler.summaries import extract_summary
+    from repro.core.coloring import generate_page_colors
+
+    layout = layout_arrays(
+        program.arrays,
+        config.l2.line_size,
+        config.l1d.size,
+        aligned=not args.unaligned,
+        groups=_group_pairs(program),
+    )
+    coloring = None
+    if not args.no_cdpc:
+        summary = extract_summary(program, layout)
+        coloring = generate_page_colors(
+            summary, config.page_size, config.num_colors, args.cpus
+        )
+    image = program_image(program, layout, config, args.cpus)
+    plan = derive_static_plan(
+        program,
+        layout,
+        config,
+        policy="page_coloring",
+        cdpc=coloring is not None,
+        coloring=coloring,
+    )
+    return verify_plan(image, plan)
+
+
+def _render_verification(name, verification) -> str:
+    if verification.conflict_free:
+        return (
+            f"{name}: plan PROVEN conflict-free "
+            f"({verification.sets_checked} bins checked, "
+            f"max occupancy {verification.max_occupancy})"
+        )
+    worst = verification.witnesses[0] if verification.witnesses else None
+    detail = ""
+    if worst is not None:
+        detail = (
+            f"; worst: cpu {worst.cpu} color {worst.color} line "
+            f"{worst.line_index} holds {len(worst.pages)} pages "
+            f"({'/'.join(worst.arrays)})"
+        )
+    return (
+        f"{name}: plan NOT conflict-free — "
+        f"{len(verification.witnesses)} witness(es), "
+        f"max occupancy {verification.max_occupancy}{detail}"
+    )
+
+
+def cmd_predict(args) -> int:
+    """Symbolic miss prediction, optionally cross-validated by simulation."""
+    from repro.checker.staticmiss import StaticMissProfile, predict_workload
+
+    config = _make_config(args)
+    names = (
+        list(WORKLOAD_NAMES) if args.workload == "all" else [args.workload]
+    )
+    labels = [p.strip() for p in args.policies.split(",") if p.strip()]
+    profile = SimProfile.fast() if args.fast else SimProfile()
+    rows = []
+    payloads = []
+    violation_count = 0
+    for name in names:
+        for label in labels:
+            cdpc = label == "cdpc"
+            # "cdpc" is the STANDARD_POLICIES label: bin_hopping base
+            # with compiler hints delivered by touching pages in order.
+            native = "bin_hopping" if cdpc else label
+            prediction = predict_workload(
+                name,
+                config,
+                num_cpus=args.cpus,
+                policy=native,
+                cdpc=cdpc,
+                profile=profile,
+            )
+            total = prediction.estimate("total")
+            payload = prediction.to_dict()
+            row = [
+                f"{name}/{label}",
+                round(prediction.predicted_total()),
+                round(total.hi),
+                f"{prediction.analyze_ns / 1e6:.0f}",
+            ]
+            if args.check:
+                result = run_benchmark(
+                    name,
+                    config,
+                    EngineOptions(policy=native, cdpc=cdpc, profile=profile),
+                )
+                measured = StaticMissProfile.measured_from(result)
+                violations = prediction.check(result)
+                violation_count += len(violations)
+                payload["measured"] = measured
+                payload["violations"] = violations
+                row.extend(
+                    [
+                        round(measured["total"]),
+                        "FAIL" if violations else "ok",
+                    ]
+                )
+            rows.append(row)
+            payloads.append(payload)
+    if args.json:
+        print(json.dumps({"predictions": payloads}, indent=2))
+    else:
+        headers = ["config", "predicted", "bound hi", "analyze ms"]
+        if args.check:
+            headers.extend(["measured", "check"])
+        print(render_table(headers, rows))
+    return 1 if violation_count else 0
 
 
 def _campaign_options(args) -> "CampaignOptions":
@@ -691,6 +834,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="run one configuration")
     add_common(run_parser)
     add_obs(run_parser)
+    run_parser.add_argument(
+        "--static-check", action="store_true",
+        help="cross-validate the run against the symbolic miss "
+        "prediction; nonzero exit if any measured miss component "
+        "escapes its predicted interval",
+    )
 
     sweep_parser = sub.add_parser("sweep", help="compare mapping policies")
     add_common(sweep_parser)
@@ -765,6 +914,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true",
         help="exit nonzero when ERROR-severity diagnostics exist",
     )
+    lint_parser.add_argument(
+        "--verify-plan", action="store_true",
+        help="symbolically verify the realized color plan: prove it "
+             "conflict-free or report occupancy witnesses",
+    )
+
+    predict_parser = sub.add_parser(
+        "predict",
+        help="static miss prediction from the symbolic footprint engine "
+             "(no simulation unless --check)",
+    )
+    predict_parser.add_argument(
+        "workload", nargs="?", default="all",
+        choices=[*WORKLOAD_NAMES, "all"],
+        help="bundled workload to predict, or 'all' (default)",
+    )
+    predict_parser.add_argument("--cpus", type=int, default=8)
+    predict_parser.add_argument("--machine", choices=sorted(_MACHINES),
+                                default="sgi_base")
+    predict_parser.add_argument("--scale", type=int, default=16,
+                                help="geometric scale factor (default 16)")
+    predict_parser.add_argument(
+        "--policies", default="page_coloring,bin_hopping,cdpc",
+        help="comma-separated policy labels to predict "
+             "(default page_coloring,bin_hopping,cdpc)",
+    )
+    predict_parser.add_argument(
+        "--fast", action="store_true",
+        help="predict for the reduced-sweep simulation profile",
+    )
+    predict_parser.add_argument(
+        "--check", action="store_true",
+        help="cross-validate: simulate each configuration and exit "
+             "nonzero if any measured component leaves its interval",
+    )
+    predict_parser.add_argument("--json", action="store_true",
+                                help="emit the full profiles as JSON")
 
     faults_parser = sub.add_parser(
         "faults",
@@ -974,6 +1160,7 @@ def main(argv=None) -> int:
         "faults": cmd_faults,
         "bench": cmd_bench,
         "lint": cmd_lint,
+        "predict": cmd_predict,
         "obs-check": cmd_obs_check,
         "scenario": cmd_scenario,
     }

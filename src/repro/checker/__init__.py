@@ -8,9 +8,12 @@ Public surface::
     if not report.clean:
         print(report.render_text())
 
-See :mod:`repro.checker.races` for the affine dependence / race rules and
-:mod:`repro.checker.colorlint` for the color-plan rules; rule ids and
-their paper cross-references are documented in ``docs/static_analysis.md``.
+See :mod:`repro.checker.races` for the affine dependence / race rules,
+:mod:`repro.checker.colorlint` for the color-plan rules, and
+:mod:`repro.checker.staticmiss` for the symbolic footprint engine behind
+the static miss predictor, the plan verifier, and the S00x rules in
+:mod:`repro.checker.staticrules`; rule ids and their paper
+cross-references are documented in ``docs/static_analysis.md``.
 """
 
 from repro.checker.diagnostics import (
@@ -32,22 +35,48 @@ from repro.checker.races import (
     test_cross_processor,
 )
 from repro.checker.registry import DEFAULT_REGISTRY, LintContext, Rule, RuleRegistry
+from repro.checker.staticmiss import (
+    ConflictWitness,
+    MissEstimate,
+    PlanVerification,
+    StaticCheckError,
+    StaticMissProfile,
+    StaticPlan,
+    derive_static_plan,
+    predict_program,
+    predict_workload,
+    program_image,
+    replay_witness,
+    verify_plan,
+)
 
 __all__ = [
     "DEFAULT_REGISTRY",
+    "ConflictWitness",
     "Diagnostic",
     "DependenceVerdict",
     "LintContext",
     "LintError",
     "LintReport",
+    "MissEstimate",
+    "PlanVerification",
     "Rule",
     "RuleRegistry",
     "Severity",
+    "StaticCheckError",
+    "StaticMissProfile",
+    "StaticPlan",
     "check_nest",
+    "derive_static_plan",
     "lint_affine",
     "lint_context",
     "lint_context_report",
     "lint_program",
     "lint_workload",
+    "predict_program",
+    "predict_workload",
+    "program_image",
+    "replay_witness",
     "test_cross_processor",
+    "verify_plan",
 ]

@@ -17,7 +17,7 @@ dynamically:
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Any, Iterator
 
 from repro.checker.diagnostics import Diagnostic, Severity
 from repro.checker.registry import LintContext, register
@@ -207,7 +207,7 @@ def rule_unsummarizable_strided(ctx: LintContext) -> Iterator[Diagnostic]:
     PARALLEL loop (the array is hot and uncolored), INFO when it only
     occurs in suppressed/sequential code.
     """
-    sightings: dict[str, dict] = {}
+    sightings: dict[str, dict[str, Any]] = {}
     for phase in ctx.program.phases:
         for loop in phase.loops:
             for access in loop.accesses:

@@ -22,7 +22,7 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from typing import Any, Iterable, Iterator, Optional
 
 
 class Severity(enum.IntEnum):
@@ -52,7 +52,7 @@ class Diagnostic:
     #: Actionable suggestion ("declare the loop SEQUENTIAL", "pad array x").
     fix_hint: Optional[str] = None
     #: Structured evidence (witness iterations, page counts, ...).
-    evidence: dict = field(default_factory=dict)
+    evidence: dict[str, Any] = field(default_factory=dict)
 
     @property
     def span(self) -> str:
@@ -63,8 +63,8 @@ class Diagnostic:
             location += f"[{self.array}]"
         return location
 
-    def to_dict(self) -> dict:
-        payload = {
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
             "rule_id": self.rule_id,
             "severity": self.severity.name,
             "message": self.message,
@@ -77,6 +77,24 @@ class Diagnostic:
             payload["evidence"] = self.evidence
         return payload
 
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Diagnostic":
+        """Inverse of :meth:`to_dict`; ``d.from_dict(d.to_dict()) == d``.
+
+        Evidence must hold JSON-native values (lists, not tuples) for the
+        round-trip through :meth:`LintReport.to_json` to be byte-exact.
+        """
+        return cls(
+            rule_id=payload["rule_id"],
+            severity=Severity[payload["severity"]],
+            message=payload["message"],
+            loop=payload.get("loop"),
+            phase=payload.get("phase"),
+            array=payload.get("array"),
+            fix_hint=payload.get("fix_hint"),
+            evidence=dict(payload.get("evidence", {})),
+        )
+
     def render(self) -> str:
         line = f"{self.severity.name:<7} {self.rule_id:<6} {self.span}: {self.message}"
         if self.fix_hint:
@@ -87,7 +105,7 @@ class Diagnostic:
 class LintError(RuntimeError):
     """Raised by strict runs when ERROR-severity diagnostics exist."""
 
-    def __init__(self, report: "LintReport"):
+    def __init__(self, report: "LintReport") -> None:
         errors = report.errors()
         lines = "\n".join(d.render() for d in errors)
         super().__init__(
@@ -145,7 +163,7 @@ class LintReport:
         if self.errors():
             raise LintError(self)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         self.sort()
         return {
             "program": self.program,
@@ -154,8 +172,22 @@ class LintReport:
             "diagnostics": [d.to_dict() for d in self.diagnostics],
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "LintReport":
+        """Inverse of :meth:`to_dict` (the derived counts are recomputed)."""
+        return cls(
+            program=payload["program"],
+            diagnostics=[
+                Diagnostic.from_dict(d) for d in payload.get("diagnostics", [])
+            ],
+        )
+
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "LintReport":
+        return cls.from_dict(json.loads(text))
 
     def render_text(self) -> str:
         self.sort()

@@ -9,11 +9,12 @@ pre-simulation gate adds no duplicate compilation work.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Any, Iterable, Optional
 
 # Importing the rule modules registers their rules in DEFAULT_REGISTRY.
 import repro.checker.colorlint  # noqa: F401
 import repro.checker.races  # noqa: F401
+import repro.checker.staticrules  # noqa: F401
 from repro.checker.diagnostics import LintReport
 from repro.checker.registry import DEFAULT_REGISTRY, LintContext, RuleRegistry
 from repro.compiler.ir import Program
@@ -50,6 +51,7 @@ def lint_context(
     layout: Optional[Layout] = None,
     summary: Optional[AccessSummary] = None,
     coloring: Optional[ColoringResult] = None,
+    static: bool = False,
 ) -> LintContext:
     """Build (or adopt) the compiler artifacts the rules inspect."""
     cpus = num_cpus if num_cpus is not None else config.num_cpus
@@ -75,6 +77,7 @@ def lint_context(
         summary=summary,
         coloring=coloring,
         aligned=aligned,
+        static=static,
     )
 
 
@@ -98,13 +101,19 @@ def lint_program(
     num_cpus: Optional[int] = None,
     aligned: bool = True,
     cdpc: bool = True,
+    static: bool = False,
     registry: RuleRegistry = DEFAULT_REGISTRY,
     only: Optional[Iterable[str]] = None,
     skip: Optional[Iterable[str]] = None,
 ) -> LintReport:
     """Statically analyze one program for one machine configuration."""
     ctx = lint_context(
-        program, config, num_cpus=num_cpus, aligned=aligned, cdpc=cdpc
+        program,
+        config,
+        num_cpus=num_cpus,
+        aligned=aligned,
+        cdpc=cdpc,
+        static=static,
     )
     return lint_context_report(ctx, registry=registry, only=only, skip=skip)
 
@@ -112,10 +121,16 @@ def lint_program(
 def lint_workload(
     name: str,
     config: MachineConfig,
-    **kwargs,
+    **kwargs: Any,
 ) -> LintReport:
-    """Build a bundled SPEC95fp workload at the machine's scale and lint it."""
+    """Build a bundled SPEC95fp workload at the machine's scale and lint it.
+
+    Unlike :func:`lint_program`, the symbolic footprint rules default to
+    *on* here: workload-level linting is the offline/CI path where the
+    program-image cost is acceptable.
+    """
     from repro.workloads.specfp import get_workload
 
+    kwargs.setdefault("static", True)
     workload = get_workload(name, scale=config.scale_factor)
     return lint_program(workload.program, config, **kwargs)

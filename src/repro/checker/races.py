@@ -43,8 +43,8 @@ from typing import Iterator, Optional
 
 from repro.checker.diagnostics import Diagnostic, LintReport, Severity
 from repro.checker.registry import LintContext, register
-from repro.common import Communication, iteration_ranges
-from repro.compiler.affine import AffineNest, AffineProgram, AffineRef
+from repro.common import Communication, Direction, Partitioning, iteration_ranges
+from repro.compiler.affine import AffineNest, AffineProgram, AffineRef, Subscript
 from repro.compiler.ir import (
     Access,
     BoundaryAccess,
@@ -210,7 +210,7 @@ def _cpu_of_iteration(nest: AffineNest, num_cpus: int) -> list[int]:
     return cpu_of
 
 
-def _subscript_value(sub, i: int, j: int) -> int:
+def _subscript_value(sub: Subscript, i: int, j: int) -> int:
     return sub.i_coef * i + sub.j_coef * j + sub.const
 
 
@@ -368,7 +368,7 @@ def _ref_pairs(nest: AffineNest) -> Iterator[tuple[AffineRef, AffineRef]]:
 
 
 def _describe_ref(ref: AffineRef) -> str:
-    def term(sub) -> str:
+    def term(sub: Subscript) -> str:
         parts = []
         if sub.i_coef:
             parts.append(f"{sub.i_coef}i" if sub.i_coef != 1 else "i")
@@ -490,7 +490,11 @@ def _boundary_bytes(access: BoundaryAccess, size: int) -> int:
 
 
 def _partition_spans(
-    units: int, size: int, partitioning, direction, num_cpus: int
+    units: int,
+    size: int,
+    partitioning: Partitioning,
+    direction: Direction,
+    num_cpus: int,
 ) -> list[tuple[int, int]]:
     """Per-cpu owned byte range (relative to the array base)."""
     unit = max(1, size // max(units, 1))

@@ -5,12 +5,17 @@ Each rule is a function from a :class:`LintContext` to an iterable of
 metadata the docs and the CLI surface: a stable rule id, a one-line title,
 and the paper section the rule reproduces.
 
-Two rule families exist (mirroring the two analyses of the tentpole):
+Three rule families exist:
 
-* ``race``  — affine dependence / race detection over loop declarations
+* ``race``   — affine dependence / race detection over loop declarations
   and static schedules (Sections 3.2, 5.1);
-* ``color`` — color-plan linting over a :class:`ColoringResult` plus
-  machine geometry (Sections 2.1, 5.2-5.4, 6.1-6.2).
+* ``color``  — color-plan linting over a :class:`ColoringResult` plus
+  machine geometry (Sections 2.1, 5.2-5.4, 6.1-6.2);
+* ``static`` — symbolic footprint/occupancy scoring of the *realized*
+  color plan via :mod:`repro.checker.staticmiss` (Sections 4, 6).  These
+  rules build a full program image (~100ms per workload), so they only
+  run when :attr:`LintContext.static` is set — the engine's per-run lint
+  gate leaves it off unless ``EngineOptions.static_check`` asks for it.
 """
 
 from __future__ import annotations
@@ -42,6 +47,13 @@ class LintContext:
     coloring: Optional["ColoringResult"] = None
     #: Whether the layout was produced by the aligned+padded layout pass.
     aligned: bool = True
+    #: Whether symbolic footprint rules (family "static") may run.  Off by
+    #: default to keep the engine's per-run lint gate cheap; the lint CLI,
+    #: lint_workload and EngineOptions.static_check opt in.
+    static: bool = False
+    #: Memoized :class:`repro.checker.staticmiss.StaticConflictSummary`,
+    #: shared by the S00x rules so the program image is built once.
+    static_summary: Optional[object] = None
 
 
 RuleFn = Callable[[LintContext], Iterable[Diagnostic]]
@@ -53,14 +65,19 @@ class Rule:
 
     rule_id: str
     title: str
-    family: str  # "race" | "color"
+    family: str  # "race" | "color" | "static"
     paper_section: str
     fn: RuleFn
     #: Rules needing a ColoringResult are skipped when none is available.
     needs_coloring: bool = False
+    #: Rules needing the symbolic footprint engine are skipped unless the
+    #: context opts in (LintContext.static).
+    needs_static: bool = False
 
     def run(self, ctx: LintContext) -> list[Diagnostic]:
         if self.needs_coloring and ctx.coloring is None:
+            return []
+        if self.needs_static and not ctx.static:
             return []
         return list(self.fn(ctx))
 
@@ -78,9 +95,10 @@ class RuleRegistry:
         family: str,
         paper_section: str,
         needs_coloring: bool = False,
+        needs_static: bool = False,
     ) -> Callable[[RuleFn], RuleFn]:
         """Decorator registering ``fn`` under ``rule_id``."""
-        if family not in ("race", "color"):
+        if family not in ("race", "color", "static"):
             raise ValueError(f"unknown rule family {family!r}")
 
         def decorator(fn: RuleFn) -> RuleFn:
@@ -93,6 +111,7 @@ class RuleRegistry:
                 paper_section=paper_section,
                 fn=fn,
                 needs_coloring=needs_coloring,
+                needs_static=needs_static,
             )
             return fn
 

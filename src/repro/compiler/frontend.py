@@ -38,7 +38,7 @@ Access forms::
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Any, Iterator
 
 from repro.compiler.ir import (
     Access,
@@ -62,7 +62,7 @@ from repro.compiler.ir import (
 class FrontendError(ValueError):
     """A syntax or semantic error in a program file."""
 
-    def __init__(self, line_no: int, message: str):
+    def __init__(self, line_no: int, message: str) -> None:
         super().__init__(f"line {line_no}: {message}")
         self.line_no = line_no
 
@@ -87,7 +87,7 @@ def parse_program(text: str) -> Program:
 
     current_phase: tuple[str, int, float] | None = None
     phase_loops: list[Loop] = []
-    current_loop: dict | None = None
+    current_loop: dict[str, Any] | None = None
     loop_accesses: list[Access] = []
 
     def close_loop(line_no: int) -> None:
@@ -243,10 +243,10 @@ def _parse_phase_header(
     return tokens[1], occurrences, miss_variation
 
 
-def _parse_loop_header(tokens: list[str], line_no: int) -> dict:
+def _parse_loop_header(tokens: list[str], line_no: int) -> dict[str, Any]:
     if len(tokens) < 3 or tokens[1] != "loop":
         raise FrontendError(line_no, f"expected '{tokens[0]} loop NAME'")
-    loop = {
+    loop: dict[str, Any] = {
         "kind": _LOOP_KINDS[tokens[0]],
         "name": tokens[2],
         "ipw": 2.0,
@@ -269,8 +269,10 @@ def _parse_loop_header(tokens: list[str], line_no: int) -> dict:
     return loop
 
 
-def _take_common(rest: list[str], line_no: int) -> tuple[dict, list[str]]:
-    options = {"fraction": 1.0, "sweeps": 1.0,
+def _take_common(
+    rest: list[str], line_no: int
+) -> tuple[dict[str, Any], list[str]]:
+    options: dict[str, Any] = {"fraction": 1.0, "sweeps": 1.0,
                "partitioning": Partitioning.EVEN, "direction": Direction.FORWARD}
     while rest:
         if rest[0] == "fraction":

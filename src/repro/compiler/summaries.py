@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from itertools import combinations
 
+from repro.common import Direction, Partitioning
 from repro.compiler.ir import (
     BoundaryAccess,
     PartitionedAccess,
@@ -93,8 +94,8 @@ def _add_partitioning(
     layout: Layout,
     array: str,
     units: int,
-    partitioning,
-    direction,
+    partitioning: Partitioning,
+    direction: Direction,
 ) -> ArrayPartitioning:
     size = layout.sizes[array]
     unit = max(1, size // max(units, 1))

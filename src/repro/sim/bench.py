@@ -15,7 +15,12 @@ page coloring, bin hopping and CDPC) in four legs:
   approximate leg.  Its results are *not* bit-identical; instead the
   bench reports its maximum/mean relative MCPI error against the oracle
   and whether every extrapolated miss total fell inside its reported
-  error bound (``speedup_sampled``).
+  error bound (``speedup_sampled``);
+* **static_predict** — no simulation at all: the symbolic analyzer
+  (:mod:`repro.checker.staticmiss`) predicts every cell's external-cache
+  miss total, and the bench scores it against the oracle leg's measured
+  results — analyzer wall time, relative prediction error, and the bound
+  contract (every oracle measurement inside the predicted interval).
 
 The exact legs produce ``RunResult`` objects whose serialized form
 (``to_dict()``) must match the oracle bit-for-bit — the simulated
@@ -169,6 +174,76 @@ def sampled_accuracy(
     }
 
 
+def static_prediction_accuracy(
+    reference: dict[str, dict[str, RunResult]],
+    config: MachineConfig,
+    options: EngineOptions,
+) -> dict:
+    """The static_predict leg: symbolic prediction scored against the oracle.
+
+    Reuses the reference leg's measured results rather than simulating
+    again, so the leg's wall time is pure analyzer time.  Each cell is
+    judged twice: the *bound contract* (the oracle's measured miss
+    components must fall inside the predictor's self-reported intervals
+    — a violation is an analyzer bug) and *point accuracy* (relative
+    error of the predicted total, the figure-of-merit the paper-style
+    ``static_vs_sim`` figure plots).
+    """
+    from repro.checker.staticmiss import StaticMissProfile, predict_workload
+
+    cells: list[dict] = []
+    errors: list[float] = []
+    analyze_ns: list[float] = []
+    violations: list[str] = []
+    wall0 = time.perf_counter()
+    for workload, sweep in reference.items():
+        for label, ref_result in sweep.items():
+            overrides = STANDARD_POLICIES[label]
+            prediction = predict_workload(
+                workload,
+                config,
+                policy=overrides["policy"],
+                cdpc=bool(overrides.get("cdpc", False)),
+                profile=options.profile,
+                seed=options.seed,
+                init_jitter=options.init_jitter,
+                epochs=options.epochs,
+            )
+            measured = StaticMissProfile.measured_from(ref_result)["total"]
+            predicted = prediction.predicted_total()
+            if measured > 0:
+                error = abs(predicted - measured) / measured
+            else:
+                error = 0.0 if predicted == 0 else 1.0
+            errors.append(error)
+            analyze_ns.append(prediction.analyze_ns)
+            if prediction.check(ref_result):
+                violations.append(f"{workload}/{label}")
+            cells.append(
+                {
+                    "workload": workload,
+                    "policy": label,
+                    "predicted": predicted,
+                    "measured": measured,
+                    "rel_error": error,
+                    "analyze_ns": prediction.analyze_ns,
+                }
+            )
+    wall = time.perf_counter() - wall0
+    analyze_ns.sort()
+    return {
+        "wall_s": wall,
+        "cells": cells,
+        "max_rel_error": max(errors) if errors else 0.0,
+        "mean_rel_error": sum(errors) / len(errors) if errors else 0.0,
+        "median_analyze_ns": (
+            analyze_ns[len(analyze_ns) // 2] if analyze_ns else 0.0
+        ),
+        "bound_violations": violations,
+        "within_bound": not violations,
+    }
+
+
 def run_bench(
     config: MachineConfig,
     workloads: Sequence[str],
@@ -209,6 +284,7 @@ def run_bench(
         f"warm:{line}" for line in find_divergences(warm_results, ref_results)
     ]
     accuracy = sampled_accuracy(sampled_results, ref_results)
+    static_predict = static_prediction_accuracy(ref_results, config, base)
     refs = modeled_references(cold_results)
     workers = max_workers if max_workers is not None else available_cpus()
     return {
@@ -268,6 +344,7 @@ def run_bench(
             "campaign": sampled_report.to_dict(),
             **accuracy,
         },
+        "static_predict": static_predict,
         "modeled_references": refs,
         "speedup": ref_wall / cold_wall if cold_wall > 0 else 0.0,
         "speedup_warm": ref_wall / warm_wall if warm_wall > 0 else 0.0,
@@ -298,6 +375,12 @@ def _history_entry(payload: dict) -> dict:
         "speedup": payload.get("speedup", 0.0),
         "speedup_warm": payload.get("speedup_warm", 0.0),
         "speedup_sampled": payload.get("speedup_sampled", 0.0),
+        "static_max_rel_error": payload.get("static_predict", {}).get(
+            "max_rel_error", 0.0
+        ),
+        "static_analyze_ms": payload.get("static_predict", {}).get(
+            "median_analyze_ns", 0.0
+        ) / 1e6,
     }
 
 

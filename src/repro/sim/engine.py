@@ -93,6 +93,7 @@ from repro.sim.windows import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.checker.diagnostics import LintReport
+    from repro.checker.staticmiss import StaticMissProfile
     from repro.osmodel.dynamic import AdaptiveCdpc, DynamicRecolorer
     from repro.scenarios.churn import ChurnDriver, ChurnSchedule
 
@@ -206,6 +207,15 @@ class EngineOptions:
     #: ERROR-severity diagnostics, raising
     #: :class:`repro.checker.LintError` instead.
     strict: bool = False
+    #: Cross-validate the symbolic miss predictor against this run: build
+    #: a :class:`repro.checker.StaticMissProfile` before simulating and,
+    #: after the run, check every measured miss component against the
+    #: profile's self-reported ``[lo, hi]`` interval, raising
+    #: :class:`repro.checker.StaticCheckError` on any violation.  Only
+    #: meaningful for configurations the predictor models (no prefetch,
+    #: faults, churn, pressure, sampling or dynamic recoloring); the
+    #: engine rejects unsupported combinations up front.
+    static_check: bool = False
     #: Observability: metrics registry + span tracing + sampled hot-path
     #: profiling (:class:`repro.obs.ObsConfig`).  ``None`` (the default)
     #: is the shared no-op bundle; simulated results are bit-identical
@@ -490,6 +500,28 @@ class _Simulation:
             with tracer.span("check.lint"):
                 self.lint_report = self._run_lint_gate()
 
+        self.static_profile: Optional["StaticMissProfile"] = None
+        if options.static_check:
+            self._validate_static_check()
+            from repro.checker.staticmiss import predict_program
+
+            with tracer.span(
+                "check.staticmiss", policy=options.policy, cdpc=options.cdpc
+            ):
+                self.static_profile = predict_program(
+                    self.program,
+                    config,
+                    num_cpus=self.num_cpus,
+                    policy=options.policy,
+                    cdpc=options.cdpc,
+                    profile=options.profile,
+                    seed=options.seed,
+                    init_jitter=options.init_jitter,
+                    epochs=options.epochs,
+                    layout=self.layout,
+                    coloring=self.runtime.coloring if self.runtime else None,
+                )
+
         self.ms = MemorySystem(
             config, prefetch_fills_tlb=options.prefetch_fills_tlb
         )
@@ -614,6 +646,7 @@ class _Simulation:
             layout=self.layout,
             summary=self.summary,
             coloring=self.runtime.coloring if self.runtime else None,
+            static=self.options.static_check,
         )
         report = lint_context_report(ctx)
         if self.options.strict:
@@ -630,6 +663,51 @@ class _Simulation:
                 stacklevel=4,
             )
         return report
+
+    def _validate_static_check(self) -> None:
+        """Reject option combinations the symbolic predictor cannot model.
+
+        The predictor mirrors the deterministic trace/placement pipeline
+        only; anything that perturbs placement or accounting at runtime
+        (faults, pressure, churn, recoloring, prefetch, sampling) would
+        make the cross-validation gate meaningless, so it is an error to
+        combine them rather than a silently vacuous check.
+        """
+        options = self.options
+        unsupported = [
+            name
+            for name, active in (
+                ("prefetch", options.prefetch),
+                ("dynamic_recolor", options.dynamic_recolor),
+                ("adaptive_cdpc", options.adaptive_cdpc),
+                ("churn", options.churn is not None),
+                ("fault_plan", options.fault_plan is not None),
+                ("memory_pressure", options.memory_pressure > 0),
+                ("sampling", options.sampling is not None),
+                ("hint_watchdog", options.hint_watchdog is not None),
+                ("race_seed", options.race_seed is not None),
+            )
+            if active
+        ]
+        if unsupported:
+            raise ValueError(
+                "static_check does not model these options: "
+                + ", ".join(unsupported)
+            )
+        if options.policy not in ("page_coloring", "bin_hopping"):
+            raise ValueError(
+                f"static_check does not model policy {options.policy!r}"
+            )
+        if options.cdpc:
+            expected = (
+                "touch" if options.policy == "bin_hopping" else "madvise"
+            )
+            if options.resolved_delivery() != expected:
+                raise ValueError(
+                    "static_check models the native CDPC delivery only "
+                    f"({expected!r} on {options.policy!r}; got "
+                    f"{options.resolved_delivery()!r})"
+                )
 
     def _frame_budget(self) -> int:
         psz = self.config.page_size
@@ -1542,12 +1620,21 @@ class _Simulation:
                         self._sampler.take_phase_bound() * scaled_weight
                     )
         self._emit_run_metrics(total)
+        if self.static_profile is not None:
+            registry = self.obs.registry
+            if registry.enabled:
+                registry.histogram("staticmiss.analyze_ns").observe(
+                    self.static_profile.analyze_ns
+                )
+                registry.gauge("staticmiss.predicted_misses").set(
+                    self.static_profile.predicted_total()
+                )
         sampling_report = None
         if self._sampler is not None:
             sampling_report = self._sampler.report(
                 float(total.total_l2_misses()), self.options.sampling
             )
-        return RunResult(
+        result = RunResult(
             workload=self.program.name,
             policy=self.options.policy,
             num_cpus=self.num_cpus,
@@ -1576,6 +1663,14 @@ class _Simulation:
             obs=self.obs.report(),
             sampling=sampling_report,
         )
+        if self.static_profile is not None:
+            from repro.checker.staticmiss import StaticCheckError
+
+            result.static_check = self.static_profile
+            violations = self.static_profile.check(result)
+            if violations:
+                raise StaticCheckError(self.static_profile, violations)
+        return result
 
     def _emit_run_metrics(self, total: MachineStats) -> None:
         """Publish end-of-run counters into the run's metrics registry.

@@ -125,6 +125,12 @@ class RunResult:
     #: ``EngineOptions.sampling``; ``None`` for exact runs.  Exact runs
     #: therefore keep ``to_dict()`` bit-identical across engine paths.
     sampling: Optional[dict] = None
+    #: The symbolic :class:`repro.checker.StaticMissProfile` this run was
+    #: cross-validated against when ``EngineOptions.static_check`` was on;
+    #: ``None`` otherwise.  Excluded from :meth:`to_dict` (it carries
+    #: analyzer wall-clock time, and ``to_dict`` is the bit-identity
+    #: contract between the fast and reference engine paths).
+    static_check: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Figure 2 quantities

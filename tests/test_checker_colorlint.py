@@ -220,11 +220,15 @@ class TestRegistry:
         assert DEFAULT_REGISTRY.ids() == [
             "C001", "C002", "C003", "C004",
             "R001", "R002", "R004", "R005", "R006",
+            "S001", "S002", "S003",
         ]
         for rule_id in DEFAULT_REGISTRY.ids():
             rule = DEFAULT_REGISTRY.get(rule_id)
             assert rule.paper_section
-            assert rule.family in ("race", "color")
+            assert rule.family in ("race", "color", "static")
+            # Static rules must not run in the engine's default lint gate.
+            if rule.family == "static":
+                assert rule.needs_static
 
     def test_duplicate_registration_rejected(self):
         registry = RuleRegistry()

@@ -1,0 +1,121 @@
+"""Diagnostic/LintReport JSON round-trips must be byte-identical.
+
+CI archives lint reports as JSON and diffs them across revisions; any
+drift in the serialization (key order, dropped fields, tuple/list
+mismatches) silently breaks those diffs.  These tests pin the full cycle
+``report -> to_json -> from_json -> to_json`` to byte equality, on
+hand-built reports and on real analyzer output.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.checker import lint_workload
+from repro.checker.diagnostics import Diagnostic, LintReport, Severity
+from repro.machine.config import sgi_base
+
+
+def sample_report() -> LintReport:
+    report = LintReport(program="sample")
+    report.extend(
+        [
+            Diagnostic(
+                rule_id="C001",
+                severity=Severity.WARNING,
+                message="arrays a and b collide",
+                loop="main",
+                phase="steady",
+                array="a",
+                fix_hint="pad array a by one line",
+                evidence={"pages": [1, 2, 3], "colors": 4},
+            ),
+            Diagnostic(
+                rule_id="R001",
+                severity=Severity.ERROR,
+                message="cross-processor write overlap",
+                loop="update",
+            ),
+            Diagnostic(
+                rule_id="S003",
+                severity=Severity.INFO,
+                message="plan has conflict witnesses",
+                evidence={"data_witnesses": 7},
+            ),
+        ]
+    )
+    return report
+
+
+class TestDiagnosticRoundTrip:
+    def test_full_diagnostic_round_trips(self):
+        diag = sample_report().diagnostics[0]
+        assert Diagnostic.from_dict(diag.to_dict()) == diag
+
+    def test_minimal_diagnostic_round_trips(self):
+        diag = Diagnostic(
+            rule_id="R002", severity=Severity.WARNING, message="m"
+        )
+        payload = diag.to_dict()
+        # Empty evidence is omitted from the payload entirely...
+        assert "evidence" not in payload
+        # ...and restored as an (independent) empty dict.
+        restored = Diagnostic.from_dict(payload)
+        assert restored == diag
+        assert restored.evidence == {}
+
+    @pytest.mark.parametrize("severity", list(Severity))
+    def test_severity_serializes_by_name(self, severity):
+        diag = Diagnostic(rule_id="X", severity=severity, message="m")
+        payload = diag.to_dict()
+        assert payload["severity"] == severity.name
+        assert Diagnostic.from_dict(payload).severity is severity
+
+    def test_round_trip_through_json_text(self):
+        diag = sample_report().diagnostics[0]
+        restored = Diagnostic.from_dict(json.loads(json.dumps(diag.to_dict())))
+        assert restored == diag
+
+
+class TestLintReportRoundTrip:
+    def test_to_json_from_json_is_byte_identical(self):
+        report = sample_report()
+        text = report.to_json()
+        assert LintReport.from_json(text).to_json() == text
+
+    def test_from_dict_recomputes_derived_counts(self):
+        report = sample_report()
+        payload = report.to_dict()
+        assert payload["num_errors"] == 1
+        assert payload["num_warnings"] == 1
+        # Tamper with the (derived) counts: from_dict must not trust them.
+        payload["num_errors"] = 99
+        restored = LintReport.from_dict(payload)
+        assert restored.to_dict()["num_errors"] == 1
+
+    def test_empty_report_round_trips(self):
+        report = LintReport(program="empty")
+        text = report.to_json()
+        restored = LintReport.from_json(text)
+        assert restored.program == "empty"
+        assert len(restored) == 0
+        assert restored.to_json() == text
+
+    def test_restored_report_preserves_queries(self):
+        report = sample_report()
+        restored = LintReport.from_json(report.to_json())
+        assert [d.rule_id for d in restored.errors()] == ["R001"]
+        assert [d.rule_id for d in restored.warnings()] == ["C001"]
+        assert restored.max_severity() is Severity.ERROR
+        assert not restored.clean
+
+    @pytest.mark.parametrize("name", ["su2cor", "applu", "wave5"])
+    def test_real_analyzer_output_round_trips(self, name):
+        """End-to-end: reports with live S/C/R evidence stay byte-exact."""
+        config = sgi_base(16).scaled(16)
+        report = lint_workload(name, config)
+        assert len(report) > 0  # these workloads are known non-empty
+        text = report.to_json()
+        assert LintReport.from_json(text).to_json() == text

@@ -1,0 +1,271 @@
+"""Property tests: the symbolic footprint engine vs brute-force traces.
+
+The analyzer's whole value rests on one claim: its closed-form
+progressions reproduce the trace generator's address streams *exactly*
+— same lines, same per-line reference counts, same write/instruction
+flags — without materializing a single address.  These tests generate
+small random programs (footprints well under 64 pages) and check the
+claim by brute force: enumerate every address ``tracegen`` would emit,
+fold it into per-line counters, and demand equality.
+
+The same ground truth then checks the verifier: a random color plan's
+overflowing cache sets, found by enumerating pages from the traces,
+must coincide with :func:`verify_plan`'s witness list.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checker.staticmiss import (
+    Progression,
+    StaticPlan,
+    loop_line_touches,
+    program_image,
+    verify_plan,
+)
+from repro.compiler.ir import (
+    ArrayDecl,
+    BoundaryAccess,
+    InstructionStream,
+    Loop,
+    LoopKind,
+    PartitionedAccess,
+    Phase,
+    Program,
+    StridedAccess,
+    WholeArrayAccess,
+)
+from repro.compiler.padding import layout_arrays
+from repro.compiler.parallelize import schedule_loop
+from repro.machine.config import CacheConfig, MachineConfig
+from repro.sim.tracegen import FLAG_INSTR, FLAG_WRITE, SimProfile, loop_traces
+
+
+def machine(num_cpus: int) -> MachineConfig:
+    return MachineConfig(
+        num_cpus=num_cpus,
+        page_size=256,
+        l1d=CacheConfig(512, 64, 2),
+        l1i=CacheConfig(512, 64, 2),
+        l2=CacheConfig(4096, 64, 1),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Program generation
+
+
+def build_accesses(rng: random.Random, names: list[str]):
+    accesses = []
+    for _ in range(rng.randint(1, 3)):
+        name = rng.choice(names)
+        kind = rng.randrange(4)
+        sweeps = rng.choice([1.0, 2.0, 2.5, 3.0])
+        if kind == 0:
+            accesses.append(
+                PartitionedAccess(
+                    name,
+                    units=rng.choice([1, 2, 4, 8]),
+                    is_write=rng.random() < 0.4,
+                    sweeps=sweeps,
+                    fraction=rng.choice([1.0, 0.5, 0.25]),
+                )
+            )
+        elif kind == 1:
+            accesses.append(
+                StridedAccess(
+                    name,
+                    block_bytes=rng.choice([64, 128, 256]),
+                    is_write=rng.random() < 0.3,
+                    sweeps=sweeps,
+                )
+            )
+        elif kind == 2:
+            accesses.append(
+                WholeArrayAccess(
+                    name,
+                    is_write=rng.random() < 0.3,
+                    sweeps=sweeps,
+                    fraction=rng.choice([1.0, 0.7]),
+                )
+            )
+        else:
+            accesses.append(BoundaryAccess(name, units=rng.choice([2, 4])))
+    if rng.random() < 0.3:
+        accesses.append(
+            InstructionStream(footprint_bytes=rng.choice([256, 512, 1024]))
+        )
+    return tuple(accesses)
+
+
+def build_program(seed: int) -> tuple[Program, MachineConfig]:
+    rng = random.Random(seed)
+    num_cpus = rng.choice([1, 2, 4])
+    config = machine(num_cpus)
+    arrays = tuple(
+        ArrayDecl(f"a{i}", rng.randint(1, 8) * config.page_size)
+        for i in range(rng.randint(1, 2))
+    )
+    names = [a.name for a in arrays]
+    loops = tuple(
+        Loop(
+            name=f"l{i}",
+            kind=rng.choice([LoopKind.PARALLEL, LoopKind.SEQUENTIAL]),
+            accesses=build_accesses(rng, names),
+        )
+        for i in range(rng.randint(1, 2))
+    )
+    program = Program("prop", arrays, (Phase("steady", loops),))
+    return program, config
+
+
+# ---------------------------------------------------------------------------
+# Brute-force ground truth from the trace generator
+
+
+def brute_force_lines(loop, schedule, layout, config, profile):
+    """Per-CPU line -> (refs, written, instr) by enumerating every address."""
+    line = config.l2.line_size
+    per_cpu = []
+    for trace in loop_traces(loop, schedule, layout, config, profile):
+        counts: dict[int, list] = {}
+        for addr, flag in zip(trace.addrs.tolist(), trace.flags.tolist()):
+            laddr = (addr // line) * line
+            entry = counts.setdefault(laddr, [0, False, False])
+            entry[0] += 1
+            entry[1] = entry[1] or bool(flag & FLAG_WRITE)
+            entry[2] = entry[2] or bool(flag & FLAG_INSTR)
+        per_cpu.append(counts)
+    return per_cpu
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_symbolic_lines_match_enumerated_traces(seed):
+    """Same footprint, same per-line reference counts, same flags."""
+    program, config = build_program(seed)
+    layout = layout_arrays(
+        program.arrays, config.l2.line_size, config.l1d.size
+    )
+    profile = SimProfile()
+    for phase in program.phases:
+        for loop in phase.loops:
+            schedule = schedule_loop(loop, config.num_cpus)
+            symbolic = loop_line_touches(
+                loop, schedule, layout, config, profile
+            )
+            brute = brute_force_lines(loop, schedule, layout, config, profile)
+            for cpu in range(config.num_cpus):
+                assert set(symbolic[cpu]) == set(brute[cpu])
+                for laddr, touch in symbolic[cpu].items():
+                    refs, written, instr = brute[cpu][laddr]
+                    assert touch.refs == refs, (loop.name, cpu, laddr)
+                    assert touch.written == written
+                    assert touch.instr == instr
+                    assert 1 <= touch.visits <= touch.refs
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_verifier_matches_brute_force_page_enumeration(seed):
+    """verify_plan's overflow bins == enumerating pages from real traces.
+
+    A random (deliberately skewed) color plan is applied to both sides:
+    the verifier works from progressions, the oracle from the materialized
+    address stream; the sets of overflowing (cpu, color, line-index) bins
+    and their page populations must be identical.
+    """
+    program, config = build_program(seed)
+    rng = random.Random(seed + 1)
+    layout = layout_arrays(
+        program.arrays, config.l2.line_size, config.l1d.size
+    )
+    profile = SimProfile()
+    image = program_image(
+        program, layout, config, config.num_cpus, profile, occurrence=1
+    )
+
+    psz = config.page_size
+    line = config.l2.line_size
+    num_colors = config.num_colors
+    assoc = config.l2.associativity
+    all_pages = set()
+    for name in layout.bases:
+        all_pages.update(layout.pages(name, psz))
+    # Skewed random plan: few colors, so overflows actually happen.
+    plan = StaticPlan(
+        policy="random",
+        num_colors=num_colors,
+        colors={
+            vpage: rng.randrange(min(3, num_colors)) for vpage in all_pages
+        },
+    )
+
+    verification = verify_plan(image, plan)
+
+    # Oracle: cycle-wide per-CPU occupancy from enumerated addresses.
+    oracle: dict[int, dict[tuple[int, int], set[int]]] = {
+        cpu: {} for cpu in range(config.num_cpus)
+    }
+    for phase in program.phases:
+        for loop in phase.loops:
+            schedule = schedule_loop(loop, config.num_cpus)
+            traces = loop_traces(loop, schedule, layout, config, profile)
+            for cpu, trace in enumerate(traces):
+                bins = oracle[cpu]
+                for addr in trace.addrs.tolist():
+                    laddr = (addr // line) * line
+                    vpage = laddr // psz
+                    k = (laddr % psz) // line
+                    color = plan.color_of(vpage)
+                    bins.setdefault((color, k), set()).add(vpage)
+    expected = {
+        (cpu, color, k): frozenset(pages)
+        for cpu, bins in oracle.items()
+        for (color, k), pages in bins.items()
+        if len(pages) > assoc
+    }
+    got = {
+        (w.cpu, w.color, w.line_index): frozenset(w.pages)
+        for w in verification.witnesses
+    }
+    if len(expected) <= 32:  # below the witness cap: exact equality
+        assert got == expected
+    else:
+        assert set(got) <= set(expected)
+    assert verification.conflict_free == (not expected)
+    max_occ = max(
+        (len(pages) for bins in oracle.values() for pages in bins.values()),
+        default=0,
+    )
+    assert verification.max_occupancy == max_occ
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    start=st.integers(0, 1 << 20),
+    step=st.integers(1, 512),
+    count=st.integers(0, 200),
+    lo=st.integers(0, 1 << 21),
+    span=st.integers(0, 4096),
+)
+def test_progression_counts_match_enumeration(start, step, count, lo, span):
+    prog = Progression(start=start, step=step, count=count)
+    addrs = [start + step * k for k in range(count)]
+    assert prog.count_below(lo) == sum(a < lo for a in addrs)
+    assert prog.count_in(lo, lo + span) == sum(lo <= a < lo + span for a in addrs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_page_coloring_plan_is_pure_modulo(seed):
+    _, config = build_program(seed)
+    rng = random.Random(seed)
+    plan = StaticPlan(policy="page_coloring", num_colors=config.num_colors)
+    for _ in range(32):
+        vpage = rng.randrange(1 << 24)
+        assert plan.color_of(vpage) == vpage % config.num_colors
