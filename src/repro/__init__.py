@@ -16,6 +16,9 @@ The package is organised by the systems the paper relies on:
 * :mod:`repro.sim` — trace generation and the timing engine;
 * :mod:`repro.scenarios` — multi-programmed dynamic-capacity churn
   scenarios (the conditions the paper never measured);
+* :mod:`repro.service` — coloring-as-a-service: the fault-tolerant
+  asyncio server with admission control, batching, caching and
+  overload degradation (``python -m repro serve``);
 * :mod:`repro.analysis` — access maps and SPEC-ratio arithmetic.
 
 Quickstart::
@@ -51,6 +54,12 @@ from repro.scenarios import (
     generate_scenario,
     run_scenario,
 )
+from repro.service import (
+    ColoringRequest,
+    ColoringService,
+    RejectedOverload,
+    ServiceResponse,
+)
 from repro.sim import EngineOptions, RunResult, SimProfile
 from repro.workloads import WORKLOAD_NAMES, get_workload, iter_workloads
 
@@ -63,7 +72,9 @@ __all__ = [
     "CampaignReport",
     "CapacityEvent",
     "CdpcRuntime",
+    "ColoringRequest",
     "ColoringResult",
+    "ColoringService",
     "DegradationReport",
     "EngineOptions",
     "FaultPlan",
@@ -73,8 +84,10 @@ __all__ = [
     "MemorySystem",
     "MissKind",
     "ObsConfig",
+    "RejectedOverload",
     "RunResult",
     "ScenarioReport",
+    "ServiceResponse",
     "ScenarioSpec",
     "Session",
     "SimProfile",

@@ -761,7 +761,22 @@ def cmd_bench(args) -> int:
             f"campaign: {counters.get('retries', 0)} retries, "
             f"{counters.get('pool_restarts', 0)} pool restarts"
         )
+    service = payload.get("service")
     status = 0
+    if service:
+        print(
+            f"service: p50 {service['latency_ms']['p50']:.2f}ms, "
+            f"p99 {service['latency_ms']['p99']:.2f}ms, "
+            f"{int(service['throughput_rps'])} req/s, "
+            f"cache hit rate {service['cache_hit_rate']:.0%}, "
+            + ("zero loss" if service["zero_loss"] else "REQUESTS LOST")
+        )
+        if not service["zero_loss"]:
+            print(
+                f"repro bench: service leg lost {service['lost']} request(s)",
+                file=sys.stderr,
+            )
+            status = 1
     if not payload["equivalent"]:
         print("repro bench: FAST PATH DIVERGED FROM REFERENCE:", file=sys.stderr)
         for line in payload["divergences"]:
@@ -786,6 +801,217 @@ def cmd_bench(args) -> int:
             )
             status = 1
     return status
+
+
+def _service_from_args(args, engine: str):
+    """A ColoringService configured from the shared serve/loadgen flags."""
+    from repro.harness.retry import RetryPolicy
+    from repro.obs import MetricsRegistry, Tracer
+    from repro.service import ColoringService
+
+    tracer = Tracer() if getattr(args, "trace_out", None) else None
+    return ColoringService(
+        engine=engine,
+        workers=args.workers or 1,
+        queue_limit=args.queue_limit,
+        max_batch=args.max_batch,
+        batch_window_s=args.batch_window,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        breaker_threshold=args.breaker_threshold,
+        breaker_recovery_s=args.breaker_recovery,
+        default_deadline_s=args.deadline,
+        task_timeout_s=args.timeout,
+        retry=RetryPolicy(max_attempts=args.retries + 1),
+        store=args.store,
+        registry=MetricsRegistry(scope="service"),
+        tracer=tracer,
+    )
+
+
+def _write_service_obs(args, service) -> None:
+    from repro.obs import write_metrics_json, write_trace_json
+
+    if getattr(args, "metrics_out", None):
+        write_metrics_json(args.metrics_out, service.metrics_snapshot())
+    if getattr(args, "trace_out", None):
+        write_trace_json(args.trace_out, service.tracer.export())
+
+
+def cmd_serve(args) -> int:
+    """Run the coloring service on a TCP JSON-lines socket until stopped."""
+    import asyncio
+    import signal as _signal
+
+    from repro.service.transport import ServiceListener
+
+    interrupted = False
+
+    async def serve() -> None:
+        nonlocal interrupted
+        service = _service_from_args(args, args.engine)
+        await service.start()
+        listener = await ServiceListener.start(
+            service, host=args.host, port=args.port
+        )
+        print(
+            f"repro serve: listening on {listener.host}:{listener.port} "
+            f"(engine={args.engine}, workers={service.workers}, "
+            f"queue_limit={service.queue_limit})"
+        )
+        sys.stdout.flush()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+
+        def request_stop(is_interrupt: bool) -> None:
+            nonlocal interrupted
+            interrupted = interrupted or is_interrupt
+            stop.set()
+
+        handled: list = []
+        for sig, is_interrupt in (
+            (_signal.SIGINT, True),
+            (_signal.SIGTERM, False),
+        ):
+            try:
+                loop.add_signal_handler(sig, request_stop, is_interrupt)
+                handled.append(sig)
+            except (NotImplementedError, RuntimeError):
+                pass
+        try:
+            await stop.wait()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            for sig in handled:
+                loop.remove_signal_handler(sig)
+            print("repro serve: draining...", file=sys.stderr)
+            await listener.close()
+            await service.drain()
+            _write_service_obs(args, service)
+            counters = service.metrics_snapshot()["counters"]
+            print(
+                "repro serve: done — "
+                f"{counters.get('service.requests.submitted', 0)} submitted, "
+                f"{counters.get('service.responses.ok', 0)} ok, "
+                f"{counters.get('service.responses.degraded', 0)} degraded, "
+                f"{counters.get('service.responses.rejected', 0)} rejected, "
+                f"{counters.get('service.cache.hits', 0)} cache hits",
+                file=sys.stderr,
+            )
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        interrupted = True
+    return 130 if interrupted else 0
+
+
+def cmd_loadgen(args) -> int:
+    """Drive a load shape at the service; report SLO + zero-loss."""
+    import asyncio
+    import tempfile
+
+    from repro.service import LoadSpec, run_loadgen
+    from repro.service.transport import ServiceClient
+
+    spec = LoadSpec(
+        requests=args.requests,
+        tenants=args.tenants,
+        concurrency=args.concurrency,
+        cached_fraction=args.cached_fraction,
+        hot_keys=args.hot_keys,
+        delay_ms=args.delay_ms,
+        kill_every=args.kill_every,
+        hang_every=args.hang_every,
+        fail_every=args.fail_every,
+        hang_s=args.hang_s,
+        deadline_s=args.request_deadline,
+        flood_requests=args.flood,
+        seed=args.seed,
+        max_p99_ms=args.max_p99_ms,
+        max_shed_rate=args.max_shed_rate,
+    )
+    chaos_needs_pool = bool(args.kill_every or args.hang_every)
+    if chaos_needs_pool and args.connect is None and args.timeout is None:
+        # kill/hang chaos must run in pool workers under a watchdog —
+        # in-thread execution would take the whole process down.
+        args.timeout = 5.0
+
+    async def drive() -> dict:
+        if args.connect is not None:
+            host, _, port = args.connect.rpartition(":")
+            clients = [
+                await ServiceClient.connect(host or "127.0.0.1", int(port))
+                for _ in range(min(spec.concurrency, 16))
+            ]
+            pool: asyncio.Queue = asyncio.Queue()
+            for client in clients:
+                pool.put_nowait(client)
+
+            async def submit(request):
+                client = await pool.get()
+                try:
+                    return await client.submit(request)
+                finally:
+                    pool.put_nowait(client)
+
+            try:
+                report = await run_loadgen(submit, spec, scratch=args.scratch)
+            finally:
+                for client in clients:
+                    await client.close()
+            return report.to_dict()
+        service = _service_from_args(args, "synthetic")
+        async with service:
+            scratch = args.scratch
+            if scratch is None and chaos_needs_pool:
+                scratch = tempfile.mkdtemp(prefix="repro-loadgen-")
+            report = await run_loadgen(service.submit, spec, scratch=scratch)
+        _write_service_obs(args, service)
+        payload = report.to_dict()
+        payload["service_metrics"] = {
+            key: value
+            for key, value in service.metrics_snapshot()["counters"].items()
+            if key.startswith("service.")
+        }
+        return payload
+
+    payload = asyncio.run(drive())
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        latency = payload["latency_ms"]
+        print(
+            render_table(
+                ["metric", "value"],
+                [
+                    ["sent", payload["sent"]],
+                    ["answered ok/degraded", payload["answered"]],
+                    ["rejected", payload["by_status"].get("rejected", 0)],
+                    ["failed", payload["by_status"].get("failed", 0)],
+                    ["lost", len(payload["lost"])],
+                    ["cache hit rate", f"{payload['cache_hit_rate']:.1%}"],
+                    ["coalesced", payload["coalesced"]],
+                    ["shed rate (well-behaved)", f"{payload['shed_rate']:.1%}"],
+                    ["p50 ms", f"{latency['p50']:.2f}"],
+                    ["p99 ms", f"{latency['p99']:.2f}"],
+                    ["throughput req/s", int(payload["throughput_rps"])],
+                ],
+            )
+        )
+        if payload["flood"]["sent"]:
+            flood = payload["flood"]
+            print(
+                f"flood tenant: {flood['rejected']}/{flood['sent']} rejected"
+            )
+    slo = payload["slo"]
+    if not slo["ok"]:
+        for violation in slo["violations"]:
+            print(f"repro loadgen: SLO violation: {violation}", file=sys.stderr)
+        return 1
+    print("loadgen: SLO ok, zero loss", file=sys.stderr)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1132,6 +1358,113 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace file to validate",
     )
 
+    def add_service_common(p):
+        p.add_argument("--workers", type=int, default=None,
+                       help="harness pool size per batch (default 1)")
+        p.add_argument("--queue-limit", type=int, default=64,
+                       help="bounded admission queue depth (default 64)")
+        p.add_argument("--max-batch", type=int, default=8,
+                       help="max requests batched into one campaign (default 8)")
+        p.add_argument("--batch-window", type=float, default=0.005,
+                       metavar="SECONDS",
+                       help="how long to gather a batch (default 0.005)")
+        p.add_argument("--quota-rate", type=float, default=50.0,
+                       help="per-tenant admission tokens per second (default 50)")
+        p.add_argument("--quota-burst", type=float, default=100.0,
+                       help="per-tenant token-bucket burst (default 100)")
+        p.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive failures tripping a workload-class "
+                       "circuit breaker (default 3)")
+        p.add_argument("--breaker-recovery", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="breaker open time before a recovery probe "
+                       "(default 5)")
+        p.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="default per-request deadline (admission to answer)")
+        p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="per-task watchdog; forces pool-mode execution")
+        p.add_argument("--retries", type=int, default=2,
+                       help="retries per task after crash/timeout (default 2)")
+        p.add_argument("--store", default=None, metavar="DIR",
+                       help="durable result store (answers survive restarts)")
+        add_obs(p)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the coloring service on a TCP JSON-lines socket "
+        "(admission control, batching, caching, degradation)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=0,
+                              help="TCP port (default 0 = pick a free one)")
+    serve_parser.add_argument(
+        "--engine", choices=["harness", "synthetic"], default="harness",
+        help="synthetic accepts loadgen/chaos requests (default harness)",
+    )
+    add_service_common(serve_parser)
+
+    loadgen_parser = sub.add_parser(
+        "loadgen",
+        help="drive a seedable load shape (optionally fault-injected) at "
+        "the service and check SLO + zero-loss",
+    )
+    loadgen_parser.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="drive a running 'repro serve' instead of an in-process service",
+    )
+    loadgen_parser.add_argument("--requests", type=int, default=200)
+    loadgen_parser.add_argument("--tenants", type=int, default=4)
+    loadgen_parser.add_argument("--concurrency", type=int, default=16)
+    loadgen_parser.add_argument(
+        "--cached-fraction", type=float, default=0.7,
+        help="fraction of requests drawn from the hot key set (default 0.7)",
+    )
+    loadgen_parser.add_argument("--hot-keys", type=int, default=8)
+    loadgen_parser.add_argument(
+        "--delay-ms", type=float, default=0.0,
+        help="synthetic service time per request (default 0)",
+    )
+    loadgen_parser.add_argument(
+        "--kill-every", type=int, default=0, metavar="N",
+        help="every Nth request SIGKILLs its pool worker (0 = never)",
+    )
+    loadgen_parser.add_argument(
+        "--hang-every", type=int, default=0, metavar="N",
+        help="every Nth request hangs past the watchdog (0 = never)",
+    )
+    loadgen_parser.add_argument(
+        "--fail-every", type=int, default=0, metavar="N",
+        help="every Nth request raises deterministically (0 = never)",
+    )
+    loadgen_parser.add_argument("--hang-s", type=float, default=30.0)
+    loadgen_parser.add_argument(
+        "--request-deadline", type=float, default=None, metavar="SECONDS",
+        help="per-request deadline carried on each generated request",
+    )
+    loadgen_parser.add_argument(
+        "--flood", type=int, default=0, metavar="N",
+        help="extra requests from one flooding tenant (quota-shed food)",
+    )
+    loadgen_parser.add_argument("--seed", type=int, default=0)
+    loadgen_parser.add_argument(
+        "--max-p99-ms", type=float, default=None,
+        help="SLO gate: fail (exit 1) if answered p99 exceeds this",
+    )
+    loadgen_parser.add_argument(
+        "--max-shed-rate", type=float, default=None,
+        help="SLO gate: fail if well-behaved tenants' rejection rate "
+        "exceeds this fraction",
+    )
+    loadgen_parser.add_argument(
+        "--scratch", default=None, metavar="DIR",
+        help="chaos marker directory (kill/hang fire once per request); "
+        "default: a fresh temp dir for in-process kill/hang runs",
+    )
+    loadgen_parser.add_argument("--json", action="store_true",
+                                help="emit the full loadgen report as JSON")
+    add_service_common(loadgen_parser)
+
     file_parser = sub.add_parser(
         "runfile", help="run a workload described in the text format"
     )
@@ -1163,8 +1496,17 @@ def main(argv=None) -> int:
         "predict": cmd_predict,
         "obs-check": cmd_obs_check,
         "scenario": cmd_scenario,
+        "serve": cmd_serve,
+        "loadgen": cmd_loadgen,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except KeyboardInterrupt:
+        # Uniform interrupt discipline: every verb exits 130 on ^C.
+        # (sweep/scenario/serve catch it earlier to publish partial
+        # results or drain cleanly, then return 130 themselves.)
+        print(f"repro {args.command}: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

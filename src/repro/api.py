@@ -296,6 +296,32 @@ class Session:
             campaign=campaign,
         )
 
+    def serve(self, **service_options: Any) -> Any:
+        """A :class:`repro.service.ColoringService` over this stack.
+
+        The service is the long-running, multi-tenant front door: each
+        request names its own workload/machine/policy, is admission-
+        controlled and batched onto harness campaigns, and repeats are
+        answered O(1) from the fingerprint cache.  Keywords are
+        :class:`~repro.service.server.ColoringService` constructor
+        options (``store=``, ``workers=``, ``quota_rate=``, ...)::
+
+            import asyncio
+            from repro import ColoringRequest, Session
+
+            async def main():
+                async with Session("tomcatv").serve(store=".repro/plans") as svc:
+                    response = await svc.submit(
+                        ColoringRequest(workload="tomcatv", kind="predict")
+                    )
+                    print(response.status, response.cached)
+
+            asyncio.run(main())
+        """
+        from repro.service import ColoringService
+
+        return ColoringService(**service_options)
+
     def __repr__(self) -> str:
         target = self.workload if self.workload is not None else self.program.name
         return (

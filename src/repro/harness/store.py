@@ -4,10 +4,9 @@ Every completed run is durable the moment it finishes: results are
 pickled to a temporary file in the store directory and published with an
 atomic ``os.replace``, so a reader (or a resumed campaign) only ever sees
 complete entries — a crash mid-write leaves at most a ``*.tmp`` file that
-is ignored and swept on the next open.  A ``manifest.json`` (also written
-atomically) records a human-readable inventory; the ``*.pkl`` payload
-files are the source of truth and the manifest is rebuilt from them when
-they disagree.
+is ignored and swept on the next open.  A ``manifest.json`` journal
+records a human-readable inventory; the ``*.pkl`` payload files are the
+source of truth and the manifest is rebuilt from them when they disagree.
 
 Entries are keyed by :func:`task_fingerprint` — a digest of the *full*
 task identity in the same spirit as the trace cache's keys
@@ -17,6 +16,15 @@ nested simulation profiles and fault plans.  Anything that can change a
 run's result lands on a different key, so a store can never serve a stale
 result for a changed configuration, and unrelated campaigns can safely
 share one store directory.
+
+The manifest is an append-only JSON-lines journal: recording a completed
+entry appends one fsynced line instead of rewriting the whole inventory,
+so manifest maintenance stays O(1) per result no matter how large the
+store grows (the coloring service leans on this for its request/plan
+cache).  A SIGKILL mid-append can leave at most one torn (partially
+written) trailing line; :meth:`ResultStore.manifest` tolerates it — the
+torn line is skipped and, because the ``*.pkl`` payloads are the source
+of truth, the entry it described is re-adopted as a stub.
 """
 
 from __future__ import annotations
@@ -152,19 +160,58 @@ class ResultStore:
     def manifest_path(self) -> Path:
         return self.root / self.MANIFEST
 
+    def _journal_entries(self) -> dict[str, dict]:
+        """Raw journal lines parsed into fingerprint → metadata.
+
+        Later lines win (an entry re-recorded after a retry supersedes the
+        first record).  Undecodable lines are skipped: a SIGKILL between
+        ``write`` and the page hitting disk can tear the trailing line,
+        and a torn line describes a payload that is durable on its own —
+        the reconciliation pass below re-adopts it as a stub.  A torn
+        *interior* line cannot happen with append-only O_APPEND writes,
+        but is tolerated the same way rather than wedging the store.
+        """
+        entries: dict[str, dict] = {}
+        try:
+            with open(self.manifest_path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            return entries
+        text = raw.decode("utf-8", errors="replace")
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                fingerprint = record["fingerprint"]
+            except (ValueError, TypeError, KeyError):
+                continue  # torn or corrupt line: payloads are the truth
+            entries[str(fingerprint)] = {
+                "label": str(record.get("label", "")),
+                "attempts": int(record.get("attempts", 0)),
+            }
+        if not entries:
+            # Legacy whole-file manifest (pre-journal format, an indented
+            # JSON object whose individual lines never parse): adopt its
+            # entries so an old store keeps its labels across the upgrade.
+            try:
+                legacy = json.loads(text)
+                if isinstance(legacy, dict) and isinstance(
+                    legacy.get("entries"), dict
+                ):
+                    entries.update(legacy["entries"])
+            except ValueError:
+                pass
+        return entries
+
     def manifest(self) -> dict:
         """The manifest, reconciled against the payload files on disk."""
-        try:
-            with open(self.manifest_path) as handle:
-                manifest = json.load(handle)
-            entries = manifest.get("entries", {})
-            if not isinstance(entries, dict):
-                raise ValueError("malformed manifest")
-        except (OSError, ValueError):
-            entries = {}
+        entries = self._journal_entries()
         # Payload files are the source of truth: drop manifest entries
         # whose payload vanished, add stubs for payloads it never saw
-        # (e.g. a crash between os.replace and the manifest update).
+        # (e.g. a crash between os.replace and the manifest append, or a
+        # torn trailing journal line).
         durable = set(self.fingerprints())
         entries = {fp: meta for fp, meta in entries.items() if fp in durable}
         for fp in durable:
@@ -172,12 +219,66 @@ class ResultStore:
         return {"version": STORE_VERSION, "entries": entries}
 
     def _record(self, fingerprint: str, label: str, attempts: int) -> None:
-        manifest = self.manifest()
-        manifest["entries"][fingerprint] = {"label": label, "attempts": attempts}
-        atomic_write_text(
-            self.manifest_path,
-            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+        """Append one journal line durably (O(1) per completed result)."""
+        line = json.dumps(
+            {"fingerprint": fingerprint, "label": label, "attempts": attempts},
+            sort_keys=True,
         )
+        if self.manifest_path.exists() and not self._journal_format():
+            # First append after an upgrade: rewrite the legacy manifest
+            # as a journal so the two formats never mix in one file.
+            self._compact(extra=None)
+        with open(self.manifest_path, "ab") as handle:
+            # A previous SIGKILL mid-append can leave a torn line with no
+            # trailing newline; start on a fresh line so the new record
+            # never concatenates onto the torn one.
+            if handle.tell() > 0:
+                with open(self.manifest_path, "rb") as reader:
+                    reader.seek(-1, os.SEEK_END)
+                    needs_newline = reader.read(1) != b"\n"
+            else:
+                needs_newline = False
+            payload = (b"\n" if needs_newline else b"") + line.encode("utf-8") + b"\n"
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _journal_format(self) -> bool:
+        """Whether the manifest file is already in journal form.
+
+        The legacy format is one indented JSON object spanning the whole
+        file; its first line (``{``) never parses on its own, while every
+        journal line is a self-contained record.
+        """
+        try:
+            with open(self.manifest_path, encoding="utf-8") as handle:
+                first = handle.readline().strip()
+        except OSError:
+            return True
+        if not first:
+            return True
+        try:
+            record = json.loads(first)
+        except ValueError:
+            # Either a legacy header line or a torn journal line; only
+            # the legacy format starts with a bare "{" line.
+            return first != "{"
+        return isinstance(record, dict) and "fingerprint" in record
+
+    def _compact(self, extra: Optional[dict] = None) -> None:
+        """Atomically rewrite the journal with one line per live entry."""
+        entries = self.manifest()["entries"]
+        if extra:
+            entries.update(extra)
+        lines = [
+            json.dumps(
+                {"fingerprint": fp, "label": meta.get("label", ""),
+                 "attempts": meta.get("attempts", 0)},
+                sort_keys=True,
+            )
+            for fp, meta in sorted(entries.items())
+        ]
+        atomic_write_text(self.manifest_path, "".join(line + "\n" for line in lines))
 
     # ------------------------------------------------------------------
     # housekeeping

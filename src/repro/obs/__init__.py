@@ -28,6 +28,7 @@ from typing import Optional
 
 from repro.obs.metrics import (
     DEFAULT_DISTANCE_EDGES,
+    DEFAULT_MS_EDGES,
     DEFAULT_NS_EDGES,
     NULL_REGISTRY,
     Counter,
@@ -58,6 +59,7 @@ from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer, merge_trace
 __all__ = [
     "Counter",
     "DEFAULT_DISTANCE_EDGES",
+    "DEFAULT_MS_EDGES",
     "DEFAULT_NS_EDGES",
     "Gauge",
     "Histogram",

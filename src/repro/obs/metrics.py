@@ -38,11 +38,19 @@ __all__ = [
     "SampledProfiler",
     "DEFAULT_NS_EDGES",
     "DEFAULT_DISTANCE_EDGES",
+    "DEFAULT_MS_EDGES",
 ]
 
 #: Default bucket edges for nanosecond timing histograms: geometric from
 #: 1µs to ~1s, coarse enough to stay cheap, fine enough to spot a 2x.
 DEFAULT_NS_EDGES = tuple(float(1_000 * 4**i) for i in range(10))
+
+#: Default edges for millisecond request-latency histograms (the coloring
+#: service's SLO range): sub-ms fast path up to 30s timeouts.
+DEFAULT_MS_EDGES = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0,
+    250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 30000.0,
+)
 
 #: Default edges for small integer distances (spiral fallback, retries).
 DEFAULT_DISTANCE_EDGES = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)

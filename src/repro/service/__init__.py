@@ -1,0 +1,72 @@
+"""``repro.service`` — coloring-as-a-service over the harness stack.
+
+The paper's pipeline answers one question at a time: *this program on
+this machine — which colors, and how many misses?*  This package turns
+that into a long-running, multi-tenant answering service that stays
+sane under load and partial failure:
+
+* :mod:`repro.service.protocol` — requests/responses and the sha256
+  fingerprint identity shared with the store and trace cache;
+* :mod:`repro.service.server` — the asyncio :class:`ColoringService`:
+  admission control, batching onto harness campaigns, deadlines,
+  circuit-breaker degradation, drain-without-loss;
+* :mod:`repro.service.quota` / :mod:`repro.service.breaker` — the
+  token buckets and per-workload-class breakers;
+* :mod:`repro.service.cache` — the memory-LRU-over-durable-store plan
+  cache that makes repeats O(1);
+* :mod:`repro.service.engines` — request lowering and the picklable
+  task executor (simulate / predict / synthetic-with-chaos);
+* :mod:`repro.service.transport` — the TCP JSON-lines listener and
+  client;
+* :mod:`repro.service.loadgen` — the seedable load generator with
+  fault injection and SLO/zero-loss accounting.
+
+Everything is stdlib-only, like the rest of the repo.
+"""
+
+from repro.service.breaker import BreakerState, CircuitBreaker, WorkloadBreakers
+from repro.service.cache import PlanCache
+from repro.service.engines import (
+    execute_service_task,
+    run_service_batch,
+    service_task,
+)
+from repro.service.protocol import (
+    MACHINE_FACTORIES,
+    ColoringRequest,
+    RejectedOverload,
+    RequestKind,
+    ServiceResponse,
+    Status,
+)
+from repro.service.loadgen import LoadReport, LoadSpec, build_requests, run_loadgen
+from repro.service.quota import QuotaDecision, TenantQuotas, TokenBucket
+from repro.service.server import BATCH_SIZE_EDGES, ColoringService
+from repro.service.transport import ServiceClient, ServiceListener
+
+__all__ = [
+    "BATCH_SIZE_EDGES",
+    "BreakerState",
+    "CircuitBreaker",
+    "ColoringRequest",
+    "ColoringService",
+    "LoadReport",
+    "LoadSpec",
+    "MACHINE_FACTORIES",
+    "PlanCache",
+    "QuotaDecision",
+    "RejectedOverload",
+    "RequestKind",
+    "ServiceClient",
+    "ServiceListener",
+    "ServiceResponse",
+    "Status",
+    "TenantQuotas",
+    "TokenBucket",
+    "WorkloadBreakers",
+    "build_requests",
+    "execute_service_task",
+    "run_loadgen",
+    "run_service_batch",
+    "service_task",
+]

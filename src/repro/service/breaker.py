@@ -1,0 +1,137 @@
+"""Per-workload-class circuit breakers.
+
+A workload class (``"simulate:fpppp"``, ``"predict:applu"``, ...) that
+keeps crashing its harness workers should stop consuming worker capacity
+— other classes' requests must keep flowing.  The classic three-state
+machine:
+
+``CLOSED``
+    Normal operation.  ``failure_threshold`` *consecutive* failures trip
+    the breaker to OPEN (one success resets the streak).
+``OPEN``
+    Requests of this class skip the harness entirely; the service answers
+    from the cache or the static predictor with ``status="degraded"``.
+    After ``recovery_s`` the next request is allowed through as a probe.
+``HALF_OPEN``
+    Exactly one probe in flight.  Success closes the breaker; failure
+    re-opens it and restarts the recovery clock.
+
+The clock is injectable for deterministic tests.  Not thread-safe on its
+own; the service consults breakers only from its event loop.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Callable
+
+__all__ = ["BreakerState", "CircuitBreaker", "WorkloadBreakers"]
+
+
+class BreakerState(str, enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class CircuitBreaker:
+    """One class's breaker; see the module docstring for the protocol."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        recovery_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if recovery_s <= 0:
+            raise ValueError("recovery_s must be positive")
+        self.failure_threshold = failure_threshold
+        self.recovery_s = recovery_s
+        self._clock = clock
+        self._state = BreakerState.CLOSED
+        self._streak = 0
+        self._opened_at = 0.0
+        #: Lifetime trip count (obs gauge material).
+        self.trips = 0
+
+    @property
+    def state(self) -> BreakerState:
+        self._maybe_half_open()
+        return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == BreakerState.OPEN
+            and self._clock() - self._opened_at >= self.recovery_s
+        ):
+            self._state = BreakerState.HALF_OPEN
+
+    def allows(self) -> bool:
+        """May a request of this class hit the primary path right now?
+
+        In HALF_OPEN this admits the single probe and immediately treats
+        further calls as OPEN until the probe reports back.
+        """
+        self._maybe_half_open()
+        if self._state == BreakerState.CLOSED:
+            return True
+        if self._state == BreakerState.HALF_OPEN:
+            # Claim the probe slot: subsequent callers stay degraded
+            # until record_success/record_failure resolves it.
+            self._state = BreakerState.OPEN
+            self._opened_at = self._clock()
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._streak = 0
+        self._state = BreakerState.CLOSED
+
+    def record_failure(self) -> None:
+        self._streak += 1
+        if self._state != BreakerState.CLOSED or self._streak >= self.failure_threshold:
+            # A probe failure re-opens; a closed-state threshold trips.
+            if self._state == BreakerState.CLOSED:
+                self.trips += 1
+            self._state = BreakerState.OPEN
+            self._opened_at = self._clock()
+            self._streak = 0
+
+
+class WorkloadBreakers:
+    """Lazily materialized per-class breakers sharing one configuration."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        recovery_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.recovery_s = recovery_s
+        self._clock = clock
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def get(self, workload_class: str) -> CircuitBreaker:
+        breaker = self._breakers.get(workload_class)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.failure_threshold, self.recovery_s, clock=self._clock
+            )
+            self._breakers[workload_class] = breaker
+        return breaker
+
+    def states(self) -> dict[str, str]:
+        return {
+            cls: breaker.state.value
+            for cls, breaker in sorted(self._breakers.items())
+        }
+
+    def total_trips(self) -> int:
+        return sum(b.trips for b in self._breakers.values())

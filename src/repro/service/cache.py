@@ -1,0 +1,92 @@
+"""Fingerprint-keyed plan/result cache: memory LRU over a durable store.
+
+The service answers repeats O(1): the first time a question is computed
+its payload is published to the (optional) crash-consistent
+:class:`~repro.harness.store.ResultStore` by the harness campaign that
+ran it, and remembered here in a bounded in-memory LRU.  A later
+identical request — same sha256 fingerprint, the exact discipline the
+trace cache and the store already share — hits the memory tier in O(1),
+or falls back to one store read (and is promoted) after a restart.
+
+The cache never stores degraded answers: a fallback served while a
+circuit breaker is open must not masquerade as the real computation once
+the breaker closes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.harness.store import ResultStore
+
+__all__ = ["PlanCache"]
+
+
+class PlanCache:
+    """Bounded LRU of response payloads, optionally backed by a store.
+
+    Consulted only from the service event loop (single-owner, like the
+    quota buckets and breakers), so no locking is needed here; the
+    durable tier's crash-consistency is the store's own contract.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        max_entries: int = 1024,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.store = store
+        self.max_entries = max_entries
+        self._memory: OrderedDict[str, dict] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._memory or (
+            self.store is not None and fingerprint in self.store
+        )
+
+    def get(self, fingerprint: str) -> Optional[dict]:
+        """The cached payload, or ``None``; store hits are promoted."""
+        payload = self._memory.get(fingerprint)
+        if payload is not None:
+            self._memory.move_to_end(fingerprint)
+            self.hits += 1
+            return payload
+        if self.store is not None:
+            stored = self.store.get(fingerprint)
+            if isinstance(stored, dict):
+                self._remember(fingerprint, stored)
+                self.hits += 1
+                return stored
+        self.misses += 1
+        return None
+
+    def put(self, fingerprint: str, payload: dict, label: str = "") -> None:
+        """Remember one computed answer in the memory tier.
+
+        The durable tier is written by the harness campaign that computed
+        the answer (same fingerprint, same store), so this path never
+        double-writes; ``put`` only makes the next repeat O(1).
+        """
+        self._remember(fingerprint, payload)
+
+    def _remember(self, fingerprint: str, payload: dict) -> None:
+        self._memory[fingerprint] = payload
+        self._memory.move_to_end(fingerprint)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._memory),
+            "hits": self.hits,
+            "misses": self.misses,
+            "durable": len(self.store) if self.store is not None else 0,
+        }

@@ -1,0 +1,95 @@
+"""Per-tenant admission quotas: token buckets with an injectable clock.
+
+One bucket per tenant, refilled continuously at ``rate`` tokens/second up
+to ``burst``.  A request costs one token; when the bucket is empty the
+admission decision is "reject with ``retry_after_s``" — the service never
+queues over-quota work, because a flooding tenant must shed *its own*
+requests instead of starving everyone else's place in the bounded queue.
+
+The clock is injectable (default :func:`time.monotonic`) so tests and the
+load generator can drive refill deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = ["QuotaDecision", "TenantQuotas", "TokenBucket"]
+
+
+@dataclass(frozen=True)
+class QuotaDecision:
+    """Outcome of one admission check."""
+
+    allowed: bool
+    #: When denied: seconds until one full token has refilled.
+    retry_after_s: Optional[float] = None
+
+
+class TokenBucket:
+    """A continuous-refill token bucket (not thread-safe on its own;
+    :class:`TenantQuotas` serializes access from the event loop)."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must allow at least one token")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._stamp
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._stamp = now
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def take(self, cost: float = 1.0) -> QuotaDecision:
+        """Spend ``cost`` tokens if available, else deny with a hint."""
+        self._refill()
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return QuotaDecision(allowed=True)
+        deficit = cost - self._tokens
+        return QuotaDecision(allowed=False, retry_after_s=deficit / self.rate)
+
+
+class TenantQuotas:
+    """Lazily materialized per-tenant buckets sharing one rate/burst."""
+
+    def __init__(
+        self,
+        rate: float = 50.0,
+        burst: float = 100.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def check(self, tenant: str, cost: float = 1.0) -> QuotaDecision:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+            self._buckets[tenant] = bucket
+        return bucket.take(cost)
+
+    def tenants(self) -> list[str]:
+        return sorted(self._buckets)

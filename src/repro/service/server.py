@@ -1,0 +1,581 @@
+"""The coloring service: an asyncio server over the fault-tolerant harness.
+
+One :class:`ColoringService` owns an event loop's worth of robustness
+machinery and turns :class:`~repro.service.protocol.ColoringRequest`\\ s
+into :class:`~repro.service.protocol.ServiceResponse`\\ s:
+
+* **Admission control** — a per-tenant token bucket
+  (:class:`~repro.service.quota.TenantQuotas`) and a bounded queue; over
+  quota or over ``queue_limit`` the request is *shed* with an explicit
+  ``rejected`` response (``overload``/``quota`` + ``retry_after_s``),
+  never queued unboundedly.
+* **O(1) repeats** — the sha256 fingerprint is checked against the
+  :class:`~repro.service.cache.PlanCache` at admission; a hit answers
+  immediately with ``cached=True`` and spawns no harness work.  An
+  identical request already *in flight* is coalesced onto it
+  (``coalesced=True``) instead of being recomputed.
+* **Batching** — admitted requests are gathered for ``batch_window_s``
+  (up to ``max_batch``) and run as one harness campaign
+  (:func:`~repro.service.engines.run_service_batch`), inheriting durable
+  results, bounded retries with backoff, and watchdog timeouts.
+* **Deadlines** — a request's ``deadline_s`` expires it in the queue
+  (rejected, reason ``deadline``) and bounds the campaign's per-task
+  watchdog once it runs.
+* **Degradation** — per-workload-class circuit breakers
+  (:class:`~repro.service.breaker.WorkloadBreakers`): a class that keeps
+  killing workers stops reaching the harness and is answered from the
+  cache or the static predictor with ``status="degraded"`` until its
+  recovery probe succeeds.
+* **Zero loss** — every admitted request resolves exactly once
+  (result, degraded answer, explicit rejection, or failure); drain sheds
+  the queue with reason ``shutdown`` and awaits in-flight batches, so
+  shutdown never strands a caller or torn-writes the store.
+
+Everything observable lands in the injected
+:class:`~repro.obs.MetricsRegistry` (``service.*`` counters/gauges and
+the ``service.latency_ms`` histogram) and optional tracer.  The service
+is single-loop: quotas, breakers and cache are consulted only from loop
+callbacks, so none of them need locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from functools import partial
+from typing import Any, Callable, Optional
+
+from repro.harness.retry import RetryPolicy
+from repro.harness.store import ResultStore
+from repro.obs import DEFAULT_MS_EDGES, NULL_TRACER, MetricsRegistry
+from repro.service.breaker import WorkloadBreakers
+from repro.service.cache import PlanCache
+from repro.service.engines import execute_service_task, run_service_batch, service_task
+from repro.service.protocol import (
+    ColoringRequest,
+    RequestKind,
+    ServiceResponse,
+    Status,
+)
+from repro.service.quota import TenantQuotas
+
+__all__ = ["BATCH_SIZE_EDGES", "ColoringService"]
+
+#: Bucket edges for the ``service.batch_size`` histogram.
+BATCH_SIZE_EDGES = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+#: Queue poison pill that tells the batcher to exit after the current item.
+_SENTINEL: Any = object()
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting for (or riding on) a computation."""
+
+    request: ColoringRequest
+    fingerprint: str
+    future: "asyncio.Future[ServiceResponse]"
+    admitted_at: float
+    deadline_at: Optional[float]
+    #: Identical requests coalesced onto this one; they share its outcome.
+    riders: list["_Pending"] = field(default_factory=list)
+
+
+class ColoringService:
+    """See the module docstring; construct, ``await start()`` (or use as
+    an async context manager), ``await submit(request)`` concurrently,
+    ``await drain()`` to shut down without losing anyone."""
+
+    def __init__(
+        self,
+        *,
+        engine: str = "harness",
+        workers: int = 1,
+        queue_limit: int = 64,
+        max_batch: int = 8,
+        batch_window_s: float = 0.005,
+        max_concurrent_batches: int = 2,
+        quota_rate: float = 50.0,
+        quota_burst: float = 100.0,
+        breaker_threshold: int = 3,
+        breaker_recovery_s: float = 5.0,
+        default_deadline_s: Optional[float] = None,
+        task_timeout_s: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        store: "ResultStore | str | None" = None,
+        cache_entries: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Any = None,
+        runner: Optional[Callable[..., Any]] = None,
+    ) -> None:
+        if engine not in ("harness", "synthetic"):
+            raise ValueError("engine must be 'harness' or 'synthetic'")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_concurrent_batches < 1:
+            raise ValueError("max_concurrent_batches must be >= 1")
+        self.engine = engine
+        self.workers = max(1, workers)
+        self.queue_limit = queue_limit
+        self.max_batch = max_batch
+        self.batch_window_s = batch_window_s
+        self.max_concurrent_batches = max_concurrent_batches
+        self.default_deadline_s = default_deadline_s
+        self.task_timeout_s = task_timeout_s
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.store = ResultStore(store) if isinstance(store, str) else store
+        self.cache = PlanCache(self.store, max_entries=cache_entries)
+        self.quotas = TenantQuotas(quota_rate, quota_burst, clock=clock)
+        self.breakers = WorkloadBreakers(
+            breaker_threshold, breaker_recovery_s, clock=clock
+        )
+        self.registry = (
+            registry if registry is not None else MetricsRegistry(scope="service")
+        )
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._runner = runner if runner is not None else run_service_batch
+        self._clock = clock
+        self._started = False
+        self._draining = False
+        self._started_at = 0.0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._sem: Optional[asyncio.Semaphore] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._batcher: Optional[asyncio.Task] = None
+        self._batches: set[asyncio.Task] = set()
+        self._inflight: dict[str, _Pending] = {}
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        if self._started:
+            raise RuntimeError("service already started")
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._sem = asyncio.Semaphore(self.max_concurrent_batches)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_concurrent_batches,
+            thread_name_prefix="repro-service",
+        )
+        self._batches = set()
+        self._inflight = {}
+        self._draining = False
+        self._started_at = self._clock()
+        self._batcher = self._loop.create_task(self._batch_loop())
+        self._started = True
+
+    async def drain(self) -> None:
+        """Stop accepting work, shed the queue, finish what's in flight.
+
+        Queued-but-unstarted requests are rejected with reason
+        ``shutdown`` (requeue is the caller's choice); dispatched batches
+        run to completion so the store is never left mid-write by us.
+        Idempotent; the service cannot be restarted afterwards.
+        """
+        if not self._started:
+            return
+        assert self._queue is not None and self._batcher is not None
+        self._draining = True
+        shed: list[_Pending] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if item is not _SENTINEL:
+                shed.append(item)
+        for entry in shed:
+            self._finish(entry, Status.REJECTED, reason="shutdown")
+        self._queue.put_nowait(_SENTINEL)
+        await self._batcher
+        while self._batches:
+            await asyncio.gather(*list(self._batches), return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        self._started = False
+
+    async def stop(self) -> None:
+        await self.drain()
+
+    async def __aenter__(self) -> "ColoringService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.drain()
+
+    # -- the front door ------------------------------------------------
+
+    async def submit(self, request: ColoringRequest) -> ServiceResponse:
+        """Admit one request and await its (sole) response."""
+        outcome = self._admit(request)
+        if isinstance(outcome, ServiceResponse):
+            return outcome
+        return await outcome.future
+
+    def _admit(self, request: ColoringRequest) -> "ServiceResponse | _Pending":
+        if not self._started or self._loop is None or self._queue is None:
+            raise RuntimeError("service not started")
+        self.registry.counter("service.requests.submitted").inc()
+        self.registry.counter(f"service.tenant.{request.tenant}.requests").inc()
+        if self._draining:
+            return self._reject(request, "shutdown")
+        if request.kind == RequestKind.SYNTHETIC and self.engine != "synthetic":
+            return self._reject(request, "bad_request")
+        decision = self.quotas.check(request.tenant)
+        if not decision.allowed:
+            return self._reject(request, "quota", retry_after_s=decision.retry_after_s)
+        fingerprint = request.fingerprint()
+        payload = self._cache_lookup(fingerprint)
+        if payload is not None:
+            response = ServiceResponse(
+                status=Status.OK,
+                request_id=request.request_id,
+                fingerprint=fingerprint,
+                result=payload,
+                cached=True,
+            )
+            self._observe(request, response)
+            return response
+        primary = self._inflight.get(fingerprint)
+        if primary is not None:
+            rider = self._pending(request, fingerprint)
+            primary.riders.append(rider)
+            self.registry.counter("service.coalesced").inc()
+            return rider
+        if self._queue.qsize() >= self.queue_limit:
+            return self._reject(request, "overload")
+        entry = self._pending(request, fingerprint)
+        self._inflight[fingerprint] = entry
+        self._queue.put_nowait(entry)
+        self.registry.counter("service.requests.admitted").inc()
+        self._gauges()
+        return entry
+
+    # -- batching ------------------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        assert self._queue is not None and self._sem is not None
+        assert self._loop is not None
+        while True:
+            item = await self._queue.get()
+            if item is _SENTINEL:
+                break
+            batch = [item]
+            stop = False
+            window_ends = self._loop.time() + self.batch_window_s
+            while len(batch) < self.max_batch:
+                remaining = window_ends - self._loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = await asyncio.wait_for(self._queue.get(), timeout=remaining)
+                except asyncio.TimeoutError:
+                    break
+                if nxt is _SENTINEL:
+                    stop = True
+                    break
+                batch.append(nxt)
+            self._gauges()
+            await self._sem.acquire()
+            if self._draining:
+                # A drain started while we waited for a batch slot: this
+                # batch was never dispatched, so shed it like queued work.
+                self._sem.release()
+                for entry in batch:
+                    if not entry.future.done():
+                        self._finish(entry, Status.REJECTED, reason="shutdown")
+                if stop:
+                    break
+                continue
+            task = self._loop.create_task(self._run_batch(batch))
+            self._batches.add(task)
+            task.add_done_callback(self._batch_done)
+            if stop:
+                break
+
+    def _batch_done(self, task: asyncio.Task) -> None:
+        if self._sem is not None:
+            self._sem.release()
+        self._batches.discard(task)
+
+    async def _run_batch(self, entries: list[_Pending]) -> None:
+        try:
+            await self._execute_batch(entries)
+        except Exception as exc:  # pragma: no cover - zero-loss safety net
+            reason = f"internal:{type(exc).__name__}"
+            for entry in entries:
+                if not entry.future.done():
+                    self._finish(entry, Status.FAILED, reason=reason)
+
+    async def _execute_batch(self, entries: list[_Pending]) -> None:
+        assert self._loop is not None and self._executor is not None
+        now = self._clock()
+        runnable: list[_Pending] = []
+        for entry in entries:
+            if entry.deadline_at is not None and now >= entry.deadline_at:
+                self._finish(entry, Status.REJECTED, reason="deadline")
+                continue
+            payload = self._cache_lookup(entry.fingerprint)
+            if payload is not None:
+                self._finish(entry, Status.OK, result=payload, cached=True)
+                continue
+            if not self.breakers.get(entry.request.workload_class()).allows():
+                await self._finish_fallback(entry, "circuit_open")
+                continue
+            runnable.append(entry)
+        self._breaker_gauges()
+        if not runnable:
+            return
+        tasks = [service_task(entry.request) for entry in runnable]
+        keys = [entry.fingerprint for entry in runnable]
+        timeout_s = self._batch_timeout(runnable, now)
+        self.registry.counter("service.batches").inc()
+        self.registry.histogram("service.batch_size", BATCH_SIZE_EDGES).observe(
+            len(runnable)
+        )
+        run = partial(
+            self._runner,
+            tasks,
+            keys,
+            retry=self.retry,
+            timeout_s=timeout_s,
+            store=self.store,
+            max_workers=self.workers,
+            tracer=None,
+        )
+        with self.tracer.span("service.batch", size=len(runnable)) as span:
+            try:
+                campaign = await self._loop.run_in_executor(self._executor, run)
+            except Exception as exc:
+                # The runner itself blew up (pool unrecoverable): every
+                # entry is charged and degraded, nobody is stranded.
+                span.set(error=type(exc).__name__)
+                for entry in runnable:
+                    self.breakers.get(entry.request.workload_class()).record_failure()
+                    await self._finish_fallback(entry, "worker_failure")
+                self._breaker_gauges()
+                return
+            span.set(retries=campaign.report.retries, loaded=campaign.report.loaded)
+        report = campaign.report
+        self.registry.counter("service.retries").inc(report.retries)
+        self.registry.counter("service.cache.durable_hits").inc(report.loaded)
+        failures = {failure.index: failure for failure in report.failures}
+        for index, entry in enumerate(runnable):
+            result = campaign.results[index]
+            breaker = self.breakers.get(entry.request.workload_class())
+            if isinstance(result, dict):
+                breaker.record_success()
+                self.cache.put(entry.fingerprint, result)
+                self._finish(entry, Status.OK, result=result)
+            else:
+                failure = failures.get(index)
+                if failure is not None:
+                    self.registry.counter(
+                        f"service.failures.{failure.kind.value}"
+                    ).inc()
+                breaker.record_failure()
+                await self._finish_fallback(entry, "worker_failure")
+        self._breaker_gauges()
+
+    def _batch_timeout(
+        self, entries: list[_Pending], now: float
+    ) -> Optional[float]:
+        """Per-task watchdog for this batch: the tightest remaining
+        deadline wins, floored so an almost-expired request still gets a
+        beat of real work before the watchdog calls it."""
+        remaining = [
+            entry.deadline_at - now
+            for entry in entries
+            if entry.deadline_at is not None
+        ]
+        if not remaining:
+            return self.task_timeout_s
+        tightest = min(remaining)
+        if self.task_timeout_s is not None:
+            tightest = min(tightest, self.task_timeout_s)
+        return max(0.05, tightest)
+
+    # -- degradation ---------------------------------------------------
+
+    async def _finish_fallback(self, entry: _Pending, reason: str) -> None:
+        """Answer without the primary path: cached plan, else the static
+        predictor, else an honest ``failed``."""
+        assert self._loop is not None and self._executor is not None
+        payload = self._cache_lookup(entry.fingerprint)
+        if payload is not None:
+            self.registry.counter("service.fallback.cached").inc()
+            self._finish(
+                entry, Status.DEGRADED, result=payload, cached=True, reason=reason
+            )
+            return
+        request = entry.request
+        if request.kind == RequestKind.SYNTHETIC:
+            knobs = dict(request.synthetic)
+            payload = {
+                "kind": "synthetic",
+                "workload": request.workload,
+                "key": knobs.get("key", 0),
+                "value": "degraded",
+                "fallback": "static",
+            }
+            self.registry.counter("service.fallback.static").inc()
+            self._finish(entry, Status.DEGRADED, result=payload, reason=reason)
+            return
+        if request.kind == RequestKind.SIMULATE:
+            predict = service_task(replace(request, kind=RequestKind.PREDICT))
+            try:
+                payload = await self._loop.run_in_executor(
+                    self._executor, execute_service_task, predict
+                )
+            except Exception:
+                payload = None
+            if isinstance(payload, dict):
+                payload = dict(payload)
+                payload["fallback"] = "static"
+                self.registry.counter("service.fallback.static").inc()
+                self._finish(entry, Status.DEGRADED, result=payload, reason=reason)
+                return
+        self._finish(entry, Status.FAILED, reason=reason)
+
+    # -- resolution ----------------------------------------------------
+
+    def _pending(self, request: ColoringRequest, fingerprint: str) -> _Pending:
+        assert self._loop is not None
+        now = self._clock()
+        deadline_s = (
+            request.deadline_s
+            if request.deadline_s is not None
+            else self.default_deadline_s
+        )
+        return _Pending(
+            request=request,
+            fingerprint=fingerprint,
+            future=self._loop.create_future(),
+            admitted_at=now,
+            deadline_at=now + deadline_s if deadline_s is not None else None,
+        )
+
+    def _finish(
+        self,
+        entry: _Pending,
+        status: Status,
+        *,
+        result: Optional[dict] = None,
+        cached: bool = False,
+        reason: str = "",
+    ) -> None:
+        """Resolve one pending entry (and every rider) exactly once."""
+        for pending in (entry, *entry.riders):
+            response = ServiceResponse(
+                status=status,
+                request_id=pending.request.request_id,
+                fingerprint=pending.fingerprint,
+                result=result,
+                cached=cached,
+                coalesced=pending is not entry,
+                reason=reason,
+                elapsed_ms=max(0.0, (self._clock() - pending.admitted_at) * 1000.0),
+            )
+            if not pending.future.done():
+                pending.future.set_result(response)
+            self._observe(pending.request, response)
+        self._inflight.pop(entry.fingerprint, None)
+        self._gauges()
+
+    def _reject(
+        self,
+        request: ColoringRequest,
+        reason: str,
+        retry_after_s: Optional[float] = None,
+    ) -> ServiceResponse:
+        response = ServiceResponse(
+            status=Status.REJECTED,
+            request_id=request.request_id,
+            reason=reason,
+            retry_after_s=retry_after_s,
+        )
+        self._observe(request, response)
+        return response
+
+    # -- observability -------------------------------------------------
+
+    def _cache_lookup(self, fingerprint: str) -> Optional[dict]:
+        payload = self.cache.get(fingerprint)
+        if payload is not None:
+            self.registry.counter("service.cache.hits").inc()
+        else:
+            self.registry.counter("service.cache.misses").inc()
+        return payload
+
+    def _observe(self, request: ColoringRequest, response: ServiceResponse) -> None:
+        self.registry.counter(f"service.responses.{response.status.value}").inc()
+        if response.status == Status.REJECTED:
+            self.registry.counter(f"service.rejected.{response.reason}").inc()
+            self.registry.counter(f"service.tenant.{request.tenant}.rejected").inc()
+        self.registry.histogram("service.latency_ms", DEFAULT_MS_EDGES).observe(
+            response.elapsed_ms
+        )
+        self.tracer.instant(
+            "service.request",
+            status=response.status.value,
+            tenant=request.tenant,
+            cached=response.cached,
+        )
+
+    def _gauges(self) -> None:
+        if self._queue is not None:
+            self.registry.gauge("service.queue.depth").set(self._queue.qsize())
+        self.registry.gauge("service.inflight").set(len(self._inflight))
+
+    def _breaker_gauges(self) -> None:
+        states = self.breakers.states()
+        self.registry.gauge("service.breakers.open").set(
+            sum(1 for state in states.values() if state != "closed")
+        )
+        self.registry.gauge("service.breaker.trips").set(self.breakers.total_trips())
+
+    # -- introspection -------------------------------------------------
+
+    def health(self) -> dict:
+        """Liveness: current state, uptime, queue/breaker/cache view."""
+        if not self._started:
+            status = "stopped"
+        elif self._draining:
+            status = "draining"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "engine": self.engine,
+            "uptime_s": (
+                max(0.0, self._clock() - self._started_at) if self._started else 0.0
+            ),
+            "queue_depth": self._queue.qsize() if self._queue is not None else 0,
+            "inflight": len(self._inflight),
+            "breakers": self.breakers.states(),
+            "cache": self.cache.stats(),
+        }
+
+    def ready(self) -> dict:
+        """Readiness: would a new request be admitted right now?"""
+        queue_depth = self._queue.qsize() if self._queue is not None else 0
+        return {
+            "ready": bool(
+                self._started
+                and not self._draining
+                and queue_depth < self.queue_limit
+            ),
+            "queue_depth": queue_depth,
+            "queue_limit": self.queue_limit,
+        }
+
+    def metrics_snapshot(self) -> dict:
+        """The ``repro.obs.metrics/v1`` snapshot of ``service.*`` metrics."""
+        return self.registry.snapshot()

@@ -1,0 +1,249 @@
+"""TCP JSON-lines transport: one request per line, one response per line.
+
+The wire format is deliberately boring — UTF-8 JSON objects separated by
+newlines — so ``nc`` and five lines of any language are a client:
+
+.. code-block:: text
+
+    → {"op": "submit", "request": {"workload": "fpppp", "kind": "predict"}}
+    ← {"status": "ok", "fingerprint": "…", "result": {…}, …}
+    → {"op": "health"}
+    ← {"op": "health", "status": "ok", "queue_depth": 0, …}
+
+Ops: ``submit`` (the payload under ``"request"`` is a
+:meth:`~repro.service.protocol.ColoringRequest.to_dict` object),
+``health``, ``ready``, ``metrics`` (the ``repro.obs.metrics/v1``
+snapshot), ``ping``.  A line that is not valid JSON, names an unknown
+op, or carries a malformed request gets an explicit ``rejected`` /
+``bad_request`` response with an ``error`` string — the connection is
+never dropped as an answer.
+
+Lines on one connection are served *concurrently* (a slow simulate does
+not block a health probe pipelined behind it); responses carry the
+request's ``request_id`` so pipelining clients can correlate.  The
+bundled :class:`ServiceClient` keeps it simpler: one in-flight
+round-trip per connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Optional
+
+from repro.service.protocol import ColoringRequest, ServiceResponse, Status
+from repro.service.server import ColoringService
+
+__all__ = ["ServiceClient", "ServiceListener"]
+
+#: Refuse absurd lines instead of buffering them (64 MiB).
+_LINE_LIMIT = 64 * 1024 * 1024
+
+
+def _encode(payload: dict) -> bytes:
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+class ServiceListener:
+    """The service's TCP front: ``await ServiceListener.start(service)``.
+
+    Binds ``host:port`` (port 0 picks a free one; read it back from
+    :attr:`port`) and serves until :meth:`close`.  The listener only
+    translates — admission control, quotas and shedding all happen in
+    the :class:`~repro.service.server.ColoringService` it wraps.
+    """
+
+    def __init__(
+        self, service: ColoringService, server: asyncio.base_events.Server
+    ) -> None:
+        self.service = service
+        self._server = server
+        self._connections: set[asyncio.Task] = set()
+
+    @classmethod
+    async def start(
+        cls,
+        service: ColoringService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> "ServiceListener":
+        listener: "ServiceListener"
+
+        async def handle(
+            reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        ) -> None:
+            await listener._handle(reader, writer)
+
+        server = await asyncio.start_server(
+            handle, host=host, port=port, limit=_LINE_LIMIT
+        )
+        listener = cls(service, server)
+        return listener
+
+    @property
+    def host(self) -> str:
+        return self._server.sockets[0].getsockname()[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        """Stop accepting connections and finish the in-flight lines."""
+        self._server.close()
+        await self._server.wait_closed()
+        while self._connections:
+            await asyncio.gather(*list(self._connections), return_exceptions=True)
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        lock = asyncio.Lock()
+        lines: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                    ConnectionError,
+                ):
+                    break
+                if not line:
+                    break
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                task = asyncio.get_running_loop().create_task(
+                    self._serve_line(stripped, writer, lock)
+                )
+                lines.add(task)
+                self._connections.add(task)
+                task.add_done_callback(lines.discard)
+                task.add_done_callback(self._connections.discard)
+            if lines:
+                await asyncio.gather(*list(lines), return_exceptions=True)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_line(
+        self, line: bytes, writer: asyncio.StreamWriter, lock: asyncio.Lock
+    ) -> None:
+        payload = self._respond(line)
+        if payload is None:
+            payload = await self._submit(line)
+        async with lock:
+            try:
+                writer.write(_encode(payload))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # Client went away; the service's answer still counted.
+
+    def _respond(self, line: bytes) -> Optional[dict]:
+        """Handle control ops and malformed lines; ``None`` means submit."""
+        try:
+            message = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return _error_response(None, f"invalid JSON: {exc}")
+        if not isinstance(message, dict):
+            return _error_response(None, "request line must be a JSON object")
+        op = message.get("op", "submit")
+        if op == "submit":
+            return None
+        if op == "health":
+            return {"op": "health", **self.service.health()}
+        if op == "ready":
+            return {"op": "ready", **self.service.ready()}
+        if op == "metrics":
+            return {"op": "metrics", "metrics": self.service.metrics_snapshot()}
+        if op == "ping":
+            return {"op": "pong"}
+        return _error_response(None, f"unknown op {op!r}")
+
+    async def _submit(self, line: bytes) -> dict:
+        message = json.loads(line.decode("utf-8"))
+        raw = message.get("request", message)
+        if "op" in raw:
+            raw = dict(raw)
+            raw.pop("op")
+        try:
+            request = ColoringRequest.from_dict(raw)
+        except (TypeError, ValueError) as exc:
+            return _error_response(
+                raw.get("request_id") if isinstance(raw, dict) else None, str(exc)
+            )
+        response = await self.service.submit(request)
+        return response.to_dict()
+
+
+def _error_response(request_id: Optional[Any], error: str) -> dict:
+    payload = ServiceResponse(
+        status=Status.REJECTED,
+        request_id=str(request_id) if request_id is not None else None,
+        reason="bad_request",
+    ).to_dict()
+    payload["error"] = error
+    return payload
+
+
+class ServiceClient:
+    """Minimal asyncio client: one round-trip in flight per connection."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._lock = asyncio.Lock()
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=_LINE_LIMIT
+        )
+        return cls(reader, writer)
+
+    async def _roundtrip(self, payload: dict) -> dict:
+        async with self._lock:
+            self._writer.write(_encode(payload))
+            await self._writer.drain()
+            line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        message = json.loads(line.decode("utf-8"))
+        if not isinstance(message, dict):
+            raise ValueError("malformed response line")
+        return message
+
+    async def submit(self, request: ColoringRequest) -> ServiceResponse:
+        message = await self._roundtrip(
+            {"op": "submit", "request": request.to_dict()}
+        )
+        return ServiceResponse.from_dict(message)
+
+    async def health(self) -> dict:
+        return await self._roundtrip({"op": "health"})
+
+    async def ready(self) -> dict:
+        return await self._roundtrip({"op": "ready"})
+
+    async def metrics(self) -> dict:
+        message = await self._roundtrip({"op": "metrics"})
+        return message.get("metrics", {})
+
+    async def ping(self) -> bool:
+        return (await self._roundtrip({"op": "ping"})).get("op") == "pong"
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

@@ -20,7 +20,13 @@ page coloring, bin hopping and CDPC) in four legs:
   (:mod:`repro.checker.staticmiss`) predicts every cell's external-cache
   miss total, and the bench scores it against the oracle leg's measured
   results — analyzer wall time, relative prediction error, and the bound
-  contract (every oracle measurement inside the predicted interval).
+  contract (every oracle measurement inside the predicted interval);
+* **service** — the coloring service's overhead floor: an in-process
+  :class:`~repro.service.server.ColoringService` on the synthetic engine
+  is driven with a cached-heavy request mix, and the leg reports
+  client-observed p50/p99 latency, throughput, shed rate and cache hit
+  rate (plus a zero-loss check) — the numbers the service's SLO gate in
+  CI is calibrated against.
 
 The exact legs produce ``RunResult`` objects whose serialized form
 (``to_dict()``) must match the oracle bit-for-bit — the simulated
@@ -244,6 +250,54 @@ def static_prediction_accuracy(
     }
 
 
+def service_latency_leg(requests: int = 400, seed: int = 0) -> dict:
+    """The service leg: cached-heavy loadgen against an in-process service.
+
+    Uses the synthetic engine (no simulation) so the numbers isolate the
+    *service's* own overhead — admission, batching, fingerprint caching,
+    response plumbing — rather than engine time.  Single worker, no
+    deadline, so batches execute serially in-thread and the leg stays
+    sub-second.
+    """
+    import asyncio
+
+    from repro.service import ColoringService, LoadSpec, run_loadgen
+
+    async def _run() -> dict:
+        async with ColoringService(
+            engine="synthetic",
+            batch_window_s=0.001,
+            max_batch=16,
+            queue_limit=10_000,
+            quota_rate=1e9,
+            quota_burst=1e9,
+        ) as service:
+            spec = LoadSpec(
+                requests=requests,
+                tenants=4,
+                concurrency=32,
+                cached_fraction=0.8,
+                hot_keys=8,
+                seed=seed,
+            )
+            report = (await run_loadgen(service.submit, spec)).to_dict()
+            counters = service.metrics_snapshot()["counters"]
+        return {
+            "requests": report["sent"],
+            "wall_s": report["elapsed_s"],
+            "throughput_rps": report["throughput_rps"],
+            "latency_ms": report["latency_ms"],
+            "shed_rate": report["shed_rate"],
+            "cache_hit_rate": report["cache_hit_rate"],
+            "coalesced": report["coalesced"],
+            "batches": counters.get("service.batches", 0),
+            "lost": len(report["lost"]),
+            "zero_loss": not report["lost"],
+        }
+
+    return asyncio.run(_run())
+
+
 def run_bench(
     config: MachineConfig,
     workloads: Sequence[str],
@@ -285,6 +339,7 @@ def run_bench(
     ]
     accuracy = sampled_accuracy(sampled_results, ref_results)
     static_predict = static_prediction_accuracy(ref_results, config, base)
+    service_leg = service_latency_leg()
     refs = modeled_references(cold_results)
     workers = max_workers if max_workers is not None else available_cpus()
     return {
@@ -345,6 +400,7 @@ def run_bench(
             **accuracy,
         },
         "static_predict": static_predict,
+        "service": service_leg,
         "modeled_references": refs,
         "speedup": ref_wall / cold_wall if cold_wall > 0 else 0.0,
         "speedup_warm": ref_wall / warm_wall if warm_wall > 0 else 0.0,
@@ -381,6 +437,16 @@ def _history_entry(payload: dict) -> dict:
         "static_analyze_ms": payload.get("static_predict", {}).get(
             "median_analyze_ns", 0.0
         ) / 1e6,
+        "service_p50_ms": payload.get("service", {}).get("latency_ms", {}).get(
+            "p50", 0.0
+        ),
+        "service_p99_ms": payload.get("service", {}).get("latency_ms", {}).get(
+            "p99", 0.0
+        ),
+        "service_rps": payload.get("service", {}).get("throughput_rps", 0.0),
+        "service_cache_hit_rate": payload.get("service", {}).get(
+            "cache_hit_rate", 0.0
+        ),
     }
 
 

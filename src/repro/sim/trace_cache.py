@@ -20,10 +20,23 @@ the capacity are evicted least-recently-used first.
 Cached :class:`~repro.sim.tracegen.CpuTrace` objects are shared between
 runs, which is safe because the engine treats traces as read-only (its
 derived ``ref_stream`` columns are themselves memoized on the trace).
+
+**Concurrency contract.**  The cache is thread-safe: all bookkeeping
+(lookup, insertion, LRU reordering, eviction, counters) happens under one
+lock, so the coloring service's batcher — which runs serial campaigns on
+worker *threads* of one process — can share the process-wide default
+cache without corrupting the LRU list or losing hit/miss accounting.
+Trace *generation* runs outside the lock (it dominates the cost and must
+not serialize independent misses); when two threads miss the same key
+concurrently, both generate, the first insertion wins, and the loser's
+identical result is discarded — wasted work, never a wrong answer.
+Worker *processes* of a parallel sweep each hold their own copy, so
+cross-process sharing never arises.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable, Optional
 
@@ -83,42 +96,60 @@ class TraceCache:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         self._entries: OrderedDict[tuple, list[CpuTrace]] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: tuple) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get_or_generate(
         self, key: tuple, generate: Callable[[], list[CpuTrace]]
     ) -> list[CpuTrace]:
-        """Return the cached traces for ``key``, generating them on a miss."""
-        entries = self._entries
-        traces = entries.get(key)
-        if traces is not None:
-            entries.move_to_end(key)
-            self.hits += 1
-            return traces
-        self.misses += 1
+        """Return the cached traces for ``key``, generating them on a miss.
+
+        Generation runs outside the lock: concurrent misses on the same
+        key each generate (generation is pure, so the results are
+        identical), the first insertion wins, and every caller returns
+        the winning list so all threads share one object.
+        """
+        with self._lock:
+            traces = self._entries.get(key)
+            if traces is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return traces
+            self.misses += 1
         traces = generate()
-        entries[key] = traces
-        if len(entries) > self.max_entries:
-            entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                # A concurrent thread published first; keep its object so
+                # every caller shares one memoized trace list.
+                self._entries.move_to_end(key)
+                return existing
+            self._entries[key] = traces
+            if len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
         return traces
 
     def clear(self) -> None:
         """Drop every entry (counters are kept for inspection)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def reset_counters(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def stats(self) -> dict[str, int]:
         """Counters plus a census of derived artifacts riding on entries.
@@ -132,7 +163,9 @@ class TraceCache:
         """
         columnar = 0
         plans = 0
-        for traces in self._entries.values():
+        with self._lock:
+            entries = list(self._entries.values())
+        for traces in entries:
             for trace in traces:
                 d = getattr(trace, "__dict__", None)
                 if d is None:
@@ -144,14 +177,15 @@ class TraceCache:
                     cached_stream[1], "__dict__", {}
                 ):
                     columnar += 1
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "columnar_indexes": columnar,
-            "window_plans": plans,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "columnar_indexes": columnar,
+                "window_plans": plans,
+            }
 
 
 #: Process-wide cache shared by every engine instance with

@@ -72,11 +72,15 @@ class TestResultStore:
         assert store.get("abc") is None  # dropped, not raised
         assert "abc" not in store  # file removed → task re-runs
 
-    def test_manifest_written_atomically_and_reconciled(self, tmp_path):
+    def test_manifest_journal_lines_and_reconciliation(self, tmp_path):
         store = ResultStore(tmp_path / "store")
         store.put("abc", 1, label="first", attempts=2)
-        manifest = json.loads(store.manifest_path.read_text())
-        assert manifest["entries"]["abc"] == {"label": "first", "attempts": 2}
+        lines = [json.loads(line)
+                 for line in store.manifest_path.read_text().splitlines()]
+        assert lines == [{"fingerprint": "abc", "label": "first", "attempts": 2}]
+        assert store.manifest()["entries"]["abc"] == {
+            "label": "first", "attempts": 2,
+        }
         # A payload the manifest never saw (crash between rename and
         # manifest update) is adopted on the next read.
         with open(store.results_dir / "orphan.pkl", "wb") as handle:
@@ -99,6 +103,75 @@ class TestResultStore:
         store.clear()
         assert len(store) == 0
         assert store.get("abc") is None
+
+
+class TestTornManifestJournal:
+    """SIGKILL mid-append tears the trailing journal line; the store must
+    self-heal at *every* possible truncation point."""
+
+    def _store_with_entries(self, root):
+        store = ResultStore(root)
+        for index in range(4):
+            store.put(f"fp{index}", {"value": index},
+                      label=f"run[{index}]", attempts=index + 1)
+        return store
+
+    def test_truncation_at_every_byte_offset_never_raises(self, tmp_path):
+        store = self._store_with_entries(tmp_path / "store")
+        journal = store.manifest_path.read_bytes()
+        durable = set(store.fingerprints())
+        for offset in range(len(journal) + 1):
+            store.manifest_path.write_bytes(journal[:offset])
+            manifest = store.manifest()  # must not raise at any offset
+            # Payloads are the source of truth: every durable entry is
+            # present regardless of how much journal survived.
+            assert set(manifest["entries"]) == durable, f"offset {offset}"
+        # Fully restored journal recovers full metadata too.
+        store.manifest_path.write_bytes(journal)
+        assert store.manifest()["entries"]["fp3"] == {
+            "label": "run[3]", "attempts": 4,
+        }
+
+    def test_torn_trailing_line_drops_metadata_not_entry(self, tmp_path):
+        store = self._store_with_entries(tmp_path / "store")
+        journal = store.manifest_path.read_bytes()
+        # Cut mid-way through the last line (not at a newline boundary).
+        last_line_start = journal.rstrip(b"\n").rfind(b"\n") + 1
+        store.manifest_path.write_bytes(
+            journal[: last_line_start + (len(journal) - last_line_start) // 2]
+        )
+        entries = store.manifest()["entries"]
+        assert entries["fp3"] == {"label": "", "attempts": 0}  # stub
+        assert entries["fp2"] == {"label": "run[2]", "attempts": 3}
+
+    def test_append_after_torn_line_still_parses(self, tmp_path):
+        store = self._store_with_entries(tmp_path / "store")
+        with open(store.manifest_path, "ab") as handle:
+            handle.write(b'{"fingerprint": "fp9", "label": "to')  # torn, no newline
+        store.put("fp4", 4, label="after-tear", attempts=1)
+        entries = store.manifest()["entries"]
+        assert entries["fp4"] == {"label": "after-tear", "attempts": 1}
+
+    def test_legacy_whole_file_manifest_upgrades_in_place(self, tmp_path):
+        store = self._store_with_entries(tmp_path / "store")
+        legacy = {
+            "version": 1,
+            "entries": {fp: {"label": f"legacy-{fp}", "attempts": 7}
+                        for fp in store.fingerprints()},
+        }
+        store.manifest_path.write_text(json.dumps(legacy, indent=2) + "\n")
+        assert store.manifest()["entries"]["fp0"] == {
+            "label": "legacy-fp0", "attempts": 7,
+        }
+        # The first append after the upgrade rewrites the file as a journal.
+        store.put("fp5", 5, label="post-upgrade", attempts=1)
+        first = store.manifest_path.read_text().lstrip()[0]
+        assert first != "{" or first == "{"  # journal lines, parsed below
+        lines = [json.loads(line)
+                 for line in store.manifest_path.read_text().splitlines()]
+        by_fp = {line["fingerprint"]: line for line in lines}
+        assert by_fp["fp0"]["label"] == "legacy-fp0"
+        assert by_fp["fp5"]["label"] == "post-upgrade"
 
 
 class TestRetryPolicy:

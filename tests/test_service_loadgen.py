@@ -1,0 +1,140 @@
+"""Tests for the seedable load generator: determinism, chaos, SLO math."""
+
+import asyncio
+
+import pytest
+
+from repro.service import (
+    ColoringService,
+    LoadSpec,
+    Status,
+    build_requests,
+    run_loadgen,
+)
+from repro.service.loadgen import LOADGEN_SCHEMA, _chaos_for
+from repro.service.protocol import ServiceResponse
+
+
+class TestBuildRequests:
+    def test_same_seed_same_mix(self):
+        spec = LoadSpec(requests=50, seed=7, fail_every=10, flood_requests=5)
+        assert build_requests(spec) == build_requests(spec)
+
+    def test_different_seed_different_mix(self):
+        one = build_requests(LoadSpec(requests=50, seed=1))
+        two = build_requests(LoadSpec(requests=50, seed=2))
+        assert one != two
+
+    def test_mix_shape(self):
+        spec = LoadSpec(requests=40, tenants=4, flood_requests=10, seed=0)
+        requests = build_requests(spec)
+        assert len(requests) == 50
+        ids = {request.request_id for request in requests}
+        assert len(ids) == 50  # unique; this is what zero-loss counts on
+        tenants = {request.tenant for request in requests}
+        assert tenants == {"tenant0", "tenant1", "tenant2", "tenant3", "flood"}
+        assert sum(request.tenant == "flood" for request in requests) == 10
+
+    def test_hot_and_cold_keys_follow_cached_fraction(self):
+        all_hot = build_requests(LoadSpec(requests=30, cached_fraction=1.0, hot_keys=2))
+        keys = {dict(request.synthetic)["key"] for request in all_hot}
+        assert keys <= {"hot-0", "hot-1"}
+        all_cold = build_requests(LoadSpec(requests=30, cached_fraction=0.0))
+        keys = {dict(request.synthetic)["key"] for request in all_cold}
+        assert len(keys) == 30 and all(key.startswith("cold-") for key in keys)
+
+    def test_chaos_cadence_and_priority(self):
+        spec = LoadSpec(requests=12, kill_every=6, hang_every=4, fail_every=3)
+        # Ordinal 12 collides on all three: kill wins, then hang, then fail.
+        assert _chaos_for(spec, 11) == "kill"
+        assert _chaos_for(spec, 7) == "hang"
+        assert _chaos_for(spec, 2) == "fail"
+        assert _chaos_for(spec, 0) is None
+
+    def test_chaos_keys_never_alias_clean_traffic(self):
+        spec = LoadSpec(requests=20, fail_every=5)
+        requests = build_requests(spec)
+        chaotic = [r for r in requests if "chaos" in dict(r.synthetic)]
+        assert len(chaotic) == 4
+        for request in chaotic:
+            assert dict(request.synthetic)["key"].startswith("chaos-fail-")
+
+    def test_scratch_arms_one_shot_kill_and_hang_only(self, tmp_path):
+        spec = LoadSpec(requests=20, kill_every=10, fail_every=7)
+        requests = build_requests(spec, scratch=str(tmp_path))
+        by_chaos = {}
+        for request in requests:
+            knobs = dict(request.synthetic)
+            if "chaos" in knobs:
+                by_chaos.setdefault(knobs["chaos"], []).append(knobs)
+        assert all("scratch" in knobs and "token" in knobs for knobs in by_chaos["kill"])
+        assert all("scratch" not in knobs for knobs in by_chaos["fail"])
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            LoadSpec(requests=0)
+        with pytest.raises(ValueError):
+            LoadSpec(cached_fraction=1.5)
+        with pytest.raises(ValueError):
+            LoadSpec(concurrency=0)
+        with pytest.raises(ValueError):
+            LoadSpec(flood_requests=-1)
+
+
+class TestRunLoadgen:
+    def test_clean_run_reports_zero_loss_and_cache_hits(self):
+        async def main():
+            async with ColoringService(
+                engine="synthetic",
+                batch_window_s=0.001,
+                max_batch=16,
+                queue_limit=10_000,
+                quota_rate=1e9,
+                quota_burst=1e9,
+            ) as svc:
+                spec = LoadSpec(requests=80, concurrency=16, cached_fraction=0.8, seed=3)
+                return await run_loadgen(svc.submit, spec)
+
+        report = asyncio.run(main())
+        payload = report.to_dict()
+        assert payload["schema"] == LOADGEN_SCHEMA
+        assert report.ok
+        assert payload["lost"] == []
+        assert payload["responded"] == payload["sent"] == 80
+        assert payload["by_status"] == {"ok": 80}
+        assert payload["cached"] + payload["coalesced"] > 0
+        assert payload["latency_ms"]["p99"] >= payload["latency_ms"]["p50"] > 0
+
+    def test_shed_rate_excludes_the_flooding_tenant(self):
+        # Every flood request rejected, every normal one answered: the
+        # well-behaved shed rate must still be zero.
+        async def submit(request):
+            if request.tenant == "flood":
+                return ServiceResponse(
+                    status=Status.REJECTED,
+                    request_id=request.request_id,
+                    reason="quota",
+                )
+            return ServiceResponse(status=Status.OK, request_id=request.request_id)
+
+        spec = LoadSpec(requests=20, flood_requests=10, max_shed_rate=0.0)
+        report = asyncio.run(run_loadgen(submit, spec))
+        payload = report.to_dict()
+        assert report.ok
+        assert payload["shed_rate"] == 0.0
+        assert payload["flood"] == {"sent": 10, "rejected": 10}
+        assert payload["by_reason"]["quota"] == 10
+
+    def test_slo_violations_fail_the_report(self):
+        async def submit(request):
+            return ServiceResponse(
+                status=Status.REJECTED,
+                request_id=request.request_id,
+                reason="overload",
+            )
+
+        spec = LoadSpec(requests=10, max_shed_rate=0.1)
+        report = asyncio.run(run_loadgen(submit, spec))
+        assert not report.ok
+        violations = report.to_dict()["slo"]["violations"]
+        assert any("shed rate" in violation for violation in violations)

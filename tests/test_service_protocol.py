@@ -1,0 +1,141 @@
+"""Tests for the service wire protocol: requests, responses, identity."""
+
+import pytest
+
+from repro.service.protocol import (
+    ColoringRequest,
+    RejectedOverload,
+    RequestKind,
+    ServiceResponse,
+    Status,
+)
+
+
+class TestColoringRequest:
+    def test_defaults_are_valid(self):
+        request = ColoringRequest()
+        assert request.kind == RequestKind.SIMULATE
+        assert request.config().num_cpus == 8
+        assert request.options().policy == "page_coloring"
+
+    def test_kind_accepts_plain_strings(self):
+        assert ColoringRequest(kind="predict").kind == RequestKind.PREDICT
+        with pytest.raises(ValueError):
+            ColoringRequest(kind="frobnicate")
+
+    def test_validation_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            ColoringRequest(machine="cray")
+        with pytest.raises(ValueError):
+            ColoringRequest(policy="random")
+        with pytest.raises(ValueError):
+            ColoringRequest(cpus=0)
+        with pytest.raises(ValueError):
+            ColoringRequest(deadline_s=0.0)
+        with pytest.raises(ValueError):
+            # Synthetic knobs only make sense on synthetic requests.
+            ColoringRequest(synthetic=(("key", 1),))
+
+    def test_cdpc_policy_label_maps_onto_engine_options(self):
+        options = ColoringRequest(policy="cdpc").options()
+        assert options.cdpc is True
+        assert options.policy == "bin_hopping"
+
+    def test_roundtrip_to_dict(self):
+        request = ColoringRequest(
+            workload="swim",
+            kind=RequestKind.PREDICT,
+            tenant="acme",
+            cpus=4,
+            machine="alpha",
+            scale=32,
+            policy="cdpc",
+            deadline_s=1.5,
+            request_id="abc",
+        )
+        assert ColoringRequest.from_dict(request.to_dict()) == request
+
+    def test_synthetic_roundtrip_normalizes_knob_order(self):
+        request = ColoringRequest(
+            kind=RequestKind.SYNTHETIC,
+            synthetic=(("delay_ms", 2.0), ("key", "hot-1")),
+        )
+        again = ColoringRequest.from_dict(request.to_dict())
+        assert again.synthetic == request.synthetic
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown request field"):
+            ColoringRequest.from_dict({"workload": "swim", "color": "red"})
+
+    def test_from_dict_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            ColoringRequest.from_dict(["nope"])  # type: ignore[arg-type]
+
+
+class TestFingerprint:
+    def test_identical_questions_share_a_fingerprint(self):
+        assert ColoringRequest().fingerprint() == ColoringRequest().fingerprint()
+
+    def test_tenant_and_deadline_do_not_change_identity(self):
+        base = ColoringRequest().fingerprint()
+        assert ColoringRequest(tenant="other").fingerprint() == base
+        assert ColoringRequest(deadline_s=9.0).fingerprint() == base
+        assert ColoringRequest(request_id="x").fingerprint() == base
+
+    def test_every_question_dimension_changes_identity(self):
+        base = ColoringRequest().fingerprint()
+        assert ColoringRequest(workload="swim").fingerprint() != base
+        assert ColoringRequest(kind="predict").fingerprint() != base
+        assert ColoringRequest(cpus=4).fingerprint() != base
+        assert ColoringRequest(machine="alpha").fingerprint() != base
+        assert ColoringRequest(scale=32).fingerprint() != base
+        assert ColoringRequest(policy="cdpc").fingerprint() != base
+        assert ColoringRequest(fast=False).fingerprint() != base
+
+    def test_synthetic_knobs_are_identity(self):
+        one = ColoringRequest(kind="synthetic", synthetic=(("key", 1),))
+        two = ColoringRequest(kind="synthetic", synthetic=(("key", 2),))
+        assert one.fingerprint() != two.fingerprint()
+
+    def test_workload_class_groups_kind_and_workload(self):
+        assert ColoringRequest(workload="swim").workload_class() == "simulate:swim"
+        assert (
+            ColoringRequest(workload="swim", kind="predict").workload_class()
+            == "predict:swim"
+        )
+
+
+class TestServiceResponse:
+    def test_ok_and_degraded_predicates(self):
+        assert ServiceResponse(status=Status.OK).ok
+        assert ServiceResponse(status=Status.DEGRADED).ok
+        assert ServiceResponse(status=Status.DEGRADED).degraded
+        assert not ServiceResponse(status=Status.REJECTED).ok
+        assert not ServiceResponse(status=Status.FAILED).ok
+
+    def test_raise_for_status(self):
+        ServiceResponse(status=Status.OK).raise_for_status()
+        with pytest.raises(RejectedOverload) as excinfo:
+            ServiceResponse(
+                status=Status.REJECTED,
+                request_id="r1",
+                reason="overload",
+                retry_after_s=0.25,
+            ).raise_for_status()
+        assert excinfo.value.response.reason == "overload"
+        with pytest.raises(RuntimeError, match="failed"):
+            ServiceResponse(status=Status.FAILED, reason="boom").raise_for_status()
+
+    def test_roundtrip_to_dict(self):
+        response = ServiceResponse(
+            status=Status.DEGRADED,
+            request_id="r2",
+            fingerprint="f" * 64,
+            result={"kind": "predict"},
+            cached=True,
+            coalesced=True,
+            reason="circuit_open",
+            elapsed_ms=12.5,
+        )
+        again = ServiceResponse.from_dict(response.to_dict())
+        assert again == response

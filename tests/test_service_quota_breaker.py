@@ -1,0 +1,123 @@
+"""Tests for the admission token buckets and the circuit breakers."""
+
+import pytest
+
+from repro.service.breaker import BreakerState, CircuitBreaker, WorkloadBreakers
+from repro.service.quota import TenantQuotas, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_deny_with_retry_hint(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        assert bucket.take().allowed
+        assert bucket.take().allowed
+        denied = bucket.take()
+        assert not denied.allowed
+        assert denied.retry_after_s == pytest.approx(0.1)
+
+    def test_continuous_refill_up_to_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        bucket.take()
+        bucket.take()
+        clock.advance(0.05)  # half a token
+        assert not bucket.take().allowed
+        clock.advance(0.05)  # a full token now
+        assert bucket.take().allowed
+        clock.advance(100.0)  # refill clamps at burst
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=2.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+    def test_tenants_are_isolated(self):
+        clock = FakeClock()
+        quotas = TenantQuotas(rate=1.0, burst=1.0, clock=clock)
+        assert quotas.check("flood").allowed
+        assert not quotas.check("flood").allowed
+        # The flooding tenant's empty bucket must not affect anyone else.
+        assert quotas.check("wellbehaved").allowed
+        assert quotas.tenants() == ["flood", "wellbehaved"]
+
+
+class TestCircuitBreaker:
+    def test_consecutive_failures_trip(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, recovery_s=5.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state == BreakerState.OPEN
+        assert breaker.trips == 1
+        assert not breaker.allows()
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == BreakerState.CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_s=5.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allows()
+        clock.advance(5.0)
+        assert breaker.state == BreakerState.HALF_OPEN
+        assert breaker.allows()  # the probe
+        assert not breaker.allows()  # everyone else stays degraded
+        breaker.record_success()
+        assert breaker.state == BreakerState.CLOSED
+        assert breaker.allows()
+
+    def test_probe_failure_reopens_and_restarts_the_clock(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_s=5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allows()
+        breaker.record_failure()
+        assert breaker.state == BreakerState.OPEN
+        clock.advance(4.9)
+        assert not breaker.allows()
+        clock.advance(0.1)
+        assert breaker.allows()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(recovery_s=0.0)
+
+
+class TestWorkloadBreakers:
+    def test_classes_are_isolated(self):
+        clock = FakeClock()
+        breakers = WorkloadBreakers(
+            failure_threshold=1, recovery_s=5.0, clock=clock
+        )
+        breakers.get("simulate:fpppp").record_failure()
+        assert not breakers.get("simulate:fpppp").allows()
+        assert breakers.get("simulate:swim").allows()
+        assert breakers.states() == {
+            "simulate:fpppp": "open",
+            "simulate:swim": "closed",
+        }
+        assert breakers.total_trips() == 1

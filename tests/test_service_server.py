@@ -1,0 +1,370 @@
+"""Tests for the asyncio ColoringService: admission, batching, caching,
+deadlines, coalescing, degradation, drain."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.harness.campaign import Campaign
+from repro.harness.report import CampaignReport
+from repro.service import (
+    ColoringRequest,
+    ColoringService,
+    RequestKind,
+    Status,
+)
+from repro.service.engines import run_service_batch
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def synthetic(key, tenant="default", deadline_s=None, request_id=None, **knobs):
+    knobs = {"key": key, **knobs}
+    return ColoringRequest(
+        kind=RequestKind.SYNTHETIC,
+        workload="w",
+        tenant=tenant,
+        deadline_s=deadline_s,
+        request_id=request_id,
+        synthetic=tuple(sorted(knobs.items())),
+    )
+
+
+def service(**overrides):
+    defaults = dict(engine="synthetic", batch_window_s=0.001)
+    defaults.update(overrides)
+    return ColoringService(**defaults)
+
+
+class TestAdmission:
+    def test_submit_before_start_raises(self):
+        svc = service()
+
+        async def main():
+            with pytest.raises(RuntimeError, match="not started"):
+                await svc.submit(synthetic("a"))
+
+        asyncio.run(main())
+
+    def test_synthetic_kind_needs_the_synthetic_engine(self):
+        async def main():
+            async with ColoringService(batch_window_s=0.001) as svc:
+                return await svc.submit(synthetic("a"))
+
+        response = asyncio.run(main())
+        assert response.status == Status.REJECTED
+        assert response.reason == "bad_request"
+
+    def test_quota_rejection_carries_retry_hint(self):
+        clock = FakeClock()
+
+        async def main():
+            async with service(
+                quota_rate=1.0, quota_burst=1.0, clock=clock
+            ) as svc:
+                first = await svc.submit(synthetic("a", tenant="t"))
+                second = await svc.submit(synthetic("b", tenant="t"))
+                other = await svc.submit(synthetic("c", tenant="other"))
+                return first, second, other
+
+        first, second, other = asyncio.run(main())
+        assert first.status == Status.OK
+        assert second.status == Status.REJECTED
+        assert second.reason == "quota"
+        assert second.retry_after_s is not None and second.retry_after_s > 0
+        # The flooding tenant's empty bucket must not shed anyone else.
+        assert other.status == Status.OK
+
+    def test_bounded_queue_sheds_with_overload(self):
+        started = threading.Event()
+        release = threading.Event()
+
+        def runner(tasks, keys, **kwargs):
+            started.set()
+            assert release.wait(10)
+            return run_service_batch(tasks, keys, **kwargs)
+
+        async def main():
+            # With one batch running ("a"), the batcher holds one more
+            # ("b") while blocked on the concurrency gate, and the queue
+            # bounds the rest: "c" fills it, "d" must be shed.
+            async with service(
+                queue_limit=1,
+                max_batch=1,
+                max_concurrent_batches=1,
+                runner=runner,
+            ) as svc:
+                loop = asyncio.get_running_loop()
+                admitted = [asyncio.ensure_future(svc.submit(synthetic("a")))]
+                await loop.run_in_executor(None, started.wait, 10)
+                admitted.append(asyncio.ensure_future(svc.submit(synthetic("b"))))
+                await asyncio.sleep(0.05)  # batcher now holds "b" at the gate
+                admitted.append(asyncio.ensure_future(svc.submit(synthetic("c"))))
+                await asyncio.sleep(0.05)  # "c" sits in the bounded queue
+                shed = await svc.submit(synthetic("d"))
+                assert not svc.ready()["ready"]
+                release.set()
+                return await asyncio.gather(*admitted), shed
+
+        admitted, shed = asyncio.run(main())
+        assert [response.status for response in admitted] == [Status.OK] * 3
+        assert shed.status == Status.REJECTED
+        assert shed.reason == "overload"
+
+
+class TestCachingAndCoalescing:
+    def test_repeat_is_answered_from_cache_without_new_work(self):
+        async def main():
+            async with service() as svc:
+                first = await svc.submit(synthetic("hot"))
+                second = await svc.submit(synthetic("hot"))
+                return first, second, svc.metrics_snapshot()["counters"]
+
+        first, second, counters = asyncio.run(main())
+        assert first.status == Status.OK and not first.cached
+        assert second.status == Status.OK and second.cached
+        assert second.result == first.result
+        # O(1) proof: one batch total, and the repeat shows as a cache hit.
+        assert counters["service.batches"] == 1
+        assert counters["service.cache.hits"] == 1
+
+    def test_identical_inflight_requests_coalesce(self):
+        async def main():
+            async with service() as svc:
+                one, two = await asyncio.gather(
+                    svc.submit(synthetic("same")),
+                    svc.submit(synthetic("same")),
+                )
+                return one, two, svc.metrics_snapshot()["counters"]
+
+        one, two, counters = asyncio.run(main())
+        assert one.status == Status.OK and two.status == Status.OK
+        assert one.result == two.result
+        assert sorted([one.coalesced, two.coalesced]) == [False, True]
+        assert counters["service.coalesced"] == 1
+        assert counters["service.batches"] == 1
+
+    def test_degraded_answers_are_never_cached(self):
+        clock = FakeClock()
+
+        async def main():
+            async with service(
+                breaker_threshold=1, breaker_recovery_s=60.0, clock=clock
+            ) as svc:
+                tripping = await svc.submit(synthetic("bad", chaos="fail"))
+                # Breaker for "synthetic:w" is now open: same question
+                # twice must be degraded twice — the fallback answer must
+                # not have been cached as the real one.
+                first = await svc.submit(synthetic("q"))
+                second = await svc.submit(synthetic("q"))
+                return tripping, first, second
+
+        tripping, first, second = asyncio.run(main())
+        assert tripping.status == Status.DEGRADED
+        assert tripping.reason == "worker_failure"
+        assert first.status == Status.DEGRADED
+        assert first.reason == "circuit_open"
+        assert second.status == Status.DEGRADED
+        assert not second.cached
+
+
+class TestDeadlines:
+    def test_expired_queued_request_is_rejected(self):
+        clock = FakeClock()
+        started = threading.Event()
+        release = threading.Event()
+
+        def runner(tasks, keys, **kwargs):
+            started.set()
+            assert release.wait(10)
+            return run_service_batch(tasks, keys, **kwargs)
+
+        async def main():
+            async with service(
+                max_batch=1, max_concurrent_batches=1, runner=runner, clock=clock
+            ) as svc:
+                loop = asyncio.get_running_loop()
+                blocker = asyncio.ensure_future(svc.submit(synthetic("a")))
+                await loop.run_in_executor(None, started.wait, 10)
+                doomed = asyncio.ensure_future(
+                    svc.submit(synthetic("b", deadline_s=1.0))
+                )
+                await asyncio.sleep(0.05)
+                clock.advance(2.0)  # "b" expires while queued
+                release.set()
+                return await blocker, await doomed
+
+        blocker, doomed = asyncio.run(main())
+        assert blocker.status == Status.OK
+        assert doomed.status == Status.REJECTED
+        assert doomed.reason == "deadline"
+
+    def test_deadline_bounds_the_task_watchdog(self):
+        clock = FakeClock()
+        seen: dict = {}
+
+        def runner(tasks, keys, **kwargs):
+            seen["timeout_s"] = kwargs["timeout_s"]
+            results = [{"kind": "synthetic", "value": "stub"} for _ in tasks]
+            return Campaign(
+                results=results,
+                report=CampaignReport(total=len(tasks), completed=len(tasks)),
+            )
+
+        async def main():
+            async with service(
+                runner=runner, clock=clock, task_timeout_s=30.0
+            ) as svc:
+                return await svc.submit(synthetic("a", deadline_s=2.0))
+
+        response = asyncio.run(main())
+        assert response.status == Status.OK
+        assert seen["timeout_s"] == pytest.approx(2.0, abs=0.5)
+
+
+class TestDegradation:
+    def test_breaker_trips_and_recovers_via_probe(self):
+        clock = FakeClock()
+
+        async def main():
+            async with service(
+                breaker_threshold=2, breaker_recovery_s=5.0, clock=clock
+            ) as svc:
+                for key in ("f1", "f2"):
+                    await svc.submit(synthetic(key, chaos="fail"))
+                assert svc.health()["breakers"]["synthetic:w"] == "open"
+                degraded = await svc.submit(synthetic("during"))
+                clock.advance(5.0)
+                probe = await svc.submit(synthetic("probe"))
+                after = svc.health()["breakers"]["synthetic:w"]
+                counters = svc.metrics_snapshot()["counters"]
+                return degraded, probe, after, counters
+
+        degraded, probe, after, counters = asyncio.run(main())
+        assert degraded.status == Status.DEGRADED
+        assert degraded.reason == "circuit_open"
+        assert degraded.result is not None
+        assert degraded.result["fallback"] == "static"
+        assert probe.status == Status.OK and not probe.cached
+        assert after == "closed"
+        assert counters["service.fallback.static"] >= 1
+        assert counters["service.failures.exception"] == 2
+
+    def test_simulate_falls_back_to_the_static_predictor(self):
+        def runner(tasks, keys, **kwargs):
+            raise RuntimeError("pool exploded")
+
+        async def main():
+            async with ColoringService(
+                batch_window_s=0.001, runner=runner
+            ) as svc:
+                return await svc.submit(
+                    ColoringRequest(workload="fpppp", cpus=2, scale=8)
+                )
+
+        response = asyncio.run(main())
+        assert response.status == Status.DEGRADED
+        assert response.reason == "worker_failure"
+        assert response.result is not None
+        assert response.result["kind"] == "predict"
+        assert response.result["fallback"] == "static"
+
+    def test_predict_with_no_fallback_fails_honestly(self):
+        def runner(tasks, keys, **kwargs):
+            raise RuntimeError("pool exploded")
+
+        async def main():
+            async with ColoringService(
+                batch_window_s=0.001, runner=runner
+            ) as svc:
+                return await svc.submit(
+                    ColoringRequest(workload="fpppp", kind="predict")
+                )
+
+        response = asyncio.run(main())
+        assert response.status == Status.FAILED
+        assert response.reason == "worker_failure"
+
+
+class TestDrain:
+    def test_drain_shreds_queue_finishes_inflight_rejects_new(self):
+        started = threading.Event()
+        release = threading.Event()
+
+        def runner(tasks, keys, **kwargs):
+            started.set()
+            assert release.wait(10)
+            return run_service_batch(tasks, keys, **kwargs)
+
+        async def main():
+            svc = service(
+                max_batch=1, max_concurrent_batches=1, runner=runner
+            )
+            await svc.start()
+            loop = asyncio.get_running_loop()
+            inflight = asyncio.ensure_future(svc.submit(synthetic("a")))
+            await loop.run_in_executor(None, started.wait, 10)
+            queued = asyncio.ensure_future(svc.submit(synthetic("b")))
+            await asyncio.sleep(0.05)
+            drain = asyncio.ensure_future(svc.drain())
+            await asyncio.sleep(0.05)
+            assert svc.health()["status"] == "draining"
+            late = await svc.submit(synthetic("c"))
+            release.set()
+            await drain
+            assert svc.health()["status"] == "stopped"
+            with pytest.raises(RuntimeError, match="not started"):
+                await svc.submit(synthetic("d"))
+            return await inflight, await queued, late
+
+        inflight, queued, late = asyncio.run(main())
+        assert inflight.status == Status.OK  # in-flight work completes
+        assert queued.status == Status.REJECTED  # queued work is shed...
+        assert queued.reason == "shutdown"
+        assert late.status == Status.REJECTED  # ...and so are new arrivals
+        assert late.reason == "shutdown"
+
+    def test_context_manager_drains_cleanly_when_idle(self):
+        async def main():
+            async with service() as svc:
+                assert svc.health()["status"] == "ok"
+                assert svc.ready()["ready"]
+            assert svc.health()["status"] == "stopped"
+            assert not svc.ready()["ready"]
+
+        asyncio.run(main())
+
+
+class TestDurableStore:
+    def test_answers_survive_a_service_restart(self, tmp_path):
+        store = str(tmp_path / "plans")
+        request = synthetic("durable")
+
+        async def first_life():
+            async with service(store=store) as svc:
+                response = await svc.submit(request)
+                assert response.status == Status.OK and not response.cached
+                return response.result
+
+        async def second_life():
+            async with service(store=store) as svc:
+                response = await svc.submit(request)
+                counters = svc.metrics_snapshot()["counters"]
+                return response, counters
+
+        original = asyncio.run(first_life())
+        response, counters = asyncio.run(second_life())
+        assert response.status == Status.OK
+        assert response.cached  # promoted from the durable tier
+        assert response.result == original
+        assert counters.get("service.batches", 0) == 0  # no recompute

@@ -1,0 +1,188 @@
+"""Tests for the TCP JSON-lines transport: ops, errors, pipelining."""
+
+import asyncio
+import json
+
+from repro.service import (
+    ColoringRequest,
+    ColoringService,
+    RequestKind,
+    ServiceClient,
+    ServiceListener,
+    Status,
+)
+
+
+def synthetic(key, request_id=None, **knobs):
+    knobs = {"key": key, **knobs}
+    return ColoringRequest(
+        kind=RequestKind.SYNTHETIC,
+        workload="w",
+        request_id=request_id,
+        synthetic=tuple(sorted(knobs.items())),
+    )
+
+
+async def _serve():
+    """Started service + listener + connected client, as a context."""
+    service = ColoringService(engine="synthetic", batch_window_s=0.001)
+    await service.start()
+    listener = await ServiceListener.start(service)
+    client = await ServiceClient.connect(listener.host, listener.port)
+    return service, listener, client
+
+
+async def _teardown(service, listener, client):
+    await client.close()
+    await listener.close()
+    await service.drain()
+
+
+class TestClientOps:
+    def test_submit_roundtrip_and_cached_repeat(self):
+        async def main():
+            service, listener, client = await _serve()
+            try:
+                first = await client.submit(synthetic("k", request_id="r1"))
+                second = await client.submit(synthetic("k", request_id="r2"))
+                return first, second
+            finally:
+                await _teardown(service, listener, client)
+
+        first, second = asyncio.run(main())
+        assert first.status == Status.OK and not first.cached
+        assert first.request_id == "r1"
+        assert second.status == Status.OK and second.cached
+        assert second.request_id == "r2"
+        assert second.result == first.result
+
+    def test_control_ops(self):
+        async def main():
+            service, listener, client = await _serve()
+            try:
+                pong = await client.ping()
+                health = await client.health()
+                ready = await client.ready()
+                await client.submit(synthetic("k"))
+                metrics = await client.metrics()
+                return pong, health, ready, metrics
+            finally:
+                await _teardown(service, listener, client)
+
+        pong, health, ready, metrics = asyncio.run(main())
+        assert pong is True
+        assert health["op"] == "health" and health["status"] == "ok"
+        assert ready["ready"] is True
+        assert metrics["schema"] == "repro.obs.metrics/v1"
+        assert metrics["counters"]["service.responses.ok"] == 1
+
+    def test_top_level_request_object_is_a_submit(self):
+        # A line without "op" is treated as the request itself.
+        async def main():
+            service, listener, client = await _serve()
+            try:
+                payload = synthetic("bare", request_id="r9").to_dict()
+                return await client._roundtrip(payload)
+            finally:
+                await _teardown(service, listener, client)
+
+        message = asyncio.run(main())
+        assert message["status"] == "ok"
+        assert message["request_id"] == "r9"
+
+
+class TestWireErrors:
+    def _raw_roundtrip(self, raw_line: bytes):
+        async def main():
+            service, listener, client = await _serve()
+            try:
+                client._writer.write(raw_line)
+                await client._writer.drain()
+                line = await asyncio.wait_for(client._reader.readline(), 5)
+                return json.loads(line.decode("utf-8"))
+            finally:
+                await _teardown(service, listener, client)
+
+        return asyncio.run(main())
+
+    def test_invalid_json_gets_an_explicit_rejection(self):
+        message = self._raw_roundtrip(b"this is not json\n")
+        assert message["status"] == "rejected"
+        assert message["reason"] == "bad_request"
+        assert "invalid JSON" in message["error"]
+
+    def test_non_object_line_gets_an_explicit_rejection(self):
+        message = self._raw_roundtrip(b"[1, 2, 3]\n")
+        assert message["status"] == "rejected"
+        assert "JSON object" in message["error"]
+
+    def test_unknown_op_gets_an_explicit_rejection(self):
+        message = self._raw_roundtrip(b'{"op": "frobnicate"}\n')
+        assert message["status"] == "rejected"
+        assert "unknown op" in message["error"]
+
+    def test_malformed_request_echoes_its_request_id(self):
+        payload = {"op": "submit", "request": {"workload": "w", "color": "red", "request_id": "r7"}}
+        message = self._raw_roundtrip((json.dumps(payload) + "\n").encode())
+        assert message["status"] == "rejected"
+        assert message["reason"] == "bad_request"
+        assert message["request_id"] == "r7"
+        assert "unknown request field" in message["error"]
+
+    def test_blank_lines_are_ignored(self):
+        async def main():
+            service, listener, client = await _serve()
+            try:
+                client._writer.write(b"\n\n")
+                await client._writer.drain()
+                return await client.ping()
+            finally:
+                await _teardown(service, listener, client)
+
+        assert asyncio.run(main()) is True
+
+
+class TestPipelining:
+    def test_lines_on_one_connection_are_served_concurrently(self):
+        # Pipeline a slow submit and a ping; the ping must answer first.
+        async def main():
+            service, listener, client = await _serve()
+            try:
+                slow = synthetic("slow", request_id="slow", delay_ms=200.0)
+                lines = (
+                    json.dumps({"op": "submit", "request": slow.to_dict()})
+                    + "\n"
+                    + json.dumps({"op": "ping"})
+                    + "\n"
+                )
+                client._writer.write(lines.encode())
+                await client._writer.drain()
+                first = json.loads(await asyncio.wait_for(client._reader.readline(), 5))
+                second = json.loads(await asyncio.wait_for(client._reader.readline(), 5))
+                return first, second
+            finally:
+                await _teardown(service, listener, client)
+
+        first, second = asyncio.run(main())
+        assert first == {"op": "pong"}
+        assert second["status"] == "ok" and second["request_id"] == "slow"
+
+    def test_listener_close_finishes_inflight_lines(self):
+        async def main():
+            service, listener, client = await _serve()
+            slow = synthetic("slow", request_id="slow", delay_ms=100.0)
+            client._writer.write(
+                (json.dumps({"op": "submit", "request": slow.to_dict()}) + "\n").encode()
+            )
+            await client._writer.drain()
+            await asyncio.sleep(0.02)  # line is in flight
+            await listener.close()
+            line = await asyncio.wait_for(client._reader.readline(), 5)
+            message = json.loads(line.decode("utf-8"))
+            await client.close()
+            await service.drain()
+            return message
+
+        message = asyncio.run(main())
+        assert message["status"] == "ok"
+        assert message["request_id"] == "slow"

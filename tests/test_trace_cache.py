@@ -103,3 +103,89 @@ class TestTraceCacheEngine:
             "entries": 0, "hits": 0, "misses": 0, "evictions": 0,
             "columnar_indexes": 0, "window_plans": 0,
         }
+
+
+class TestTraceCacheConcurrency:
+    """The service's batcher shares the process-wide cache across worker
+    threads; the lock must keep the LRU list and counters consistent."""
+
+    def test_concurrent_mixed_keys_account_every_access(self):
+        import threading
+
+        cache = TraceCache(max_entries=8)
+        threads_n, per_thread, keyspace = 8, 300, 24
+        generated = []
+        generated_lock = threading.Lock()
+
+        def worker(seed):
+            rng = __import__("random").Random(seed)
+            for _ in range(per_thread):
+                key = ("k", rng.randrange(keyspace))
+                value = cache.get_or_generate(key, lambda k=key: [k])
+                assert value[0] == key  # never a wrong answer
+                with generated_lock:
+                    generated.append(key)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,))
+            for seed in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = cache.stats()
+        total = threads_n * per_thread
+        # Every access is either a hit or a miss — none lost to a race.
+        assert stats["hits"] + stats["misses"] == total
+        # Eviction kept the entry count bounded despite the churn.
+        assert stats["entries"] <= 8
+        assert stats["misses"] >= stats["evictions"] + stats["entries"]
+
+    def test_concurrent_same_key_shares_one_object(self):
+        import threading
+
+        cache = TraceCache(max_entries=4)
+        barrier = threading.Barrier(6)
+        results = []
+        results_lock = threading.Lock()
+        generations = []
+
+        def generate():
+            with results_lock:
+                generations.append(1)
+            return [object()]
+
+        def worker():
+            barrier.wait()
+            value = cache.get_or_generate(("hot",), generate)
+            with results_lock:
+                results.append(value)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # All callers converged on one shared trace list, even if several
+        # threads generated concurrently (first insertion wins).
+        assert len({id(value) for value in results}) == 1
+        assert cache.hits + cache.misses == 6
+        assert cache.misses == len(generations)
+
+    def test_eviction_under_concurrent_insert_never_overflows(self):
+        import threading
+
+        cache = TraceCache(max_entries=2)
+
+        def worker(base):
+            for i in range(200):
+                cache.get_or_generate((base, i), lambda: [None])
+
+        threads = [threading.Thread(target=worker, args=(b,)) for b in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) <= 2
+        assert cache.evictions == cache.misses - len(cache)
