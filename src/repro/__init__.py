@@ -37,7 +37,21 @@ remain available and now delegate through the session facade.
 from repro.api import Session, run_benchmark, run_program
 from repro.core import AccessSummary, CdpcRuntime, ColoringResult, generate_page_colors
 from repro.harness import Campaign, CampaignOptions, CampaignReport
-from repro.machine import MachineConfig, MemorySystem, MissKind, alpha_server, sgi_2way, sgi_4mb, sgi_base
+from repro.machine import (
+    MACHINE_PRESETS,
+    CacheHierarchy,
+    CacheLevel,
+    ColorFunction,
+    MachineConfig,
+    MemorySystem,
+    MissKind,
+    alpha_server,
+    sgi_2way,
+    sgi_4mb,
+    sgi_base,
+    sliced_llc_8x,
+    three_level,
+)
 from repro.obs import ObsConfig
 from repro.osmodel import VirtualMemory, make_policy
 from repro.robustness import (
@@ -70,8 +84,11 @@ __all__ = [
     "Campaign",
     "CampaignOptions",
     "CampaignReport",
+    "CacheHierarchy",
+    "CacheLevel",
     "CapacityEvent",
     "CdpcRuntime",
+    "ColorFunction",
     "ColoringRequest",
     "ColoringResult",
     "ColoringService",
@@ -80,6 +97,7 @@ __all__ = [
     "FaultPlan",
     "InvariantViolation",
     "JobSpec",
+    "MACHINE_PRESETS",
     "MachineConfig",
     "MemorySystem",
     "MissKind",
@@ -107,4 +125,6 @@ __all__ = [
     "sgi_2way",
     "sgi_4mb",
     "sgi_base",
+    "sliced_llc_8x",
+    "three_level",
 ]

@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING
 
 from repro.analysis.report import render_table
 from repro.checker.staticmiss import StaticCheckError
-from repro.machine.config import MachineConfig, alpha_server, sgi_2way, sgi_4mb, sgi_base
+from repro.machine.config import MACHINE_PRESETS, MachineConfig, alpha_server
 from repro.robustness.faults import FaultPlan
 from repro.sim.engine import EngineOptions, run_benchmark, run_program
 from repro.sim.tracegen import SimProfile
@@ -34,10 +34,9 @@ if TYPE_CHECKING:  # pragma: no cover
 #: serves every workload/policy/machine combination.
 DEFAULT_STORE = ".repro/campaigns"
 
+#: Every preset geometry plus the historical ``alpha`` alias.
 _MACHINES = {
-    "sgi_base": sgi_base,
-    "sgi_2way": sgi_2way,
-    "sgi_4mb": sgi_4mb,
+    **{name: preset for name, preset in MACHINE_PRESETS.items()},
     "alpha": alpha_server,
 }
 
@@ -344,6 +343,9 @@ def cmd_sweep(args) -> int:
     from repro.obs import ProgressLine, Tracer
     from repro.sim.sweeps import run_task_campaign
 
+    if args.machines:
+        return _cmd_sweep_geometries(args)
+
     config = _make_config(args)
     labels = args.policies.split(",")
     tasks = [
@@ -390,6 +392,92 @@ def cmd_sweep(args) -> int:
                     rows,
                 )
             )
+            from repro.analysis.figures import grouped_bar_chart
+
+            cells = {
+                args.machine: {
+                    label: result.wall_ns / 1e6
+                    for label, result in zip(labels, outcome.results)
+                    if result is not None
+                }
+            }
+            print()
+            print(grouped_bar_chart(cells, unit="ms"))
+        print(f"\ncampaign: {report.summary()}")
+        for failure in report.failures:
+            print(
+                f"  FAILED {failure.label}: {failure.kind} "
+                f"after {failure.attempts} attempt(s) {failure.message}",
+                file=sys.stderr,
+            )
+    if report.interrupted:
+        return 130
+    return 0 if report.ok else 1
+
+
+def _cmd_sweep_geometries(args) -> int:
+    """Cross-geometry policy comparison (``sweep --machines a,b,c``)."""
+    from repro.analysis.geometry import compare_geometries
+    from repro.sim.engine import EngineOptions
+    from repro.sim.sweeps import STANDARD_POLICIES
+
+    machines = args.machines.split(",")
+    unknown = sorted(set(machines) - set(_MACHINES))
+    if unknown:
+        print(
+            f"repro sweep: unknown machine(s): {', '.join(unknown)}",
+            file=sys.stderr,
+        )
+        return 2
+    labels = args.policies.split(",")
+    bad = [label for label in labels if label not in STANDARD_POLICIES]
+    if bad:
+        print(
+            f"repro sweep: --machines supports the standard policy labels "
+            f"({', '.join(STANDARD_POLICIES)}); got {', '.join(bad)}",
+            file=sys.stderr,
+        )
+        return 2
+    # ``alpha`` is a CLI alias, not a preset name the analysis layer knows.
+    machines = ["alpha_server" if name == "alpha" else name for name in machines]
+    base = EngineOptions(
+        prefetch=args.prefetch,
+        aligned=not args.unaligned,
+        profile=SimProfile.fast() if args.fast else SimProfile(),
+        obs=_obs_config(args),
+        sampling=getattr(args, "sampling", None),
+    )
+    try:
+        comparison = compare_geometries(
+            args.workload,
+            machines,
+            policies={label: STANDARD_POLICIES[label] for label in labels},
+            cpus=args.cpus,
+            scale=args.scale,
+            options=base,
+            max_workers=args.workers,
+            campaign=_campaign_options(args),
+        )
+    except KeyboardInterrupt:
+        print("\nrepro sweep: interrupted", file=sys.stderr)
+        return 130
+    report = comparison.campaign.report
+    if args.json:
+        print(json.dumps(comparison.to_dict(), indent=2))
+    else:
+        rows = [
+            [machine, policy, *_result_row(policy, result)[1:]]
+            for (machine, policy), result in comparison.results.items()
+        ]
+        print(
+            render_table(
+                ["machine", "policy", "wall ms", "MCPI", "conflict",
+                 "capacity", "bus"],
+                rows,
+            )
+        )
+        print()
+        print(comparison.figure())
         print(f"\ncampaign: {report.summary()}")
         for failure in report.failures:
             print(
@@ -1077,6 +1165,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--policies", default="page_coloring,bin_hopping,cdpc",
         help="comma-separated: page_coloring, bin_hopping, cdpc",
+    )
+    sweep_parser.add_argument(
+        "--machines", default=None, metavar="NAMES",
+        help="comma-separated machine presets for a cross-geometry "
+        "comparison (e.g. sgi_base,sliced_llc_8x,three_level); renders "
+        "one policy-comparison block per geometry",
     )
     sweep_parser.add_argument(
         "--resume", action="store_true",

@@ -1,6 +1,10 @@
 """Analysis utilities: access maps (Figures 3/5), SPEC ratios (Table 2)."""
 
 from repro.analysis.figures import ascii_bar, bar_chart, grouped_bar_chart, sparkline
+from repro.analysis.geometry import (
+    GeometryComparison,
+    compare_geometries,
+)
 from repro.analysis.access_maps import (
     coloring_order_map,
     conflict_depth,
@@ -21,7 +25,9 @@ from repro.analysis.spec_ratio import geometric_mean, spec_ratio, specfp_rating
 __all__ = [
     "ascii_bar",
     "bar_chart",
+    "GeometryComparison",
     "coloring_order_map",
+    "compare_geometries",
     "conflict_depth",
     "footprint_density",
     "format_row",

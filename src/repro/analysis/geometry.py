@@ -1,0 +1,152 @@
+"""Cross-geometry policy comparison: one workload, N machines, M policies.
+
+The PR-10 deliverable figure generalizes the Figure 6 policy sweep along
+a second axis — the machine geometry.  Every ``(machine, policy)`` cell
+is one independent benchmark run, fanned out as a single fault-tolerant
+campaign, and the result renders as a grouped bar chart with one block
+per geometry::
+
+    from repro.analysis.geometry import compare_geometries
+
+    comparison = compare_geometries("tomcatv", cpus=4, scale=4)
+    print(comparison.figure())
+
+Geometries are named :data:`repro.machine.MACHINE_PRESETS` entries; the
+default trio is the paper's base machine plus the two PR-10 geometries
+(sliced XOR-hashed LLC, three-level with a shared LLC), which is exactly
+the spread where the color-function abstraction earns its keep: the
+policies see ``machine.num_colors`` colors without knowing whether a
+color is a bit field or a slice-hash equivalence class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+from repro.analysis.figures import grouped_bar_chart
+from repro.harness.campaign import Campaign, CampaignOptions
+from repro.machine.config import MACHINE_PRESETS
+from repro.sim.engine import EngineOptions
+from repro.sim.results import RunResult
+from repro.sim.sweeps import STANDARD_POLICIES, Task, run_task_campaign
+
+__all__ = [
+    "DEFAULT_GEOMETRIES",
+    "GeometryComparison",
+    "compare_geometries",
+]
+
+#: The geometries the deliverable figure spans by default.
+DEFAULT_GEOMETRIES: tuple[str, ...] = (
+    "sgi_base",
+    "sliced_llc_8x",
+    "three_level",
+)
+
+
+@dataclass(frozen=True)
+class GeometryComparison:
+    """Results of one cross-geometry sweep, keyed ``(machine, policy)``."""
+
+    workload: str
+    cpus: int
+    scale: int
+    machines: tuple[str, ...]
+    policies: tuple[str, ...]
+    results: dict[tuple[str, str], RunResult]
+    campaign: Campaign
+
+    def cells(self, metric: str = "wall_ms") -> dict[str, dict[str, float]]:
+        """Metric values as ``{machine: {policy: value}}`` for charting.
+
+        ``metric`` is ``wall_ms``, ``mcpi`` or a miss-kind name from the
+        result's breakdown (``conflict``, ``capacity``, ...).
+        """
+        out: dict[str, dict[str, float]] = {}
+        for machine in self.machines:
+            series: dict[str, float] = {}
+            for policy in self.policies:
+                result = self.results.get((machine, policy))
+                if result is None:
+                    continue
+                if metric == "wall_ms":
+                    series[policy] = result.wall_ns / 1e6
+                elif metric == "mcpi":
+                    series[policy] = result.mcpi()
+                else:
+                    series[policy] = float(result.miss_breakdown()[metric])
+            if series:
+                out[machine] = series
+        return out
+
+    def figure(self, metric: str = "wall_ms", width: int = 40) -> str:
+        """The grouped bar chart: one block per geometry."""
+        unit = {"wall_ms": "ms", "mcpi": ""}.get(metric, "")
+        return grouped_bar_chart(self.cells(metric), width=width, unit=unit)
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload (full per-cell run results)."""
+        return {
+            "workload": self.workload,
+            "cpus": self.cpus,
+            "scale": self.scale,
+            "machines": list(self.machines),
+            "policies": list(self.policies),
+            "cells": {
+                f"{machine}/{policy}": result.to_dict()
+                for (machine, policy), result in self.results.items()
+            },
+            "campaign": self.campaign.report.to_dict(),
+        }
+
+
+def compare_geometries(
+    workload: str,
+    machines: Sequence[str] = DEFAULT_GEOMETRIES,
+    policies: Optional[dict[str, dict]] = None,
+    *,
+    cpus: int = 8,
+    scale: int = 16,
+    options: Optional[EngineOptions] = None,
+    max_workers: Optional[int] = None,
+    campaign: Optional[CampaignOptions] = None,
+) -> GeometryComparison:
+    """Run one workload across ``machines`` × ``policies`` as one campaign.
+
+    ``policies`` follows the :data:`~repro.sim.sweeps.STANDARD_POLICIES`
+    shape (label -> :class:`EngineOptions` overrides) and defaults to the
+    paper's page-coloring / bin-hopping / CDPC trio.  Failed cells are
+    omitted from ``results``; the full campaign report (failures,
+    retries) rides on the returned comparison.
+    """
+    unknown = sorted(set(machines) - set(MACHINE_PRESETS))
+    if unknown:
+        raise ValueError(
+            f"unknown machine preset(s): {', '.join(unknown)}; "
+            f"choose from {', '.join(sorted(MACHINE_PRESETS))}"
+        )
+    labeled = policies or STANDARD_POLICIES
+    base = options or EngineOptions()
+    keys: list[tuple[str, str]] = []
+    tasks: list[Task] = []
+    for machine in machines:
+        config = MACHINE_PRESETS[machine](cpus).scaled(scale)
+        for label, overrides in labeled.items():
+            keys.append((machine, label))
+            tasks.append((workload, config, replace(base, **overrides)))
+    outcome = run_task_campaign(tasks, max_workers=max_workers, campaign=campaign)
+    results = {
+        key: result
+        for key, result in zip(keys, outcome.results)
+        if result is not None
+    }
+    return GeometryComparison(
+        workload=workload,
+        cpus=cpus,
+        scale=scale,
+        machines=tuple(machines),
+        policies=tuple(labeled),
+        results=results,
+        campaign=outcome,
+    )

@@ -33,7 +33,7 @@ from typing import Any, Optional, Sequence, Union
 
 from repro.compiler.ir import Program
 from repro.harness.campaign import Campaign, CampaignOptions, campaign_obs_report
-from repro.machine.config import MachineConfig, sgi_base
+from repro.machine.config import MACHINE_PRESETS, MachineConfig, sgi_base
 from repro.obs import ObsConfig
 from repro.sim import engine as _engine
 from repro.sim.engine import EngineOptions
@@ -102,8 +102,10 @@ class Session:
     ``workload`` is a bundled SPEC95fp model name; pass ``program=`` for
     a hand-built or parsed :class:`Program` instead.  ``config`` defaults
     to the paper's base machine (``sgi_base``) at the given ``cpus`` and
-    ``scale``.  Remaining keywords are :class:`EngineOptions` fields
-    (canonical names; legacy spellings accepted with a deprecation
+    ``scale``; ``machine`` selects any preset geometry by name instead
+    (see :data:`repro.machine.MACHINE_PRESETS` — e.g. ``"sliced_llc_8x"``
+    or ``"three_level"``).  Remaining keywords are :class:`EngineOptions`
+    fields (canonical names; legacy spellings accepted with a deprecation
     warning), plus ``obs=True`` as shorthand for a default
     :class:`repro.obs.ObsConfig`.
     """
@@ -114,6 +116,7 @@ class Session:
         *,
         program: Optional[Program] = None,
         config: Optional[MachineConfig] = None,
+        machine: Optional[str] = None,
         options: Optional[EngineOptions] = None,
         cpus: int = 8,
         scale: int = 16,
@@ -124,6 +127,17 @@ class Session:
             raise TypeError("pass exactly one of workload= or program=")
         self.workload = workload
         self.program = program
+        if machine is not None:
+            if config is not None:
+                raise TypeError("pass at most one of config= or machine=")
+            try:
+                preset = MACHINE_PRESETS[machine]
+            except KeyError:
+                raise ValueError(
+                    f"unknown machine preset {machine!r}; "
+                    f"choose from {', '.join(sorted(MACHINE_PRESETS))}"
+                ) from None
+            config = preset(num_cpus=cpus).scaled(scale)
         self.config = (
             config if config is not None else sgi_base(num_cpus=cpus).scaled(scale)
         )

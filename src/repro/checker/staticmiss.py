@@ -763,7 +763,15 @@ def _occupancy_witnesses(
     phase: Optional[str] = None,
     loop: Optional[str] = None,
 ) -> tuple[list[ConflictWitness], int, int]:
-    """Per-(color, line-index) page occupancy for one line map."""
+    """Per-(color, line-index) page occupancy for one line map.
+
+    Binning by ``(color, k)`` is exact on every geometry, not just the
+    classic bit-field: a :class:`~repro.machine.hierarchy.ColorFunction`
+    maps each ``(color, line-index)`` pair to a distinct external-cache
+    set (``set_of`` is a bijection onto the sets), so two lines collide
+    in the cache iff they share a bin.  Sliced XOR-hashed LLCs satisfy
+    this because their hash is GF(2)-linear in the frame number.
+    """
     psz = config.page_size
     line = config.l2.line_size
     assoc = config.l2.associativity
@@ -918,7 +926,12 @@ def _data_hotspots(
     phase: Optional[str] = None,
     loop: Optional[str] = None,
 ) -> tuple[list[ConflictHotspot], int, int]:
-    """Occupancy overflows on data pages, with balanced-load baselines."""
+    """Occupancy overflows on data pages, with balanced-load baselines.
+
+    Bins by ``(color, k)`` like :func:`_occupancy_witnesses`; exact on
+    all geometries because ``ColorFunction.set_of`` is a bijection from
+    those pairs onto the physical external-cache sets.
+    """
     psz = config.page_size
     line = config.l2.line_size
     assoc = config.l2.associativity
@@ -1028,12 +1041,21 @@ def replay_witness(
     cache cannot absorb the repeats), and cycles the conflicting lines.
     Returns the resulting per-kind L2 miss counts for processor 0; a real
     conflict shows up as a positive ``conflict`` count.
+
+    The replay isolates the external-cache claim the witness makes: on
+    three-level geometries the private mid-level cache is dropped for
+    the replay, because it only *filters* traffic on its way to the
+    overflowing LLC set — exactly like the L1, whose filtering the
+    filler pages defeat — and a handful of witness lines would otherwise
+    live in the mid forever, masking the conflict being demonstrated.
     """
     from dataclasses import replace as _replace
 
     from repro.machine.memory_system import MemorySystem
 
     cfg = _replace(config, num_cpus=1)
+    if cfg.hierarchy is not None and cfg.hierarchy.mid is not None:
+        cfg = _replace(cfg, hierarchy=_replace(cfg.hierarchy, mid=None))
     ms = MemorySystem(cfg)
     psz = cfg.page_size
     line = cfg.l2.line_size
@@ -1053,16 +1075,22 @@ def replay_witness(
         page_step = 1
 
     # Map every page to a frame of the required color: witness pages on
-    # the witness color, fillers on distinct other colors.
+    # the witness color, fillers on distinct other colors.  Frames come
+    # from the geometry's color function, so on sliced/hashed LLCs the
+    # replay lands in exactly the set the analysis binned — a witness
+    # derived under an XOR slice hash replays under that same hash.
+    color_function = cfg.color_function
     frames: dict[int, int] = {}
-    next_on_color: dict[int, int] = {}
+    color_iters: dict[int, Iterator[int]] = {}
 
     def map_page(vpage: int, color: int) -> int:
         frame = frames.get(vpage)
         if frame is None:
-            index = next_on_color.get(color, 0)
-            next_on_color[color] = index + 1
-            frame = color + index * num_colors
+            it = color_iters.get(color)
+            if it is None:
+                it = color_function.frames_of_color(color)
+                color_iters[color] = it
+            frame = next(it)
             frames[vpage] = frame
         return frame
 
@@ -1258,6 +1286,14 @@ class StaticCheckError(RuntimeError):
 
 
 def _set_id(laddr: int, psz: int, line: int, lpp: int, plan: StaticPlan) -> int:
+    """Symbolic cache-set id: ``color * lines_per_page + line_index``.
+
+    This is a relabeling of the machine's physical set index, valid on
+    every geometry: ``ColorFunction.set_of`` maps ``(color, k)`` pairs
+    bijectively onto the global external-cache sets, so equality of
+    ``_set_id`` is equality of the physical set, which is all the
+    symbolic simulation depends on.
+    """
     vpage = laddr // psz
     k = (laddr % psz) // line
     return plan.color_of(vpage) * lpp + k
@@ -1292,6 +1328,11 @@ def _simulate_cpu_sets(
     ``gated=True`` lines whose L1 set is quiet (cycle occupancy within the
     on-chip associativity) never reach the external cache — the estimate
     path.  With ``gated=False`` every visit counts — the upper bound path.
+
+    External-cache sets are identified by :func:`_set_id`'s symbolic
+    ``(color, k)`` labels, which relabel the physical sets bijectively on
+    every geometry (including sliced XOR-hashed LLCs), so no hash-specific
+    logic is needed here.
     """
     config = image.config
     psz = config.page_size

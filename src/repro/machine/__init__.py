@@ -14,6 +14,7 @@ the communication misses it cannot.
 from repro.machine.bus import BusTransactionKind, SplitTransactionBus
 from repro.machine.cache import FullyAssociativeLRU, SetAssociativeCache
 from repro.machine.config import (
+    MACHINE_PRESETS,
     CacheConfig,
     MachineConfig,
     TlbConfig,
@@ -22,6 +23,17 @@ from repro.machine.config import (
     sgi_4mb,
     sgi_8way,
     sgi_base,
+    sliced_llc_8x,
+    three_level,
+)
+from repro.machine.hierarchy import (
+    BitFieldColor,
+    CacheHierarchy,
+    CacheLevel,
+    ColorFunction,
+    SlicedHashColor,
+    TableColor,
+    xor_slice_masks,
 )
 from repro.machine.memory_system import AccessResult, MemorySystem
 from repro.machine.prefetch import PrefetchUnit
@@ -30,17 +42,24 @@ from repro.machine.tlb import Tlb
 
 __all__ = [
     "AccessResult",
+    "BitFieldColor",
     "BusTransactionKind",
     "CacheConfig",
+    "CacheHierarchy",
+    "CacheLevel",
+    "ColorFunction",
     "CpuStats",
     "FullyAssociativeLRU",
+    "MACHINE_PRESETS",
     "MachineConfig",
     "MachineStats",
     "MemorySystem",
     "MissKind",
     "PrefetchUnit",
     "SetAssociativeCache",
+    "SlicedHashColor",
     "SplitTransactionBus",
+    "TableColor",
     "Tlb",
     "TlbConfig",
     "alpha_server",
@@ -48,4 +67,7 @@ __all__ = [
     "sgi_4mb",
     "sgi_8way",
     "sgi_base",
+    "sliced_llc_8x",
+    "three_level",
+    "xor_slice_masks",
 ]

@@ -12,11 +12,19 @@ define replacement behaviour, and a flat ``resident`` set that answers
 membership probes in O(1).  The engine's vectorized hit filter
 (``docs/performance.md``) relies on ``resident`` and on :meth:`promote`,
 which must replay exactly the LRU effect of a :meth:`lookup` hit.
+
+Set selection is pluggable: by default a line maps to set
+``(addr >> line_shift) % num_sets`` (the classic physically- or
+virtually-indexed modulo), but a sliced LLC passes ``index_fn`` — the
+geometry's :meth:`~repro.machine.hierarchy.ColorFunction.line_index` —
+so the slice hash decides which global set a line occupies.  The engine's
+fast path mirrors whichever indexing the cache uses (it captures the same
+``index_fn``), keeping the two paths bit-identical on every geometry.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.machine.config import CacheConfig
 
@@ -29,7 +37,11 @@ class SetAssociativeCache:
     associativities (1-8) the paper studies.
     """
 
-    def __init__(self, config: CacheConfig) -> None:
+    def __init__(
+        self,
+        config: CacheConfig,
+        index_fn: Optional[Callable[[int], int]] = None,
+    ) -> None:
         self.config = config
         num_sets = config.num_sets
         self._sets: list[list[int]] = [[] for _ in range(num_sets)]
@@ -39,16 +51,28 @@ class SetAssociativeCache:
         self._num_sets = num_sets
         self._line_shift = config.line_size.bit_length() - 1
         self._associativity = config.associativity
+        #: Geometry-supplied set indexing (``None`` = classic modulo).
+        self.index_fn = index_fn
         #: Flat membership view of every resident line (all sets combined).
         #: Kept exactly in sync with the per-set lists.
         self.resident: set[int] = set()
 
+    def index_of(self, line_addr: int) -> int:
+        """Which set a line-aligned address maps to."""
+        if self.index_fn is not None:
+            return self.index_fn(line_addr)
+        return (line_addr >> self._line_shift) % self._num_sets
+
     def _set_for(self, line_addr: int) -> list[int]:
-        return self._sets[(line_addr >> self._line_shift) % self._num_sets]
+        return self._sets[self.index_of(line_addr)]
 
     def lookup(self, line_addr: int) -> bool:
         """Probe for a line; on a hit the line becomes most recently used."""
-        ways = self._sets[(line_addr >> self._line_shift) % self._num_sets]
+        idx = self.index_fn
+        ways = self._sets[
+            idx(line_addr) if idx is not None
+            else (line_addr >> self._line_shift) % self._num_sets
+        ]
         try:
             ways.remove(line_addr)
         except ValueError:
@@ -62,7 +86,11 @@ class SetAssociativeCache:
 
     def insert(self, line_addr: int) -> Optional[int]:
         """Insert a line, returning the evicted line address if any."""
-        ways = self._sets[(line_addr >> self._line_shift) % self._num_sets]
+        idx = self.index_fn
+        ways = self._sets[
+            idx(line_addr) if idx is not None
+            else (line_addr >> self._line_shift) % self._num_sets
+        ]
         if line_addr in ways:
             ways.remove(line_addr)
             ways.insert(0, line_addr)
@@ -82,7 +110,11 @@ class SetAssociativeCache:
         a miss, by ``insert`` — the form every demand access takes — but
         with a single set indexing.
         """
-        ways = self._sets[(line_addr >> self._line_shift) % self._num_sets]
+        idx = self.index_fn
+        ways = self._sets[
+            idx(line_addr) if idx is not None
+            else (line_addr >> self._line_shift) % self._num_sets
+        ]
         try:
             ways.remove(line_addr)
         except ValueError:
@@ -103,14 +135,18 @@ class SetAssociativeCache:
         engine's bulk hit filter after it has verified residency through
         ``resident``.  Calling it for a non-resident line is a bug.
         """
-        ways = self._sets[(line_addr >> self._line_shift) % self._num_sets]
+        ways = self._set_for(line_addr)
         if ways[0] != line_addr:
             ways.remove(line_addr)
             ways.insert(0, line_addr)
 
     def invalidate(self, line_addr: int) -> bool:
         """Remove a line (coherence invalidation).  True if it was present."""
-        ways = self._sets[(line_addr >> self._line_shift) % self._num_sets]
+        idx = self.index_fn
+        ways = self._sets[
+            idx(line_addr) if idx is not None
+            else (line_addr >> self._line_shift) % self._num_sets
+        ]
         try:
             ways.remove(line_addr)
         except ValueError:

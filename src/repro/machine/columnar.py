@@ -50,6 +50,13 @@ The runner speaks the same generator protocol as ``loop_runner`` (prime
 with ``next()``, ``send`` ``(start, end, clock, busy_per_ref,
 fault_concurrency)``), so the engine selects it per
 ``EngineOptions.columnar`` without touching the chunk dispatch.
+
+The kernel is deliberately *geometry-blind*: its static lowering and
+dynamic filter touch only L1 sets, the TLB, the page cache and the
+coherence maps — never the LLC — so sliced, shared and three-level
+geometries (:mod:`repro.machine.hierarchy`) need no columnar changes.
+Every reference that could reach the LLC falls through to the inner
+scalar runner, which carries the geometry's set hash and sharing rules.
 """
 
 from __future__ import annotations

@@ -1,6 +1,7 @@
 """Machine configuration: cache geometry, latencies, and preset machines.
 
-The presets mirror the two platforms of the paper:
+The presets mirror the two platforms of the paper plus two modern
+geometries the paper could not measure:
 
 * ``sgi_base`` — the SimOS base configuration of Section 3.2: 400MHz
   single-issue R4400-class processors, 32KB two-way split on-chip caches,
@@ -9,85 +10,55 @@ The presets mirror the two platforms of the paper:
 * ``alpha_server`` — the validation platform of Section 7: an 8-CPU
   AlphaServer 8400 with 350MHz 21164 processors and a 4MB direct-mapped
   external cache.
+* ``sliced_llc_8x`` — the base machine with its external cache split
+  into 8 slices selected by a Sandy-Bridge-style XOR hash of physical
+  address bits (see :mod:`repro.machine.hierarchy`).
+* ``three_level`` — a private 256KB mid-level cache per CPU under a
+  single 4MB LLC shared by every CPU.
 
-Because a pure-Python simulator cannot run reference-sized data sets, every
-configuration can be geometrically scaled with :meth:`MachineConfig.scaled`.
-Scaling divides cache size, page size and line size by the same factor,
-which preserves the quantity CDPC cares about: the number of page colors
-(cache size / (page size * associativity)).
+The machine's *geometry* is a :class:`~repro.machine.hierarchy.
+CacheHierarchy`.  For backward compatibility the historical flat fields
+(``l1d``/``l1i``/``l2``) remain: constructing a config from them
+synthesizes a classic two-level hierarchy, and constructing from an
+explicit ``hierarchy=`` makes the flat fields read-only views of its
+levels.  Page-color questions go through :attr:`MachineConfig.
+color_function` — ``machine.color_of(frame)`` / ``machine.num_colors``
+— never through bit arithmetic on the frame number.
+
+Because a pure-Python simulator cannot run reference-sized data sets,
+every configuration can be geometrically scaled with
+:meth:`MachineConfig.scaled`.  Scaling divides cache size and page size
+by the same factor and preserves per-level line sizes, associativities,
+slice counts and the frame-bit hash rows, which keeps the quantity CDPC
+cares about — the number of page colors — invariant on every geometry.
 """
 
 from __future__ import annotations
 
+import functools
+import warnings
 from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Optional
 
+from repro.machine.config_base import CacheConfig, TlbConfig, is_power_of_two
+from repro.machine.hierarchy import CacheHierarchy, CacheLevel, ColorFunction, xor_slice_masks
 
-def _is_power_of_two(value: int) -> bool:
-    return value > 0 and (value & (value - 1)) == 0
+__all__ = [
+    "CacheConfig",
+    "MACHINE_PRESETS",
+    "MachineConfig",
+    "TlbConfig",
+    "alpha_server",
+    "sgi_2way",
+    "sgi_4mb",
+    "sgi_8way",
+    "sgi_base",
+    "sliced_llc_8x",
+    "three_level",
+]
 
-
-@dataclass(frozen=True)
-class CacheConfig:
-    """Geometry of one cache level.
-
-    Sizes are in bytes.  ``associativity`` of 1 means direct-mapped.
-    """
-
-    size: int
-    line_size: int
-    associativity: int = 1
-
-    def __post_init__(self) -> None:
-        if not _is_power_of_two(self.size):
-            raise ValueError(f"cache size must be a power of two, got {self.size}")
-        if not _is_power_of_two(self.line_size):
-            raise ValueError(f"line size must be a power of two, got {self.line_size}")
-        if self.associativity < 1:
-            raise ValueError("associativity must be >= 1")
-        if self.size % (self.line_size * self.associativity) != 0:
-            raise ValueError("cache size must be divisible by line_size * associativity")
-
-    @property
-    def num_lines(self) -> int:
-        return self.size // self.line_size
-
-    @property
-    def num_sets(self) -> int:
-        return self.num_lines // self.associativity
-
-    def line_address(self, addr: int) -> int:
-        """The address of the first byte of the line containing ``addr``."""
-        return addr & ~(self.line_size - 1)
-
-    def set_index(self, addr: int) -> int:
-        """Which set ``addr`` maps to."""
-        return (addr // self.line_size) % self.num_sets
-
-    def word_offset(self, addr: int, word_size: int = 8) -> int:
-        """Index of the word within its line (used for false-sharing tests)."""
-        return (addr & (self.line_size - 1)) // word_size
-
-    def scaled(self, factor: int) -> "CacheConfig":
-        """Divide the cache size by ``factor``.
-
-        Line size and associativity are preserved: shrinking lines below a
-        word would destroy spatial locality, while shrinking capacity and
-        page size together preserves the number of page colors.
-        """
-        if self.size % factor:
-            raise ValueError(f"cannot scale {self} by {factor}")
-        new_size = self.size // factor
-        if new_size < self.line_size * self.associativity:
-            raise ValueError(f"scaling by {factor} leaves less than one set")
-        return replace(self, size=new_size)
-
-
-@dataclass(frozen=True)
-class TlbConfig:
-    """TLB geometry.  Misses are serviced by the OS (kernel overhead)."""
-
-    entries: int = 64
-    miss_latency_ns: float = 200.0
+# Backward-compatible private alias (pre-hierarchy callers imported it).
+_is_power_of_two = is_power_of_two
 
 
 @dataclass(frozen=True)
@@ -100,6 +71,8 @@ class MachineConfig:
     word_size: int = 8
     # On-chip caches are virtually indexed; the external cache is
     # physically indexed (Section 5.4), which is why page mapping matters.
+    # With an explicit ``hierarchy=`` these three become views of its
+    # levels; without one they define a classic two-level hierarchy.
     l1d: CacheConfig = field(default_factory=lambda: CacheConfig(32 * 1024, 128, 2))
     l1i: CacheConfig = field(default_factory=lambda: CacheConfig(32 * 1024, 128, 2))
     l2: CacheConfig = field(default_factory=lambda: CacheConfig(1024 * 1024, 128, 1))
@@ -111,14 +84,34 @@ class MachineConfig:
     bus_bandwidth_gb_s: float = 1.2
     max_outstanding_prefetches: int = 4
     scale_factor: int = 1
+    hierarchy: Optional[CacheHierarchy] = None
 
     def __post_init__(self) -> None:
         if self.num_cpus < 1:
             raise ValueError("num_cpus must be >= 1")
-        if not _is_power_of_two(self.page_size):
+        if not is_power_of_two(self.page_size):
             raise ValueError("page size must be a power of two")
+        hierarchy = self.hierarchy
+        if hierarchy is None or hierarchy.derived:
+            # Legacy spelling (or a replace() of one): the flat fields are
+            # authoritative and the hierarchy is re-derived from them.
+            hierarchy = CacheHierarchy.classic(self.l1d, self.l1i, self.l2)
+            object.__setattr__(self, "hierarchy", hierarchy)
+        else:
+            object.__setattr__(self, "l1d", hierarchy.l1d.cache_config)
+            object.__setattr__(self, "l1i", hierarchy.l1i.cache_config)
+            object.__setattr__(self, "l2", hierarchy.llc.cache_config)
         if self.page_size < self.l2.line_size:
             raise ValueError("page size must be at least one L2 line")
+        # Building the color function validates the geometry/page-size
+        # combination (e.g. a slice must cover whole pages).
+        self.color_function
+
+    @functools.cached_property
+    def color_function(self) -> ColorFunction:
+        """The geometry's frame→color map (see :mod:`repro.machine.hierarchy`)."""
+        assert self.hierarchy is not None
+        return self.hierarchy.color_function(self.page_size)
 
     @property
     def cycle_ns(self) -> float:
@@ -129,9 +122,12 @@ class MachineConfig:
     def num_colors(self) -> int:
         """Number of page colors in the physically-indexed external cache.
 
-        Section 2.1: cache size / (page size * associativity).
+        Section 2.1 for the classic geometry: cache size / (page size *
+        associativity).  Sliced and table-driven geometries answer
+        through their color function; the count is always the number of
+        conflict-equivalence classes of physical frames.
         """
-        return self.l2.size // (self.page_size * self.l2.associativity)
+        return self.color_function.num_colors
 
     @property
     def bus_ns_per_byte(self) -> float:
@@ -142,7 +138,11 @@ class MachineConfig:
 
     def page_color_of_frame(self, frame: int) -> int:
         """Color of a physical frame number."""
-        return frame % self.num_colors
+        return self.color_function.color_of(frame)
+
+    def color_of(self, frame: int) -> int:
+        """Color of a physical frame number (geometry-aware spelling)."""
+        return self.color_function.color_of(frame)
 
     def scaled(self, factor: int) -> "MachineConfig":
         """Geometrically scale caches, pages and lines down by ``factor``.
@@ -153,6 +153,14 @@ class MachineConfig:
         """
         if factor == 1:
             return self
+        assert self.hierarchy is not None
+        if not self.hierarchy.derived:
+            return replace(
+                self,
+                page_size=self.page_size // factor,
+                hierarchy=self.hierarchy.scaled(factor, self.page_size),
+                scale_factor=self.scale_factor * factor,
+            )
         return replace(
             self,
             page_size=self.page_size // factor,
@@ -164,6 +172,137 @@ class MachineConfig:
 
     def with_cpus(self, num_cpus: int) -> "MachineConfig":
         return replace(self, num_cpus=num_cpus)
+
+    # ------------------------------------------------------------------
+    # Lossless serialization (service requests, result-store fingerprints)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dict carrying the full geometry; see :meth:`from_dict`."""
+        assert self.hierarchy is not None
+        out: dict[str, Any] = {
+            "num_cpus": self.num_cpus,
+            "cpu_clock_mhz": self.cpu_clock_mhz,
+            "page_size": self.page_size,
+            "word_size": self.word_size,
+            "l1d": _cache_to_dict(self.l1d),
+            "l1i": _cache_to_dict(self.l1i),
+            "l2": _cache_to_dict(self.l2),
+            "tlb": {"entries": self.tlb.entries,
+                    "miss_latency_ns": self.tlb.miss_latency_ns},
+            "l2_hit_ns": self.l2_hit_ns,
+            "mem_latency_ns": self.mem_latency_ns,
+            "remote_latency_ns": self.remote_latency_ns,
+            "bus_bandwidth_gb_s": self.bus_bandwidth_gb_s,
+            "max_outstanding_prefetches": self.max_outstanding_prefetches,
+            "scale_factor": self.scale_factor,
+        }
+        if not self.hierarchy.derived:
+            # A derived hierarchy is a pure function of the flat fields
+            # above, so omitting it keeps legacy payloads unchanged while
+            # the round trip stays lossless.
+            out["hierarchy"] = _hierarchy_to_dict(self.hierarchy)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "MachineConfig":
+        """Inverse of :meth:`to_dict`: ``from_dict(cfg.to_dict()) == cfg``."""
+        payload = dict(data)
+        hierarchy_data = payload.pop("hierarchy", None)
+        tlb_data = payload.pop("tlb", None)
+        kwargs: dict[str, Any] = {}
+        for name in ("l1d", "l1i", "l2"):
+            if name in payload:
+                kwargs[name] = _cache_from_dict(payload.pop(name))
+        if tlb_data is not None:
+            kwargs["tlb"] = TlbConfig(**tlb_data)
+        if hierarchy_data is not None:
+            kwargs["hierarchy"] = _hierarchy_from_dict(hierarchy_data)
+            # The flat fields are views of the hierarchy; drop any copies.
+            for name in ("l1d", "l1i", "l2"):
+                kwargs.pop(name, None)
+        kwargs.update(payload)
+        return cls(**kwargs)
+
+
+def _cache_to_dict(config: CacheConfig) -> dict[str, Any]:
+    return {
+        "size": config.size,
+        "line_size": config.line_size,
+        "associativity": config.associativity,
+    }
+
+
+def _cache_from_dict(data: dict[str, Any]) -> CacheConfig:
+    return CacheConfig(**data)
+
+
+def _level_to_dict(level: CacheLevel) -> dict[str, Any]:
+    return {
+        "size": level.size,
+        "line_size": level.line_size,
+        "associativity": level.associativity,
+        "shared": level.shared,
+        "write_policy": level.write_policy,
+        "hit_ns": level.hit_ns,
+        "slices": level.slices,
+        "frame_masks": list(level.frame_masks),
+        "offset_masks": list(level.offset_masks),
+    }
+
+
+def _level_from_dict(data: dict[str, Any]) -> CacheLevel:
+    payload = dict(data)
+    payload["frame_masks"] = tuple(payload.get("frame_masks", ()))
+    payload["offset_masks"] = tuple(payload.get("offset_masks", ()))
+    return CacheLevel(**payload)
+
+
+def _hierarchy_to_dict(hierarchy: CacheHierarchy) -> dict[str, Any]:
+    return {
+        "l1d": _level_to_dict(hierarchy.l1d),
+        "l1i": _level_to_dict(hierarchy.l1i),
+        "llc": _level_to_dict(hierarchy.llc),
+        "mid": None if hierarchy.mid is None else _level_to_dict(hierarchy.mid),
+        "color_table": list(hierarchy.color_table),
+    }
+
+
+def _hierarchy_from_dict(data: dict[str, Any]) -> CacheHierarchy:
+    return CacheHierarchy(
+        l1d=_level_from_dict(data["l1d"]),
+        l1i=_level_from_dict(data["l1i"]),
+        llc=_level_from_dict(data["llc"]),
+        mid=None if data.get("mid") is None else _level_from_dict(data["mid"]),
+        color_table=tuple(data.get("color_table", ())),
+    )
+
+
+# ----------------------------------------------------------------------
+# Deprecated keyword surface (PR-5 discipline: old spellings keep
+# working for one deprecation cycle, warning once per call).
+
+_dataclass_init = MachineConfig.__init__
+
+
+@functools.wraps(_dataclass_init)
+def _shimmed_init(self: MachineConfig, *args: Any, cache: Any = None, **kwargs: Any) -> None:
+    if cache is not None:
+        if "l2" in kwargs:
+            raise TypeError("got both 'cache' (deprecated) and 'l2'")
+        warnings.warn(
+            "keyword 'cache' is deprecated; use 'l2' (or an explicit hierarchy=)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        kwargs["l2"] = cache
+    _dataclass_init(self, *args, **kwargs)
+
+
+MachineConfig.__init__ = _shimmed_init  # type: ignore[method-assign]
+
+
+# ----------------------------------------------------------------------
+# Presets
 
 
 def sgi_base(num_cpus: int = 1) -> MachineConfig:
@@ -205,3 +344,63 @@ def alpha_server(num_cpus: int = 1) -> MachineConfig:
         mem_latency_ns=400.0,
         remote_latency_ns=600.0,
     )
+
+
+def sliced_llc_8x(num_cpus: int = 1) -> MachineConfig:
+    """The base machine with an 8-slice XOR-hashed external cache.
+
+    Same 1MB capacity, line size and 256 colors as ``sgi_base`` — only
+    the *shape* of a color changes (a (slice, set-run) pair instead of a
+    frame bit-field), so policy comparisons against the classic geometry
+    isolate the effect of the hash.  The default masks
+    (:func:`~repro.machine.hierarchy.xor_slice_masks`) mix frame bits
+    with an in-page bit per hash row, so consecutive lines of one page
+    spread across slices as on real sliced hardware.
+    """
+    lines_per_page = 4096 // 128
+    sets_per_slice = (1024 * 1024) // (128 * 8)
+    frame_masks, offset_masks = xor_slice_masks(
+        slices=8,
+        span=sets_per_slice // lines_per_page,
+        page_shift=12,
+        line_shift=7,
+    )
+    hierarchy = CacheHierarchy(
+        l1d=CacheLevel(32 * 1024, 128, 2),
+        l1i=CacheLevel(32 * 1024, 128, 2),
+        llc=CacheLevel(
+            1024 * 1024, 128, 1,
+            slices=8, frame_masks=frame_masks, offset_masks=offset_masks,
+        ),
+    )
+    return MachineConfig(num_cpus=num_cpus, hierarchy=hierarchy)
+
+
+def three_level(num_cpus: int = 1) -> MachineConfig:
+    """Three-level geometry: private 256KB mid-level caches, shared 4MB LLC.
+
+    The mid level absorbs part of each CPU's working set at a 25ns hit
+    latency; the physically-indexed LLC — the level page coloring is
+    about — is one cache shared by every CPU, so colors partition a
+    capacity all CPUs compete for.
+    """
+    hierarchy = CacheHierarchy(
+        l1d=CacheLevel(32 * 1024, 128, 2),
+        l1i=CacheLevel(32 * 1024, 128, 2),
+        mid=CacheLevel(256 * 1024, 128, 4, hit_ns=25.0),
+        llc=CacheLevel(4 * 1024 * 1024, 128, 1, shared=True),
+    )
+    return MachineConfig(num_cpus=num_cpus, hierarchy=hierarchy)
+
+
+#: Machine models addressable by name (``--machine`` on the CLI, the
+#: ``machine`` field of service requests, ``Session(machine=...)``).
+MACHINE_PRESETS: dict[str, Callable[[int], MachineConfig]] = {
+    "sgi_base": sgi_base,
+    "sgi_2way": sgi_2way,
+    "sgi_4mb": sgi_4mb,
+    "sgi_8way": sgi_8way,
+    "alpha_server": alpha_server,
+    "sliced_llc_8x": sliced_llc_8x,
+    "three_level": three_level,
+}

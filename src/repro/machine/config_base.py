@@ -1,0 +1,80 @@
+"""Primitive geometry descriptions shared by config and hierarchy.
+
+:class:`CacheConfig` is the flat single-cache view consumed by the
+behavioural cache models; :mod:`repro.machine.hierarchy` composes these
+into multi-level geometries and :mod:`repro.machine.config` re-exports
+everything, so existing ``from repro.machine.config import CacheConfig``
+imports keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+def is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level.
+
+    Sizes are in bytes.  ``associativity`` of 1 means direct-mapped.
+    """
+
+    size: int
+    line_size: int
+    associativity: int = 1
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.size):
+            raise ValueError(f"cache size must be a power of two, got {self.size}")
+        if not is_power_of_two(self.line_size):
+            raise ValueError(f"line size must be a power of two, got {self.line_size}")
+        if self.associativity < 1:
+            raise ValueError("associativity must be >= 1")
+        if self.size % (self.line_size * self.associativity) != 0:
+            raise ValueError("cache size must be divisible by line_size * associativity")
+
+    @property
+    def num_lines(self) -> int:
+        return self.size // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+    def line_address(self, addr: int) -> int:
+        """The address of the first byte of the line containing ``addr``."""
+        return addr & ~(self.line_size - 1)
+
+    def set_index(self, addr: int) -> int:
+        """Which set ``addr`` maps to."""
+        return (addr // self.line_size) % self.num_sets
+
+    def word_offset(self, addr: int, word_size: int = 8) -> int:
+        """Index of the word within its line (used for false-sharing tests)."""
+        return (addr & (self.line_size - 1)) // word_size
+
+    def scaled(self, factor: int) -> "CacheConfig":
+        """Divide the cache size by ``factor``.
+
+        Line size and associativity are preserved: shrinking lines below a
+        word would destroy spatial locality, while shrinking capacity and
+        page size together preserves the number of page colors.
+        """
+        if self.size % factor:
+            raise ValueError(f"cannot scale {self} by {factor}")
+        new_size = self.size // factor
+        if new_size < self.line_size * self.associativity:
+            raise ValueError(f"scaling by {factor} leaves less than one set")
+        return replace(self, size=new_size)
+
+
+@dataclass(frozen=True)
+class TlbConfig:
+    """TLB geometry.  Misses are serviced by the OS (kernel overhead)."""
+
+    entries: int = 64
+    miss_latency_ns: float = 200.0

@@ -145,6 +145,25 @@ def loop_runner(ms: MemorySystem, vm, page_cache: dict, cpu: int, stream,
     l2_nsets = l2._num_sets
     l2_assoc = l2._associativity
     l2_resident = l2.resident
+    # Geometry hooks: a sliced LLC supplies its set hash (None keeps the
+    # classic inline modulo); a shared LLC changes the coherence rules;
+    # a mid-level cache adds a probe between the L1s and the LLC.
+    l2_index = ms._llc_index
+    llc_shared = ms.llc_shared
+    all_mid = ms._mid
+    if all_mid is not None:
+        mid_cache = all_mid[cpu]
+        mid_sets = all_mid[cpu]._sets
+        mid_shift = mid_cache._line_shift
+        mid_nsets = mid_cache._num_sets
+        mid_assoc = mid_cache._associativity
+        mid_resident = mid_cache.resident
+        mid_hit_ns = ms._mid_hit_ns
+    else:
+        mid_sets = None
+        mid_shift = mid_nsets = mid_assoc = 0
+        mid_resident = None
+        mid_hit_ns = 0.0
     shadow_lines = shadow._lines
     shadow_cap = shadow.capacity
     l2_misses = stats.l2_misses
@@ -257,7 +276,10 @@ def loop_runner(ms: MemorySystem, vm, page_cache: dict, cpu: int, stream,
             if pend is None:
                 pend = pending_map[pline] = {}
             for other in others:
-                all_l2[other].invalidate(pline)
+                if not llc_shared:
+                    all_l2[other].invalidate(pline)
+                if all_mid is not None:
+                    all_mid[other].invalidate(pline)
                 all_l1d[other].invalidate(pline)
                 all_l1i[other].invalidate(pline)
                 pend[other] = pend.get(other, 0) | word_bit
@@ -306,6 +328,7 @@ def loop_runner(ms: MemorySystem, vm, page_cache: dict, cpu: int, stream,
         l1i_hits_d = 0
         l1i_misses_d = 0
         l2_hits_d = 0
+        mid_hits_d = 0
         demand_d = 0
         # Float accumulator seeded from the live value so the addition
         # order matches the oracle's per-event updates bit for bit.
@@ -503,6 +526,27 @@ def loop_runner(ms: MemorySystem, vm, page_cache: dict, cpu: int, stream,
 
             # External cache (oracle: MemorySystem._l2_access).
             pline = paddr & line_mask
+            if mid_sets is not None:
+                # Mid-level probe (oracle: the _mid lookup/insert pair).
+                mways = mid_sets[(pline >> mid_shift) % mid_nsets]
+                if pline in mways:
+                    mways.remove(pline)
+                    mways.insert(0, pline)
+                    mid_hits_d += 1
+                    l2_hits_d += 1
+                    stall = mid_hit_ns
+                    l1_stall += stall
+                    if is_write:
+                        stall += wcoh(t + stall, paddr, pline)
+                    t += busy_per_ref + stall + kernel_ns
+                    kernel_total += kernel_ns
+                    prev_vpage = vpage
+                    index += 1
+                    continue
+                mways.insert(0, pline)
+                mid_resident.add(pline)
+                if len(mways) > mid_assoc:
+                    mid_resident.discard(mways.pop())
             if pline in shadow_lines:
                 del shadow_lines[pline]
                 shadow_lines[pline] = None
@@ -512,10 +556,26 @@ def loop_runner(ms: MemorySystem, vm, page_cache: dict, cpu: int, stream,
                 if len(shadow_lines) > shadow_cap:
                     del shadow_lines[next(iter(shadow_lines))]
                 shadow_hit = False
-            l2_ways = l2_sets[(pline >> l2_shift) % l2_nsets]
+            l2_ways = l2_sets[
+                (pline >> l2_shift) % l2_nsets if l2_index is None
+                else l2_index(pline)
+            ]
             if pline in l2_ways:
                 l2_ways.remove(pline)
                 l2_ways.insert(0, pline)
+                if llc_shared:
+                    # Oracle's shared-LLC hit bookkeeping: register the
+                    # reader as a sharer, consume its pending mask.
+                    sh = sharers_get(pline)
+                    if sh is None:
+                        sharers[pline] = {cpu}
+                    else:
+                        sh.add(cpu)
+                    pend = pending_map.get(pline)
+                    if pend is not None and cpu in pend:
+                        del pend[cpu]
+                        if not pend:
+                            del pending_map[pline]
                 # ``inflight`` is empty unless prefetching is active, so
                 # guard the per-hit tuple construction behind a truth
                 # test (x + 0.0 == x exactly for the positive hit
@@ -636,6 +696,7 @@ def loop_runner(ms: MemorySystem, vm, page_cache: dict, cpu: int, stream,
         stats.l1i_misses += l1i_misses_d
         stats.l2_hits += l2_hits_d
         stats.l1_stall_ns = l1_stall
+        ms.mid_hits += mid_hits_d
         ms.demand_l2_misses += demand_d
         ms.fast_retired_data += fastd_d
         ms.fast_retired_instr += fasti_d

@@ -22,6 +22,27 @@ Simplifications relative to SimOS (documented in DESIGN.md): on-chip
 caches are not back-invalidated on external-cache evictions, and L1
 writebacks are not charged to the bus.  Neither affects the external-cache
 conflict behaviour that CDPC targets.
+
+Geometry is taken from ``config.hierarchy`` (:mod:`repro.machine.
+hierarchy`), which generalizes the paper's machine three ways:
+
+* **Sliced LLC.**  When the geometry's color function is not the classic
+  bit-field, every LLC probe routes through its ``line_index`` hash (the
+  ``index_fn`` of :class:`~repro.machine.cache.SetAssociativeCache`), so
+  the slice hash decides set placement while the rest of the pipeline is
+  unchanged.
+* **Shared LLC.**  A ``shared`` LLC level is one cache (and one shadow)
+  aliased into every CPU's slot.  Write coherence then invalidates only
+  the other CPUs' on-chip (and mid-level) copies — the LLC line itself
+  stays resident — and an LLC hit registers the reading CPU as a sharer
+  and consumes any pending invalidation mask (the reader communicates
+  through the shared cache instead of taking a coherence miss).
+* **Mid-level cache.**  An optional private mid level is probed between
+  the L1s and the LLC; hits cost the level's ``hit_ns`` and are counted
+  as external-hierarchy hits.  Mid misses fill the mid on the way to the
+  LLC; mid evictions are silent (clean — dirty tracking stays at the
+  coherence layer).  Miss classification (shadow, ``_seen``) therefore
+  sees only post-mid traffic.
 """
 
 from __future__ import annotations
@@ -64,8 +85,36 @@ class MemorySystem:
         self.bus = SplitTransactionBus(config.bus_bandwidth_gb_s)
         self._l1d = [SetAssociativeCache(config.l1d) for _ in range(n)]
         self._l1i = [SetAssociativeCache(config.l1i) for _ in range(n)]
-        self._l2 = [SetAssociativeCache(config.l2) for _ in range(n)]
-        self._shadow = [FullyAssociativeLRU(config.l2.num_lines) for _ in range(n)]
+        hierarchy = config.hierarchy
+        assert hierarchy is not None
+        color_fn = config.color_function
+        #: Geometry-supplied LLC set indexing; ``None`` keeps the classic
+        #: inline modulo (and the fast path's inline replica of it).
+        self._llc_index = None if color_fn.classic else color_fn.line_index
+        #: Whether the LLC is one cache shared by every CPU.
+        self.llc_shared = hierarchy.llc.shared
+        if self.llc_shared:
+            shared_llc = SetAssociativeCache(config.l2, self._llc_index)
+            shared_shadow = FullyAssociativeLRU(config.l2.num_lines)
+            self._l2 = [shared_llc] * n
+            self._shadow: list[FullyAssociativeLRU] = [shared_shadow] * n
+        else:
+            self._l2 = [
+                SetAssociativeCache(config.l2, self._llc_index) for _ in range(n)
+            ]
+            self._shadow = [FullyAssociativeLRU(config.l2.num_lines) for _ in range(n)]
+        mid_level = hierarchy.mid
+        if mid_level is None:
+            self._mid: Optional[list[SetAssociativeCache]] = None
+            self._mid_hit_ns = 0.0
+        else:
+            self._mid = [SetAssociativeCache(mid_level.cache_config) for _ in range(n)]
+            self._mid_hit_ns = (
+                mid_level.hit_ns if mid_level.hit_ns is not None else 25.0
+            )
+        # Mid-level hit total (observability; per-CPU stats fold these
+        # into l2_hits, so this aggregate never feeds results).
+        self.mid_hits = 0
         self._tlb = [Tlb(config.tlb) for _ in range(n)]
         self._prefetch = [PrefetchUnit(config.max_outstanding_prefetches) for _ in range(n)]
         # Coherence directory: physical line -> (set of caching CPUs, dirty CPU).
@@ -156,9 +205,35 @@ class MemorySystem:
         stats: CpuStats,
     ) -> tuple[float, bool, Optional[MissKind]]:
         pline = paddr & self._line_mask
+        mid = self._mid
+        if mid is not None:
+            mid_cache = mid[cpu]
+            if mid_cache.lookup(pline):
+                self.mid_hits += 1
+                stats.l2_hits += 1
+                stall = self._mid_hit_ns
+                stats.l1_stall_ns += stall
+                if is_write:
+                    stall += self._write_coherence(cpu, time_ns + stall, paddr, stats)
+                return stall, True, None
+            # Fill the mid level on the way to the LLC; evictions are
+            # silent (clean — dirty tracking lives at the coherence layer).
+            mid_cache.insert(pline)
         l2 = self._l2[cpu]
         shadow_hit = self._shadow[cpu].access(pline)
         if l2.lookup(pline):
+            if self.llc_shared:
+                # The reader may be hitting a line another CPU brought
+                # in: register it as a sharer (so later writers
+                # invalidate its on-chip copies) and consume any pending
+                # invalidation mask — it communicated through the shared
+                # cache instead of taking a coherence miss.
+                self._sharers.setdefault(pline, set()).add(cpu)
+                pending = self._pending.get(pline)
+                if pending is not None and cpu in pending:
+                    del pending[cpu]
+                    if not pending:
+                        del self._pending[pline]
             inflight = self._inflight.pop((cpu, pline), None)
             extra = 0.0
             if inflight is not None:
@@ -243,7 +318,13 @@ class MemorySystem:
             vline = pline  # shared address space: virtual and physical lines
             pending = self._pending.setdefault(pline, {})
             for other in others:
-                self._l2[other].invalidate(pline)
+                if not self.llc_shared:
+                    # A shared LLC holds one copy for everyone — the
+                    # writer's own line must survive; only the other
+                    # CPUs' private copies are stale.
+                    self._l2[other].invalidate(pline)
+                if self._mid is not None:
+                    self._mid[other].invalidate(pline)
                 self._invalidate_l1(other, pline)
                 pending[other] = pending.get(other, 0) | word_bit
                 sharers.discard(other)
@@ -369,6 +450,8 @@ class MemorySystem:
             for cpu in range(self.config.num_cpus):
                 self._l2[cpu].invalidate(pline)
                 self._shadow[cpu].invalidate(pline)
+                if self._mid is not None:
+                    self._mid[cpu].invalidate(pline)
                 self._seen[cpu].discard(pline)
                 self._inflight.pop((cpu, pline), None)
             self._sharers.pop(pline, None)

@@ -60,21 +60,39 @@ class ReclaimPolicy(abc.ABC):
 class PhysicalMemory:
     """Frame allocator over ``num_frames`` frames and ``num_colors`` colors.
 
-    Frame ``f`` has color ``f % num_colors``, matching contiguous physical
-    memory under a direct-mapped (or set-associative) physically-indexed
-    cache.
+    By default frame ``f`` has color ``f % num_colors``, matching
+    contiguous physical memory under a direct-mapped (or set-associative)
+    physically-indexed cache.  Machines whose LLC hashes the physical
+    address (:mod:`repro.machine.hierarchy`) pass ``color_fn`` — the
+    geometry's ``color_of(frame)`` — so the free lists are built from the
+    *learned* color map instead of the bit-field assumption.  The
+    allocator never computes a color itself after construction; every
+    path goes through :meth:`color_of`.
     """
 
-    def __init__(self, num_frames: int, num_colors: int) -> None:
+    def __init__(
+        self,
+        num_frames: int,
+        num_colors: int,
+        color_fn: Optional[Callable[[int], int]] = None,
+    ) -> None:
         if num_colors < 1:
             raise ValueError("need at least one color")
         if num_frames < num_colors:
             raise ValueError("need at least one frame per color")
         self.num_frames = num_frames
         self.num_colors = num_colors
+        self._color_fn = color_fn
         self._free: list[deque[int]] = [deque() for _ in range(num_colors)]
         for frame in range(num_frames):
-            self._free[frame % num_colors].append(frame)
+            self._free[self.color_of(frame)].append(frame)
+        if color_fn is not None and any(not queue for queue in self._free):
+            empty = [c for c, queue in enumerate(self._free) if not queue]
+            raise ValueError(
+                f"color function leaves color(s) {empty[:4]} with no frames "
+                f"in a pool of {num_frames}; the geometry's hash is "
+                "unbalanced for this pool size"
+            )
         self._allocated: set[int] = set()
         self._held: set[int] = set()
         self._revoked: set[int] = set()
@@ -118,6 +136,8 @@ class PhysicalMemory:
     # Introspection
 
     def color_of(self, frame: int) -> int:
+        if self._color_fn is not None:
+            return self._color_fn(frame)
         return frame % self.num_colors
 
     def color_distance(self, a: int, b: int) -> int:

@@ -42,8 +42,14 @@ class VirtualMemory:
         if physmem is None:
             # Default: enough physical memory for 4x the largest working
             # set we simulate, in whole multiples of the color count.
+            # Non-classic geometries supply their learned frame->color
+            # map; the classic bit-field keeps the allocator's own
+            # ``frame % num_colors`` arithmetic (identical results,
+            # cheaper per call).
             frames = memory_frames or config.num_colors * 64
-            physmem = PhysicalMemory(frames, config.num_colors)
+            color_function = config.color_function
+            color_fn = None if color_function.classic else color_function.color_of
+            physmem = PhysicalMemory(frames, config.num_colors, color_fn=color_fn)
         self.physmem = physmem
         self.page_table = PageTable(config.page_size)
         self.faults = 0

@@ -23,13 +23,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Optional
 
 from repro.harness.store import task_fingerprint
-from repro.machine.config import (
-    MachineConfig,
-    alpha_server,
-    sgi_2way,
-    sgi_4mb,
-    sgi_base,
-)
+from repro.machine.config import MACHINE_PRESETS, MachineConfig, alpha_server
 from repro.sim.engine import EngineOptions
 from repro.sim.sweeps import STANDARD_POLICIES
 from repro.sim.tracegen import SimProfile
@@ -43,11 +37,10 @@ __all__ = [
     "Status",
 ]
 
-#: Machine models a request may name (mirrors the CLI's ``--machine``).
+#: Machine models a request may name (mirrors the CLI's ``--machine``):
+#: every preset geometry, plus the CLI's historical ``alpha`` alias.
 MACHINE_FACTORIES: dict[str, Callable[[int], MachineConfig]] = {
-    "sgi_base": sgi_base,
-    "sgi_2way": sgi_2way,
-    "sgi_4mb": sgi_4mb,
+    **{name: preset for name, preset in MACHINE_PRESETS.items()},
     "alpha": alpha_server,
 }
 

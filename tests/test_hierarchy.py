@@ -1,0 +1,287 @@
+"""Cache-hierarchy geometry model: color functions, levels, serialization.
+
+The exactness contract (module docstring of :mod:`repro.machine.hierarchy`)
+is what the whole stack leans on: two frames of one color must be
+conflict-equivalent — line ``k`` of both pages lands in the same global
+cache set, for every ``k``.  These tests pin that contract for every
+implementation, plus the balance and bijection properties the allocator
+and the symbolic analyzer additionally require.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.machine.config import (
+    MACHINE_PRESETS,
+    CacheConfig,
+    MachineConfig,
+    sgi_base,
+    sliced_llc_8x,
+    three_level,
+)
+from repro.machine.hierarchy import (
+    BitFieldColor,
+    CacheHierarchy,
+    CacheLevel,
+    ColorFunction,
+    SlicedHashColor,
+    TableColor,
+    xor_slice_masks,
+)
+
+#: Scaled-down configs of the three geometry shapes (classic, sliced,
+#: three-level with a shared LLC), as the simulator actually runs them.
+SHAPES = {
+    "sgi_base": sgi_base(2).scaled(16),
+    "sliced_llc_8x": sliced_llc_8x(2).scaled(16),
+    "three_level": three_level(2).scaled(16),
+}
+
+
+class TestExactness:
+    @pytest.mark.parametrize("name", sorted(SHAPES))
+    def test_colors_are_conflict_equivalence_classes(self, name):
+        """set_of(color_of(f), k) == line_index of line k of frame f."""
+        config = SHAPES[name]
+        cf = config.color_function
+        psz = config.page_size
+        line = config.l2.line_size
+        lpp = psz // line
+        for frame in range(4 * config.num_colors + 7):
+            color = cf.color_of(frame)
+            for k in range(lpp):
+                assert cf.set_of(color, k) == cf.line_index(
+                    frame * psz + k * line
+                )
+
+    @pytest.mark.parametrize("name", sorted(SHAPES))
+    def test_color_set_pairs_biject_onto_sets(self, name):
+        """(color, k) pairs cover every global set exactly once.
+
+        This is the property that keeps the symbolic analyzer's
+        ``(color, k)`` bins a faithful relabeling of physical sets.
+        """
+        config = SHAPES[name]
+        cf = config.color_function
+        lpp = config.page_size // config.l2.line_size
+        num_sets = config.l2.num_sets
+        seen = {
+            cf.set_of(color, k)
+            for color in range(cf.num_colors)
+            for k in range(lpp)
+        }
+        assert len(seen) == cf.num_colors * lpp == num_sets
+        assert seen == set(range(num_sets))
+
+    @pytest.mark.parametrize("name", sorted(SHAPES))
+    def test_frames_of_color_inverts_color_of(self, name):
+        cf = SHAPES[name].color_function
+        for color in (0, 1, cf.num_colors - 1):
+            it = cf.frames_of_color(color)
+            frames = [next(it) for _ in range(8)]
+            assert frames == sorted(frames)
+            assert all(cf.color_of(frame) == color for frame in frames)
+
+
+class TestBalance:
+    def test_xor_masks_give_perfectly_balanced_colors(self):
+        """Every color owns the same share of a contiguous frame pool."""
+        config = SHAPES["sliced_llc_8x"]
+        cf = config.color_function
+        pool = cf.num_colors * 64
+        counts = [0] * cf.num_colors
+        for frame in range(pool):
+            counts[cf.color_of(frame)] += 1
+        assert counts == [64] * cf.num_colors
+
+    def test_sliced_preset_matches_classic_color_count(self):
+        """The 8-slice hash reshapes colors without changing their number."""
+        assert sliced_llc_8x(2).num_colors == sgi_base(2).num_colors == 256
+
+
+class TestSlicedHashColor:
+    def test_rejects_single_slice(self):
+        with pytest.raises(ValueError):
+            SlicedHashColor(
+                slices=1, sets_per_slice=64, lines_per_page=4,
+                line_shift=6, page_shift=8, frame_masks=(), offset_masks=(),
+            )
+
+    def test_rejects_mask_count_mismatch(self):
+        with pytest.raises(ValueError):
+            SlicedHashColor(
+                slices=4, sets_per_slice=64, lines_per_page=4,
+                line_shift=6, page_shift=8,
+                frame_masks=(0b1,), offset_masks=(0, 0),
+            )
+
+    def test_rejects_partial_set_runs(self):
+        with pytest.raises(ValueError):
+            SlicedHashColor(
+                slices=2, sets_per_slice=6, lines_per_page=4,
+                line_shift=6, page_shift=8,
+                frame_masks=(0b100,), offset_masks=(0,),
+            )
+
+
+class TestTableColor:
+    def base(self) -> BitFieldColor:
+        return BitFieldColor(
+            num_colors=8, lines_per_page=4, num_sets=32, line_shift=6
+        )
+
+    def test_rejects_non_permutations(self):
+        with pytest.raises(ValueError):
+            TableColor(self.base(), tuple([0] * 8))
+
+    def test_relabels_colors_but_not_sets(self):
+        base = self.base()
+        table = tuple((c + 3) % 8 for c in range(8))
+        mapped = TableColor(base, table)
+        assert mapped.num_colors == base.num_colors
+        for frame in range(24):
+            assert mapped.color_of(frame) == table[base.color_of(frame)]
+            for k in range(4):
+                # Exactness holds through the relabeling.
+                assert mapped.set_of(mapped.color_of(frame), k) == \
+                    mapped.line_index(frame * 256 + k * 64)
+        # The physical sets are untouched; only the labels moved.
+        for addr in range(0, 64 * 64, 64):
+            assert mapped.line_index(addr) == base.line_index(addr)
+
+    def test_hierarchy_color_table_is_applied(self):
+        table = tuple(reversed(range(32)))
+        hierarchy = CacheHierarchy(
+            l1d=CacheLevel(1024, 64, 2),
+            l1i=CacheLevel(1024, 64, 2),
+            llc=CacheLevel(8192, 64, 1),
+            color_table=table,
+        )
+        config = MachineConfig(page_size=256, hierarchy=hierarchy)
+        assert isinstance(config.color_function, TableColor)
+        assert config.color_of(0) == 31
+        assert config.num_colors == 32
+
+
+class TestXorSliceMasks:
+    def test_rejects_bad_slice_counts(self):
+        with pytest.raises(ValueError):
+            xor_slice_masks(3, 32, 12, 7)
+        with pytest.raises(ValueError):
+            xor_slice_masks(1, 32, 12, 7)
+
+    def test_masks_address_disjoint_frame_bits(self):
+        frame_masks, offset_masks = xor_slice_masks(8, 32, 12, 7)
+        assert len(frame_masks) == len(offset_masks) == 3
+        combined = 0
+        for mask in frame_masks:
+            assert combined & mask == 0
+            combined |= mask
+        # No frame mask touches the span-identity low bits.
+        assert combined & 31 == 0
+
+
+class TestCacheLevel:
+    def test_rejects_shared_l1(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(
+                l1d=CacheLevel(1024, 64, 2, shared=True),
+                l1i=CacheLevel(1024, 64, 2),
+                llc=CacheLevel(8192, 64, 1),
+            )
+
+    def test_rejects_shared_mid(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(
+                l1d=CacheLevel(1024, 64, 2),
+                l1i=CacheLevel(1024, 64, 2),
+                mid=CacheLevel(2048, 64, 2, shared=True),
+                llc=CacheLevel(8192, 64, 1),
+            )
+
+    def test_rejects_unknown_write_policy(self):
+        with pytest.raises(ValueError):
+            CacheLevel(8192, 64, 1, write_policy="writearound")
+
+    def test_rejects_indivisible_slicing(self):
+        with pytest.raises(ValueError):
+            CacheLevel(8192, 64, 3)
+
+    def test_levels_order_innermost_first(self):
+        hierarchy = three_level(1).hierarchy
+        assert hierarchy is not None
+        assert hierarchy.levels == (
+            hierarchy.l1d, hierarchy.l1i, hierarchy.mid, hierarchy.llc
+        )
+
+
+class TestScaling:
+    @pytest.mark.parametrize("name", sorted(MACHINE_PRESETS))
+    @pytest.mark.parametrize("factor", [4, 16])
+    def test_num_colors_invariant_under_scaling(self, name, factor):
+        """The regression the geometry redesign must not break: scaling
+        shrinks capacity and pages together, never the color count."""
+        config = MACHINE_PRESETS[name](2)
+        assert config.scaled(factor).num_colors == config.num_colors
+
+    def test_scaled_preserves_slice_hash_frame_rows(self):
+        config = sliced_llc_8x(2)
+        scaled = config.scaled(16)
+        assert scaled.hierarchy is not None and config.hierarchy is not None
+        assert scaled.hierarchy.llc.frame_masks == config.hierarchy.llc.frame_masks
+        # In-page mask bits above the smaller page are gone.
+        page_mask = (scaled.page_size - 1) & ~(scaled.l2.line_size - 1)
+        for mask in scaled.hierarchy.llc.offset_masks:
+            assert mask & ~page_mask == 0
+
+    def test_scaled_identity(self):
+        config = three_level(2)
+        assert config.scaled(1) is config
+
+    def test_scaled_colors_still_exact(self):
+        config = three_level(2).scaled(16)
+        cf = config.color_function
+        psz, line = config.page_size, config.l2.line_size
+        for frame in range(2 * cf.num_colors):
+            for k in range(psz // line):
+                assert cf.set_of(cf.color_of(frame), k) == cf.line_index(
+                    frame * psz + k * line
+                )
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("name", sorted(SHAPES))
+    def test_round_trip_is_lossless(self, name):
+        config = SHAPES[name]
+        payload = json.loads(json.dumps(config.to_dict()))
+        restored = MachineConfig.from_dict(payload)
+        assert restored == config
+        assert restored.num_colors == config.num_colors
+        assert type(restored.color_function) is type(config.color_function)
+
+    def test_derived_hierarchy_is_omitted_from_payloads(self):
+        """Legacy configs keep their legacy wire format."""
+        assert "hierarchy" not in sgi_base(4).to_dict()
+        assert "hierarchy" in three_level(4).to_dict()
+
+    def test_replace_of_flat_field_rederives_hierarchy(self):
+        config = sgi_base(2)
+        bigger = replace(config, l2=CacheConfig(4 * 1024 * 1024, 128, 1))
+        assert bigger.num_colors == 1024
+        assert bigger.hierarchy is not None and bigger.hierarchy.derived
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("name", sorted(SHAPES))
+    def test_presets_satisfy_the_protocol(self, name):
+        assert isinstance(SHAPES[name].color_function, ColorFunction)
+
+    def test_classic_flag_matches_geometry(self):
+        assert SHAPES["sgi_base"].color_function.classic
+        assert not SHAPES["sliced_llc_8x"].color_function.classic
+        # The three-level LLC is unsliced, so its colors stay bit-fields.
+        assert SHAPES["three_level"].color_function.classic

@@ -124,3 +124,29 @@ class TestMachineConfig:
 
     def test_tlb_defaults(self):
         assert TlbConfig().entries == 64
+
+
+class TestHierarchyScaling:
+    """Scaling regression for the geometry presets (see test_hierarchy.py
+    for the full sweep): per-level scaling must keep the color count."""
+
+    def test_sliced_preset_scales_without_losing_colors(self):
+        from repro.machine.config import sliced_llc_8x
+
+        config = sliced_llc_8x(4)
+        scaled = config.scaled(16)
+        assert scaled.num_colors == config.num_colors == 256
+        assert scaled.page_size == config.page_size // 16
+        assert scaled.hierarchy is not None
+        assert scaled.hierarchy.llc.slices == 8
+
+    def test_three_level_preset_scales_every_level(self):
+        from repro.machine.config import three_level
+
+        config = three_level(4)
+        scaled = config.scaled(16)
+        assert scaled.num_colors == config.num_colors == 1024
+        assert scaled.hierarchy is not None and config.hierarchy is not None
+        assert scaled.hierarchy.mid is not None
+        assert scaled.hierarchy.mid.size == config.hierarchy.mid.size // 16
+        assert scaled.hierarchy.llc.shared
